@@ -1,0 +1,45 @@
+//! Channel-model throughput: corrupting a model-sized payload must be
+//! cheap enough to run inside every federated round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fhdnn::channel::awgn::AwgnChannel;
+use fhdnn::channel::bit_error::BitErrorChannel;
+use fhdnn::channel::gilbert::GilbertElliottChannel;
+use fhdnn::channel::packet::PacketLossChannel;
+use fhdnn::channel::Channel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_channels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_transmit");
+    group.sample_size(20);
+    // A 10-class d=10000 HD model: 100k floats.
+    let payload = vec![0.5f32; 100_000];
+    let channels: Vec<(&str, Box<dyn Channel>)> = vec![
+        ("awgn_10db", Box::new(AwgnChannel::new(10.0).unwrap())),
+        ("ber_1e-3", Box::new(BitErrorChannel::new(1e-3).unwrap())),
+        (
+            "packet_loss_20pct",
+            Box::new(PacketLossChannel::new(0.2, 256 * 8).unwrap()),
+        ),
+        (
+            "gilbert_elliott_burst",
+            Box::new(GilbertElliottChannel::new(0.01, 0.8, 0.05, 0.2, 256 * 8).unwrap()),
+        ),
+    ];
+    for (name, ch) in &channels {
+        group.bench_with_input(BenchmarkId::new("100k_floats", name), ch, |b, ch| {
+            let mut rng = StdRng::seed_from_u64(0);
+            b.iter(|| {
+                let mut p = payload.clone();
+                ch.transmit_f32(black_box(&mut p), &mut rng);
+                p
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_channels);
+criterion_main!(benches);

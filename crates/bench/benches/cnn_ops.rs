@@ -1,0 +1,69 @@
+//! CNN training cost vs HD training cost — the microscopic counterpart
+//! of Table 1: a full ResNet-lite train step against the FHDnn client
+//! work (frozen forward + encode + refine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fhdnn::datasets::image::SynthSpec;
+use fhdnn::hdc::encoder::RandomProjectionEncoder;
+use fhdnn::hdc::model::HdModel;
+use fhdnn::nn::loss::cross_entropy;
+use fhdnn::nn::models::{mobilenet_trunk, resnet_lite, resnet_trunk, ResNetConfig};
+use fhdnn::nn::optim::Sgd;
+use fhdnn::nn::Mode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn config() -> ResNetConfig {
+    ResNetConfig {
+        in_channels: 3,
+        base_width: 8,
+        blocks_per_stage: 2,
+        num_classes: 10,
+    }
+}
+
+fn bench_cnn_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cnn_vs_hd_client_work");
+    group.sample_size(10);
+    let data = SynthSpec::cifar_like().generate(16, 0).unwrap();
+
+    // Full CNN training step (what a FedAvg client pays per batch).
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut net = resnet_lite(config(), &mut rng).unwrap();
+    let mut opt = Sgd::new(0.05).momentum(0.9);
+    group.bench_function("resnet_train_step_batch16", |b| {
+        b.iter(|| {
+            net.zero_grad();
+            let logits = net.forward(black_box(&data.images), Mode::Train).unwrap();
+            let out = cross_entropy(&logits, &data.labels).unwrap();
+            net.backward(&out.grad).unwrap();
+            opt.step(&mut net).unwrap();
+            out.loss
+        })
+    });
+
+    // FHDnn client work on the same batch: frozen forward + HD ops.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut trunk = resnet_trunk(config(), &mut rng).unwrap();
+    let enc = RandomProjectionEncoder::new(4096, 32, 7).unwrap();
+    group.bench_function("fhdnn_client_step_batch16", |b| {
+        b.iter(|| {
+            let feats = trunk.forward(black_box(&data.images), Mode::Eval).unwrap();
+            let h = enc.encode_batch(&feats).unwrap();
+            let mut m = HdModel::new(10, 4096).unwrap();
+            m.one_shot_train(&h, &data.labels).unwrap();
+            m.refine_epoch(&h, &data.labels).unwrap()
+        })
+    });
+    // MobileNet-style extractor forward: the edge-device alternative.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut mobile = mobilenet_trunk(config(), &mut rng).unwrap();
+    group.bench_function("mobilenet_extract_batch16", |b| {
+        b.iter(|| mobile.forward(black_box(&data.images), Mode::Eval).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cnn_train_step);
+criterion_main!(benches);

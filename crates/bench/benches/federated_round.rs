@@ -1,0 +1,56 @@
+//! End-to-end cost of one federated round: FHDnn's HD round against the
+//! FedAvg CNN round on matched data — the wall-clock counterpart of the
+//! paper's convergence-speed claims.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fhdnn::channel::NoiselessChannel;
+use fhdnn::experiment::{ExperimentSpec, Workload};
+use fhdnn::federated::config::FlConfig;
+use fhdnn::federated::fedavg::{CnnFederation, LocalSgdConfig};
+use fhdnn::nn::models::resnet_lite;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_fl(num_clients: usize) -> FlConfig {
+    FlConfig {
+        num_clients,
+        rounds: 1,
+        local_epochs: 1,
+        batch_size: 10,
+        client_fraction: 0.5,
+        seed: 0,
+    }
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("federated_round");
+    group.sample_size(10);
+    let channel = NoiselessChannel::new();
+
+    // FHDnn round (encodings cached inside the system).
+    let spec = ExperimentSpec::quick(Workload::Cifar);
+    let mut extractor = spec.build_extractor().unwrap();
+    let mut system = spec.build_fhdnn_with(&mut extractor).unwrap();
+    group.bench_function("fhdnn_round_6clients", |b| {
+        b.iter(|| system.run_round(&channel).unwrap())
+    });
+
+    // FedAvg CNN round on the same data layout.
+    let (clients, test) = spec.materialize_data().unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = resnet_lite(spec.backbone, &mut rng).unwrap();
+    let mut fed = CnnFederation::new(
+        net,
+        clients,
+        quick_fl(spec.fl.num_clients),
+        LocalSgdConfig::default(),
+    )
+    .unwrap();
+    group.bench_function("resnet_round_6clients", |b| {
+        b.iter(|| fed.run_round(&channel, &test).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Microscopic HD costs: encoding, one-shot bundling, refinement,
+//! quantization — the operations whose cheapness Table 1 rests on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fhdnn::datasets::features::FeatureSpec;
+use fhdnn::hdc::encoder::RandomProjectionEncoder;
+use fhdnn::hdc::model::HdModel;
+use fhdnn::hdc::quantizer::{dequantize, quantize};
+use std::hint::black_box;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hd_encode");
+    group.sample_size(10);
+    let spec = FeatureSpec {
+        num_classes: 10,
+        width: 128,
+        noise_std: 0.5,
+        class_seed: 1,
+    };
+    let data = spec.generate(64, 0).unwrap();
+    for d in [1024usize, 4096, 10_000] {
+        let enc = RandomProjectionEncoder::new(d, 128, 7).unwrap();
+        group.bench_with_input(BenchmarkId::new("batch64", d), &d, |b, _| {
+            b.iter(|| enc.encode_batch(black_box(&data.features)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hd_train");
+    group.sample_size(10);
+    let d = 4096;
+    let spec = FeatureSpec {
+        num_classes: 10,
+        width: 128,
+        noise_std: 0.5,
+        class_seed: 1,
+    };
+    let data = spec.generate(256, 0).unwrap();
+    let enc = RandomProjectionEncoder::new(d, 128, 7).unwrap();
+    let h = enc.encode_batch(&data.features).unwrap();
+    group.bench_function("one_shot_256", |b| {
+        b.iter(|| {
+            let mut m = HdModel::new(10, d).unwrap();
+            m.one_shot_train(black_box(&h), &data.labels).unwrap();
+            m
+        })
+    });
+    group.bench_function("refine_epoch_256", |b| {
+        let mut m = HdModel::new(10, d).unwrap();
+        m.one_shot_train(&h, &data.labels).unwrap();
+        b.iter(|| m.refine_epoch(black_box(&h), &data.labels).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_quantizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hd_quantizer");
+    group.sample_size(10);
+    let d = 10_000;
+    let spec = FeatureSpec {
+        num_classes: 10,
+        width: 128,
+        noise_std: 0.5,
+        class_seed: 1,
+    };
+    let data = spec.generate(128, 0).unwrap();
+    let enc = RandomProjectionEncoder::new(d, 128, 7).unwrap();
+    let h = enc.encode_batch(&data.features).unwrap();
+    let mut m = HdModel::new(10, d).unwrap();
+    m.one_shot_train(&h, &data.labels).unwrap();
+    group.bench_function("quantize_10x10000_16bit", |b| {
+        b.iter(|| quantize(black_box(&m), 16).unwrap())
+    });
+    let q = quantize(&m, 16).unwrap();
+    group.bench_function("dequantize_10x10000_16bit", |b| {
+        b.iter(|| dequantize(black_box(&q)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_binary_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hd_binary");
+    group.sample_size(10);
+    let d = 10_000;
+    let spec = FeatureSpec {
+        num_classes: 10,
+        width: 128,
+        noise_std: 0.5,
+        class_seed: 1,
+    };
+    let data = spec.generate(128, 0).unwrap();
+    let enc = RandomProjectionEncoder::new(d, 128, 7).unwrap();
+    let h = enc.encode_batch(&data.features).unwrap();
+    let mut m = HdModel::new(10, d).unwrap();
+    m.one_shot_train(&h, &data.labels).unwrap();
+    group.bench_function("binarize_10x10000", |b| {
+        b.iter(|| black_box(&m).to_bipolar())
+    });
+    let syms = m.to_bipolar();
+    group.bench_function("from_bipolar_10x10000", |b| {
+        b.iter(|| HdModel::from_bipolar(black_box(&syms), 10, d).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_id_level_encoder(c: &mut Criterion) {
+    use fhdnn::hdc::id_level::IdLevelEncoder;
+    let mut group = c.benchmark_group("hd_encoder_families");
+    group.sample_size(10);
+    let spec = FeatureSpec {
+        num_classes: 10,
+        width: 128,
+        noise_std: 0.5,
+        class_seed: 1,
+    };
+    let data = spec.generate(64, 0).unwrap();
+    let rp = RandomProjectionEncoder::new(4096, 128, 7).unwrap();
+    let il = IdLevelEncoder::new(4096, 128, 32, -4.0, 4.0, 7).unwrap();
+    group.bench_function("random_projection_batch64_d4096", |b| {
+        b.iter(|| rp.encode_batch(black_box(&data.features)).unwrap())
+    });
+    group.bench_function("id_level_batch64_d4096", |b| {
+        b.iter(|| il.encode_batch(black_box(&data.features)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_train,
+    bench_quantizer,
+    bench_binary_transport,
+    bench_id_level_encoder
+);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! `repro` — regenerates every table and figure of the FHDnn paper.
+//!
+//! ```text
+//! repro <experiment> [--scale quick|standard] [--json DIR]
+//!
+//! experiments:
+//!   fig4   noise robustness of HD encodings
+//!   fig5   partial information (ISOLET stand-in)
+//!   fig6   hyperparameter sweep (E/B/C, iid + non-iid)
+//!   fig7   accuracy vs rounds on MNIST/Fashion/CIFAR stand-ins
+//!   fig8   unreliable channels (packet loss / AWGN / bit errors)
+//!   table1 edge-device training time and energy
+//!   comm   §4.4 communication efficiency
+//!   summary  the Figure 1 headline numbers
+//!   ablation-extractor | ablation-snr | ablation-dimension |
+//!   ablation-quantizer
+//!   fast   fig4 fig5 table1 comm ablation-snr (minutes)
+//!   all    everything (CNN sweeps: expect tens of minutes at quick scale)
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use fhdnn_bench::report::ExperimentReport;
+use fhdnn_bench::{ablations, figures, tables, Scale};
+
+fn run_one(name: &str, scale: Scale) -> Result<ExperimentReport, String> {
+    let result = match name {
+        "fig4" => figures::fig4(scale),
+        "fig5" => figures::fig5(scale),
+        "fig6" => figures::fig6(scale),
+        "fig7" => figures::fig7(scale),
+        "fig8" => figures::fig8(scale),
+        "convergence" => figures::convergence(scale),
+        "table1" => tables::table1(scale),
+        "comm" => tables::comm(scale),
+        "summary" => tables::summary(scale),
+        "ablation-extractor" => ablations::ablation_extractor(scale),
+        "ablation-snr" => ablations::ablation_snr(scale),
+        "ablation-dimension" => ablations::ablation_dimension(scale),
+        "ablation-quantizer" => ablations::ablation_quantizer(scale),
+        "ablation-backbone" => ablations::ablation_backbone(scale),
+        "ablation-compression" => ablations::ablation_compression(scale),
+        "ablation-encoding" => ablations::ablation_encoding(scale),
+        other => return Err(format!("unknown experiment: {other}")),
+    };
+    result.map_err(|e| format!("{name}: {e}"))
+}
+
+fn experiments_for(name: &str) -> Vec<&'static str> {
+    match name {
+        "fast" => vec!["fig4", "fig5", "table1", "comm", "ablation-snr"],
+        "all" => vec![
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "convergence",
+            "table1",
+            "comm",
+            "summary",
+            "ablation-extractor",
+            "ablation-snr",
+            "ablation-dimension",
+            "ablation-quantizer",
+            "ablation-backbone",
+            "ablation-compression",
+            "ablation-encoding",
+        ],
+        one => match one {
+            "fig4" => vec!["fig4"],
+            "fig5" => vec!["fig5"],
+            "fig6" => vec!["fig6"],
+            "fig7" => vec!["fig7"],
+            "fig8" => vec!["fig8"],
+            "convergence" => vec!["convergence"],
+            "table1" => vec!["table1"],
+            "comm" => vec!["comm"],
+            "summary" => vec!["summary"],
+            "ablation-extractor" => vec!["ablation-extractor"],
+            "ablation-snr" => vec!["ablation-snr"],
+            "ablation-dimension" => vec!["ablation-dimension"],
+            "ablation-quantizer" => vec!["ablation-quantizer"],
+            "ablation-backbone" => vec!["ablation-backbone"],
+            "ablation-compression" => vec!["ablation-compression"],
+            "ablation-encoding" => vec!["ablation-encoding"],
+            _ => vec![],
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: repro <experiment|fast|all> [--scale quick|standard] [--json DIR]");
+        eprintln!("experiments: fig4 fig5 fig6 fig7 fig8 convergence table1 comm summary");
+        eprintln!("             ablation-extractor ablation-snr ablation-dimension ablation-quantizer ablation-backbone");
+        return ExitCode::FAILURE;
+    }
+    let mut scale = Scale::Quick;
+    let mut json_dir: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("--scale needs a value");
+                    return ExitCode::FAILURE;
+                };
+                let Some(s) = Scale::parse(v) else {
+                    eprintln!("unknown scale: {v} (expected quick or standard)");
+                    return ExitCode::FAILURE;
+                };
+                scale = s;
+                i += 2;
+            }
+            "--json" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("--json needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                json_dir = Some(v.clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let todo = experiments_for(&args[0]);
+    if todo.is_empty() {
+        eprintln!("unknown experiment: {}", args[0]);
+        return ExitCode::FAILURE;
+    }
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    for name in todo {
+        let started = std::time::Instant::now();
+        match run_one(name, scale) {
+            Ok(report) => {
+                println!("{}", report.render());
+                println!(
+                    "[{name} completed in {:.1} s]\n",
+                    started.elapsed().as_secs_f64()
+                );
+                if let Some(dir) = &json_dir {
+                    let path = format!("{dir}/{name}.json");
+                    match std::fs::File::create(&path) {
+                        Ok(mut f) => {
+                            if let Err(e) = f.write_all(report.to_json().as_bytes()) {
+                                eprintln!("write {path}: {e}");
+                            }
+                        }
+                        Err(e) => eprintln!("create {path}: {e}"),
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("FAILED {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

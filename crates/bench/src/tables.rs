@@ -1,0 +1,274 @@
+//! Table 1 and the §4.4 communication-efficiency analysis.
+
+use fhdnn::channel::lte::LteLink;
+use fhdnn::channel::NoiselessChannel;
+use fhdnn::experiment::{ExperimentSpec, Workload};
+use fhdnn::federated::comm::CommReport;
+use fhdnn::federated::cost::{hd_bundle_flops, hd_encode_flops, hd_refine_flops, DeviceProfile};
+use fhdnn::federated::fedhd::HdTransport;
+use fhdnn::federated::timeline::CampaignTimeline;
+use fhdnn::nn::flops::training_flops;
+use fhdnn::nn::models::resnet_lite;
+use fhdnn::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::ExperimentReport;
+use crate::Scale;
+
+/// The paper-scale local workload used throughout §4: ResNet-18-class
+/// training over one client's local pass (E=2 epochs × 500 images at
+/// ~0.56 GFLOP forward/image, 3× for training).
+const PAPER_RESNET_LOCAL_FLOPS: f64 = 0.56e9 * 3.0 * 1000.0;
+/// Same client pass for FHDnn: forward-only feature extraction plus HD
+/// encode (n=512 features into d=10000) and two refinement epochs.
+fn paper_fhdnn_local_flops() -> f64 {
+    0.56e9 * 1000.0
+        + hd_encode_flops(1000, 512, 10_000) as f64
+        + hd_bundle_flops(1000, 10_000) as f64
+        + 2.0 * hd_refine_flops(1000, 10, 10_000) as f64
+}
+
+/// Table 1 — training time and energy on edge devices.
+///
+/// Prints two versions: the paper-scale analytic model (ResNet row is the
+/// calibration anchor; the FHDnn row is this model's prediction) and the
+/// reproduction-scale models measured by exact per-layer FLOP counting.
+///
+/// # Errors
+///
+/// Propagates FLOP-walk failures.
+pub fn table1(scale: Scale) -> Result<ExperimentReport> {
+    let mut report = ExperimentReport::new(
+        "table1",
+        "RPi: FHDnn 858.72 s / 4418.4 J vs ResNet 1328.04 s / 6742.8 J; \
+         Jetson: 15.96 s / 96.17 J vs 90.55 s / 497.572 J",
+    );
+    let devices = [DeviceProfile::raspberry_pi_3b(), DeviceProfile::jetson()];
+
+    // Paper-scale analytic rows.
+    for dev in &devices {
+        let cnn = dev.estimate(PAPER_RESNET_LOCAL_FLOPS)?;
+        let hd = dev.estimate(paper_fhdnn_local_flops())?;
+        report.note(
+            format!("{} / ResNet (paper-scale)", dev.name),
+            format!("{:.2} s, {:.1} J", cnn.seconds, cnn.joules),
+        );
+        report.note(
+            format!("{} / FHDnn (paper-scale)", dev.name),
+            format!(
+                "{:.2} s, {:.1} J ({:.2}x faster)",
+                hd.seconds,
+                hd.joules,
+                cnn.seconds / hd.seconds
+            ),
+        );
+    }
+
+    // Reproduction-scale rows from exact FLOP counting of our models.
+    let spec = match scale {
+        Scale::Quick => ExperimentSpec::quick(Workload::Cifar),
+        Scale::Standard => ExperimentSpec::standard(Workload::Cifar),
+    };
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = resnet_lite(spec.backbone, &mut rng)?;
+    let samples = (spec.train_size / spec.fl.num_clients).max(1);
+    let input = [samples, spec.backbone.in_channels, 16, 16];
+    let cnn_flops = spec.fl.local_epochs as f64 * training_flops(&net, &input)? as f64;
+    let extractor_flops = net.flops(&input)? as f64; // forward-only, once
+    let hd_flops = extractor_flops
+        + hd_encode_flops(
+            samples as u64,
+            spec.feature_width() as u64,
+            spec.hd_dim as u64,
+        ) as f64
+        + hd_bundle_flops(samples as u64, spec.hd_dim as u64) as f64
+        + spec.fl.local_epochs as f64
+            * hd_refine_flops(samples as u64, 10, spec.hd_dim as u64) as f64;
+    for dev in &devices {
+        let cnn = dev.estimate(cnn_flops)?;
+        let hd = dev.estimate(hd_flops)?;
+        report.note(
+            format!("{} / ResNet (repro-scale)", dev.name),
+            format!("{:.4} s, {:.3} J", cnn.seconds, cnn.joules),
+        );
+        report.note(
+            format!("{} / FHDnn (repro-scale)", dev.name),
+            format!(
+                "{:.4} s, {:.3} J ({:.2}x faster)",
+                hd.seconds,
+                hd.joules,
+                cnn.seconds / hd.seconds
+            ),
+        );
+    }
+    report.note(
+        "speedup claim",
+        "paper reports 1.5x (RPi) to 5.7x (Jetson) in time and energy",
+    );
+    Ok(report)
+}
+
+/// §4.4 — communication efficiency: update sizes, data transmitted to a
+/// target accuracy, and LTE clock time.
+///
+/// The measured part runs both systems to a shared target on the MNIST
+/// stand-in and reports the realized round/byte ratio; the paper-scale
+/// part recomputes the paper's own arithmetic (22 MB vs 1 MB updates, 3×
+/// rounds, 1.6 vs 5.0 Mbit/s links).
+///
+/// # Errors
+///
+/// Propagates run failures.
+pub fn comm(scale: Scale) -> Result<ExperimentReport> {
+    let mut report = ExperimentReport::new(
+        "comm",
+        "22x smaller updates x 3x fewer rounds => 66x less data \
+         (1.65 GB vs 25 MB to 80% accuracy); 374.3 h vs 1.1 h over LTE",
+    );
+
+    // Paper-scale arithmetic, straight from §4.4.
+    let resnet_update: u64 = 22_000_000;
+    let hd_update: u64 = 1_000_000;
+    let (rounds_cnn, rounds_hd) = (75u64, 25u64);
+    let cnn_total = resnet_update * rounds_cnn;
+    let hd_total = hd_update * rounds_hd;
+    report.note(
+        "paper-scale data to target",
+        format!(
+            "resnet {:.2} GB vs fhdnn {:.0} MB => {:.0}x",
+            cnn_total as f64 / 1e9,
+            hd_total as f64 / 1e6,
+            cnn_total as f64 / hd_total as f64
+        ),
+    );
+    let t_cnn = LteLink::error_free().airtime_seconds(cnn_total) / 3600.0;
+    let t_hd = LteLink::error_admitting().airtime_seconds(hd_total) / 3600.0;
+    report.note(
+        "paper-scale LTE airtime per client",
+        format!("resnet {t_cnn:.2} h vs fhdnn {t_hd:.3} h"),
+    );
+
+    // Measured at reproduction scale. The HD model ships through the
+    // paper's quantizer (8-bit words): at repro scale the CNN baseline is
+    // deliberately tiny, so the float-vs-float size gap of the paper
+    // (11M-parameter ResNet-18) cannot appear; the rounds-to-target ratio
+    // and the quantized update size are the meaningful measured signals.
+    let mut spec = match scale {
+        Scale::Quick => ExperimentSpec::quick(Workload::Mnist),
+        Scale::Standard => ExperimentSpec::standard(Workload::Mnist),
+    };
+    spec.transport = HdTransport::Quantized { bitwidth: 8 };
+    let channel = NoiselessChannel::new();
+    let fh = spec.run_fhdnn(&channel)?;
+    let cnn = spec.run_resnet(&channel)?;
+    let target = 0.9
+        * fh.history
+            .final_accuracy()
+            .min(cnn.history.final_accuracy());
+    let link_cnn = LteLink::error_free();
+    let link_hd = LteLink::error_admitting();
+    let rep_fh = CommReport::from_history(&fh.history, target, &link_hd);
+    let rep_cnn = CommReport::from_history(&cnn.history, target, &link_cnn);
+    report.note("measured target accuracy", format!("{target:.3}"));
+    report.note(
+        "measured rounds to target",
+        format!(
+            "fhdnn {:?} vs resnet {:?}",
+            rep_fh.rounds_to_target, rep_cnn.rounds_to_target
+        ),
+    );
+    report.note(
+        "measured update bytes",
+        format!(
+            "fhdnn {} vs resnet {}",
+            rep_fh.update_bytes, rep_cnn.update_bytes
+        ),
+    );
+    if let Some(f) = rep_fh.data_reduction_vs(&rep_cnn) {
+        report.note("measured data reduction", format!("{f:.1}x"));
+    }
+    report.note(
+        "measured LTE uplink seconds",
+        format!(
+            "fhdnn {:.2} vs resnet {:.2}",
+            rep_fh.uplink_seconds, rep_cnn.uplink_seconds
+        ),
+    );
+
+    // Wall-clock campaign reconstruction: compute (RPi model) + airtime.
+    let rpi = fhdnn::federated::cost::DeviceProfile::raspberry_pi_3b();
+    let samples = (spec.train_size / spec.fl.num_clients).max(1) as u64;
+    let mut rng = StdRng::seed_from_u64(1);
+    let net = resnet_lite(spec.backbone, &mut rng)?;
+    let input = [samples as usize, spec.backbone.in_channels, 16, 16];
+    let cnn_flops = spec.fl.local_epochs as f64 * training_flops(&net, &input)? as f64;
+    let hd_flops = net.flops(&input)? as f64
+        + fhdnn::federated::cost::hd_encode_flops(
+            samples,
+            spec.feature_width() as u64,
+            spec.hd_dim as u64,
+        ) as f64;
+    let t_fh = CampaignTimeline::from_history(&fh.history, &rpi, &link_hd, hd_flops)?;
+    let t_cnn = CampaignTimeline::from_history(&cnn.history, &rpi, &link_cnn, cnn_flops)?;
+    report.note(
+        "measured campaign clock to target",
+        format!(
+            "fhdnn {:?} s vs resnet {:?} s (uplink fraction {:.0}% vs {:.0}%)",
+            t_fh.seconds_to_accuracy(target)
+                .map(|s| (s * 100.0).round() / 100.0),
+            t_cnn
+                .seconds_to_accuracy(target)
+                .map(|s| (s * 100.0).round() / 100.0),
+            t_fh.uplink_fraction() * 100.0,
+            t_cnn.uplink_fraction() * 100.0
+        ),
+    );
+    Ok(report)
+}
+
+/// The Figure 1 headline: assembled from the other experiments' claims.
+///
+/// # Errors
+///
+/// Propagates sub-experiment failures.
+pub fn summary(scale: Scale) -> Result<ExperimentReport> {
+    let mut report = ExperimentReport::new(
+        "summary",
+        "FHDnn: 66x communication reduction, up to 6x compute/energy \
+         reduction, robust to packet loss / noise / bit errors",
+    );
+    let c = comm(scale)?;
+    let t = table1(scale)?;
+    report.summary.extend(c.summary);
+    report.summary.extend(t.summary);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_ratios_favor_fhdnn() {
+        let r = table1(Scale::Quick).unwrap();
+        let text = r.render();
+        assert!(text.contains("x faster"));
+        // The paper-scale FHDnn/RPi prediction must be faster than ResNet.
+        let rpi_resnet = DeviceProfile::raspberry_pi_3b()
+            .estimate(PAPER_RESNET_LOCAL_FLOPS)
+            .unwrap();
+        let rpi_fhdnn = DeviceProfile::raspberry_pi_3b()
+            .estimate(paper_fhdnn_local_flops())
+            .unwrap();
+        assert!(rpi_fhdnn.seconds < rpi_resnet.seconds);
+        assert!(rpi_fhdnn.joules < rpi_resnet.joules);
+    }
+
+    #[test]
+    fn paper_scale_comm_reduction_is_66x() {
+        // The §4.4 arithmetic: 22 MB x 75 rounds vs 1 MB x 25 rounds.
+        let factor = (22_000_000f64 * 75.0) / (1_000_000f64 * 25.0);
+        assert!((factor - 66.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,238 @@
+//! Additive white Gaussian noise under uncoded analog transmission
+//! (paper §3.5.1, Eq. 2–3).
+//!
+//! Model parameters are mapped directly to channel symbols, so the channel
+//! output is `C̃ = C + n` with `n ~ N(0, σ²)` and the noise variance set by
+//! the configured signal-to-noise ratio: `σ² = P / SNR` where `P` is the
+//! empirical per-symbol signal power of the payload being sent.
+
+use rand::RngCore;
+use rand_distr::{Distribution, StandardNormal};
+
+use crate::{Channel, ChannelError, Result};
+
+/// Converts decibels to a linear power ratio.
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear power ratio to decibels.
+///
+/// # Panics
+///
+/// Panics if `linear <= 0`.
+pub fn linear_to_db(linear: f64) -> f64 {
+    assert!(linear > 0.0, "power ratio must be positive");
+    10.0 * linear.log10()
+}
+
+/// An AWGN channel parameterized by SNR in dB.
+///
+/// # Example
+///
+/// ```
+/// use fhdnn_channel::awgn::AwgnChannel;
+/// use fhdnn_channel::Channel;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), fhdnn_channel::ChannelError> {
+/// let channel = AwgnChannel::new(10.0)?;
+/// let mut payload = vec![1.0f32; 1000];
+/// let mut rng = StdRng::seed_from_u64(0);
+/// channel.transmit_f32(&mut payload, &mut rng);
+/// assert!(payload.iter().any(|&x| x != 1.0), "noise was added");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AwgnChannel {
+    snr_db: f64,
+}
+
+impl AwgnChannel {
+    /// Creates an AWGN channel with the given SNR (dB).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidArgument`] if `snr_db` is not finite.
+    pub fn new(snr_db: f64) -> Result<Self> {
+        if !snr_db.is_finite() {
+            return Err(ChannelError::InvalidArgument(format!(
+                "snr must be finite, got {snr_db}"
+            )));
+        }
+        Ok(AwgnChannel { snr_db })
+    }
+
+    /// The configured SNR in dB.
+    pub fn snr_db(&self) -> f64 {
+        self.snr_db
+    }
+
+    /// Noise standard deviation for a payload with signal power `power`.
+    pub fn noise_std(&self, power: f64) -> f64 {
+        (power / db_to_linear(self.snr_db)).sqrt()
+    }
+}
+
+impl Channel for AwgnChannel {
+    fn name(&self) -> &'static str {
+        "awgn"
+    }
+
+    fn transmit_f32(&self, payload: &mut [f32], rng: &mut dyn RngCore) {
+        if payload.is_empty() {
+            return;
+        }
+        let power = payload
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            / payload.len() as f64;
+        if power == 0.0 {
+            return;
+        }
+        let std = self.noise_std(power) as f32;
+        for x in payload.iter_mut() {
+            let n: f32 = StandardNormal.sample(rng);
+            *x += std * n;
+        }
+    }
+
+    fn transmit_words(&self, words: &mut [i64], _bitwidth: u32, rng: &mut dyn RngCore) {
+        // Analog transmission of integer words: noise is added in the
+        // signal domain and the receiver re-quantizes by rounding.
+        if words.is_empty() {
+            return;
+        }
+        let power =
+            words.iter().map(|&w| (w as f64) * (w as f64)).sum::<f64>() / words.len() as f64;
+        if power == 0.0 {
+            return;
+        }
+        let std = self.noise_std(power);
+        for w in words.iter_mut() {
+            let n: f64 = StandardNormal.sample(rng);
+            *w = (*w as f64 + std * n).round() as i64;
+        }
+    }
+
+    fn transmit_bipolar(&self, symbols: &mut [i8], rng: &mut dyn RngCore) {
+        // BPSK over AWGN with a hard-decision receiver; erased symbols
+        // stay erased.
+        let std = self.bpsk_noise_std();
+        for s in symbols.iter_mut() {
+            if *s == 0 {
+                continue;
+            }
+            let n: f64 = StandardNormal.sample(rng);
+            let rx = *s as f64 + std * n;
+            *s = if rx >= 0.0 { 1 } else { -1 };
+        }
+    }
+}
+
+impl AwgnChannel {
+    fn bpsk_noise_std(&self) -> f64 {
+        // Unit-power BPSK symbols.
+        self.noise_std(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn db_conversions_roundtrip() {
+        for db in [-10.0, 0.0, 5.0, 25.0] {
+            assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-9);
+        }
+        assert_eq!(db_to_linear(0.0), 1.0);
+        assert!((db_to_linear(10.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_snr_matches_configuration() {
+        let ch = AwgnChannel::new(10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let clean = vec![2.0f32; 100_000];
+        let mut noisy = clean.clone();
+        ch.transmit_f32(&mut noisy, &mut rng);
+        let noise_power: f64 = noisy
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| ((a - b) as f64).powi(2))
+            .sum::<f64>()
+            / clean.len() as f64;
+        let signal_power = 4.0;
+        let snr = linear_to_db(signal_power / noise_power);
+        assert!((snr - 10.0).abs() < 0.5, "empirical snr {snr} dB");
+    }
+
+    #[test]
+    fn higher_snr_means_less_noise() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let clean = vec![1.0f32; 10_000];
+        let mut err = |snr: f64| {
+            let ch = AwgnChannel::new(snr).unwrap();
+            let mut p = clean.clone();
+            ch.transmit_f32(&mut p, &mut rng);
+            p.iter()
+                .zip(&clean)
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
+        };
+        assert!(err(30.0) < err(5.0));
+    }
+
+    #[test]
+    fn zero_payload_untouched() {
+        let ch = AwgnChannel::new(5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = vec![0.0f32; 16];
+        ch.transmit_f32(&mut p, &mut rng);
+        assert!(p.iter().all(|&x| x == 0.0));
+        let mut empty: Vec<f32> = Vec::new();
+        ch.transmit_f32(&mut empty, &mut rng);
+    }
+
+    #[test]
+    fn words_are_perturbed_and_rounded() {
+        let ch = AwgnChannel::new(5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut words = vec![100i64; 1000];
+        ch.transmit_words(&mut words, 16, &mut rng);
+        assert!(words.iter().any(|&w| w != 100));
+    }
+
+    #[test]
+    fn bipolar_low_snr_flips_some_signs() {
+        let ch = AwgnChannel::new(0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut syms = vec![1i8; 10_000];
+        ch.transmit_bipolar(&mut syms, &mut rng);
+        let flipped = syms.iter().filter(|&&s| s == -1).count();
+        // At 0 dB BPSK the theoretical error rate is Q(1) ~ 0.159.
+        assert!((1000..2400).contains(&flipped), "{flipped} flips");
+        assert!(syms.iter().all(|&s| s == 1 || s == -1));
+    }
+
+    #[test]
+    fn bipolar_preserves_erasures() {
+        let ch = AwgnChannel::new(-10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut syms = vec![0i8; 100];
+        ch.transmit_bipolar(&mut syms, &mut rng);
+        assert!(syms.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn rejects_non_finite_snr() {
+        assert!(AwgnChannel::new(f64::NAN).is_err());
+        assert!(AwgnChannel::new(f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Binary symmetric channel — independent bit flips (paper §3.5.2,
+//! Eq. 6–7).
+//!
+//! Each transmitted bit flips with probability `p_e`. For efficiency the
+//! number of flips is drawn from `Binomial(total_bits, p_e)` and flip
+//! positions are placed uniformly, which is distributionally identical to
+//! per-bit Bernoulli trials.
+//!
+//! Two payload encodings:
+//!
+//! - **`f32`** — the CNN path. A flip lands anywhere in the IEEE-754 word;
+//!   a hit in the exponent can scale a weight by `~2^{±100}`, the paper's
+//!   catastrophic example (0.15625 → 5.31e37).
+//! - **`B`-bit integer words** — the quantized HD path. A flip perturbs a
+//!   bounded two's-complement word, so damage is limited by construction.
+
+use rand::RngCore;
+use rand_distr::{Binomial, Distribution, Uniform};
+
+use crate::{Channel, ChannelError, Result};
+
+/// A binary symmetric channel with bit-error rate `p_e`.
+///
+/// # Example
+///
+/// ```
+/// use fhdnn_channel::bit_error::BitErrorChannel;
+/// use fhdnn_channel::Channel;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), fhdnn_channel::ChannelError> {
+/// let channel = BitErrorChannel::new(0.01)?;
+/// let mut words = vec![100i64; 1000];
+/// let mut rng = StdRng::seed_from_u64(0);
+/// channel.transmit_words(&mut words, 16, &mut rng);
+/// // Damage stays within the 16-bit word range by construction.
+/// assert!(words.iter().all(|&w| (-32768..=32767).contains(&w)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitErrorChannel {
+    ber: f64,
+}
+
+impl BitErrorChannel {
+    /// Creates a BSC with the given bit-error rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidProbability`] if `ber ∉ [0, 1]`.
+    pub fn new(ber: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&ber) || ber.is_nan() {
+            return Err(ChannelError::InvalidProbability {
+                name: "ber",
+                value: ber,
+            });
+        }
+        Ok(BitErrorChannel { ber })
+    }
+
+    /// The configured bit-error rate.
+    pub fn ber(&self) -> f64 {
+        self.ber
+    }
+
+    /// Draws the number of flips among `total_bits` and returns their
+    /// positions (global bit indices).
+    fn flip_positions(&self, total_bits: u64, rng: &mut dyn RngCore) -> Vec<u64> {
+        if self.ber == 0.0 || total_bits == 0 {
+            return Vec::new();
+        }
+        let binom = Binomial::new(total_bits, self.ber).expect("valid probability");
+        let n_flips = binom.sample(rng);
+        let uni = Uniform::new(0, total_bits);
+        (0..n_flips).map(|_| uni.sample(rng)).collect()
+    }
+}
+
+impl Channel for BitErrorChannel {
+    fn name(&self) -> &'static str {
+        "bit-error"
+    }
+
+    fn transmit_f32(&self, payload: &mut [f32], rng: &mut dyn RngCore) {
+        let total_bits = payload.len() as u64 * 32;
+        for pos in self.flip_positions(total_bits, rng) {
+            let idx = (pos / 32) as usize;
+            let bit = (pos % 32) as u32;
+            let bits = payload[idx].to_bits() ^ (1u32 << bit);
+            payload[idx] = f32::from_bits(bits);
+        }
+    }
+
+    fn transmit_words(&self, words: &mut [i64], bitwidth: u32, rng: &mut dyn RngCore) {
+        let bitwidth = bitwidth.clamp(1, 63);
+        let total_bits = words.len() as u64 * bitwidth as u64;
+        let mask = (1i64 << bitwidth) - 1;
+        let sign_bit = 1i64 << (bitwidth - 1);
+        for pos in self.flip_positions(total_bits, rng) {
+            let idx = (pos / bitwidth as u64) as usize;
+            let bit = (pos % bitwidth as u64) as u32;
+            // Two's-complement within the low `bitwidth` bits.
+            let mut enc = words[idx] & mask;
+            enc ^= 1i64 << bit;
+            // Sign-extend back to i64.
+            words[idx] = if enc & sign_bit != 0 {
+                enc | !mask
+            } else {
+                enc
+            };
+        }
+    }
+
+    fn transmit_bipolar(&self, symbols: &mut [i8], rng: &mut dyn RngCore) {
+        // One transmitted bit per symbol: a flip negates the sign.
+        for pos in self.flip_positions(symbols.len() as u64, rng) {
+            let s = &mut symbols[pos as usize];
+            *s = -*s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_ber_is_identity() {
+        let ch = BitErrorChannel::new(0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = vec![1.5f32, -2.25];
+        ch.transmit_f32(&mut p, &mut rng);
+        assert_eq!(p, vec![1.5, -2.25]);
+    }
+
+    #[test]
+    fn flip_count_matches_ber() {
+        let ch = BitErrorChannel::new(0.01).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let clean = vec![0.5f32; 10_000];
+        let mut noisy = clean.clone();
+        ch.transmit_f32(&mut noisy, &mut rng);
+        let flipped_bits: u32 = noisy
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a.to_bits() ^ b.to_bits()).count_ones())
+            .sum();
+        // Expect ~0.01 * 320_000 = 3200 flips (collisions can cancel a few).
+        assert!(
+            (2800..3500).contains(&flipped_bits),
+            "{flipped_bits} bits flipped"
+        );
+    }
+
+    #[test]
+    fn exponent_flip_is_catastrophic_for_floats() {
+        // Reproduce the paper's example: one exponent-bit flip changes
+        // 0.15625 to ~5.3e37.
+        let x = 0.15625f32;
+        let corrupted = f32::from_bits(x.to_bits() ^ (1u32 << 30));
+        assert!(corrupted.abs() > 1e30, "one bit took {x} to {corrupted}");
+    }
+
+    #[test]
+    fn word_flip_damage_is_bounded() {
+        // Worst case for a B-bit word is ±2^{B-1} — bounded, unlike floats.
+        let ch = BitErrorChannel::new(0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut words = vec![100i64; 1000];
+        ch.transmit_words(&mut words, 8, &mut rng);
+        assert!(words.iter().all(|&w| (-128..=127).contains(&w)));
+    }
+
+    #[test]
+    fn word_sign_extension_correct() {
+        // Flipping the sign bit of a positive 8-bit word must produce the
+        // correct negative two's-complement value.
+        let ch = BitErrorChannel::new(0.0).unwrap();
+        assert_eq!(ch.ber(), 0.0);
+        let mask = (1i64 << 8) - 1;
+        let sign_bit = 1i64 << 7;
+        let mut enc = 5i64 & mask;
+        enc ^= sign_bit;
+        let decoded = if enc & sign_bit != 0 {
+            enc | !mask
+        } else {
+            enc
+        };
+        assert_eq!(decoded, 5 - 128);
+    }
+
+    #[test]
+    fn bipolar_flip_rate_matches_ber() {
+        let ch = BitErrorChannel::new(0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut syms = vec![1i8; 20_000];
+        ch.transmit_bipolar(&mut syms, &mut rng);
+        let flipped = syms.iter().filter(|&&s| s == -1).count();
+        // ~1000 expected; uniform placement can double-flip a few back.
+        assert!((800..1200).contains(&flipped), "{flipped} flips");
+    }
+
+    #[test]
+    fn rejects_invalid_ber() {
+        assert!(BitErrorChannel::new(-0.1).is_err());
+        assert!(BitErrorChannel::new(1.1).is_err());
+        assert!(BitErrorChannel::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ch = BitErrorChannel::new(0.05).unwrap();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut p = vec![1.0f32; 100];
+            ch.transmit_f32(&mut p, &mut rng);
+            // Compare bit patterns: flips can produce NaN, and NaN != NaN.
+            p.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Errors produced when configuring channel models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ChannelError {
+    /// A probability was outside `[0, 1]`.
+    InvalidProbability {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A configuration argument was invalid.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::InvalidProbability { name, value } => {
+                write!(f, "{name} must be a probability in [0, 1], got {value}")
+            }
+            ChannelError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_probability() {
+        let e = ChannelError::InvalidProbability {
+            name: "ber",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("ber"));
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ChannelError>();
+    }
+}

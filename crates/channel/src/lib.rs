@@ -1,0 +1,135 @@
+//! # fhdnn-channel
+//!
+//! Unreliable-network models for federated learning over IoT links,
+//! implementing the three error models of the FHDnn paper (§3.5):
+//!
+//! - [`awgn::AwgnChannel`] — uncoded analog transmission with additive
+//!   white Gaussian noise at a configured SNR (Eq. 2–3),
+//! - [`bit_error::BitErrorChannel`] — a binary symmetric channel flipping
+//!   bits of the transmitted words with probability `p_e` (Eq. 6–7), on
+//!   both IEEE-754 `f32` payloads (the CNN path) and `B`-bit integer
+//!   words (the quantized HD path),
+//! - [`packet::PacketLossChannel`] — UDP-style packet erasure with
+//!   `p_p = 1 - (1 - p_e)^{N_p}` (Eq. 8); lost packets zero their span,
+//! - [`lte::LteLink`] — the §4.4 LTE airtime model used for clock-time
+//!   accounting (1.6 Mbit/s error-free vs 5.0 Mbit/s error-admitting),
+//! - [`packetizer`] — concrete packet framing with CRC-32: bit errors on
+//!   the wire surface as dropped packets after reassembly, realizing the
+//!   §3.5.3 protocol behaviour end to end.
+//!
+//! All channels implement the object-safe [`Channel`] trait so federated
+//! orchestration can inject any error model into the uplink.
+//!
+//! # Example
+//!
+//! ```
+//! use fhdnn_channel::{Channel, packet::PacketLossChannel};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), fhdnn_channel::ChannelError> {
+//! let channel = PacketLossChannel::new(0.5, 256)?;
+//! let mut payload = vec![1.0f32; 1024];
+//! let mut rng = StdRng::seed_from_u64(0);
+//! channel.transmit_f32(&mut payload, &mut rng);
+//! let lost = payload.iter().filter(|&&x| x == 0.0).count();
+//! assert!(lost > 0, "some packets were dropped");
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod awgn;
+pub mod bit_error;
+mod error;
+pub mod gilbert;
+pub mod lte;
+pub mod packet;
+pub mod packetizer;
+
+pub use error::ChannelError;
+
+use rand::RngCore;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ChannelError>;
+
+/// An unreliable uplink: corrupts payloads in place.
+///
+/// Two payload encodings are supported, matching the paper's two model
+/// families: raw `f32` parameter vectors (CNN updates, and HD models under
+/// analog transmission) and `B`-bit integer words (quantized HD models).
+pub trait Channel: std::fmt::Debug + Send + Sync {
+    /// Short name for experiment logs.
+    fn name(&self) -> &'static str;
+
+    /// Corrupts a float payload in place.
+    fn transmit_f32(&self, payload: &mut [f32], rng: &mut dyn RngCore);
+
+    /// Corrupts a `bitwidth`-bit integer-word payload in place. Words are
+    /// interpreted as two's-complement within the low `bitwidth` bits.
+    fn transmit_words(&self, words: &mut [i64], bitwidth: u32, rng: &mut dyn RngCore);
+
+    /// Corrupts a bipolar payload in place: each symbol is one transmitted
+    /// bit carrying `+1` or `-1`; `0` denotes an already-erased symbol.
+    ///
+    /// This is the uplink format of binarized HD models (1 bit per
+    /// hypervector dimension): bit errors flip signs, packet losses erase
+    /// whole spans to `0`, and analog noise acts as BPSK with a
+    /// hard-decision receiver.
+    fn transmit_bipolar(&self, symbols: &mut [i8], rng: &mut dyn RngCore);
+}
+
+/// The identity channel: reliable, error-free transmission (the baseline
+/// setting of §4.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoiselessChannel;
+
+impl NoiselessChannel {
+    /// Creates the identity channel.
+    pub fn new() -> Self {
+        NoiselessChannel
+    }
+}
+
+impl Channel for NoiselessChannel {
+    fn name(&self) -> &'static str {
+        "noiseless"
+    }
+
+    fn transmit_f32(&self, _payload: &mut [f32], _rng: &mut dyn RngCore) {}
+
+    fn transmit_words(&self, _words: &mut [i64], _bitwidth: u32, _rng: &mut dyn RngCore) {}
+
+    fn transmit_bipolar(&self, _symbols: &mut [i8], _rng: &mut dyn RngCore) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_is_identity() {
+        let ch = NoiselessChannel::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut payload = vec![1.0, -2.0, 3.0];
+        ch.transmit_f32(&mut payload, &mut rng);
+        assert_eq!(payload, vec![1.0, -2.0, 3.0]);
+        let mut words = vec![5i64, -7];
+        ch.transmit_words(&mut words, 16, &mut rng);
+        assert_eq!(words, vec![5, -7]);
+        let mut syms = vec![1i8, -1, 0];
+        ch.transmit_bipolar(&mut syms, &mut rng);
+        assert_eq!(syms, vec![1, -1, 0]);
+    }
+
+    #[test]
+    fn channel_trait_is_object_safe() {
+        let ch: Box<dyn Channel> = Box::new(NoiselessChannel::new());
+        assert_eq!(ch.name(), "noiseless");
+    }
+}

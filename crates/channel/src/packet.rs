@@ -1,0 +1,193 @@
+//! Packet-erasure channel (paper §3.5.3, Eq. 8).
+//!
+//! Transport protocols with checksums drop whole packets on any bit error,
+//! so the link is bit-error-free but packet-lossy. Under UDP there is no
+//! retransmission: a lost packet simply never arrives, and the receiver
+//! treats its span of the model as erased (zero). The packet error
+//! probability relates to the underlying BER as
+//! `p_p = 1 - (1 - p_e)^{N_p}` for packets of `N_p` bits.
+
+use rand::Rng;
+use rand::RngCore;
+
+use crate::{Channel, ChannelError, Result};
+
+/// Packet error probability for packets of `packet_bits` bits over a link
+/// with bit-error rate `ber` (paper Eq. 8).
+///
+/// # Panics
+///
+/// Panics if `ber` is outside `[0, 1]`.
+pub fn per_from_ber(ber: f64, packet_bits: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&ber), "ber must be a probability");
+    1.0 - (1.0 - ber).powi(packet_bits as i32)
+}
+
+/// A UDP-style packet-erasure channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketLossChannel {
+    loss_prob: f64,
+    packet_bits: usize,
+}
+
+impl PacketLossChannel {
+    /// Creates a channel dropping each packet of `packet_bits` bits with
+    /// probability `loss_prob`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid probabilities or packets smaller than
+    /// one 32-bit symbol.
+    pub fn new(loss_prob: f64, packet_bits: usize) -> Result<Self> {
+        if !(0.0..=1.0).contains(&loss_prob) || loss_prob.is_nan() {
+            return Err(ChannelError::InvalidProbability {
+                name: "loss_prob",
+                value: loss_prob,
+            });
+        }
+        if packet_bits < 32 {
+            return Err(ChannelError::InvalidArgument(format!(
+                "packet must carry at least one 32-bit symbol, got {packet_bits} bits"
+            )));
+        }
+        Ok(PacketLossChannel {
+            loss_prob,
+            packet_bits,
+        })
+    }
+
+    /// The packet loss probability.
+    pub fn loss_prob(&self) -> f64 {
+        self.loss_prob
+    }
+
+    /// Packet size in bits.
+    pub fn packet_bits(&self) -> usize {
+        self.packet_bits
+    }
+
+    /// Symbols (of `symbol_bits` bits) per packet, at least 1.
+    fn symbols_per_packet(&self, symbol_bits: usize) -> usize {
+        (self.packet_bits / symbol_bits).max(1)
+    }
+
+    fn erase_spans<T: Default + Clone>(
+        &self,
+        payload: &mut [T],
+        symbol_bits: usize,
+        rng: &mut dyn RngCore,
+    ) {
+        let span = self.symbols_per_packet(symbol_bits);
+        let mut start = 0;
+        while start < payload.len() {
+            let end = (start + span).min(payload.len());
+            if rng.gen_bool(self.loss_prob) {
+                for x in &mut payload[start..end] {
+                    *x = T::default();
+                }
+            }
+            start = end;
+        }
+    }
+}
+
+impl Channel for PacketLossChannel {
+    fn name(&self) -> &'static str {
+        "packet-loss"
+    }
+
+    fn transmit_f32(&self, payload: &mut [f32], rng: &mut dyn RngCore) {
+        self.erase_spans(payload, 32, rng);
+    }
+
+    fn transmit_words(&self, words: &mut [i64], bitwidth: u32, rng: &mut dyn RngCore) {
+        self.erase_spans(words, bitwidth.max(1) as usize, rng);
+    }
+
+    fn transmit_bipolar(&self, symbols: &mut [i8], rng: &mut dyn RngCore) {
+        // One bit per symbol: large spans per packet.
+        self.erase_spans(symbols, 1, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn per_formula_matches_closed_form() {
+        assert_eq!(per_from_ber(0.0, 1000), 0.0);
+        assert!((per_from_ber(1e-3, 1000) - (1.0 - 0.999f64.powi(1000))).abs() < 1e-12);
+        assert!((per_from_ber(1.0, 8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_monotone_in_ber_and_packet_size() {
+        assert!(per_from_ber(1e-4, 1000) < per_from_ber(1e-3, 1000));
+        assert!(per_from_ber(1e-3, 100) < per_from_ber(1e-3, 10_000));
+    }
+
+    #[test]
+    fn loss_fraction_matches_probability() {
+        let ch = PacketLossChannel::new(0.2, 32 * 8).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut payload = vec![1.0f32; 80_000];
+        ch.transmit_f32(&mut payload, &mut rng);
+        let lost = payload.iter().filter(|&&x| x == 0.0).count() as f64 / payload.len() as f64;
+        assert!((lost - 0.2).abs() < 0.02, "lost fraction {lost}");
+    }
+
+    #[test]
+    fn losses_are_contiguous_spans() {
+        let ch = PacketLossChannel::new(0.5, 32 * 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut payload = vec![1.0f32; 64];
+        ch.transmit_f32(&mut payload, &mut rng);
+        // Every aligned 4-symbol packet is either fully kept or fully lost.
+        for chunk in payload.chunks(4) {
+            let zeros = chunk.iter().filter(|&&x| x == 0.0).count();
+            assert!(zeros == 0 || zeros == chunk.len(), "{chunk:?}");
+        }
+    }
+
+    #[test]
+    fn words_erased_with_word_granularity() {
+        let ch = PacketLossChannel::new(1.0, 64).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut words = vec![9i64; 10];
+        ch.transmit_words(&mut words, 16, &mut rng);
+        assert!(words.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn bipolar_spans_erased_to_zero() {
+        let ch = PacketLossChannel::new(0.5, 64).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut syms = vec![1i8; 640];
+        ch.transmit_bipolar(&mut syms, &mut rng);
+        // Whole 64-symbol packets are either kept or zeroed.
+        for chunk in syms.chunks(64) {
+            let zeros = chunk.iter().filter(|&&s| s == 0).count();
+            assert!(zeros == 0 || zeros == 64);
+        }
+        assert!(syms.contains(&0));
+    }
+
+    #[test]
+    fn zero_loss_is_identity() {
+        let ch = PacketLossChannel::new(0.0, 256).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut payload = vec![2.0f32; 100];
+        ch.transmit_f32(&mut payload, &mut rng);
+        assert!(payload.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        assert!(PacketLossChannel::new(-0.1, 256).is_err());
+        assert!(PacketLossChannel::new(1.5, 256).is_err());
+        assert!(PacketLossChannel::new(0.1, 16).is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Textual channel specifications: `noiseless`, `packet:<loss>`,
+//! `awgn:<snr_db>`, `ber:<rate>`, `burst:<good>,<bad>,<g2b>,<b2g>`.
+
+use fhdnn::channel::awgn::AwgnChannel;
+use fhdnn::channel::bit_error::BitErrorChannel;
+use fhdnn::channel::gilbert::GilbertElliottChannel;
+use fhdnn::channel::packet::PacketLossChannel;
+use fhdnn::channel::{Channel, NoiselessChannel};
+
+/// Default packet size used by packetized channel specs (bits).
+pub const DEFAULT_PACKET_BITS: usize = 256 * 8;
+
+/// Parses a channel specification string into a boxed channel.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown kinds or bad parameters.
+pub fn parse_channel(spec: &str) -> Result<Box<dyn Channel>, String> {
+    let (kind, rest) = match spec.split_once(':') {
+        Some((k, r)) => (k, Some(r)),
+        None => (spec, None),
+    };
+    match kind {
+        "noiseless" | "clean" => {
+            if rest.is_some() {
+                return Err("noiseless takes no parameters".into());
+            }
+            Ok(Box::new(NoiselessChannel::new()))
+        }
+        "packet" => {
+            let loss: f64 = rest
+                .ok_or("packet needs a loss rate, e.g. packet:0.2")?
+                .parse()
+                .map_err(|e| format!("packet loss rate: {e}"))?;
+            PacketLossChannel::new(loss, DEFAULT_PACKET_BITS)
+                .map(|c| Box::new(c) as Box<dyn Channel>)
+                .map_err(|e| e.to_string())
+        }
+        "awgn" => {
+            let snr: f64 = rest
+                .ok_or("awgn needs an SNR in dB, e.g. awgn:10")?
+                .parse()
+                .map_err(|e| format!("awgn snr: {e}"))?;
+            AwgnChannel::new(snr)
+                .map(|c| Box::new(c) as Box<dyn Channel>)
+                .map_err(|e| e.to_string())
+        }
+        "ber" => {
+            let rate: f64 = rest
+                .ok_or("ber needs a bit-error rate, e.g. ber:1e-3")?
+                .parse()
+                .map_err(|e| format!("bit-error rate: {e}"))?;
+            BitErrorChannel::new(rate)
+                .map(|c| Box::new(c) as Box<dyn Channel>)
+                .map_err(|e| e.to_string())
+        }
+        "burst" => {
+            let parts: Vec<&str> = rest
+                .ok_or("burst needs good,bad,g2b,b2g, e.g. burst:0.01,0.8,0.05,0.2")?
+                .split(',')
+                .collect();
+            if parts.len() != 4 {
+                return Err("burst needs exactly four probabilities".into());
+            }
+            let p: Vec<f64> = parts
+                .iter()
+                .map(|x| x.parse().map_err(|e| format!("burst parameter: {e}")))
+                .collect::<Result<_, String>>()?;
+            GilbertElliottChannel::new(p[0], p[1], p[2], p[3], DEFAULT_PACKET_BITS)
+                .map(|c| Box::new(c) as Box<dyn Channel>)
+                .map_err(|e| e.to_string())
+        }
+        other => Err(format!(
+            "unknown channel kind '{other}' (expected noiseless, packet, awgn, ber, burst)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind() {
+        for spec in [
+            "noiseless",
+            "clean",
+            "packet:0.2",
+            "awgn:10",
+            "ber:1e-3",
+            "burst:0.01,0.8,0.05,0.2",
+        ] {
+            assert!(parse_channel(spec).is_ok(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn names_survive_parsing() {
+        assert_eq!(parse_channel("packet:0.1").unwrap().name(), "packet-loss");
+        assert_eq!(parse_channel("awgn:5").unwrap().name(), "awgn");
+        assert_eq!(parse_channel("ber:0.001").unwrap().name(), "bit-error");
+        assert_eq!(
+            parse_channel("burst:0.0,0.5,0.1,0.1").unwrap().name(),
+            "gilbert-elliott"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(parse_channel("packet").is_err());
+        assert!(parse_channel("packet:abc").is_err());
+        assert!(parse_channel("packet:1.5").is_err());
+        assert!(parse_channel("awgn:").is_err());
+        assert!(parse_channel("burst:0.1,0.2").is_err());
+        assert!(parse_channel("noiseless:1").is_err());
+        assert!(parse_channel("quantum:1").is_err());
+    }
+}

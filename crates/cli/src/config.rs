@@ -1,0 +1,308 @@
+//! Command-line argument parsing (hand-rolled, dependency-free).
+
+use fhdnn::experiment::Workload;
+use fhdnn::federated::fedhd::HdTransport;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand to execute.
+    pub command: Command,
+}
+
+/// Supported subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run a federated simulation.
+    Simulate(SimulateArgs),
+    /// Pretrain an extractor and write a checkpoint.
+    Pretrain {
+        /// Workload providing the unlabeled pool.
+        workload: Workload,
+        /// Output checkpoint path.
+        out: String,
+        /// Master seed.
+        seed: u64,
+    },
+    /// Evaluate a checkpoint on a fresh test set.
+    Evaluate {
+        /// Checkpoint path.
+        ckpt: String,
+        /// Workload to evaluate on.
+        workload: Workload,
+        /// Test-set size.
+        test_size: usize,
+    },
+    /// Print checkpoint metadata.
+    Info {
+        /// Checkpoint path.
+        ckpt: String,
+    },
+}
+
+/// Arguments for `simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateArgs {
+    /// Workload to train on.
+    pub workload: Workload,
+    /// Channel specification string (see [`crate::parse_channel`]).
+    pub channel: String,
+    /// Rounds to run (0 keeps the scale preset's default).
+    pub rounds: usize,
+    /// Run non-IID (2-shard) partitioning.
+    pub non_iid: bool,
+    /// Also run the ResNet FedAvg baseline for comparison.
+    pub baseline: bool,
+    /// HD transport.
+    pub transport: HdTransport,
+    /// Enable contrastive pretraining of the extractor.
+    pub pretrain: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional checkpoint output path for the trained deployment.
+    pub save: Option<String>,
+}
+
+impl Default for SimulateArgs {
+    fn default() -> Self {
+        SimulateArgs {
+            workload: Workload::Cifar,
+            channel: "noiseless".into(),
+            rounds: 0,
+            non_iid: false,
+            baseline: false,
+            transport: HdTransport::Float,
+            pretrain: true,
+            seed: 0,
+            save: None,
+        }
+    }
+}
+
+fn parse_workload(s: &str) -> Result<Workload, String> {
+    match s {
+        "mnist" => Ok(Workload::Mnist),
+        "fashion" => Ok(Workload::Fashion),
+        "cifar" => Ok(Workload::Cifar),
+        other => Err(format!(
+            "unknown workload '{other}' (expected mnist, fashion, cifar)"
+        )),
+    }
+}
+
+fn parse_transport(s: &str) -> Result<HdTransport, String> {
+    match s {
+        "float" => Ok(HdTransport::Float),
+        "binary" => Ok(HdTransport::Binary),
+        other => {
+            if let Some(bits) = other.strip_prefix("q") {
+                let bitwidth: u32 = bits
+                    .parse()
+                    .map_err(|e| format!("quantized bitwidth: {e}"))?;
+                Ok(HdTransport::Quantized { bitwidth })
+            } else {
+                Err(format!(
+                    "unknown transport '{other}' (expected float, q<bits>, binary)"
+                ))
+            }
+        }
+    }
+}
+
+/// The usage text printed on `--help` or argument errors.
+pub const USAGE: &str = "\
+usage: fhdnn <command> [options]
+
+commands:
+  simulate   run a federated FHDnn simulation
+             --workload mnist|fashion|cifar   (default cifar)
+             --channel SPEC                   noiseless | packet:0.2 | awgn:10 |
+                                              ber:1e-3 | burst:g,b,g2b,b2g
+             --rounds N                       override round count
+             --non-iid                        2-shard pathological split
+             --baseline                       also run the ResNet baseline
+             --transport float|q<bits>|binary (default float)
+             --no-pretrain                    use a random extractor
+             --seed N                         master seed (default 0)
+             --save PATH                      write the trained checkpoint
+  pretrain   --workload W --out PATH [--seed N]
+  evaluate   --ckpt PATH --workload W [--test-size N]
+  info       --ckpt PATH";
+
+impl Cli {
+    /// Parses command-line arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message suitable for printing alongside [`USAGE`].
+    pub fn parse(args: &[String]) -> Result<Cli, String> {
+        let mut it = args.iter();
+        let command = it.next().ok_or("missing command")?;
+        let rest: Vec<&String> = it.collect();
+        let get_value = |flag: &str| -> Result<Option<String>, String> {
+            let mut i = 0;
+            while i < rest.len() {
+                if rest[i] == flag {
+                    return rest
+                        .get(i + 1)
+                        .map(|v| Some((*v).clone()))
+                        .ok_or(format!("{flag} needs a value"));
+                }
+                i += 1;
+            }
+            Ok(None)
+        };
+        let has_flag = |flag: &str| rest.iter().any(|a| *a == flag);
+
+        match command.as_str() {
+            "simulate" => {
+                let mut sim = SimulateArgs::default();
+                if let Some(w) = get_value("--workload")? {
+                    sim.workload = parse_workload(&w)?;
+                }
+                if let Some(c) = get_value("--channel")? {
+                    sim.channel = c;
+                }
+                if let Some(r) = get_value("--rounds")? {
+                    sim.rounds = r.parse().map_err(|e| format!("--rounds: {e}"))?;
+                }
+                if let Some(t) = get_value("--transport")? {
+                    sim.transport = parse_transport(&t)?;
+                }
+                if let Some(s) = get_value("--seed")? {
+                    sim.seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
+                }
+                sim.save = get_value("--save")?;
+                sim.non_iid = has_flag("--non-iid");
+                sim.baseline = has_flag("--baseline");
+                if has_flag("--no-pretrain") {
+                    sim.pretrain = false;
+                }
+                Ok(Cli {
+                    command: Command::Simulate(sim),
+                })
+            }
+            "pretrain" => {
+                let workload =
+                    parse_workload(&get_value("--workload")?.ok_or("pretrain needs --workload")?)?;
+                let out = get_value("--out")?.ok_or("pretrain needs --out")?;
+                let seed = match get_value("--seed")? {
+                    Some(s) => s.parse().map_err(|e| format!("--seed: {e}"))?,
+                    None => 0,
+                };
+                Ok(Cli {
+                    command: Command::Pretrain {
+                        workload,
+                        out,
+                        seed,
+                    },
+                })
+            }
+            "evaluate" => {
+                let ckpt = get_value("--ckpt")?.ok_or("evaluate needs --ckpt")?;
+                let workload =
+                    parse_workload(&get_value("--workload")?.ok_or("evaluate needs --workload")?)?;
+                let test_size = match get_value("--test-size")? {
+                    Some(s) => s.parse().map_err(|e| format!("--test-size: {e}"))?,
+                    None => 200,
+                };
+                Ok(Cli {
+                    command: Command::Evaluate {
+                        ckpt,
+                        workload,
+                        test_size,
+                    },
+                })
+            }
+            "info" => {
+                let ckpt = get_value("--ckpt")?.ok_or("info needs --ckpt")?;
+                Ok(Cli {
+                    command: Command::Info { ckpt },
+                })
+            }
+            "--help" | "-h" | "help" => Err(String::new()),
+            other => Err(format!("unknown command '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn simulate_defaults() {
+        let cli = Cli::parse(&args("simulate")).unwrap();
+        let Command::Simulate(sim) = cli.command else {
+            panic!("expected simulate");
+        };
+        assert_eq!(sim.workload, Workload::Cifar);
+        assert_eq!(sim.channel, "noiseless");
+        assert!(sim.pretrain);
+        assert!(!sim.baseline);
+    }
+
+    #[test]
+    fn simulate_full_flags() {
+        let cli = Cli::parse(&args(
+            "simulate --workload mnist --channel packet:0.2 --rounds 7 \
+             --non-iid --baseline --transport q8 --no-pretrain --seed 9 --save out.json",
+        ))
+        .unwrap();
+        let Command::Simulate(sim) = cli.command else {
+            panic!("expected simulate");
+        };
+        assert_eq!(sim.workload, Workload::Mnist);
+        assert_eq!(sim.channel, "packet:0.2");
+        assert_eq!(sim.rounds, 7);
+        assert!(sim.non_iid && sim.baseline && !sim.pretrain);
+        assert_eq!(sim.transport, HdTransport::Quantized { bitwidth: 8 });
+        assert_eq!(sim.seed, 9);
+        assert_eq!(sim.save.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn transport_parsing() {
+        assert_eq!(parse_transport("float").unwrap(), HdTransport::Float);
+        assert_eq!(parse_transport("binary").unwrap(), HdTransport::Binary);
+        assert_eq!(
+            parse_transport("q16").unwrap(),
+            HdTransport::Quantized { bitwidth: 16 }
+        );
+        assert!(parse_transport("q").is_err());
+        assert!(parse_transport("int8").is_err());
+    }
+
+    #[test]
+    fn other_commands_parse() {
+        assert!(matches!(
+            Cli::parse(&args("pretrain --workload fashion --out x.json"))
+                .unwrap()
+                .command,
+            Command::Pretrain { .. }
+        ));
+        assert!(matches!(
+            Cli::parse(&args("evaluate --ckpt x.json --workload mnist"))
+                .unwrap()
+                .command,
+            Command::Evaluate { test_size: 200, .. }
+        ));
+        assert!(matches!(
+            Cli::parse(&args("info --ckpt x.json")).unwrap().command,
+            Command::Info { .. }
+        ));
+    }
+
+    #[test]
+    fn errors_are_actionable() {
+        assert!(Cli::parse(&args("pretrain --out x.json")).is_err());
+        assert!(Cli::parse(&args("simulate --rounds abc")).is_err());
+        assert!(Cli::parse(&args("teleport")).is_err());
+        assert!(Cli::parse(&[]).is_err());
+        assert!(Cli::parse(&args("simulate --workload")).is_err());
+    }
+}

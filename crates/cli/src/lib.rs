@@ -1,0 +1,24 @@
+//! # fhdnn-cli
+//!
+//! Command-line front end for the FHDnn reproduction: run federated
+//! simulations, pretrain and persist feature extractors, and inspect
+//! checkpoints — without writing Rust.
+//!
+//! ```text
+//! fhdnn simulate --workload cifar --channel packet:0.2 --rounds 10
+//! fhdnn pretrain --workload fashion --out extractor.json
+//! fhdnn evaluate --ckpt extractor.json --workload fashion
+//! fhdnn info --ckpt extractor.json
+//! ```
+//!
+//! The library half of the crate holds the argument/spec parsing so it is
+//! unit-testable; the `fhdnn` binary is a thin wrapper.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod channel_spec;
+pub mod config;
+
+pub use channel_spec::parse_channel;
+pub use config::{Cli, Command, SimulateArgs};

@@ -1,0 +1,191 @@
+//! Stochastic augmentation pipeline producing contrastive views.
+//!
+//! SimCLR's quality hinges on augmentations that change pixels but not
+//! identity. For the synthetic corpora we use: random shift (the crop
+//! analogue on small images), horizontal flip, brightness/contrast jitter,
+//! Gaussian pixel noise, and cutout.
+
+use fhdnn_tensor::Tensor;
+use rand::Rng;
+use rand_distr::{Distribution, StandardNormal};
+
+use crate::{ContrastiveError, Result};
+
+/// Configuration of the augmentation pipeline. Each transform is applied
+/// per-sample with fresh randomness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AugmentConfig {
+    /// Maximum absolute shift in pixels (crop analogue).
+    pub max_shift: usize,
+    /// Probability of a horizontal flip.
+    pub flip_prob: f64,
+    /// Brightness offset half-range.
+    pub brightness: f32,
+    /// Contrast scale half-range (scale drawn from `1 ± contrast`).
+    pub contrast: f32,
+    /// Std of additive Gaussian pixel noise.
+    pub noise_std: f32,
+    /// Side length of the cutout square (0 disables cutout).
+    pub cutout: usize,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig {
+            max_shift: 3,
+            flip_prob: 0.5,
+            brightness: 0.2,
+            contrast: 0.2,
+            noise_std: 0.1,
+            cutout: 4,
+        }
+    }
+}
+
+impl AugmentConfig {
+    /// Applies the pipeline to a batch `[n, c, h, w]`, returning a new
+    /// independently-augmented batch of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `images` is not rank 4.
+    pub fn apply<R: Rng + ?Sized>(&self, images: &Tensor, rng: &mut R) -> Result<Tensor> {
+        let dims = images.dims();
+        if dims.len() != 4 {
+            return Err(ContrastiveError::InvalidArgument(format!(
+                "expected [n, c, h, w] images, got {dims:?}"
+            )));
+        }
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let src = images.as_slice();
+        let mut out = vec![0.0f32; src.len()];
+        for bi in 0..n {
+            let shift = self.max_shift as i64;
+            let dx = rng.gen_range(-shift..=shift);
+            let dy = rng.gen_range(-shift..=shift);
+            let flip = rng.gen_bool(self.flip_prob);
+            let bright = rng.gen_range(-self.brightness..=self.brightness);
+            let cont = 1.0 + rng.gen_range(-self.contrast..=self.contrast);
+            let (cut_x, cut_y) = if self.cutout > 0 && self.cutout < w && self.cutout < h {
+                (
+                    rng.gen_range(0..w - self.cutout) as i64,
+                    rng.gen_range(0..h - self.cutout) as i64,
+                )
+            } else {
+                (-1, -1)
+            };
+            for ci in 0..c {
+                let plane = (bi * c + ci) * h * w;
+                for y in 0..h as i64 {
+                    for x in 0..w as i64 {
+                        let in_cutout = cut_x >= 0
+                            && x >= cut_x
+                            && x < cut_x + self.cutout as i64
+                            && y >= cut_y
+                            && y < cut_y + self.cutout as i64;
+                        let v = if in_cutout {
+                            0.0
+                        } else {
+                            let sx0 = if flip { w as i64 - 1 - x } else { x };
+                            let (sx, sy) = (sx0 - dx, y - dy);
+                            if sx >= 0 && sx < w as i64 && sy >= 0 && sy < h as i64 {
+                                let base = src[plane + (sy as usize) * w + sx as usize];
+                                let noise: f32 = StandardNormal.sample(rng);
+                                cont * base + bright + self.noise_std * noise
+                            } else {
+                                0.0
+                            }
+                        };
+                        out[plane + (y as usize) * w + x as usize] = v;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, dims).map_err(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn batch() -> Tensor {
+        Tensor::from_vec(
+            (0..2 * 3 * 8 * 8).map(|i| (i % 17) as f32 / 17.0).collect(),
+            &[2, 3, 8, 8],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn output_shape_preserved() {
+        let cfg = AugmentConfig::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = cfg.apply(&batch(), &mut rng).unwrap();
+        assert_eq!(out.dims(), &[2, 3, 8, 8]);
+    }
+
+    #[test]
+    fn two_views_differ() {
+        let cfg = AugmentConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = batch();
+        let v1 = cfg.apply(&x, &mut rng).unwrap();
+        let v2 = cfg.apply(&x, &mut rng).unwrap();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn identity_config_with_no_flip_preserves_input() {
+        let cfg = AugmentConfig {
+            max_shift: 0,
+            flip_prob: 0.0,
+            brightness: 0.0,
+            contrast: 0.0,
+            noise_std: 0.0,
+            cutout: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = batch();
+        let out = cfg.apply(&x, &mut rng).unwrap();
+        assert_eq!(out, x);
+    }
+
+    #[test]
+    fn cutout_zeroes_a_square() {
+        let cfg = AugmentConfig {
+            max_shift: 0,
+            flip_prob: 0.0,
+            brightness: 0.0,
+            contrast: 0.0,
+            noise_std: 0.0,
+            cutout: 3,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::ones(&[1, 1, 8, 8]);
+        let out = cfg.apply(&x, &mut rng).unwrap();
+        let zeros = out.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 9, "3x3 cutout zeroes exactly 9 pixels");
+    }
+
+    #[test]
+    fn rejects_non_image_input() {
+        let cfg = AugmentConfig::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(cfg.apply(&Tensor::zeros(&[4, 4]), &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = AugmentConfig::default();
+        let x = batch();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            cfg.apply(&x, &mut rng).unwrap()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,59 @@
+use std::fmt;
+
+use fhdnn_nn::NnError;
+use fhdnn_tensor::TensorError;
+
+/// Errors produced by contrastive pretraining.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ContrastiveError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An underlying network operation failed.
+    Nn(NnError),
+    /// A configuration or input argument was invalid.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for ContrastiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContrastiveError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ContrastiveError::Nn(e) => write!(f, "network error: {e}"),
+            ContrastiveError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ContrastiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ContrastiveError::Tensor(e) => Some(e),
+            ContrastiveError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for ContrastiveError {
+    fn from(e: TensorError) -> Self {
+        ContrastiveError::Tensor(e)
+    }
+}
+
+impl From<NnError> for ContrastiveError {
+    fn from(e: NnError) -> Self {
+        ContrastiveError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ContrastiveError>();
+    }
+}

@@ -1,0 +1,51 @@
+//! # fhdnn-contrastive
+//!
+//! SimCLR-style self-supervised contrastive pretraining — the substrate
+//! behind FHDnn's frozen feature extractor (paper §3.2).
+//!
+//! The paper uses a SimCLR-pretrained ResNet: a class-agnostic encoder
+//! trained on unlabeled images by maximizing agreement between two
+//! augmented views of the same image, then frozen and reused across
+//! datasets. This crate reproduces that mechanic end to end:
+//!
+//! - [`augment`] — the stochastic view pipeline (shift-crop, horizontal
+//!   flip, brightness/contrast jitter, Gaussian noise, cutout),
+//! - [`ntxent`] — the normalized-temperature cross-entropy (NT-Xent) loss
+//!   with an analytic gradient, including backprop through the row
+//!   normalization,
+//! - [`pretrain::SimClrTrainer`] — the training loop over an encoder trunk
+//!   plus a projection head; the head is discarded after pretraining and
+//!   the trunk becomes the frozen extractor,
+//! - [`probe::linear_probe`] — the standard linear-evaluation protocol
+//!   scoring representation quality.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use fhdnn_contrastive::pretrain::{SimClrConfig, SimClrTrainer};
+//! use fhdnn_datasets::image::SynthSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pool = SynthSpec::cifar_like().generate_unlabeled(256, 0)?;
+//! let config = SimClrConfig::default();
+//! let mut trainer = SimClrTrainer::new(config, 3, 7)?;
+//! let report = trainer.pretrain(&pool)?;
+//! println!("final contrastive loss: {}", report.final_loss);
+//! let _extractor = trainer.into_encoder();
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod augment;
+mod error;
+pub mod ntxent;
+pub mod pretrain;
+pub mod probe;
+
+pub use error::ContrastiveError;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ContrastiveError>;

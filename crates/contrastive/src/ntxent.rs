@@ -1,0 +1,203 @@
+//! NT-Xent: the normalized-temperature cross-entropy loss of SimCLR,
+//! with an analytic gradient (including backprop through the L2 row
+//! normalization).
+//!
+//! Input is a `[2n, d]` embedding matrix where rows `i` and `i + n` are
+//! the two views of sample `i`. For each anchor `i`, the positive is its
+//! partner view and the negatives are all other `2n - 2` rows.
+
+use fhdnn_tensor::Tensor;
+
+use crate::{ContrastiveError, Result};
+
+/// Loss value and gradient with respect to the (unnormalized) embeddings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NtXentOutput {
+    /// Mean NT-Xent loss over the `2n` anchors.
+    pub loss: f32,
+    /// Gradient w.r.t. the raw embedding matrix, `[2n, d]`.
+    pub grad: Tensor,
+    /// Fraction of anchors whose positive has the highest similarity —
+    /// a cheap progress diagnostic (contrastive "accuracy").
+    pub alignment: f32,
+}
+
+/// Computes NT-Xent loss and gradient for embeddings `[2n, d]` at the
+/// given temperature.
+///
+/// # Errors
+///
+/// Returns an error if the batch is not even-sized and at least 4 rows, or
+/// if `temperature` is not positive.
+pub fn nt_xent(embeddings: &Tensor, temperature: f32) -> Result<NtXentOutput> {
+    if embeddings.shape().rank() != 2 {
+        return Err(ContrastiveError::InvalidArgument(format!(
+            "expected [2n, d] embeddings, got {:?}",
+            embeddings.dims()
+        )));
+    }
+    let (m, d) = (embeddings.dims()[0], embeddings.dims()[1]);
+    if m < 4 || m % 2 != 0 {
+        return Err(ContrastiveError::InvalidArgument(format!(
+            "batch must be even and >= 4 rows, got {m}"
+        )));
+    }
+    if temperature <= 0.0 || temperature.is_nan() {
+        return Err(ContrastiveError::InvalidArgument(format!(
+            "temperature must be positive, got {temperature}"
+        )));
+    }
+    let n = m / 2;
+
+    // Row-normalize: ẑ_i = z_i / ||z_i||.
+    let mut norms = vec![0.0f32; m];
+    let mut z_hat = embeddings.clone();
+    for (i, slot) in norms.iter_mut().enumerate() {
+        let row = z_hat.row_mut(i)?;
+        let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+        *slot = norm;
+        for x in row.iter_mut() {
+            *x /= norm;
+        }
+    }
+
+    // Similarity logits S = Ẑ Ẑ^T / τ with the diagonal masked out.
+    let mut s = z_hat.matmul_nt(&z_hat)?;
+    s.scale_assign(1.0 / temperature);
+    for i in 0..m {
+        s.row_mut(i)?[i] = f32::NEG_INFINITY;
+    }
+
+    // Row-wise softmax cross-entropy toward each anchor's partner view.
+    let mut loss = 0.0f32;
+    let mut aligned = 0usize;
+    let mut g_s = Tensor::zeros(&[m, m]); // dL/dS
+    for i in 0..m {
+        let target = (i + n) % m;
+        let row = s.row(i)?;
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let p_target = (exps[target] / sum).max(1e-12);
+        loss -= p_target.ln();
+        if row
+            .iter()
+            .enumerate()
+            .all(|(j, &x)| j == target || x <= row[target])
+        {
+            aligned += 1;
+        }
+        let g_row = g_s.row_mut(i)?;
+        for (j, &e) in exps.iter().enumerate() {
+            let p = e / sum;
+            g_row[j] = (p - if j == target { 1.0 } else { 0.0 }) / m as f32;
+        }
+        g_row[i] = 0.0; // masked diagonal carries no gradient
+    }
+    loss /= m as f32;
+
+    // dL/dẐ = (G + G^T) Ẑ / τ.
+    let g_sym = g_s.add(&g_s.transpose()?)?;
+    let mut g_hat = g_sym.matmul(&z_hat)?;
+    g_hat.scale_assign(1.0 / temperature);
+
+    // Backprop through normalization: dL/dz = (g − ẑ (ẑ·g)) / ||z||.
+    let mut grad = g_hat.clone();
+    for (i, &norm) in norms.iter().enumerate() {
+        let zh = z_hat.row(i)?.to_vec();
+        let g_row = grad.row_mut(i)?;
+        let dot: f32 = zh.iter().zip(g_row.iter()).map(|(a, b)| a * b).sum();
+        for j in 0..d {
+            g_row[j] = (g_row[j] - zh[j] * dot) / norm;
+        }
+    }
+
+    Ok(NtXentOutput {
+        loss,
+        grad,
+        alignment: aligned as f32 / m as f32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn aligned_pairs_give_low_loss() {
+        // Views of each sample identical, samples mutually orthogonal.
+        let z = Tensor::from_vec(
+            vec![
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0, //
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0,
+            ],
+            &[4, 4],
+        )
+        .unwrap();
+        let low_t = nt_xent(&z, 0.1).unwrap();
+        assert!(low_t.loss < 0.01, "loss {}", low_t.loss);
+        assert_eq!(low_t.alignment, 1.0);
+    }
+
+    #[test]
+    fn shuffled_pairs_give_high_loss() {
+        // Positive pairs orthogonal, negatives aligned: worst case.
+        let z = Tensor::from_vec(
+            vec![
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0, //
+                1.0, 0.0, 0.0, 0.0,
+            ],
+            &[4, 4],
+        )
+        .unwrap();
+        let out = nt_xent(&z, 0.1).unwrap();
+        assert!(out.loss > 2.0, "loss {}", out.loss);
+        assert!(out.alignment < 0.5);
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let z = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        let out = nt_xent(&z, 0.5).unwrap();
+        let eps = 1e-3;
+        for i in 0..z.len() {
+            let mut zp = z.clone();
+            zp.as_mut_slice()[i] += eps;
+            let num = (nt_xent(&zp, 0.5).unwrap().loss - out.loss) / eps;
+            assert!(
+                (num - out.grad.as_slice()[i]).abs() < 2e-2,
+                "grad[{i}]: numeric {num} vs analytic {}",
+                out.grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_descends_the_loss() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut z = Tensor::randn(&[8, 4], 1.0, &mut rng);
+        let mut prev = f32::MAX;
+        for _ in 0..50 {
+            let out = nt_xent(&z, 0.5).unwrap();
+            assert!(out.loss <= prev + 1e-3, "loss rose {prev} -> {}", out.loss);
+            prev = out.loss;
+            z.axpy(-2.0, &out.grad).unwrap();
+        }
+        assert!(prev < 1.0, "final loss {prev}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(nt_xent(&Tensor::zeros(&[3, 4]), 0.5).is_err(), "odd batch");
+        assert!(nt_xent(&Tensor::zeros(&[2, 4]), 0.5).is_err(), "too small");
+        assert!(nt_xent(&Tensor::zeros(&[4]), 0.5).is_err(), "rank 1");
+        assert!(nt_xent(&Tensor::zeros(&[4, 4]), 0.0).is_err(), "bad temp");
+    }
+}

@@ -1,0 +1,305 @@
+//! The SimCLR pretraining loop.
+//!
+//! Pairs of augmented views flow through an encoder trunk and a small
+//! projection head; NT-Xent pulls views of the same image together and
+//! pushes different images apart. After pretraining the head is discarded
+//! and the trunk is the class-agnostic feature extractor FHDnn freezes.
+
+use fhdnn_datasets::batcher::Batcher;
+use fhdnn_nn::activation::Relu;
+use fhdnn_nn::linear::Linear;
+use fhdnn_nn::models::{build_trunk, resnet_feature_width, ResNetConfig, TrunkArch};
+use fhdnn_nn::optim::Sgd;
+use fhdnn_nn::{Mode, Network};
+use fhdnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::augment::AugmentConfig;
+use crate::ntxent::nt_xent;
+use crate::{ContrastiveError, Result};
+
+/// Configuration of SimCLR pretraining.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimClrConfig {
+    /// Encoder backbone configuration (its `num_classes` is ignored).
+    pub backbone: ResNetConfig,
+    /// Trunk architecture (residual or depthwise-separable).
+    pub arch: TrunkArch,
+    /// Width of the projection head output.
+    pub projection_dim: usize,
+    /// NT-Xent temperature.
+    pub temperature: f32,
+    /// Views per batch (so `2 * batch_size` rows reach the loss).
+    pub batch_size: usize,
+    /// Passes over the unlabeled pool.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Augmentation pipeline for view generation.
+    pub augment: AugmentConfig,
+}
+
+impl Default for SimClrConfig {
+    fn default() -> Self {
+        SimClrConfig {
+            backbone: ResNetConfig::default(),
+            arch: TrunkArch::ResNet,
+            projection_dim: 16,
+            temperature: 0.5,
+            batch_size: 32,
+            epochs: 3,
+            learning_rate: 0.05,
+            augment: AugmentConfig::default(),
+        }
+    }
+}
+
+/// Summary of a pretraining run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PretrainReport {
+    /// Mean NT-Xent loss over the first epoch.
+    pub initial_loss: f32,
+    /// Mean NT-Xent loss over the final epoch.
+    pub final_loss: f32,
+    /// Mean contrastive alignment over the final epoch (fraction of
+    /// anchors ranking their positive first).
+    pub final_alignment: f32,
+    /// Number of optimizer steps taken.
+    pub steps: usize,
+}
+
+/// Trainer owning the encoder trunk and projection head.
+#[derive(Debug)]
+pub struct SimClrTrainer {
+    trunk: Network,
+    head: Network,
+    config: SimClrConfig,
+    rng: StdRng,
+    trunk_opt: Sgd,
+    head_opt: Sgd,
+}
+
+impl SimClrTrainer {
+    /// Creates a trainer with a fresh backbone for `in_channels` images,
+    /// deterministically seeded.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid configuration values.
+    pub fn new(config: SimClrConfig, in_channels: usize, seed: u64) -> Result<Self> {
+        if config.batch_size < 2 {
+            return Err(ContrastiveError::InvalidArgument(
+                "batch_size must be at least 2".into(),
+            ));
+        }
+        if config.projection_dim == 0 {
+            return Err(ContrastiveError::InvalidArgument(
+                "projection_dim must be positive".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut backbone = config.backbone;
+        backbone.in_channels = in_channels;
+        let trunk = build_trunk(config.arch, backbone, &mut rng)?;
+        let f = resnet_feature_width(&backbone);
+        let head = Network::new()
+            .push(Linear::new(f, f, &mut rng)?)
+            .push(Relu::new())
+            .push(Linear::new(f, config.projection_dim, &mut rng)?);
+        Ok(SimClrTrainer {
+            trunk,
+            head,
+            trunk_opt: Sgd::new(config.learning_rate).momentum(0.9),
+            head_opt: Sgd::new(config.learning_rate).momentum(0.9),
+            config: SimClrConfig { backbone, ..config },
+            rng,
+        })
+    }
+
+    /// Runs the configured number of pretraining epochs over an unlabeled
+    /// image pool `[n, c, h, w]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pool is smaller than one batch or shapes
+    /// are incompatible with the backbone.
+    pub fn pretrain(&mut self, pool: &Tensor) -> Result<PretrainReport> {
+        let dims = pool.dims();
+        if dims.len() != 4 {
+            return Err(ContrastiveError::InvalidArgument(format!(
+                "expected [n, c, h, w] pool, got {dims:?}"
+            )));
+        }
+        if dims[0] < self.config.batch_size {
+            return Err(ContrastiveError::InvalidArgument(format!(
+                "pool of {} images smaller than batch size {}",
+                dims[0], self.config.batch_size
+            )));
+        }
+        let batcher = Batcher::new(dims[0], self.config.batch_size);
+        let mut initial_loss = 0.0;
+        let mut final_loss = 0.0;
+        let mut final_alignment = 0.0;
+        let mut steps = 0usize;
+        for epoch in 0..self.config.epochs.max(1) {
+            let mut epoch_loss = 0.0;
+            let mut epoch_alignment = 0.0;
+            let mut epoch_batches = 0usize;
+            for batch_idx in batcher.epoch(&mut self.rng) {
+                // NT-Xent needs at least 2 samples (4 rows).
+                if batch_idx.len() < 2 {
+                    continue;
+                }
+                let images = pool.subset_rows(&batch_idx)?;
+                let v1 = self.config.augment.apply(&images, &mut self.rng)?;
+                let v2 = self.config.augment.apply(&images, &mut self.rng)?;
+                let both = Tensor::concat_first_axis(&[&v1, &v2])?;
+                self.trunk.zero_grad();
+                self.head.zero_grad();
+                let feats = self.trunk.forward(&both, Mode::Train)?;
+                let proj = self.head.forward(&feats, Mode::Train)?;
+                let out = nt_xent(&proj, self.config.temperature)?;
+                let g_feats = self.head.backward(&out.grad)?;
+                self.trunk.backward(&g_feats)?;
+                self.head_opt.step(&mut self.head)?;
+                self.trunk_opt.step(&mut self.trunk)?;
+                epoch_loss += out.loss;
+                epoch_alignment += out.alignment;
+                epoch_batches += 1;
+                steps += 1;
+            }
+            if epoch_batches == 0 {
+                return Err(ContrastiveError::InvalidArgument(
+                    "pool produced no usable batches".into(),
+                ));
+            }
+            let mean_loss = epoch_loss / epoch_batches as f32;
+            if epoch == 0 {
+                initial_loss = mean_loss;
+            }
+            final_loss = mean_loss;
+            final_alignment = epoch_alignment / epoch_batches as f32;
+        }
+        Ok(PretrainReport {
+            initial_loss,
+            final_loss,
+            final_alignment,
+            steps,
+        })
+    }
+
+    /// Feature width of the trunk's embedding.
+    pub fn feature_width(&self) -> usize {
+        resnet_feature_width(&self.config.backbone)
+    }
+
+    /// Consumes the trainer, discarding the projection head and returning
+    /// the pretrained encoder trunk.
+    pub fn into_encoder(self) -> Network {
+        self.trunk
+    }
+}
+
+/// Internal helper: gather rows of the leading axis (batch subsetting for
+/// rank-4 pools).
+trait SubsetRows {
+    fn subset_rows(&self, indices: &[usize]) -> Result<Tensor>;
+}
+
+impl SubsetRows for Tensor {
+    fn subset_rows(&self, indices: &[usize]) -> Result<Tensor> {
+        let dims = self.dims();
+        let n = dims[0];
+        let inner: usize = dims[1..].iter().product();
+        let mut data = Vec::with_capacity(indices.len() * inner);
+        for &i in indices {
+            if i >= n {
+                return Err(ContrastiveError::InvalidArgument(format!(
+                    "index {i} out of range for pool of {n}"
+                )));
+            }
+            data.extend_from_slice(&self.as_slice()[i * inner..(i + 1) * inner]);
+        }
+        let mut out_dims = dims.to_vec();
+        out_dims[0] = indices.len();
+        Tensor::from_vec(data, &out_dims).map_err(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhdnn_datasets::image::SynthSpec;
+
+    fn tiny_config() -> SimClrConfig {
+        SimClrConfig {
+            backbone: ResNetConfig {
+                in_channels: 1,
+                base_width: 4,
+                blocks_per_stage: 1,
+                num_classes: 10,
+            },
+            arch: TrunkArch::ResNet,
+            projection_dim: 8,
+            temperature: 0.5,
+            batch_size: 8,
+            epochs: 2,
+            learning_rate: 0.05,
+            augment: AugmentConfig {
+                max_shift: 2,
+                flip_prob: 0.5,
+                brightness: 0.1,
+                contrast: 0.1,
+                noise_std: 0.05,
+                cutout: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn pretraining_reduces_contrastive_loss() {
+        let pool = SynthSpec::mnist_like().generate_unlabeled(64, 0).unwrap();
+        let mut trainer = SimClrTrainer::new(tiny_config(), 1, 1).unwrap();
+        let report = trainer.pretrain(&pool).unwrap();
+        assert!(
+            report.final_loss < report.initial_loss,
+            "loss {} -> {}",
+            report.initial_loss,
+            report.final_loss
+        );
+        assert!(report.steps >= 16);
+    }
+
+    #[test]
+    fn encoder_produces_feature_embeddings() {
+        let pool = SynthSpec::mnist_like().generate_unlabeled(32, 2).unwrap();
+        let mut cfg = tiny_config();
+        cfg.epochs = 1;
+        let mut trainer = SimClrTrainer::new(cfg, 1, 3).unwrap();
+        trainer.pretrain(&pool).unwrap();
+        let width = trainer.feature_width();
+        let mut encoder = trainer.into_encoder();
+        let feats = encoder
+            .forward(&Tensor::zeros(&[4, 1, 16, 16]), Mode::Eval)
+            .unwrap();
+        assert_eq!(feats.dims(), &[4, width]);
+    }
+
+    #[test]
+    fn rejects_undersized_pool() {
+        let pool = SynthSpec::mnist_like().generate_unlabeled(4, 4).unwrap();
+        let mut trainer = SimClrTrainer::new(tiny_config(), 1, 5).unwrap();
+        assert!(trainer.pretrain(&pool).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let mut cfg = tiny_config();
+        cfg.batch_size = 1;
+        assert!(SimClrTrainer::new(cfg, 1, 0).is_err());
+        let mut cfg = tiny_config();
+        cfg.projection_dim = 0;
+        assert!(SimClrTrainer::new(cfg, 1, 0).is_err());
+    }
+}

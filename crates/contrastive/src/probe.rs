@@ -1,0 +1,224 @@
+//! Linear-probe evaluation — the standard protocol for measuring
+//! self-supervised representation quality (as in the SimCLR paper): the
+//! pretrained trunk is frozen, a single linear classifier is trained on
+//! its features, and its test accuracy scores the representation.
+
+use fhdnn_datasets::batcher::Batcher;
+use fhdnn_nn::linear::Linear;
+use fhdnn_nn::loss::{accuracy, cross_entropy};
+use fhdnn_nn::optim::Sgd;
+use fhdnn_nn::{Mode, Network};
+use fhdnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{ContrastiveError, Result};
+
+/// Configuration of a linear probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeConfig {
+    /// Training epochs for the linear head.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Seed for head initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            epochs: 20,
+            batch_size: 32,
+            learning_rate: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a linear-probe evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeReport {
+    /// Accuracy of the trained head on the training features.
+    pub train_accuracy: f32,
+    /// Accuracy of the trained head on the held-out features.
+    pub test_accuracy: f32,
+}
+
+/// Trains a linear classifier on frozen features and reports accuracy.
+///
+/// `train` / `test` are `[n, width]` feature matrices (extract them once
+/// with the frozen trunk); labels index into `0..num_classes`.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatches or degenerate configurations.
+pub fn linear_probe(
+    train: &Tensor,
+    train_labels: &[usize],
+    test: &Tensor,
+    test_labels: &[usize],
+    num_classes: usize,
+    config: ProbeConfig,
+) -> Result<ProbeReport> {
+    if train.shape().rank() != 2 || test.shape().rank() != 2 {
+        return Err(ContrastiveError::InvalidArgument(
+            "features must be [n, width] matrices".into(),
+        ));
+    }
+    let width = train.dims()[1];
+    if test.dims()[1] != width {
+        return Err(ContrastiveError::InvalidArgument(format!(
+            "train width {width} != test width {}",
+            test.dims()[1]
+        )));
+    }
+    if train.dims()[0] != train_labels.len() || test.dims()[0] != test_labels.len() {
+        return Err(ContrastiveError::InvalidArgument(
+            "feature/label counts disagree".into(),
+        ));
+    }
+    if num_classes == 0 || config.epochs == 0 {
+        return Err(ContrastiveError::InvalidArgument(
+            "num_classes and epochs must be positive".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut head = Network::new().push(Linear::new(width, num_classes, &mut rng)?);
+    let mut opt = Sgd::new(config.learning_rate).momentum(0.9);
+    let batcher = Batcher::new(train.dims()[0], config.batch_size);
+    for _ in 0..config.epochs {
+        for batch in batcher.epoch(&mut rng) {
+            let mut xs = Vec::with_capacity(batch.len() * width);
+            let mut ys = Vec::with_capacity(batch.len());
+            for &i in &batch {
+                xs.extend_from_slice(train.row(i)?);
+                ys.push(train_labels[i]);
+            }
+            let x = Tensor::from_vec(xs, &[batch.len(), width])?;
+            head.zero_grad();
+            let logits = head.forward(&x, Mode::Train)?;
+            let out = cross_entropy(&logits, &ys)?;
+            head.backward(&out.grad)?;
+            opt.step(&mut head)?;
+        }
+    }
+    let train_accuracy = accuracy(&head.forward(train, Mode::Eval)?, train_labels)?;
+    let test_accuracy = accuracy(&head.forward(test, Mode::Eval)?, test_labels)?;
+    Ok(ProbeReport {
+        train_accuracy,
+        test_accuracy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::augment::AugmentConfig;
+    use crate::pretrain::{SimClrConfig, SimClrTrainer};
+    use fhdnn_datasets::image::SynthSpec;
+    use fhdnn_nn::models::{resnet_trunk, ResNetConfig};
+
+    fn backbone() -> ResNetConfig {
+        ResNetConfig {
+            in_channels: 1,
+            base_width: 8,
+            blocks_per_stage: 1,
+            num_classes: 10,
+        }
+    }
+
+    fn features(trunk: &mut Network, images: &Tensor) -> Tensor {
+        trunk.forward(images, Mode::Eval).unwrap()
+    }
+
+    #[test]
+    fn probe_separates_separable_features() {
+        // Raw class-clustered features are linearly separable; the probe
+        // must find that.
+        let spec = fhdnn_datasets::features::FeatureSpec {
+            num_classes: 4,
+            width: 16,
+            noise_std: 0.4,
+            class_seed: 3,
+        };
+        let train = spec.generate(160, 0).unwrap();
+        let test = spec.generate(80, 1).unwrap();
+        let report = linear_probe(
+            &train.features,
+            &train.labels,
+            &test.features,
+            &test.labels,
+            4,
+            ProbeConfig::default(),
+        )
+        .unwrap();
+        assert!(report.test_accuracy > 0.9, "{report:?}");
+    }
+
+    #[test]
+    fn pretrained_features_probe_better_than_random() {
+        let data = SynthSpec::fashion_like().generate(240, 0).unwrap();
+        let test = SynthSpec::fashion_like().generate(120, 1).unwrap();
+
+        let probe_with = |trunk: &mut Network| {
+            let f_train = features(trunk, &data.images);
+            let f_test = features(trunk, &test.images);
+            linear_probe(
+                &f_train,
+                &data.labels,
+                &f_test,
+                &test.labels,
+                10,
+                ProbeConfig::default(),
+            )
+            .unwrap()
+            .test_accuracy
+        };
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut random_trunk = resnet_trunk(backbone(), &mut rng).unwrap();
+        let random_acc = probe_with(&mut random_trunk);
+
+        let config = SimClrConfig {
+            backbone: backbone(),
+            projection_dim: 32,
+            temperature: 0.5,
+            batch_size: 32,
+            epochs: 6,
+            learning_rate: 0.03,
+            augment: AugmentConfig {
+                max_shift: 2,
+                flip_prob: 0.0,
+                brightness: 0.15,
+                contrast: 0.15,
+                noise_std: 0.15,
+                cutout: 3,
+            },
+            ..SimClrConfig::default()
+        };
+        let pool = SynthSpec::fashion_like()
+            .generate_unlabeled(240, 7)
+            .unwrap();
+        let mut trainer = SimClrTrainer::new(config, 1, 11).unwrap();
+        trainer.pretrain(&pool).unwrap();
+        let mut pretrained_trunk = trainer.into_encoder();
+        let pretrained_acc = probe_with(&mut pretrained_trunk);
+
+        assert!(
+            pretrained_acc > random_acc,
+            "pretrained probe {pretrained_acc} vs random {random_acc}"
+        );
+    }
+
+    #[test]
+    fn probe_validates_inputs() {
+        let f = Tensor::zeros(&[4, 8]);
+        let t = Tensor::zeros(&[2, 9]);
+        assert!(linear_probe(&f, &[0; 4], &t, &[0; 2], 2, ProbeConfig::default()).is_err());
+        assert!(linear_probe(&f, &[0; 3], &f, &[0; 4], 2, ProbeConfig::default()).is_err());
+        assert!(linear_probe(&f, &[0; 4], &f, &[0; 4], 0, ProbeConfig::default()).is_err());
+    }
+}

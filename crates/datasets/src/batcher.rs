@@ -1,0 +1,123 @@
+//! Shuffled mini-batch iteration over a dataset's sample indices.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Produces shuffled mini-batches of sample indices for one epoch.
+///
+/// The batcher owns only indices, so the same type serves image and
+/// feature datasets alike.
+///
+/// # Example
+///
+/// ```
+/// use fhdnn_datasets::batcher::Batcher;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let batches: Vec<Vec<usize>> = Batcher::new(10, 4).epoch(&mut rng).collect();
+/// assert_eq!(batches.len(), 3);
+/// assert_eq!(batches[0].len(), 4);
+/// assert_eq!(batches[2].len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batcher {
+    n_samples: usize,
+    batch_size: usize,
+}
+
+impl Batcher {
+    /// Creates a batcher over `n_samples` with the given batch size.
+    ///
+    /// A `batch_size` of 0 is treated as full-batch.
+    pub fn new(n_samples: usize, batch_size: usize) -> Self {
+        let batch_size = if batch_size == 0 {
+            n_samples.max(1)
+        } else {
+            batch_size
+        };
+        Batcher {
+            n_samples,
+            batch_size,
+        }
+    }
+
+    /// Number of batches per epoch (the final batch may be short).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.n_samples.div_ceil(self.batch_size)
+    }
+
+    /// Shuffles the index set and yields one epoch of batches.
+    pub fn epoch<R: Rng + ?Sized>(&self, rng: &mut R) -> Epoch {
+        let mut indices: Vec<usize> = (0..self.n_samples).collect();
+        indices.shuffle(rng);
+        Epoch {
+            indices,
+            batch_size: self.batch_size,
+            cursor: 0,
+        }
+    }
+}
+
+/// Iterator over one epoch's batches; see [`Batcher::epoch`].
+#[derive(Debug, Clone)]
+pub struct Epoch {
+    indices: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Iterator for Epoch {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.cursor >= self.indices.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.indices.len());
+        let batch = self.indices[self.cursor..end].to_vec();
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn epoch_covers_all_indices_once() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut all: Vec<usize> = Batcher::new(23, 5).epoch(&mut rng).flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_batch_size_means_full_batch() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = Batcher::new(7, 0);
+        assert_eq!(b.batches_per_epoch(), 1);
+        let batches: Vec<_> = b.epoch(&mut rng).collect();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 7);
+    }
+
+    #[test]
+    fn shuffling_differs_across_epochs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = Batcher::new(50, 50);
+        let e1: Vec<usize> = b.epoch(&mut rng).flatten().collect();
+        let e2: Vec<usize> = b.epoch(&mut rng).flatten().collect();
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_batches() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(Batcher::new(0, 4).epoch(&mut rng).count(), 0);
+    }
+}

@@ -1,0 +1,54 @@
+use std::fmt;
+
+use fhdnn_tensor::TensorError;
+
+/// Errors produced by dataset generation and partitioning.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A generation or partitioning argument was invalid.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DatasetError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DatasetError {
+    fn from(e: TensorError) -> Self {
+        DatasetError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DatasetError>();
+    }
+
+    #[test]
+    fn display_invalid_argument() {
+        let e = DatasetError::InvalidArgument("zero clients".into());
+        assert_eq!(e.to_string(), "invalid argument: zero clients");
+    }
+}

@@ -1,0 +1,46 @@
+//! # fhdnn-datasets
+//!
+//! Synthetic, deterministic, class-structured datasets standing in for the
+//! image and speech corpora of the FHDnn paper (DAC 2022), plus the
+//! federated partitioning schemes the paper evaluates.
+//!
+//! The paper uses MNIST, FashionMNIST, CIFAR-10 and ISOLET. This
+//! reproduction runs fully offline, so each corpus is replaced by a
+//! procedural generator with the same *shape*: ten (or twenty-six) classes,
+//! controllable intra-class variance, and a difficulty ordering
+//! `CIFAR > FashionMNIST > MNIST`. Every generator is seeded, so every
+//! experiment in the repository is bit-reproducible.
+//!
+//! - [`image::ImageDataset`] and the [`image::SynthSpec`] generators,
+//! - [`features::FeatureDataset`] for the ISOLET stand-in,
+//! - [`partition`] — IID, shard non-IID (McMahan) and Dirichlet non-IID
+//!   client splits,
+//! - [`batcher::Batcher`] — shuffled mini-batch iteration.
+//!
+//! # Example
+//!
+//! ```
+//! use fhdnn_datasets::image::{SynthSpec, ImageDataset};
+//!
+//! # fn main() -> Result<(), fhdnn_datasets::DatasetError> {
+//! let spec = SynthSpec::cifar_like();
+//! let train = spec.generate(200, 42)?;
+//! assert_eq!(train.len(), 200);
+//! assert_eq!(train.num_classes, 10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batcher;
+mod error;
+pub mod features;
+pub mod image;
+pub mod partition;
+
+pub use error::DatasetError;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DatasetError>;

@@ -1,0 +1,81 @@
+use std::fmt;
+
+use fhdnn_datasets::DatasetError;
+use fhdnn_hdc::HdcError;
+use fhdnn_nn::NnError;
+use fhdnn_tensor::TensorError;
+
+/// Errors produced by federated orchestration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FedError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An underlying network operation failed.
+    Nn(NnError),
+    /// An underlying HD operation failed.
+    Hdc(HdcError),
+    /// An underlying dataset operation failed.
+    Dataset(DatasetError),
+    /// A configuration or runtime argument was invalid.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for FedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FedError::Tensor(e) => write!(f, "tensor error: {e}"),
+            FedError::Nn(e) => write!(f, "network error: {e}"),
+            FedError::Hdc(e) => write!(f, "hdc error: {e}"),
+            FedError::Dataset(e) => write!(f, "dataset error: {e}"),
+            FedError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FedError::Tensor(e) => Some(e),
+            FedError::Nn(e) => Some(e),
+            FedError::Hdc(e) => Some(e),
+            FedError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for FedError {
+    fn from(e: TensorError) -> Self {
+        FedError::Tensor(e)
+    }
+}
+
+impl From<NnError> for FedError {
+    fn from(e: NnError) -> Self {
+        FedError::Nn(e)
+    }
+}
+
+impl From<HdcError> for FedError {
+    fn from(e: HdcError) -> Self {
+        FedError::Hdc(e)
+    }
+}
+
+impl From<DatasetError> for FedError {
+    fn from(e: DatasetError) -> Self {
+        FedError::Dataset(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FedError>();
+    }
+}

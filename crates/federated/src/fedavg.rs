@@ -1,0 +1,413 @@
+//! FedAvg over CNNs — the paper's baseline (McMahan et al., as configured
+//! in §4).
+//!
+//! Each round: the server broadcasts the global float32 parameter vector;
+//! a sampled fraction `C` of clients trains it for `E` local epochs with
+//! batch size `B`; each client's full parameter vector is transmitted
+//! uplink through a (possibly unreliable) [`Channel`]; the server averages
+//! the received vectors weighted by client sample counts.
+
+use fhdnn_channel::Channel;
+use fhdnn_datasets::batcher::Batcher;
+use fhdnn_datasets::image::ImageDataset;
+use fhdnn_nn::loss::{accuracy, cross_entropy};
+use fhdnn_nn::optim::{LrSchedule, Sgd};
+use fhdnn_nn::{Mode, Network};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::config::FlConfig;
+use crate::metrics::{RoundMetrics, RunHistory};
+use crate::sampling::sample_clients;
+use crate::{FedError, Result};
+
+/// Local optimizer settings used by every client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalSgdConfig {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for LocalSgdConfig {
+    fn default() -> Self {
+        LocalSgdConfig {
+            learning_rate: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        }
+    }
+}
+
+/// A FedAvg federation over one CNN architecture.
+///
+/// Holds the global model and per-client datasets. One scratch network is
+/// reused for all clients (clients are stateless between rounds, exactly
+/// as in FedAvg).
+#[derive(Debug)]
+pub struct CnnFederation {
+    global: Network,
+    clients: Vec<ImageDataset>,
+    config: FlConfig,
+    sgd: LocalSgdConfig,
+    rng: StdRng,
+    round: usize,
+    upload_fraction: f32,
+    lr_schedule: LrSchedule,
+}
+
+impl CnnFederation {
+    /// Creates a federation from a freshly-initialized network and one
+    /// dataset per client.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the config is invalid or the client count does
+    /// not match `config.num_clients`.
+    pub fn new(
+        global: Network,
+        clients: Vec<ImageDataset>,
+        config: FlConfig,
+        sgd: LocalSgdConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        if clients.len() != config.num_clients {
+            return Err(FedError::InvalidArgument(format!(
+                "{} client datasets for {} configured clients",
+                clients.len(),
+                config.num_clients
+            )));
+        }
+        if clients.iter().any(ImageDataset::is_empty) {
+            return Err(FedError::InvalidArgument("a client has no data".into()));
+        }
+        let rng = StdRng::seed_from_u64(config.seed);
+        Ok(CnnFederation {
+            global,
+            clients,
+            config,
+            sgd,
+            rng,
+            round: 0,
+            upload_fraction: 1.0,
+            lr_schedule: LrSchedule::Constant,
+        })
+    }
+
+    /// Sets the per-round learning-rate schedule applied on top of the
+    /// configured base rate (e.g. cosine annealing across the federated
+    /// rounds).
+    pub fn set_lr_schedule(&mut self, schedule: LrSchedule) {
+        self.lr_schedule = schedule;
+    }
+
+    /// Enables compressed uploads: each round, every client transmits only
+    /// a random `fraction` of its parameters (a fresh coordinate mask per
+    /// client per round), and the server averages per coordinate over the
+    /// clients that sent it. This is the related-work baseline of reduced
+    /// client updates / federated dropout ([4, 5] in the paper) — it
+    /// shrinks bytes but, unlike FHDnn, confers no channel robustness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidArgument`] if `fraction ∉ (0, 1]`.
+    pub fn set_upload_fraction(&mut self, fraction: f32) -> Result<()> {
+        if fraction <= 0.0 || fraction > 1.0 || fraction.is_nan() {
+            return Err(FedError::InvalidArgument(format!(
+                "upload fraction must be in (0, 1], got {fraction}"
+            )));
+        }
+        self.upload_fraction = fraction;
+        Ok(())
+    }
+
+    /// The global model.
+    pub fn global(&self) -> &Network {
+        &self.global
+    }
+
+    /// Mutable access to the global model (e.g. to corrupt the broadcast).
+    pub fn global_mut(&mut self) -> &mut Network {
+        &mut self.global
+    }
+
+    /// Upload size of one client update in bytes (float32 parameters,
+    /// scaled by the upload fraction when compression is enabled).
+    pub fn update_bytes(&self) -> u64 {
+        let full = self.global.num_params() as f64 * 4.0;
+        (full * self.upload_fraction as f64).ceil() as u64
+    }
+
+    fn train_client(&mut self, client: usize) -> Result<Vec<f32>> {
+        let data = &self.clients[client];
+        let lr = self.lr_schedule.lr_at(self.round, self.sgd.learning_rate);
+        let mut opt = Sgd::new(lr)
+            .momentum(self.sgd.momentum)
+            .weight_decay(self.sgd.weight_decay);
+        let batcher = Batcher::new(data.len(), self.config.batch_size);
+        for _ in 0..self.config.local_epochs {
+            for batch in batcher.epoch(&mut self.rng) {
+                let subset = data.subset(&batch)?;
+                self.global.zero_grad();
+                let logits = self.global.forward(&subset.images, Mode::Train)?;
+                let out = cross_entropy(&logits, &subset.labels)?;
+                self.global.backward(&out.grad)?;
+                opt.step(&mut self.global)?;
+            }
+        }
+        Ok(self.global.flatten_params())
+    }
+
+    /// Runs one communication round with the given uplink channel,
+    /// returning the per-round metrics (evaluated on `test`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training and evaluation failures.
+    pub fn run_round(
+        &mut self,
+        channel: &dyn Channel,
+        test: &ImageDataset,
+    ) -> Result<RoundMetrics> {
+        let broadcast = self.global.flatten_params();
+        let participants = sample_clients(
+            self.config.num_clients,
+            self.config.participants_per_round(),
+            &mut self.rng,
+        )?;
+        let mut acc: Vec<f64> = vec![0.0; broadcast.len()];
+        let mut weights: Vec<f64> = vec![0.0; broadcast.len()];
+        for &client in &participants {
+            // Broadcast: client starts from the current global model.
+            self.global.load_params(&broadcast)?;
+            let update = self.train_client(client)?;
+            let weight = self.clients[client].len() as f64;
+            if self.upload_fraction >= 1.0 {
+                let mut payload = update;
+                // Uplink through the unreliable channel.
+                channel.transmit_f32(&mut payload, &mut self.rng);
+                for (i, &u) in payload.iter().enumerate() {
+                    acc[i] += weight * u as f64;
+                    weights[i] += weight;
+                }
+            } else {
+                // Compressed upload: a fresh random coordinate subset.
+                let keep = ((broadcast.len() as f64 * self.upload_fraction as f64).ceil() as usize)
+                    .clamp(1, broadcast.len());
+                let mut indices: Vec<usize> = (0..broadcast.len()).collect();
+                indices.shuffle(&mut self.rng);
+                indices.truncate(keep);
+                let mut payload: Vec<f32> = indices.iter().map(|&i| update[i]).collect();
+                channel.transmit_f32(&mut payload, &mut self.rng);
+                for (&i, &u) in indices.iter().zip(&payload) {
+                    acc[i] += weight * u as f64;
+                    weights[i] += weight;
+                }
+            }
+        }
+        // Coordinates nobody sent keep their previous global value.
+        let averaged: Vec<f32> = acc
+            .iter()
+            .zip(&weights)
+            .zip(&broadcast)
+            .map(|((&a, &w), &prev)| if w > 0.0 { (a / w) as f32 } else { prev })
+            .collect();
+        self.global.load_params(&averaged)?;
+
+        let test_accuracy = self.evaluate(test)?;
+        let metrics = RoundMetrics {
+            round: self.round,
+            test_accuracy,
+            participants: participants.len(),
+            bytes_per_client: self.update_bytes(),
+        };
+        self.round += 1;
+        Ok(metrics)
+    }
+
+    /// Runs the configured number of rounds, returning the full history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates round failures.
+    pub fn run(
+        &mut self,
+        channel: &dyn Channel,
+        test: &ImageDataset,
+        label: impl Into<String>,
+    ) -> Result<RunHistory> {
+        let mut history = RunHistory::new(label);
+        for _ in 0..self.config.rounds {
+            history.push(self.run_round(channel, test)?);
+        }
+        Ok(history)
+    }
+
+    /// Test-set accuracy of the current global model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass failures.
+    pub fn evaluate(&mut self, test: &ImageDataset) -> Result<f32> {
+        // Evaluate in chunks to bound peak memory.
+        let chunk = 256;
+        let mut correct_weighted = 0.0f32;
+        let mut seen = 0usize;
+        let n = test.len();
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let images = test.images.slice_first_axis(start, end)?;
+            let logits = self.global.forward(&images, Mode::Eval)?;
+            let batch_acc = accuracy(&logits, &test.labels[start..end])?;
+            correct_weighted += batch_acc * (end - start) as f32;
+            seen += end - start;
+            start = end;
+        }
+        Ok(if seen == 0 {
+            0.0
+        } else {
+            correct_weighted / seen as f32
+        })
+    }
+}
+
+/// Corrupts the model broadcast itself (downlink), used by ablations; the
+/// paper assumes an error-free downlink, so the main experiments never
+/// call this.
+pub fn corrupt_broadcast(net: &mut Network, channel: &dyn Channel, rng: &mut StdRng) -> Result<()> {
+    let mut params = net.flatten_params();
+    channel.transmit_f32(&mut params, rng);
+    net.load_params(&params)?;
+    Ok(())
+}
+
+/// Builds per-client [`ImageDataset`]s from a global pool and an index
+/// partition.
+///
+/// # Errors
+///
+/// Propagates subset failures (out-of-range indices).
+pub fn carve_clients(pool: &ImageDataset, parts: &[Vec<usize>]) -> Result<Vec<ImageDataset>> {
+    parts
+        .iter()
+        .map(|idx| pool.subset(idx).map_err(FedError::from))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhdnn_channel::NoiselessChannel;
+    use fhdnn_datasets::image::SynthSpec;
+    use fhdnn_datasets::partition::Partition;
+    use fhdnn_nn::models::small_cnn;
+
+    fn tiny_setup(num_clients: usize, seed: u64) -> (CnnFederation, ImageDataset) {
+        let spec = SynthSpec::mnist_like();
+        let pool = spec.generate(num_clients * 20, seed).unwrap();
+        let test = spec.generate(100, seed + 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parts = Partition::Iid
+            .split(&pool.labels, num_clients, &mut rng)
+            .unwrap();
+        let clients = carve_clients(&pool, &parts).unwrap();
+        let net = small_cnn(1, 16, 10, &mut rng).unwrap();
+        let config = FlConfig {
+            num_clients,
+            rounds: 3,
+            local_epochs: 1,
+            batch_size: 10,
+            client_fraction: 0.5,
+            seed,
+        };
+        let fed = CnnFederation::new(net, clients, config, LocalSgdConfig::default()).unwrap();
+        (fed, test)
+    }
+
+    #[test]
+    fn round_improves_over_random_chance() {
+        let (mut fed, test) = tiny_setup(4, 0);
+        let channel = NoiselessChannel::new();
+        let mut last = 0.0;
+        for _ in 0..3 {
+            last = fed.run_round(&channel, &test).unwrap().test_accuracy;
+        }
+        assert!(
+            last > 0.2,
+            "accuracy {last} above 10% chance after 3 rounds"
+        );
+    }
+
+    #[test]
+    fn run_returns_full_history() {
+        let (mut fed, test) = tiny_setup(4, 1);
+        let history = fed.run(&NoiselessChannel::new(), &test, "smoke").unwrap();
+        assert_eq!(history.rounds.len(), 3);
+        assert_eq!(history.label, "smoke");
+        assert!(history.rounds.iter().all(|r| r.participants == 2));
+    }
+
+    #[test]
+    fn update_bytes_match_param_count() {
+        let (fed, _) = tiny_setup(4, 2);
+        assert_eq!(fed.update_bytes(), fed.global().num_params() as u64 * 4);
+    }
+
+    #[test]
+    fn lr_schedule_still_learns() {
+        use fhdnn_nn::optim::LrSchedule;
+        let (mut fed, test) = tiny_setup(4, 5);
+        fed.set_lr_schedule(LrSchedule::Cosine {
+            total: 3,
+            min_lr: 1e-3,
+        });
+        let channel = NoiselessChannel::new();
+        let mut last = 0.0;
+        for _ in 0..3 {
+            last = fed.run_round(&channel, &test).unwrap().test_accuracy;
+        }
+        assert!(last > 0.2, "cosine-annealed accuracy {last}");
+    }
+
+    #[test]
+    fn compressed_uploads_shrink_bytes_and_still_learn() {
+        let (mut fed, test) = tiny_setup(4, 3);
+        let full_bytes = fed.update_bytes();
+        fed.set_upload_fraction(0.25).unwrap();
+        assert!(fed.update_bytes() <= full_bytes / 4 + 4);
+        let channel = NoiselessChannel::new();
+        let mut last = 0.0;
+        for _ in 0..3 {
+            last = fed.run_round(&channel, &test).unwrap().test_accuracy;
+        }
+        assert!(last > 0.15, "compressed-upload accuracy {last}");
+    }
+
+    #[test]
+    fn upload_fraction_validated() {
+        let (mut fed, _) = tiny_setup(4, 4);
+        assert!(fed.set_upload_fraction(0.0).is_err());
+        assert!(fed.set_upload_fraction(1.5).is_err());
+        assert!(fed.set_upload_fraction(0.5).is_ok());
+    }
+
+    #[test]
+    fn rejects_client_count_mismatch() {
+        let spec = SynthSpec::mnist_like();
+        let pool = spec.generate(40, 0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let parts = Partition::Iid.split(&pool.labels, 2, &mut rng).unwrap();
+        let clients = carve_clients(&pool, &parts).unwrap();
+        let net = small_cnn(1, 16, 10, &mut rng).unwrap();
+        let config = FlConfig {
+            num_clients: 4,
+            ..FlConfig::default()
+        };
+        assert!(CnnFederation::new(net, clients, config, LocalSgdConfig::default()).is_err());
+    }
+}

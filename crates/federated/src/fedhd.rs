@@ -1,0 +1,533 @@
+//! Federated bundling over HD models — FHDnn's aggregation (paper §3.4.2).
+//!
+//! Clients hold *pre-encoded* hypervectors: the CNN feature extractor is
+//! frozen and never transmitted, so encoding happens once per client and
+//! only the HD model `C = [c_1; …; c_K]` crosses the network. Each round:
+//!
+//! 1. **Broadcast** — the server sends the global HD model.
+//! 2. **Local updates** — each sampled client sets its model to the global
+//!    one and trains for `E` epochs (one-shot bundling on first contact,
+//!    then iterative refinement).
+//! 3. **Aggregation** — the server bundles the received client models.
+//!    Prototypes are aggregated by averaging over participants; cosine
+//!    similarity inference is scale-invariant, so this matches the paper's
+//!    sum (Eq. 1) while keeping float magnitudes bounded over hundreds of
+//!    rounds.
+
+use fhdnn_channel::Channel;
+use fhdnn_hdc::model::HdModel;
+use fhdnn_hdc::quantizer::{dequantize, quantize};
+use fhdnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::FlConfig;
+use crate::metrics::{RoundMetrics, RunHistory};
+use crate::sampling::sample_clients;
+use crate::{FedError, Result};
+
+/// How an HD model is serialized on the uplink.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HdTransport {
+    /// Raw float32 prototypes (analog/uncoded transmission; the AWGN and
+    /// packet-loss settings).
+    Float,
+    /// AGC-quantized `B`-bit integer words (the bit-error setting,
+    /// §3.5.2).
+    Quantized {
+        /// Word bit width `B`.
+        bitwidth: u32,
+    },
+    /// Binarized prototypes: one bit per hypervector dimension plus one
+    /// gain scalar per class — the extreme point of HD communication
+    /// efficiency (a 1-bit AGC quantizer). The per-class gain restores the
+    /// prototype magnitude at the receiver so that subsequent local
+    /// refinement steps (±1 per dimension) stay small relative to the
+    /// accumulated consensus.
+    Binary,
+}
+
+impl HdTransport {
+    /// Upload size in bytes for a model of `num_params` scalars.
+    ///
+    /// Quantized transports also carry one float gain per class; at HD
+    /// scales (`dim` in the thousands) the gains are negligible and are
+    /// not itemized here.
+    pub fn update_bytes(&self, num_params: usize) -> u64 {
+        match self {
+            HdTransport::Float => num_params as u64 * 4,
+            HdTransport::Quantized { bitwidth } => {
+                (num_params as u64 * *bitwidth as u64).div_ceil(8)
+            }
+            HdTransport::Binary => (num_params as u64).div_ceil(8),
+        }
+    }
+}
+
+/// One client's local view: encoded hypervectors and labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdClientData {
+    /// Encoded hypervectors, `[m, dim]`.
+    pub hypervectors: Tensor,
+    /// Labels for each hypervector.
+    pub labels: Vec<usize>,
+}
+
+impl HdClientData {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the client holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// A federated-bundling run over HD models.
+///
+/// # Example
+///
+/// ```no_run
+/// use fhdnn_federated::config::FlConfig;
+/// use fhdnn_federated::fedhd::{HdClientData, HdFederation, HdTransport};
+/// use fhdnn_hdc::model::HdModel;
+/// use fhdnn_channel::NoiselessChannel;
+///
+/// # fn main() -> Result<(), fhdnn_federated::FedError> {
+/// # let (clients, test): (Vec<HdClientData>, HdClientData) = unimplemented!();
+/// let global = HdModel::new(10, 4096)?;
+/// let mut fed = HdFederation::new(global, clients, FlConfig::default(), HdTransport::Float)?;
+/// let history = fed.run(&NoiselessChannel::new(), &test, "demo")?;
+/// println!("final accuracy {}", history.final_accuracy());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HdFederation {
+    global: HdModel,
+    clients: Vec<HdClientData>,
+    config: FlConfig,
+    transport: HdTransport,
+    rng: StdRng,
+    round: usize,
+    straggler_prob: f64,
+    adaptive_lr: Option<f32>,
+}
+
+impl HdFederation {
+    /// Creates a federation over pre-encoded client data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the config is invalid, client counts mismatch,
+    /// or any client's hypervector width differs from the model dimension.
+    pub fn new(
+        global: HdModel,
+        clients: Vec<HdClientData>,
+        config: FlConfig,
+        transport: HdTransport,
+    ) -> Result<Self> {
+        config.validate()?;
+        if clients.len() != config.num_clients {
+            return Err(FedError::InvalidArgument(format!(
+                "{} client datasets for {} configured clients",
+                clients.len(),
+                config.num_clients
+            )));
+        }
+        for (i, c) in clients.iter().enumerate() {
+            if c.is_empty() {
+                return Err(FedError::InvalidArgument(format!("client {i} has no data")));
+            }
+            if c.hypervectors.dims() != [c.labels.len(), global.dim()] {
+                return Err(FedError::InvalidArgument(format!(
+                    "client {i}: hypervectors {:?} vs {} labels and dim {}",
+                    c.hypervectors.dims(),
+                    c.labels.len(),
+                    global.dim()
+                )));
+            }
+        }
+        let rng = StdRng::seed_from_u64(config.seed);
+        Ok(HdFederation {
+            global,
+            clients,
+            config,
+            transport,
+            rng,
+            round: 0,
+            straggler_prob: 0.0,
+            adaptive_lr: None,
+        })
+    }
+
+    /// Switches local refinement to the adaptive (OnlineHD-style)
+    /// confidence-weighted rule with the given learning rate; `None`
+    /// restores the paper's unit-step refinement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidArgument`] for a non-positive rate.
+    pub fn set_adaptive_lr(&mut self, lr: Option<f32>) -> Result<()> {
+        if let Some(lr) = lr {
+            if lr <= 0.0 || lr.is_nan() {
+                return Err(FedError::InvalidArgument(format!(
+                    "adaptive learning rate must be positive, got {lr}"
+                )));
+            }
+        }
+        self.adaptive_lr = lr;
+        Ok(())
+    }
+
+    /// Simulates stragglers: each sampled participant independently fails
+    /// to report with probability `prob` (battery death, duty-cycle miss,
+    /// radio outage). The server aggregates whatever arrives; if nothing
+    /// arrives the round keeps the previous global model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidArgument`] if `prob ∉ [0, 1)`.
+    pub fn set_straggler_prob(&mut self, prob: f64) -> Result<()> {
+        if !(0.0..1.0).contains(&prob) {
+            return Err(FedError::InvalidArgument(format!(
+                "straggler probability must be in [0, 1), got {prob}"
+            )));
+        }
+        self.straggler_prob = prob;
+        Ok(())
+    }
+
+    /// The global HD model.
+    pub fn global(&self) -> &HdModel {
+        &self.global
+    }
+
+    /// Upload size of one client update in bytes.
+    pub fn update_bytes(&self) -> u64 {
+        self.transport.update_bytes(self.global.num_params())
+    }
+
+    fn train_client(&mut self, client: usize) -> Result<HdModel> {
+        let data = &self.clients[client];
+        let mut local = self.global.clone();
+        // An untrained (all-zero) model bootstraps by one-shot bundling;
+        // afterwards the paper's refinement loop takes over.
+        let untrained = local.prototypes().as_slice().iter().all(|&v| v == 0.0);
+        if untrained {
+            local.one_shot_train(&data.hypervectors, &data.labels)?;
+        }
+        for _ in 0..self.config.local_epochs {
+            match self.adaptive_lr {
+                Some(lr) => {
+                    local.refine_epoch_adaptive(&data.hypervectors, &data.labels, lr)?;
+                }
+                None => {
+                    local.refine_epoch(&data.hypervectors, &data.labels)?;
+                }
+            }
+        }
+        Ok(local)
+    }
+
+    fn transmit(&mut self, model: &mut HdModel, channel: &dyn Channel) -> Result<()> {
+        match self.transport {
+            HdTransport::Float => {
+                channel.transmit_f32(model.prototypes_mut().as_mut_slice(), &mut self.rng);
+            }
+            HdTransport::Quantized { bitwidth } => {
+                let mut q = quantize(model, bitwidth)?;
+                channel.transmit_words(&mut q.words, bitwidth, &mut self.rng);
+                *model = dequantize(&q)?;
+            }
+            HdTransport::Binary => {
+                // Per-class gain (mean |c|): restores magnitude at the
+                // receiver so ±1 refinement steps stay proportionate.
+                // Gains travel as K protected floats, negligible in size.
+                let gains: Vec<f32> = (0..model.num_classes())
+                    .map(|k| {
+                        let row = model.prototypes().row(k)?;
+                        let mean_abs =
+                            row.iter().map(|v| v.abs()).sum::<f32>() / row.len().max(1) as f32;
+                        Ok(if mean_abs > 0.0 { mean_abs } else { 1.0 })
+                    })
+                    .collect::<Result<_>>()?;
+                let mut symbols = model.to_bipolar();
+                channel.transmit_bipolar(&mut symbols, &mut self.rng);
+                let mut received =
+                    HdModel::from_bipolar(&symbols, model.num_classes(), model.dim())?;
+                for (k, &g) in gains.iter().enumerate() {
+                    for v in received.prototypes_mut().row_mut(k)? {
+                        *v *= g;
+                    }
+                }
+                *model = received;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one communication round with the given uplink channel,
+    /// evaluating on the provided encoded test set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training, transport, and evaluation failures.
+    pub fn run_round(
+        &mut self,
+        channel: &dyn Channel,
+        test: &HdClientData,
+    ) -> Result<RoundMetrics> {
+        let participants = sample_clients(
+            self.config.num_clients,
+            self.config.participants_per_round(),
+            &mut self.rng,
+        )?;
+        let mut received = Vec::with_capacity(participants.len());
+        for &client in &participants {
+            let mut local = self.train_client(client)?;
+            if self.straggler_prob > 0.0 && rand::Rng::gen_bool(&mut self.rng, self.straggler_prob)
+            {
+                continue; // straggler: update never arrives
+            }
+            self.transmit(&mut local, channel)?;
+            received.push(local);
+        }
+        // Bundle then normalize by the participant count: cosine inference
+        // is scale-invariant, so mean == the paper's sum, numerically tame.
+        // If every participant straggled, keep the previous global model.
+        if !received.is_empty() {
+            let n = received.len() as f32;
+            let mut bundled = HdModel::bundle(&received)?;
+            bundled.scale(1.0 / n);
+            self.global = bundled;
+        }
+
+        let test_accuracy = self.global.accuracy(&test.hypervectors, &test.labels)?;
+        let metrics = RoundMetrics {
+            round: self.round,
+            test_accuracy,
+            participants: participants.len(),
+            bytes_per_client: self.update_bytes(),
+        };
+        self.round += 1;
+        Ok(metrics)
+    }
+
+    /// Runs the configured number of rounds, returning the full history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates round failures.
+    pub fn run(
+        &mut self,
+        channel: &dyn Channel,
+        test: &HdClientData,
+        label: impl Into<String>,
+    ) -> Result<RunHistory> {
+        let mut history = RunHistory::new(label);
+        for _ in 0..self.config.rounds {
+            history.push(self.run_round(channel, test)?);
+        }
+        Ok(history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhdnn_channel::packet::PacketLossChannel;
+    use fhdnn_channel::NoiselessChannel;
+    use fhdnn_datasets::features::FeatureSpec;
+    use fhdnn_datasets::partition::Partition;
+    use fhdnn_hdc::encoder::RandomProjectionEncoder;
+
+    const DIM: usize = 2048;
+
+    fn encoded_clients(num_clients: usize, seed: u64) -> (Vec<HdClientData>, HdClientData, usize) {
+        let spec = FeatureSpec {
+            num_classes: 5,
+            width: 40,
+            noise_std: 0.6,
+            class_seed: 11,
+        };
+        let train = spec.generate(num_clients * 25, seed).unwrap();
+        let test = spec.generate(100, seed + 1).unwrap();
+        let enc = RandomProjectionEncoder::new(DIM, 40, 3).unwrap();
+        let h_train = enc.encode_batch(&train.features).unwrap();
+        let h_test = enc.encode_batch(&test.features).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parts = Partition::Iid
+            .split(&train.labels, num_clients, &mut rng)
+            .unwrap();
+        let clients = parts
+            .iter()
+            .map(|idx| {
+                let mut data = Vec::new();
+                let mut labels = Vec::new();
+                for &i in idx {
+                    data.extend_from_slice(h_train.row(i).unwrap());
+                    labels.push(train.labels[i]);
+                }
+                HdClientData {
+                    hypervectors: Tensor::from_vec(data, &[idx.len(), DIM]).unwrap(),
+                    labels,
+                }
+            })
+            .collect();
+        (
+            clients,
+            HdClientData {
+                hypervectors: h_test,
+                labels: test.labels,
+            },
+            5,
+        )
+    }
+
+    fn config(num_clients: usize, rounds: usize) -> FlConfig {
+        FlConfig {
+            num_clients,
+            rounds,
+            local_epochs: 2,
+            batch_size: 10,
+            client_fraction: 0.5,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn converges_fast_on_separable_data() {
+        let (clients, test, k) = encoded_clients(4, 0);
+        let global = HdModel::new(k, DIM).unwrap();
+        let mut fed = HdFederation::new(global, clients, config(4, 3), HdTransport::Float).unwrap();
+        let history = fed.run(&NoiselessChannel::new(), &test, "hd").unwrap();
+        assert!(
+            history.final_accuracy() > 0.9,
+            "accuracy {}",
+            history.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn robust_to_packet_loss() {
+        let (clients, test, k) = encoded_clients(4, 1);
+        let global = HdModel::new(k, DIM).unwrap();
+        let mut fed = HdFederation::new(global, clients, config(4, 3), HdTransport::Float).unwrap();
+        let channel = PacketLossChannel::new(0.2, 256).unwrap();
+        let history = fed.run(&channel, &test, "hd-lossy").unwrap();
+        assert!(
+            history.final_accuracy() > 0.85,
+            "accuracy under 20% loss: {}",
+            history.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn quantized_transport_matches_float_when_noiseless() {
+        let (clients, test, k) = encoded_clients(4, 2);
+        let run = |transport| {
+            let global = HdModel::new(k, DIM).unwrap();
+            let mut fed =
+                HdFederation::new(global, clients.clone(), config(4, 2), transport).unwrap();
+            fed.run(&NoiselessChannel::new(), &test, "q")
+                .unwrap()
+                .final_accuracy()
+        };
+        let float_acc = run(HdTransport::Float);
+        let quant_acc = run(HdTransport::Quantized { bitwidth: 16 });
+        assert!(
+            (float_acc - quant_acc).abs() < 0.05,
+            "float {float_acc} vs quantized {quant_acc}"
+        );
+    }
+
+    #[test]
+    fn quantized_update_is_smaller() {
+        let t_f = HdTransport::Float;
+        let t_q = HdTransport::Quantized { bitwidth: 8 };
+        assert_eq!(t_f.update_bytes(1000), 4000);
+        assert_eq!(t_q.update_bytes(1000), 1000);
+    }
+
+    #[test]
+    fn binary_transport_learns_and_is_tiny() {
+        let (clients, test, k) = encoded_clients(4, 4);
+        let global = HdModel::new(k, DIM).unwrap();
+        let mut fed =
+            HdFederation::new(global, clients, config(4, 3), HdTransport::Binary).unwrap();
+        assert_eq!(fed.update_bytes(), (k * DIM) as u64 / 8);
+        let history = fed.run(&NoiselessChannel::new(), &test, "binary").unwrap();
+        assert!(
+            history.final_accuracy() > 0.85,
+            "binary transport accuracy {}",
+            history.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn binary_transport_robust_to_bit_errors() {
+        use fhdnn_channel::bit_error::BitErrorChannel;
+        let (clients, test, k) = encoded_clients(4, 5);
+        let global = HdModel::new(k, DIM).unwrap();
+        let mut fed =
+            HdFederation::new(global, clients, config(4, 3), HdTransport::Binary).unwrap();
+        // 1% of sign bits flip: holographic redundancy shrugs it off.
+        let ch = BitErrorChannel::new(0.01).unwrap();
+        let history = fed.run(&ch, &test, "binary-ber").unwrap();
+        assert!(
+            history.final_accuracy() > 0.8,
+            "binary under BER 1e-2: {}",
+            history.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn adaptive_refinement_matches_or_beats_unit_steps() {
+        let (clients, test, k) = encoded_clients(4, 7);
+        let run = |adaptive: bool| {
+            let global = HdModel::new(k, DIM).unwrap();
+            let mut fed =
+                HdFederation::new(global, clients.clone(), config(4, 3), HdTransport::Float)
+                    .unwrap();
+            if adaptive {
+                fed.set_adaptive_lr(Some(1.0)).unwrap();
+            }
+            fed.run(&NoiselessChannel::new(), &test, "a")
+                .unwrap()
+                .final_accuracy()
+        };
+        let unit = run(false);
+        let adaptive = run(true);
+        assert!(adaptive > unit - 0.05, "adaptive {adaptive} vs unit {unit}");
+    }
+
+    #[test]
+    fn stragglers_slow_but_do_not_break_learning() {
+        let (clients, test, k) = encoded_clients(4, 6);
+        let global = HdModel::new(k, DIM).unwrap();
+        let mut fed = HdFederation::new(global, clients, config(4, 5), HdTransport::Float).unwrap();
+        fed.set_straggler_prob(0.5).unwrap();
+        let history = fed
+            .run(&NoiselessChannel::new(), &test, "stragglers")
+            .unwrap();
+        assert!(
+            history.final_accuracy() > 0.85,
+            "accuracy with 50% stragglers: {}",
+            history.final_accuracy()
+        );
+        assert!(fed.set_straggler_prob(1.0).is_err());
+        assert!(fed.set_straggler_prob(-0.1).is_err());
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let (mut clients, _test, k) = encoded_clients(4, 3);
+        clients[0].hypervectors = Tensor::zeros(&[clients[0].len(), DIM / 2]);
+        let global = HdModel::new(k, DIM).unwrap();
+        assert!(HdFederation::new(global, clients, config(4, 2), HdTransport::Float).is_err());
+    }
+}

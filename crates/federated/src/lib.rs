@@ -1,0 +1,58 @@
+//! # fhdnn-federated
+//!
+//! Federated-learning orchestration for the FHDnn reproduction (DAC 2022).
+//!
+//! Two federation engines share one round/metrics vocabulary:
+//!
+//! - [`fedavg::CnnFederation`] — the paper's baseline: FedAvg over a CNN.
+//!   Each round, a fraction `C` of clients trains the global network for
+//!   `E` local epochs with batch size `B` and transmits the full float32
+//!   parameter vector through an (optionally unreliable) uplink; the
+//!   server averages the updates.
+//! - [`fedhd::HdFederation`] — FHDnn's federated bundling (paper §3.4.2):
+//!   clients refine integer class prototypes on locally-encoded
+//!   hypervectors and transmit only the HD model, optionally through the
+//!   AGC quantizer; the server bundles (sums) client models.
+//!
+//! Support modules: [`config`] (the `E`/`B`/`C` hyperparameters),
+//! [`sampling`] (client selection), [`metrics`] (round histories),
+//! [`comm`] (update sizes, data transmitted, LTE clock time), [`cost`]
+//! (the Table 1 edge-device FLOP/energy model), [`convergence`]
+//! (empirical decay-rate fitting for the §3.6 O(1/T) claim) and
+//! [`timeline`] (wall-clock campaign reconstruction for the §4.4 clock-time
+//! comparison).
+//!
+//! # Example
+//!
+//! ```
+//! use fhdnn_federated::config::FlConfig;
+//!
+//! let config = FlConfig {
+//!     num_clients: 20,
+//!     rounds: 10,
+//!     local_epochs: 2,
+//!     batch_size: 10,
+//!     client_fraction: 0.2,
+//!     seed: 42,
+//! };
+//! assert_eq!(config.participants_per_round(), 4);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod comm;
+pub mod config;
+pub mod convergence;
+pub mod cost;
+mod error;
+pub mod fedavg;
+pub mod fedhd;
+pub mod metrics;
+pub mod sampling;
+pub mod timeline;
+
+pub use error::FedError;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, FedError>;

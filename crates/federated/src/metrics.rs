@@ -1,0 +1,129 @@
+//! Round-by-round run histories.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics recorded after one communication round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundMetrics {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Global-model accuracy on the held-out test set after aggregation.
+    pub test_accuracy: f32,
+    /// Number of clients that participated.
+    pub participants: usize,
+    /// Bytes uploaded by each participant this round.
+    pub bytes_per_client: u64,
+}
+
+/// The full history of a federated run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunHistory {
+    /// Human-readable run label (dataset, model, channel, …).
+    pub label: String,
+    /// Per-round metrics in order.
+    pub rounds: Vec<RoundMetrics>,
+}
+
+impl RunHistory {
+    /// Creates an empty history with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        RunHistory {
+            label: label.into(),
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Appends one round's metrics.
+    pub fn push(&mut self, metrics: RoundMetrics) {
+        self.rounds.push(metrics);
+    }
+
+    /// Final test accuracy, or 0 if no rounds ran.
+    pub fn final_accuracy(&self) -> f32 {
+        self.rounds.last().map_or(0.0, |r| r.test_accuracy)
+    }
+
+    /// Best test accuracy across rounds, or 0 if no rounds ran.
+    pub fn best_accuracy(&self) -> f32 {
+        self.rounds
+            .iter()
+            .map(|r| r.test_accuracy)
+            .fold(0.0, f32::max)
+    }
+
+    /// First round (1-based count of rounds elapsed) at which accuracy
+    /// reached `target`, or `None` if never.
+    pub fn rounds_to_accuracy(&self, target: f32) -> Option<usize> {
+        self.rounds
+            .iter()
+            .position(|r| r.test_accuracy >= target)
+            .map(|i| i + 1)
+    }
+
+    /// Total bytes uploaded across all rounds and participants.
+    pub fn total_bytes(&self) -> u64 {
+        self.rounds
+            .iter()
+            .map(|r| r.bytes_per_client * r.participants as u64)
+            .sum()
+    }
+
+    /// Bytes uploaded per client to reach `target` accuracy (the paper's
+    /// `data_transmitted = n_rounds × update_size`), or `None` if the
+    /// target was never reached.
+    pub fn bytes_per_client_to_accuracy(&self, target: f32) -> Option<u64> {
+        let n = self.rounds_to_accuracy(target)?;
+        Some(self.rounds[..n].iter().map(|r| r.bytes_per_client).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history() -> RunHistory {
+        let mut h = RunHistory::new("test");
+        for (i, acc) in [0.3f32, 0.5, 0.82, 0.8].iter().enumerate() {
+            h.push(RoundMetrics {
+                round: i,
+                test_accuracy: *acc,
+                participants: 4,
+                bytes_per_client: 100,
+            });
+        }
+        h
+    }
+
+    #[test]
+    fn accuracy_queries() {
+        let h = history();
+        assert_eq!(h.final_accuracy(), 0.8);
+        assert_eq!(h.best_accuracy(), 0.82);
+        assert_eq!(h.rounds_to_accuracy(0.8), Some(3));
+        assert_eq!(h.rounds_to_accuracy(0.9), None);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let h = history();
+        assert_eq!(h.total_bytes(), 4 * 4 * 100);
+        assert_eq!(h.bytes_per_client_to_accuracy(0.8), Some(300));
+        assert_eq!(h.bytes_per_client_to_accuracy(0.99), None);
+    }
+
+    #[test]
+    fn empty_history_defaults() {
+        let h = RunHistory::new("empty");
+        assert_eq!(h.final_accuracy(), 0.0);
+        assert_eq!(h.best_accuracy(), 0.0);
+        assert_eq!(h.total_bytes(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let h = history();
+        let json = serde_json::to_string(&h).unwrap();
+        let back: RunHistory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+}

@@ -1,0 +1,70 @@
+//! Per-round client selection.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{FedError, Result};
+
+/// Selects `count` distinct client indices out of `num_clients`, uniformly
+/// at random.
+///
+/// # Errors
+///
+/// Returns [`FedError::InvalidArgument`] if `count` is zero or exceeds
+/// `num_clients`.
+pub fn sample_clients<R: Rng + ?Sized>(
+    num_clients: usize,
+    count: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>> {
+    if count == 0 || count > num_clients {
+        return Err(FedError::InvalidArgument(format!(
+            "cannot sample {count} of {num_clients} clients"
+        )));
+    }
+    let mut ids: Vec<usize> = (0..num_clients).collect();
+    ids.shuffle(rng);
+    ids.truncate(count);
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_distinct_in_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let picked = sample_clients(10, 4, &mut rng).unwrap();
+        assert_eq!(picked.len(), 4);
+        let mut dedup = picked.clone();
+        dedup.dedup();
+        assert_eq!(dedup, picked, "sorted and distinct");
+        assert!(picked.iter().all(|&c| c < 10));
+    }
+
+    #[test]
+    fn full_participation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let picked = sample_clients(5, 5, &mut rng).unwrap();
+        assert_eq!(picked, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn varies_across_rounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = sample_clients(100, 10, &mut rng).unwrap();
+        let b = sample_clients(100, 10, &mut rng).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_counts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(sample_clients(5, 0, &mut rng).is_err());
+        assert!(sample_clients(5, 6, &mut rng).is_err());
+    }
+}

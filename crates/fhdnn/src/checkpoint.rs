@@ -1,0 +1,293 @@
+//! Persistence: save and load a trained FHDnn deployment.
+//!
+//! A deployment is fully determined by (a) the backbone architecture
+//! descriptor plus its trained parameters and batch-norm running
+//! statistics, (b) the shared random-projection encoder, and (c) the
+//! global HD model. The checkpoint is plain JSON, so artifacts can be
+//! inspected, diffed, and shipped to edge devices with no custom tooling.
+//!
+//! # Example
+//!
+//! ```
+//! use fhdnn::checkpoint::FhdnnCheckpoint;
+//! use fhdnn::extractor::FeatureExtractor;
+//! use fhdnn::hdc::encoder::RandomProjectionEncoder;
+//! use fhdnn::hdc::model::HdModel;
+//! use fhdnn::nn::models::{ResNetConfig, TrunkArch};
+//!
+//! # fn main() -> Result<(), fhdnn::FhdnnError> {
+//! let backbone = ResNetConfig { in_channels: 1, base_width: 4, blocks_per_stage: 1, num_classes: 10 };
+//! let mut extractor = FeatureExtractor::random(backbone, 0)?;
+//! let encoder = RandomProjectionEncoder::new(256, extractor.feature_width(), 1)?;
+//! let hd = HdModel::new(10, 256)?;
+//!
+//! let ckpt = FhdnnCheckpoint::capture(TrunkArch::ResNet, backbone, &extractor, &encoder, &hd)?;
+//! let json = ckpt.to_json()?;
+//! let restored = FhdnnCheckpoint::from_json(&json)?;
+//! let (mut ex2, _enc2, _hd2) = restored.restore()?;
+//! assert_eq!(ex2.feature_width(), extractor.feature_width());
+//! # Ok(())
+//! # }
+//! ```
+
+use fhdnn_hdc::encoder::RandomProjectionEncoder;
+use fhdnn_hdc::model::HdModel;
+use fhdnn_nn::models::{build_trunk, resnet_feature_width, ResNetConfig, TrunkArch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::extractor::FeatureExtractor;
+use crate::{FhdnnError, Result};
+
+/// Serializable backbone architecture descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackboneDescriptor {
+    /// Trunk family.
+    pub arch: ArchTag,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Base width.
+    pub base_width: usize,
+    /// Blocks per stage.
+    pub blocks_per_stage: usize,
+}
+
+/// Serializable trunk-architecture tag (mirrors
+/// [`fhdnn_nn::models::TrunkArch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArchTag {
+    /// Residual trunk.
+    ResNet,
+    /// Depthwise-separable trunk.
+    MobileNet,
+}
+
+impl From<TrunkArch> for ArchTag {
+    fn from(a: TrunkArch) -> Self {
+        match a {
+            TrunkArch::ResNet => ArchTag::ResNet,
+            TrunkArch::MobileNet => ArchTag::MobileNet,
+        }
+    }
+}
+
+impl From<ArchTag> for TrunkArch {
+    fn from(a: ArchTag) -> Self {
+        match a {
+            ArchTag::ResNet => TrunkArch::ResNet,
+            ArchTag::MobileNet => TrunkArch::MobileNet,
+        }
+    }
+}
+
+/// A complete, self-describing FHDnn deployment snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FhdnnCheckpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Backbone architecture.
+    pub backbone: BackboneDescriptor,
+    /// Trained trunk parameters (flattened, layer order).
+    pub trunk_params: Vec<f32>,
+    /// Trunk running state (batch-norm statistics, layer order).
+    pub trunk_running: Vec<f32>,
+    /// The shared random-projection encoder.
+    pub encoder: RandomProjectionEncoder,
+    /// The global HD model.
+    pub hd: HdModel,
+}
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+impl FhdnnCheckpoint {
+    /// Captures a deployment snapshot from live components.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the extractor's feature width disagrees with
+    /// the backbone descriptor or the encoder.
+    pub fn capture(
+        arch: TrunkArch,
+        backbone: ResNetConfig,
+        extractor: &FeatureExtractor,
+        encoder: &RandomProjectionEncoder,
+        hd: &HdModel,
+    ) -> Result<Self> {
+        if resnet_feature_width(&backbone) != extractor.feature_width() {
+            return Err(FhdnnError::InvalidArgument(format!(
+                "backbone descriptor implies width {}, extractor has {}",
+                resnet_feature_width(&backbone),
+                extractor.feature_width()
+            )));
+        }
+        if encoder.feature_width() != extractor.feature_width() {
+            return Err(FhdnnError::InvalidArgument(
+                "encoder width disagrees with extractor".into(),
+            ));
+        }
+        if hd.dim() != encoder.dim() {
+            return Err(FhdnnError::InvalidArgument(
+                "HD model dimension disagrees with encoder".into(),
+            ));
+        }
+        Ok(FhdnnCheckpoint {
+            version: CHECKPOINT_VERSION,
+            backbone: BackboneDescriptor {
+                arch: arch.into(),
+                in_channels: backbone.in_channels,
+                base_width: backbone.base_width,
+                blocks_per_stage: backbone.blocks_per_stage,
+            },
+            trunk_params: extractor.trunk_params(),
+            trunk_running: extractor.trunk_running_state(),
+            encoder: encoder.clone(),
+            hd: hd.clone(),
+        })
+    }
+
+    /// Rebuilds the live components from the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown versions or corrupted state vectors.
+    pub fn restore(&self) -> Result<(FeatureExtractor, RandomProjectionEncoder, HdModel)> {
+        if self.version != CHECKPOINT_VERSION {
+            return Err(FhdnnError::InvalidArgument(format!(
+                "unsupported checkpoint version {}",
+                self.version
+            )));
+        }
+        let config = ResNetConfig {
+            in_channels: self.backbone.in_channels,
+            base_width: self.backbone.base_width,
+            blocks_per_stage: self.backbone.blocks_per_stage,
+            num_classes: 1, // trunk has no classifier; field unused
+        };
+        // Seed is irrelevant: every parameter is overwritten below.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut trunk = build_trunk(self.backbone.arch.into(), config, &mut rng)?;
+        trunk.load_params(&self.trunk_params)?;
+        trunk.load_running_state(&self.trunk_running)?;
+        let extractor = FeatureExtractor::from_pretrained(trunk, resnet_feature_width(&config))?;
+        Ok((extractor, self.encoder.clone(), self.hd.clone()))
+    }
+
+    /// Serializes the checkpoint to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialization fails (it cannot for this type).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| FhdnnError::InvalidArgument(format!("serialize checkpoint: {e}")))
+    }
+
+    /// Deserializes a checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| FhdnnError::InvalidArgument(format!("parse checkpoint: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhdnn_datasets::image::SynthSpec;
+    use fhdnn_tensor::Tensor;
+
+    fn backbone() -> ResNetConfig {
+        ResNetConfig {
+            in_channels: 1,
+            base_width: 4,
+            blocks_per_stage: 1,
+            num_classes: 10,
+        }
+    }
+
+    fn trained_setup() -> (FeatureExtractor, RandomProjectionEncoder, HdModel) {
+        let mut extractor = FeatureExtractor::random(backbone(), 3).unwrap();
+        let encoder = RandomProjectionEncoder::new(512, extractor.feature_width(), 5).unwrap();
+        let data = SynthSpec::mnist_like().generate(60, 0).unwrap();
+        let feats = extractor.extract_chunked(&data.images, 32).unwrap();
+        let h = encoder.encode_batch(&feats).unwrap();
+        let mut hd = HdModel::new(10, 512).unwrap();
+        hd.one_shot_train(&h, &data.labels).unwrap();
+        (extractor, encoder, hd)
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions_exactly() {
+        let (mut extractor, encoder, hd) = trained_setup();
+        let ckpt =
+            FhdnnCheckpoint::capture(TrunkArch::ResNet, backbone(), &extractor, &encoder, &hd)
+                .unwrap();
+        let json = ckpt.to_json().unwrap();
+        let restored = FhdnnCheckpoint::from_json(&json).unwrap();
+        let (mut ex2, enc2, hd2) = restored.restore().unwrap();
+
+        let test = SynthSpec::mnist_like().generate(30, 9).unwrap();
+        let feats_a = extractor.extract(&test.images).unwrap();
+        let feats_b = ex2.extract(&test.images).unwrap();
+        assert_eq!(feats_a, feats_b, "extractor bit-identical after restore");
+        let ha = encoder.encode_batch(&feats_a).unwrap();
+        let hb = enc2.encode_batch(&feats_b).unwrap();
+        assert_eq!(
+            hd.predict_batch(&ha).unwrap(),
+            hd2.predict_batch(&hb).unwrap()
+        );
+    }
+
+    #[test]
+    fn mobilenet_checkpoints_too() {
+        let mut extractor =
+            FeatureExtractor::random_with(TrunkArch::MobileNet, backbone(), 4).unwrap();
+        let encoder = RandomProjectionEncoder::new(128, extractor.feature_width(), 5).unwrap();
+        let hd = HdModel::new(10, 128).unwrap();
+        let ckpt =
+            FhdnnCheckpoint::capture(TrunkArch::MobileNet, backbone(), &extractor, &encoder, &hd)
+                .unwrap();
+        let (mut ex2, _, _) = ckpt.restore().unwrap();
+        let x = Tensor::ones(&[1, 1, 16, 16]);
+        assert_eq!(extractor.extract(&x).unwrap(), ex2.extract(&x).unwrap());
+    }
+
+    #[test]
+    fn capture_validates_component_agreement() {
+        let (extractor, _encoder, hd) = trained_setup();
+        let bad_encoder = RandomProjectionEncoder::new(512, 99, 0).unwrap();
+        assert!(FhdnnCheckpoint::capture(
+            TrunkArch::ResNet,
+            backbone(),
+            &extractor,
+            &bad_encoder,
+            &hd
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let (extractor, encoder, hd) = trained_setup();
+        let mut ckpt =
+            FhdnnCheckpoint::capture(TrunkArch::ResNet, backbone(), &extractor, &encoder, &hd)
+                .unwrap();
+        ckpt.version = 99;
+        assert!(ckpt.restore().is_err());
+    }
+
+    #[test]
+    fn corrupted_params_rejected() {
+        let (extractor, encoder, hd) = trained_setup();
+        let mut ckpt =
+            FhdnnCheckpoint::capture(TrunkArch::ResNet, backbone(), &extractor, &encoder, &hd)
+                .unwrap();
+        ckpt.trunk_params.pop();
+        assert!(ckpt.restore().is_err());
+    }
+}

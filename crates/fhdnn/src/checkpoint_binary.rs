@@ -1,0 +1,258 @@
+//! Compact binary checkpoint format.
+//!
+//! JSON checkpoints are inspectable but ~3× larger than the raw floats
+//! they carry — a real cost when shipping artifacts to flash-constrained
+//! edge devices. This module provides a little-endian binary encoding:
+//!
+//! ```text
+//! magic "FHDN" | u32 version | u8 arch | u32 in_channels | u32 base_width
+//! | u32 blocks_per_stage | section(trunk_params) | section(trunk_running)
+//! | u64 enc_dim | u64 enc_width | section(phi) | u64 hd_classes
+//! | u64 hd_dim | section(prototypes) | u32 crc32(all preceding bytes)
+//! ```
+//!
+//! where `section(x)` is `u64 len | len × f32`. The trailing CRC-32
+//! detects truncation and corruption.
+
+use fhdnn_channel::packetizer::crc32;
+use fhdnn_hdc::encoder::RandomProjectionEncoder;
+use fhdnn_hdc::model::HdModel;
+use fhdnn_tensor::Tensor;
+
+use crate::checkpoint::{ArchTag, BackboneDescriptor, FhdnnCheckpoint, CHECKPOINT_VERSION};
+use crate::{FhdnnError, Result};
+
+const MAGIC: &[u8; 4] = b"FHDN";
+
+fn put_section(buf: &mut Vec<u8>, values: &[f32]) {
+    buf.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return Err(FhdnnError::InvalidArgument(format!(
+                "truncated checkpoint: wanted {n} bytes at offset {}",
+                self.pos
+            )));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn section(&mut self) -> Result<Vec<f32>> {
+        let len = self.u64()? as usize;
+        // Guard against absurd lengths from corrupted headers.
+        if len > self.data.len() / 4 + 1 {
+            return Err(FhdnnError::InvalidArgument(format!(
+                "section length {len} exceeds file size"
+            )));
+        }
+        let bytes = self.take(len * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+}
+
+impl FhdnnCheckpoint {
+    /// Serializes the checkpoint into the compact binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&self.version.to_le_bytes());
+        buf.push(match self.backbone.arch {
+            ArchTag::ResNet => 0,
+            ArchTag::MobileNet => 1,
+        });
+        buf.extend_from_slice(&(self.backbone.in_channels as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.backbone.base_width as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.backbone.blocks_per_stage as u32).to_le_bytes());
+        put_section(&mut buf, &self.trunk_params);
+        put_section(&mut buf, &self.trunk_running);
+        buf.extend_from_slice(&(self.encoder.dim() as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.encoder.feature_width() as u64).to_le_bytes());
+        put_section(&mut buf, self.encoder.phi().as_slice());
+        buf.extend_from_slice(&(self.hd.num_classes() as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.hd.dim() as u64).to_le_bytes());
+        put_section(&mut buf, self.hd.prototypes().as_slice());
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Parses a checkpoint from the compact binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on bad magic, unsupported version, truncation, or
+    /// CRC mismatch.
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        if data.len() < 8 {
+            return Err(FhdnnError::InvalidArgument("checkpoint too short".into()));
+        }
+        let (body, crc_bytes) = data.split_at(data.len() - 4);
+        let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+        if crc32(body) != stored {
+            return Err(FhdnnError::InvalidArgument(
+                "checkpoint CRC mismatch: file corrupted or truncated".into(),
+            ));
+        }
+        let mut r = Reader { data: body, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(FhdnnError::InvalidArgument(
+                "not an FHDnn binary checkpoint (bad magic)".into(),
+            ));
+        }
+        let version = r.u32()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(FhdnnError::InvalidArgument(format!(
+                "unsupported checkpoint version {version}"
+            )));
+        }
+        let arch = match r.u8()? {
+            0 => ArchTag::ResNet,
+            1 => ArchTag::MobileNet,
+            other => {
+                return Err(FhdnnError::InvalidArgument(format!(
+                    "unknown architecture tag {other}"
+                )))
+            }
+        };
+        let in_channels = r.u32()? as usize;
+        let base_width = r.u32()? as usize;
+        let blocks_per_stage = r.u32()? as usize;
+        let trunk_params = r.section()?;
+        let trunk_running = r.section()?;
+        let enc_dim = r.u64()? as usize;
+        let enc_width = r.u64()? as usize;
+        let phi = r.section()?;
+        if phi.len() != enc_dim * enc_width {
+            return Err(FhdnnError::InvalidArgument(format!(
+                "encoder section holds {} floats for a [{enc_dim}, {enc_width}] matrix",
+                phi.len()
+            )));
+        }
+        let encoder =
+            RandomProjectionEncoder::from_matrix(Tensor::from_vec(phi, &[enc_dim, enc_width])?)?;
+        let hd_classes = r.u64()? as usize;
+        let hd_dim = r.u64()? as usize;
+        let protos = r.section()?;
+        if protos.len() != hd_classes * hd_dim {
+            return Err(FhdnnError::InvalidArgument(format!(
+                "hd section holds {} floats for a [{hd_classes}, {hd_dim}] model",
+                protos.len()
+            )));
+        }
+        let hd = HdModel::from_prototypes(Tensor::from_vec(protos, &[hd_classes, hd_dim])?)?;
+        Ok(FhdnnCheckpoint {
+            version,
+            backbone: BackboneDescriptor {
+                arch,
+                in_channels,
+                base_width,
+                blocks_per_stage,
+            },
+            trunk_params,
+            trunk_running,
+            encoder,
+            hd,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extractor::FeatureExtractor;
+    use fhdnn_nn::models::{ResNetConfig, TrunkArch};
+
+    fn checkpoint() -> FhdnnCheckpoint {
+        let backbone = ResNetConfig {
+            in_channels: 1,
+            base_width: 4,
+            blocks_per_stage: 1,
+            num_classes: 10,
+        };
+        let extractor = FeatureExtractor::random(backbone, 3).unwrap();
+        let encoder = RandomProjectionEncoder::new(128, extractor.feature_width(), 5).unwrap();
+        let hd = HdModel::new(10, 128).unwrap();
+        FhdnnCheckpoint::capture(TrunkArch::ResNet, backbone, &extractor, &encoder, &hd).unwrap()
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let ckpt = checkpoint();
+        let bytes = ckpt.to_bytes();
+        let back = FhdnnCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        let ckpt = checkpoint();
+        let bin = ckpt.to_bytes().len();
+        let json = ckpt.to_json().unwrap().len();
+        assert!(
+            bin * 2 < json,
+            "binary {bin} B should be far below json {json} B"
+        );
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let ckpt = checkpoint();
+        let mut bytes = ckpt.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(FhdnnCheckpoint::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let ckpt = checkpoint();
+        let bytes = ckpt.to_bytes();
+        assert!(FhdnnCheckpoint::from_bytes(&bytes[..bytes.len() - 10]).is_err());
+        assert!(FhdnnCheckpoint::from_bytes(&bytes[..4]).is_err());
+        assert!(FhdnnCheckpoint::from_bytes(b"nope").is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let ckpt = checkpoint();
+        let mut bytes = ckpt.to_bytes();
+        bytes[0] = b'X';
+        // Fix up the CRC so only the magic is wrong.
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        let err = FhdnnCheckpoint::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+}

@@ -1,0 +1,121 @@
+use std::fmt;
+
+use fhdnn_channel::ChannelError;
+use fhdnn_contrastive::ContrastiveError;
+use fhdnn_datasets::DatasetError;
+use fhdnn_federated::FedError;
+use fhdnn_hdc::HdcError;
+use fhdnn_nn::NnError;
+use fhdnn_tensor::TensorError;
+
+/// Top-level error type aggregating every substrate failure mode.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FhdnnError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A neural-network operation failed.
+    Nn(NnError),
+    /// A dataset operation failed.
+    Dataset(DatasetError),
+    /// Contrastive pretraining failed.
+    Contrastive(ContrastiveError),
+    /// A hyperdimensional operation failed.
+    Hdc(HdcError),
+    /// A channel model was misconfigured.
+    Channel(ChannelError),
+    /// Federated orchestration failed.
+    Federated(FedError),
+    /// A top-level configuration argument was invalid.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for FhdnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FhdnnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            FhdnnError::Nn(e) => write!(f, "network error: {e}"),
+            FhdnnError::Dataset(e) => write!(f, "dataset error: {e}"),
+            FhdnnError::Contrastive(e) => write!(f, "contrastive error: {e}"),
+            FhdnnError::Hdc(e) => write!(f, "hdc error: {e}"),
+            FhdnnError::Channel(e) => write!(f, "channel error: {e}"),
+            FhdnnError::Federated(e) => write!(f, "federated error: {e}"),
+            FhdnnError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FhdnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FhdnnError::Tensor(e) => Some(e),
+            FhdnnError::Nn(e) => Some(e),
+            FhdnnError::Dataset(e) => Some(e),
+            FhdnnError::Contrastive(e) => Some(e),
+            FhdnnError::Hdc(e) => Some(e),
+            FhdnnError::Channel(e) => Some(e),
+            FhdnnError::Federated(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for FhdnnError {
+    fn from(e: TensorError) -> Self {
+        FhdnnError::Tensor(e)
+    }
+}
+
+impl From<NnError> for FhdnnError {
+    fn from(e: NnError) -> Self {
+        FhdnnError::Nn(e)
+    }
+}
+
+impl From<DatasetError> for FhdnnError {
+    fn from(e: DatasetError) -> Self {
+        FhdnnError::Dataset(e)
+    }
+}
+
+impl From<ContrastiveError> for FhdnnError {
+    fn from(e: ContrastiveError) -> Self {
+        FhdnnError::Contrastive(e)
+    }
+}
+
+impl From<HdcError> for FhdnnError {
+    fn from(e: HdcError) -> Self {
+        FhdnnError::Hdc(e)
+    }
+}
+
+impl From<ChannelError> for FhdnnError {
+    fn from(e: ChannelError) -> Self {
+        FhdnnError::Channel(e)
+    }
+}
+
+impl From<FedError> for FhdnnError {
+    fn from(e: FedError) -> Self {
+        FhdnnError::Federated(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FhdnnError>();
+    }
+
+    #[test]
+    fn source_chain_preserved() {
+        use std::error::Error;
+        let e = FhdnnError::from(TensorError::InvalidArgument("x".into()));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,186 @@
+//! The frozen CNN feature extractor (paper §3.2).
+//!
+//! FHDnn freezes a contrastively pretrained backbone and uses it as a
+//! generic feature function `f : X → Z`. It is never trained or
+//! transmitted after pretraining — the property that makes the federated
+//! phase cheap and robust.
+
+use fhdnn_nn::models::{build_trunk, resnet_feature_width, ResNetConfig, TrunkArch};
+use fhdnn_nn::{Mode, Network};
+use fhdnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{FhdnnError, Result};
+
+/// A frozen feature extractor: a backbone network always run in
+/// evaluation mode, producing `[batch, feature_width]` embeddings.
+#[derive(Debug)]
+pub struct FeatureExtractor {
+    trunk: Network,
+    feature_width: usize,
+}
+
+impl FeatureExtractor {
+    /// Wraps a pretrained trunk (e.g. from
+    /// [`fhdnn_contrastive::pretrain::SimClrTrainer::into_encoder`]).
+    ///
+    /// `feature_width` must match the trunk's output width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FhdnnError::InvalidArgument`] if `feature_width` is zero.
+    pub fn from_pretrained(trunk: Network, feature_width: usize) -> Result<Self> {
+        if feature_width == 0 {
+            return Err(FhdnnError::InvalidArgument(
+                "feature width must be positive".into(),
+            ));
+        }
+        Ok(FeatureExtractor {
+            trunk,
+            feature_width,
+        })
+    }
+
+    /// A randomly initialized (untrained) ResNet extractor — the ablation
+    /// baseline quantifying what contrastive pretraining contributes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid backbone configurations.
+    pub fn random(backbone: ResNetConfig, seed: u64) -> Result<Self> {
+        Self::random_with(TrunkArch::ResNet, backbone, seed)
+    }
+
+    /// A randomly initialized extractor of the chosen trunk architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid backbone configurations.
+    pub fn random_with(arch: TrunkArch, backbone: ResNetConfig, seed: u64) -> Result<Self> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trunk = build_trunk(arch, backbone, &mut rng)?;
+        Ok(FeatureExtractor {
+            trunk,
+            feature_width: resnet_feature_width(&backbone),
+        })
+    }
+
+    /// Output feature width.
+    pub fn feature_width(&self) -> usize {
+        self.feature_width
+    }
+
+    /// Extracts features for a batch of images `[n, c, h, w]`, always in
+    /// evaluation mode (running BN statistics, no caching, no gradients).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the images are incompatible with the backbone.
+    pub fn extract(&mut self, images: &Tensor) -> Result<Tensor> {
+        let feats = self.trunk.forward(images, Mode::Eval)?;
+        if feats.dims() != [images.dims()[0], self.feature_width] {
+            return Err(FhdnnError::InvalidArgument(format!(
+                "trunk produced {:?}, expected [{}, {}]",
+                feats.dims(),
+                images.dims()[0],
+                self.feature_width
+            )));
+        }
+        Ok(feats)
+    }
+
+    /// Extracts features in bounded-memory chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the images are incompatible with the backbone.
+    pub fn extract_chunked(&mut self, images: &Tensor, chunk: usize) -> Result<Tensor> {
+        let n = images.dims()[0];
+        let chunk = chunk.max(1);
+        let mut parts = Vec::new();
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            parts.push(self.extract(&images.slice_first_axis(start, end)?)?);
+            start = end;
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Tensor::concat_first_axis(&refs).map_err(Into::into)
+    }
+
+    /// Flattened trunk parameters (for checkpointing).
+    pub fn trunk_params(&self) -> Vec<f32> {
+        self.trunk.flatten_params()
+    }
+
+    /// Trunk running state — batch-norm statistics (for checkpointing).
+    pub fn trunk_running_state(&self) -> Vec<f32> {
+        self.trunk.running_state()
+    }
+
+    /// FLOPs of extracting features for one batch shaped `input_dims`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shape is incompatible with the backbone.
+    pub fn flops(&self, input_dims: &[usize]) -> Result<u64> {
+        self.trunk.flops(input_dims).map_err(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backbone() -> ResNetConfig {
+        ResNetConfig {
+            in_channels: 1,
+            base_width: 4,
+            blocks_per_stage: 1,
+            num_classes: 10,
+        }
+    }
+
+    #[test]
+    fn random_extractor_produces_features() {
+        let mut ex = FeatureExtractor::random(backbone(), 0).unwrap();
+        let feats = ex.extract(&Tensor::zeros(&[3, 1, 16, 16])).unwrap();
+        assert_eq!(feats.dims(), &[3, 16]);
+        assert_eq!(ex.feature_width(), 16);
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let mut ex = FeatureExtractor::random(backbone(), 1).unwrap();
+        let x = Tensor::ones(&[2, 1, 16, 16]);
+        let a = ex.extract(&x).unwrap();
+        let b = ex.extract(&x).unwrap();
+        assert_eq!(a, b, "frozen extractor: same input, same output");
+    }
+
+    #[test]
+    fn chunked_matches_whole_batch() {
+        let mut ex = FeatureExtractor::random(backbone(), 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn(&[7, 1, 16, 16], 1.0, &mut rng);
+        let whole = ex.extract(&x).unwrap();
+        let chunked = ex.extract_chunked(&x, 3).unwrap();
+        for (a, b) in whole.as_slice().iter().zip(chunked.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn flops_positive() {
+        let ex = FeatureExtractor::random(backbone(), 4).unwrap();
+        assert!(ex.flops(&[1, 1, 16, 16]).unwrap() > 0);
+    }
+
+    #[test]
+    fn rejects_zero_feature_width() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let trunk = fhdnn_nn::models::resnet_trunk(backbone(), &mut rng).unwrap();
+        assert!(FeatureExtractor::from_pretrained(trunk, 0).is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! The federated FHDnn system: encode once, federate the HD model.
+//!
+//! Because the extractor is frozen, every client's images are encoded into
+//! hypervectors exactly once; all subsequent rounds operate on the cached
+//! encodings. This mirrors the deployment story of the paper: on-device
+//! work per round is HD refinement only, with no backpropagation.
+
+use fhdnn_channel::Channel;
+use fhdnn_datasets::image::ImageDataset;
+use fhdnn_federated::config::FlConfig;
+use fhdnn_federated::fedhd::{HdClientData, HdFederation, HdTransport};
+use fhdnn_federated::metrics::{RoundMetrics, RunHistory};
+use fhdnn_hdc::encoder::RandomProjectionEncoder;
+use fhdnn_hdc::model::HdModel;
+
+use crate::extractor::FeatureExtractor;
+use crate::{FhdnnError, Result};
+
+/// A ready-to-run federated FHDnn deployment.
+///
+/// # Example
+///
+/// ```no_run
+/// use fhdnn::channel::NoiselessChannel;
+/// use fhdnn::experiment::{ExperimentSpec, Workload};
+///
+/// # fn main() -> Result<(), fhdnn::FhdnnError> {
+/// let spec = ExperimentSpec::quick(Workload::Mnist).with_light_pretrain();
+/// let mut extractor = spec.build_extractor()?;
+/// let mut system = spec.build_fhdnn_with(&mut extractor)?;
+/// let history = system.run(&NoiselessChannel::new(), "demo")?;
+/// println!("accuracy {:.3}", history.final_accuracy());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FhdnnSystem {
+    federation: HdFederation,
+    test: HdClientData,
+    hd_dim: usize,
+}
+
+impl FhdnnSystem {
+    /// Builds the system: extracts and encodes every client's dataset and
+    /// the test set, then assembles the federation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches, invalid configs, or empty
+    /// client data.
+    pub fn new(
+        extractor: &mut FeatureExtractor,
+        clients: &[ImageDataset],
+        test: &ImageDataset,
+        hd_dim: usize,
+        encoder_seed: u64,
+        config: FlConfig,
+        transport: HdTransport,
+    ) -> Result<Self> {
+        let num_classes = test
+            .num_classes
+            .max(clients.iter().map(|c| c.num_classes).max().unwrap_or(0));
+        if num_classes == 0 {
+            return Err(FhdnnError::InvalidArgument("no classes in data".into()));
+        }
+        let encoder =
+            RandomProjectionEncoder::new(hd_dim, extractor.feature_width(), encoder_seed)?;
+        let mut encoded_clients = Vec::with_capacity(clients.len());
+        for c in clients {
+            let feats = extractor.extract_chunked(&c.images, 64)?;
+            encoded_clients.push(HdClientData {
+                hypervectors: encoder.encode_batch(&feats)?,
+                labels: c.labels.clone(),
+            });
+        }
+        let test_feats = extractor.extract_chunked(&test.images, 64)?;
+        let test_data = HdClientData {
+            hypervectors: encoder.encode_batch(&test_feats)?,
+            labels: test.labels.clone(),
+        };
+        let global = HdModel::new(num_classes, hd_dim)?;
+        let federation = HdFederation::new(global, encoded_clients, config, transport)?;
+        Ok(FhdnnSystem {
+            federation,
+            test: test_data,
+            hd_dim,
+        })
+    }
+
+    /// Hypervector dimensionality.
+    pub fn hd_dim(&self) -> usize {
+        self.hd_dim
+    }
+
+    /// Upload size of one client update in bytes.
+    pub fn update_bytes(&self) -> u64 {
+        self.federation.update_bytes()
+    }
+
+    /// The current global HD model.
+    pub fn global(&self) -> &HdModel {
+        self.federation.global()
+    }
+
+    /// Runs one federated round over the given uplink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates federation failures.
+    pub fn run_round(&mut self, channel: &dyn Channel) -> Result<RoundMetrics> {
+        self.federation
+            .run_round(channel, &self.test)
+            .map_err(Into::into)
+    }
+
+    /// Runs the configured number of rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates federation failures.
+    pub fn run(&mut self, channel: &dyn Channel, label: impl Into<String>) -> Result<RunHistory> {
+        self.federation
+            .run(channel, &self.test, label)
+            .map_err(Into::into)
+    }
+
+    /// Accuracy of the current global model on the encoded test set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures.
+    pub fn evaluate(&self) -> Result<f32> {
+        self.federation
+            .global()
+            .accuracy(&self.test.hypervectors, &self.test.labels)
+            .map_err(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhdnn_channel::NoiselessChannel;
+    use fhdnn_datasets::image::SynthSpec;
+    use fhdnn_datasets::partition::Partition;
+    use fhdnn_federated::fedavg::carve_clients;
+    use fhdnn_nn::models::ResNetConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build_system(seed: u64) -> FhdnnSystem {
+        let spec = SynthSpec::mnist_like();
+        let pool = spec.generate(160, seed).unwrap();
+        let test = spec.generate(80, seed + 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parts = Partition::Iid.split(&pool.labels, 4, &mut rng).unwrap();
+        let clients = carve_clients(&pool, &parts).unwrap();
+        let backbone = ResNetConfig {
+            in_channels: 1,
+            base_width: 4,
+            blocks_per_stage: 1,
+            num_classes: 10,
+        };
+        let mut extractor = FeatureExtractor::random(backbone, seed).unwrap();
+        let config = FlConfig {
+            num_clients: 4,
+            rounds: 3,
+            local_epochs: 2,
+            batch_size: 10,
+            client_fraction: 0.5,
+            seed,
+        };
+        FhdnnSystem::new(
+            &mut extractor,
+            &clients,
+            &test,
+            1024,
+            7,
+            config,
+            HdTransport::Float,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn system_learns_over_rounds() {
+        let mut sys = build_system(0);
+        let history = sys.run(&NoiselessChannel::new(), "smoke").unwrap();
+        assert_eq!(history.rounds.len(), 3);
+        assert!(
+            history.final_accuracy() > 0.4,
+            "accuracy {}",
+            history.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn update_bytes_are_hd_sized() {
+        let sys = build_system(1);
+        // 10 classes x 1024 dims x 4 bytes.
+        assert_eq!(sys.update_bytes(), 10 * 1024 * 4);
+    }
+
+    #[test]
+    fn evaluate_matches_round_metrics() {
+        let mut sys = build_system(2);
+        let m = sys.run_round(&NoiselessChannel::new()).unwrap();
+        let eval = sys.evaluate().unwrap();
+        assert!((m.test_accuracy - eval).abs() < 1e-6);
+    }
+}

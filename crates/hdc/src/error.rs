@@ -1,0 +1,67 @@
+use std::fmt;
+
+use fhdnn_tensor::TensorError;
+
+/// Errors produced by hyperdimensional encoding and classification.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HdcError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A dimension or argument was invalid.
+    InvalidArgument(String),
+    /// A label was out of range for the model's class count.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The model's class count.
+        num_classes: usize,
+    },
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdcError::Tensor(e) => write!(f, "tensor error: {e}"),
+            HdcError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            HdcError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HdcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HdcError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for HdcError {
+    fn from(e: TensorError) -> Self {
+        HdcError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HdcError>();
+    }
+
+    #[test]
+    fn display_label_error() {
+        let e = HdcError::LabelOutOfRange {
+            label: 7,
+            num_classes: 5,
+        };
+        assert_eq!(e.to_string(), "label 7 out of range for 5 classes");
+    }
+}

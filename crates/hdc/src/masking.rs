@@ -1,0 +1,155 @@
+//! Partial-information experiments (paper Figure 5).
+//!
+//! Holographic representations degrade gracefully: any subset of a
+//! hypervector's dimensions carries a proportionally blurred image of the
+//! whole. This module removes (zeroes) a random subset of dimensions from
+//! a trained model and measures what survives:
+//!
+//! - [`mask_model_dimensions`] — the corruption itself,
+//! - [`similarity_retention`] — Figure 5(a): fraction of the original
+//!   dot-product retained vs dimensions kept,
+//! - masked-accuracy sweeps are built from these two primitives in the
+//!   bench harness.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::model::HdModel;
+use crate::{HdcError, Result};
+
+/// Returns a copy of `model` with a random `remove_fraction` of the
+/// hypervector dimensions zeroed (the same dimensions across all classes,
+/// as when packets carrying those dimensions are lost).
+///
+/// # Errors
+///
+/// Returns [`HdcError::InvalidArgument`] if `remove_fraction` is outside
+/// `[0, 1]`.
+pub fn mask_model_dimensions<R: Rng + ?Sized>(
+    model: &HdModel,
+    remove_fraction: f32,
+    rng: &mut R,
+) -> Result<HdModel> {
+    if !(0.0..=1.0).contains(&remove_fraction) {
+        return Err(HdcError::InvalidArgument(format!(
+            "remove_fraction must be in [0, 1], got {remove_fraction}"
+        )));
+    }
+    let d = model.dim();
+    let n_remove = (remove_fraction * d as f32).round() as usize;
+    let mut dims: Vec<usize> = (0..d).collect();
+    dims.shuffle(rng);
+    let removed = &dims[..n_remove];
+    let mut out = model.clone();
+    for class in 0..model.num_classes() {
+        let row = out.prototypes_mut().row_mut(class)?;
+        for &j in removed {
+            row[j] = 0.0;
+        }
+    }
+    Ok(out)
+}
+
+/// Figure 5(a): the fraction of a class prototype's self dot-product that a
+/// masked copy retains, i.e. `⟨c_masked, c⟩ / ⟨c, c⟩`.
+///
+/// For uniformly dispersed information this scales linearly with the
+/// fraction of dimensions kept.
+///
+/// # Errors
+///
+/// Returns an error if the models disagree in shape or `class` is out of
+/// range.
+pub fn similarity_retention(original: &HdModel, masked: &HdModel, class: usize) -> Result<f32> {
+    if original.num_classes() != masked.num_classes() || original.dim() != masked.dim() {
+        return Err(HdcError::InvalidArgument(
+            "models must have identical shape".into(),
+        ));
+    }
+    if class >= original.num_classes() {
+        return Err(HdcError::LabelOutOfRange {
+            label: class,
+            num_classes: original.num_classes(),
+        });
+    }
+    let o = original.prototypes().row(class)?;
+    let m = masked.prototypes().row(class)?;
+    let denom: f32 = o.iter().map(|x| x * x).sum();
+    if denom == 0.0 {
+        return Ok(0.0);
+    }
+    let dot: f32 = o.iter().zip(m).map(|(a, b)| a * b).sum();
+    Ok(dot / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhdnn_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dense_model(k: usize, d: usize, seed: u64) -> HdModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        HdModel::from_prototypes(Tensor::randn(&[k, d], 1.0, &mut rng)).unwrap()
+    }
+
+    #[test]
+    fn masking_zeroes_requested_fraction() {
+        let model = dense_model(3, 1000, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let masked = mask_model_dimensions(&model, 0.4, &mut rng).unwrap();
+        let zeros = masked
+            .prototypes()
+            .row(0)
+            .unwrap()
+            .iter()
+            .filter(|&&v| v == 0.0)
+            .count();
+        assert!((390..=410).contains(&zeros), "zeros {zeros}");
+    }
+
+    #[test]
+    fn retention_scales_linearly_with_kept_dims() {
+        // The Figure 5(a) claim: retained similarity ≈ kept fraction.
+        let model = dense_model(2, 8000, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for remove in [0.2f32, 0.5, 0.8] {
+            let masked = mask_model_dimensions(&model, remove, &mut rng).unwrap();
+            let r = similarity_retention(&model, &masked, 0).unwrap();
+            assert!(
+                (r - (1.0 - remove)).abs() < 0.05,
+                "remove {remove}: retention {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_removal_is_identity() {
+        let model = dense_model(2, 100, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let masked = mask_model_dimensions(&model, 0.0, &mut rng).unwrap();
+        assert_eq!(masked, model);
+        assert_eq!(similarity_retention(&model, &masked, 1).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn full_removal_zeroes_everything() {
+        let model = dense_model(2, 64, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let masked = mask_model_dimensions(&model, 1.0, &mut rng).unwrap();
+        assert!(masked.prototypes().as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(similarity_retention(&model, &masked, 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn invalid_arguments_rejected() {
+        let model = dense_model(2, 16, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(mask_model_dimensions(&model, 1.5, &mut rng).is_err());
+        let other = dense_model(3, 16, 10);
+        assert!(similarity_retention(&model, &other, 0).is_err());
+        let masked = mask_model_dimensions(&model, 0.1, &mut rng).unwrap();
+        assert!(similarity_retention(&model, &masked, 9).is_err());
+    }
+}

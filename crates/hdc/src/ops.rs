@@ -1,0 +1,190 @@
+//! Classic hyperdimensional operations: binding, permutation, and
+//! majority bundling.
+//!
+//! The paper's pipeline needs only random-projection encoding and
+//! bundling, but a complete HD library also provides the algebra that
+//! record-based encoders (e.g. the locality-based encoding of the paper's
+//! reference \[10\]) are built from:
+//!
+//! - **bind** (`⊗`): elementwise product. For bipolar vectors it is an
+//!   involution (`a ⊗ a = 1`), associative, commutative, and produces a
+//!   vector dissimilar to both operands — the "key-value" operator.
+//! - **permute** (`ρ`): cyclic rotation, a cheap orthogonal map used to
+//!   encode sequence position.
+//! - **majority**: the sign of a bundle — the standard way to collapse a
+//!   multiset of bipolar vectors back to bipolar form.
+
+use fhdnn_tensor::Tensor;
+
+use crate::{HdcError, Result};
+
+/// Elementwise binding of two hypervectors of equal dimension.
+///
+/// # Errors
+///
+/// Returns an error if shapes differ.
+///
+/// # Example
+///
+/// ```
+/// use fhdnn_hdc::ops::bind;
+/// use fhdnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), fhdnn_hdc::HdcError> {
+/// let a = Tensor::from_vec(vec![1.0, -1.0, 1.0], &[3])?;
+/// let bound = bind(&a, &a)?;
+/// assert_eq!(bound.as_slice(), &[1.0, 1.0, 1.0], "bipolar bind is an involution");
+/// # Ok(())
+/// # }
+/// ```
+pub fn bind(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.mul(b).map_err(Into::into)
+}
+
+/// Cyclic permutation (rotation) of a hypervector by `shift` positions.
+///
+/// # Errors
+///
+/// Returns an error for rank ≠ 1 vectors.
+pub fn permute(v: &Tensor, shift: usize) -> Result<Tensor> {
+    if v.shape().rank() != 1 {
+        return Err(HdcError::InvalidArgument(format!(
+            "permute expects a rank-1 hypervector, got {:?}",
+            v.dims()
+        )));
+    }
+    let d = v.len();
+    if d == 0 {
+        return Ok(v.clone());
+    }
+    let shift = shift % d;
+    let src = v.as_slice();
+    let mut out = Vec::with_capacity(d);
+    out.extend_from_slice(&src[d - shift..]);
+    out.extend_from_slice(&src[..d - shift]);
+    Tensor::from_vec(out, &[d]).map_err(Into::into)
+}
+
+/// Majority bundling: sums the hypervectors and takes the elementwise
+/// sign (`+1` on ties, matching the paper's `sign(0) = +1` convention).
+///
+/// # Errors
+///
+/// Returns an error if the input is empty or shapes differ.
+pub fn majority(vectors: &[&Tensor]) -> Result<Tensor> {
+    let first = vectors
+        .first()
+        .ok_or_else(|| HdcError::InvalidArgument("majority of zero vectors".into()))?;
+    let mut sum = (*first).clone();
+    for v in &vectors[1..] {
+        sum.add_assign(v)?;
+    }
+    Ok(sum.sign_pm1())
+}
+
+/// Normalized Hamming similarity between two bipolar hypervectors: the
+/// fraction of agreeing dimensions, in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns an error if shapes differ or the vectors are empty.
+pub fn hamming_similarity(a: &Tensor, b: &Tensor) -> Result<f32> {
+    if a.is_empty() {
+        return Err(HdcError::InvalidArgument(
+            "hamming similarity of empty vectors".into(),
+        ));
+    }
+    let dot = a.dot(b)?;
+    // For bipolar vectors, dot = (#agree − #disagree).
+    Ok((dot / a.len() as f32 + 1.0) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_bipolar(d: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::randn(&[d], 1.0, &mut rng).sign_pm1()
+    }
+
+    #[test]
+    fn bind_is_involution_for_bipolar() {
+        let a = random_bipolar(512, 0);
+        let b = random_bipolar(512, 1);
+        let bound = bind(&a, &b).unwrap();
+        let unbound = bind(&bound, &b).unwrap();
+        assert_eq!(unbound, a, "binding twice with the same key recovers a");
+    }
+
+    #[test]
+    fn bind_produces_dissimilar_vector() {
+        let a = random_bipolar(4096, 2);
+        let b = random_bipolar(4096, 3);
+        let bound = bind(&a, &b).unwrap();
+        let sim = hamming_similarity(&bound, &a).unwrap();
+        assert!((sim - 0.5).abs() < 0.05, "bound vs a similarity {sim}");
+    }
+
+    #[test]
+    fn bind_commutative_associative() {
+        let a = random_bipolar(128, 4);
+        let b = random_bipolar(128, 5);
+        let c = random_bipolar(128, 6);
+        assert_eq!(bind(&a, &b).unwrap(), bind(&b, &a).unwrap());
+        assert_eq!(
+            bind(&bind(&a, &b).unwrap(), &c).unwrap(),
+            bind(&a, &bind(&b, &c).unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn permute_rotates_and_composes() {
+        let v = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        let p1 = permute(&v, 1).unwrap();
+        assert_eq!(p1.as_slice(), &[4.0, 1.0, 2.0, 3.0]);
+        let p4 = permute(&v, 4).unwrap();
+        assert_eq!(p4, v, "full rotation is identity");
+        let p13 = permute(&permute(&v, 1).unwrap(), 3).unwrap();
+        assert_eq!(p13, v);
+    }
+
+    #[test]
+    fn permute_decorrelates_bipolar_vectors() {
+        let v = random_bipolar(4096, 7);
+        let p = permute(&v, 1).unwrap();
+        let sim = hamming_similarity(&v, &p).unwrap();
+        assert!((sim - 0.5).abs() < 0.05, "self vs rotated similarity {sim}");
+    }
+
+    #[test]
+    fn majority_recovers_dominant_member() {
+        let a = random_bipolar(4096, 8);
+        let b = random_bipolar(4096, 9);
+        let c = random_bipolar(4096, 10);
+        let m = majority(&[&a, &a, &a, &b, &c]).unwrap();
+        let sim_a = hamming_similarity(&m, &a).unwrap();
+        let sim_b = hamming_similarity(&m, &b).unwrap();
+        assert!(
+            sim_a > 0.8,
+            "majority close to the dominant member: {sim_a}"
+        );
+        assert!(sim_a > sim_b + 0.2);
+    }
+
+    #[test]
+    fn majority_of_empty_rejected() {
+        assert!(majority(&[]).is_err());
+    }
+
+    #[test]
+    fn hamming_similarity_bounds() {
+        let a = random_bipolar(256, 11);
+        assert_eq!(hamming_similarity(&a, &a).unwrap(), 1.0);
+        let neg = a.scale(-1.0);
+        assert_eq!(hamming_similarity(&a, &neg).unwrap(), 0.0);
+        assert!(hamming_similarity(&Tensor::zeros(&[0]), &Tensor::zeros(&[0])).is_err());
+    }
+}

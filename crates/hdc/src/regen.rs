@@ -1,0 +1,244 @@
+//! Dimension regeneration (NeuralHD-style) — a natural extension of the
+//! paper's HD learner.
+//!
+//! Not every hyperdimension ends up discriminative: a dimension whose
+//! prototype values are nearly identical across classes contributes
+//! nothing to the cosine comparison. Regeneration scores dimensions by
+//! their cross-class spread, re-points the worst ones to fresh random
+//! directions in the encoder, re-encodes, and retrains — recycling wasted
+//! capacity instead of growing `d`.
+
+use fhdnn_tensor::Tensor;
+use rand::Rng;
+
+use crate::encoder::RandomProjectionEncoder;
+use crate::model::HdModel;
+use crate::{HdcError, Result};
+
+/// Per-dimension discriminative scores: the variance of the (per-class
+/// L2-normalized) prototype values across classes. Higher is more
+/// discriminative.
+///
+/// # Errors
+///
+/// Returns an error on degenerate (empty) models.
+pub fn dimension_scores(model: &HdModel) -> Result<Vec<f32>> {
+    let (k, d) = (model.num_classes(), model.dim());
+    if k == 0 || d == 0 {
+        return Err(HdcError::InvalidArgument("empty model".into()));
+    }
+    // Normalize each class row so magnitude differences between classes
+    // (e.g. unbalanced data) don't masquerade as discriminativeness.
+    let mut norms = vec![0.0f32; k];
+    for (c, norm) in norms.iter_mut().enumerate() {
+        let row = model.prototypes().row(c)?;
+        *norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+    }
+    let mut scores = vec![0.0f32; d];
+    let mut vals = vec![0.0f32; k];
+    for (j, score) in scores.iter_mut().enumerate() {
+        let mut mean = 0.0f32;
+        for c in 0..k {
+            let v = model.prototypes().row(c)?[j] / norms[c];
+            vals[c] = v;
+            mean += v;
+        }
+        mean /= k as f32;
+        *score = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / k as f32;
+    }
+    Ok(scores)
+}
+
+/// Outcome of one regeneration pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegenReport {
+    /// Number of dimensions regenerated.
+    pub regenerated: usize,
+    /// Refinement epochs run after regeneration.
+    pub epochs: usize,
+}
+
+/// One regeneration pass: drops the least-discriminative `fraction` of
+/// dimensions, re-points those encoder rows at fresh random directions,
+/// re-encodes `features`, zeroes the regenerated prototype entries, and
+/// runs `epochs` of refinement so the recycled dimensions learn useful
+/// content.
+///
+/// Returns the re-encoded hypervectors along with the report so callers
+/// can evaluate without re-encoding again.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatches or `fraction ∉ [0, 1)`.
+pub fn regenerate<R: Rng + ?Sized>(
+    model: &mut HdModel,
+    encoder: &mut RandomProjectionEncoder,
+    features: &Tensor,
+    labels: &[usize],
+    fraction: f32,
+    epochs: usize,
+    rng: &mut R,
+) -> Result<(Tensor, RegenReport)> {
+    if !(0.0..1.0).contains(&fraction) {
+        return Err(HdcError::InvalidArgument(format!(
+            "regeneration fraction must be in [0, 1), got {fraction}"
+        )));
+    }
+    if model.dim() != encoder.dim() {
+        return Err(HdcError::InvalidArgument(format!(
+            "model dim {} != encoder dim {}",
+            model.dim(),
+            encoder.dim()
+        )));
+    }
+    let scores = dimension_scores(model)?;
+    let n_regen = (fraction * model.dim() as f32).round() as usize;
+    let mut order: Vec<usize> = (0..model.dim()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let victims = &order[..n_regen];
+
+    encoder.regenerate_rows(victims, rng)?;
+    // The old prototype content of those dimensions is meaningless under
+    // the new projection: clear it before retraining.
+    for c in 0..model.num_classes() {
+        let row = model.prototypes_mut().row_mut(c)?;
+        for &j in victims {
+            row[j] = 0.0;
+        }
+    }
+    let h = encoder.encode_batch(features)?;
+    // Partial one-shot: seed the recycled dimensions by bundling the
+    // training hypervectors into them (non-regenerated dimensions keep
+    // their accumulated content), then refine as usual.
+    if h.dims() != [labels.len(), model.dim()] {
+        return Err(HdcError::InvalidArgument(format!(
+            "{} labels for {:?} hypervectors",
+            labels.len(),
+            h.dims()
+        )));
+    }
+    for (i, &label) in labels.iter().enumerate() {
+        if label >= model.num_classes() {
+            return Err(HdcError::LabelOutOfRange {
+                label,
+                num_classes: model.num_classes(),
+            });
+        }
+        let sample = h.row(i)?.to_vec();
+        let proto = model.prototypes_mut().row_mut(label)?;
+        for &j in victims {
+            proto[j] += sample[j];
+        }
+    }
+    for _ in 0..epochs {
+        model.refine_epoch(&h, labels)?;
+    }
+    Ok((
+        h,
+        RegenReport {
+            regenerated: n_regen,
+            epochs,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhdnn_datasets::features::FeatureSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hard_data(n: usize, seed: u64) -> (Tensor, Vec<usize>, usize) {
+        let spec = FeatureSpec {
+            num_classes: 6,
+            width: 24,
+            noise_std: 2.5,
+            class_seed: 17,
+        };
+        let d = spec.generate(n, seed).unwrap();
+        (d.features, d.labels, 6)
+    }
+
+    #[test]
+    fn scores_flag_constant_dimensions() {
+        // A dimension identical across classes must score zero.
+        let mut protos = Tensor::zeros(&[3, 4]);
+        for c in 0..3 {
+            let row = protos.row_mut(c).unwrap();
+            row[0] = 1.0; // constant across classes (after normalization)
+            row[1] = (c as f32 + 1.0) * 0.5; // varies
+        }
+        let model = HdModel::from_prototypes(protos).unwrap();
+        let scores = dimension_scores(&model).unwrap();
+        assert!(scores[1] > scores[0] * 0.99, "{scores:?}");
+        assert!(
+            scores[2] < 1e-9 && scores[3] < 1e-9,
+            "all-zero dims are dead"
+        );
+    }
+
+    #[test]
+    fn regeneration_does_not_hurt_and_often_helps() {
+        let (train_f, train_l, k) = hard_data(240, 0);
+        let (test_f, test_l, _) = hard_data(120, 1);
+        let d = 1024;
+        let mut encoder = RandomProjectionEncoder::new(d, 24, 3).unwrap();
+        let mut model = HdModel::new(k, d).unwrap();
+        let h = encoder.encode_batch(&train_f).unwrap();
+        model.one_shot_train(&h, &train_l).unwrap();
+        for _ in 0..2 {
+            model.refine_epoch(&h, &train_l).unwrap();
+        }
+        let before = model
+            .accuracy(&encoder.encode_batch(&test_f).unwrap(), &test_l)
+            .unwrap();
+
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..3 {
+            regenerate(
+                &mut model,
+                &mut encoder,
+                &train_f,
+                &train_l,
+                0.1,
+                2,
+                &mut rng,
+            )
+            .unwrap();
+        }
+        let after = model
+            .accuracy(&encoder.encode_batch(&test_f).unwrap(), &test_l)
+            .unwrap();
+        assert!(
+            after >= before - 0.05,
+            "regeneration must not collapse accuracy: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn regeneration_reports_counts() {
+        let (f, l, k) = hard_data(60, 2);
+        let mut encoder = RandomProjectionEncoder::new(200, 24, 3).unwrap();
+        let mut model = HdModel::new(k, 200).unwrap();
+        let h = encoder.encode_batch(&f).unwrap();
+        model.one_shot_train(&h, &l).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let (h2, report) = regenerate(&mut model, &mut encoder, &f, &l, 0.25, 1, &mut rng).unwrap();
+        assert_eq!(report.regenerated, 50);
+        assert_eq!(report.epochs, 1);
+        assert_eq!(h2.dims(), &[60, 200]);
+    }
+
+    #[test]
+    fn invalid_arguments_rejected() {
+        let (f, l, k) = hard_data(20, 3);
+        let mut encoder = RandomProjectionEncoder::new(64, 24, 3).unwrap();
+        let mut model = HdModel::new(k, 64).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(regenerate(&mut model, &mut encoder, &f, &l, 1.0, 1, &mut rng).is_err());
+        assert!(regenerate(&mut model, &mut encoder, &f, &l, -0.1, 1, &mut rng).is_err());
+        let mut wrong = RandomProjectionEncoder::new(32, 24, 3).unwrap();
+        assert!(regenerate(&mut model, &mut wrong, &f, &l, 0.1, 1, &mut rng).is_err());
+    }
+}

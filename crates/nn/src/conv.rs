@@ -1,0 +1,451 @@
+//! 2-D convolution via im2col.
+
+use fhdnn_tensor::{init, Tensor};
+use rand::Rng;
+
+use crate::{Layer, Mode, NnError, Param, Result};
+
+/// Geometry of a convolution: kernel size, stride, and zero padding
+/// (square, same in both spatial dimensions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeometry {
+    /// Kernel height and width.
+    pub kernel: usize,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Zero padding added on each side.
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Output spatial size for an input of spatial size `s`.
+    ///
+    /// Returns `None` if the kernel does not fit.
+    pub fn output_size(&self, s: usize) -> Option<usize> {
+        let padded = s + 2 * self.padding;
+        if padded < self.kernel {
+            return None;
+        }
+        Some((padded - self.kernel) / self.stride + 1)
+    }
+}
+
+/// A 2-D convolution layer over `[batch, in_c, h, w]` inputs.
+///
+/// Weights are stored `[out_c, in_c * k * k]`; the forward pass lowers the
+/// input to column form (im2col) and performs a single matrix multiply,
+/// which is also how the FLOP count is derived.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    geom: ConvGeometry,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug)]
+struct ConvCache {
+    cols: Tensor,
+    input_dims: Vec<usize>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-initialized weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero channels, zero kernel, or
+    /// zero stride.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        geom: ConvGeometry,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if in_channels == 0 || out_channels == 0 {
+            return Err(NnError::InvalidConfig(
+                "conv channels must be positive".into(),
+            ));
+        }
+        if geom.kernel == 0 || geom.stride == 0 {
+            return Err(NnError::InvalidConfig(
+                "conv kernel and stride must be positive".into(),
+            ));
+        }
+        let fan_in = in_channels * geom.kernel * geom.kernel;
+        let weight = init::kaiming_normal(&[out_channels, fan_in], fan_in, rng);
+        Ok(Conv2d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            geom,
+            cache: None,
+        })
+    }
+
+    /// The convolution geometry.
+    pub fn geometry(&self) -> ConvGeometry {
+        self.geom
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    fn check_dims(&self, dims: &[usize]) -> Result<(usize, usize, usize, usize, usize)> {
+        if dims.len() != 4 || dims[1] != self.in_channels {
+            return Err(NnError::BadInputShape {
+                layer: "Conv2d",
+                detail: format!("expected [batch, {}, h, w], got {dims:?}", self.in_channels),
+            });
+        }
+        let (n, h, w) = (dims[0], dims[2], dims[3]);
+        let oh = self
+            .geom
+            .output_size(h)
+            .ok_or_else(|| NnError::BadInputShape {
+                layer: "Conv2d",
+                detail: format!("kernel {} does not fit height {h}", self.geom.kernel),
+            })?;
+        let ow = self
+            .geom
+            .output_size(w)
+            .ok_or_else(|| NnError::BadInputShape {
+                layer: "Conv2d",
+                detail: format!("kernel {} does not fit width {w}", self.geom.kernel),
+            })?;
+        Ok((n, h, w, oh, ow))
+    }
+
+    /// Lowers `[n, c, h, w]` to columns `[n*oh*ow, c*k*k]`.
+    fn im2col(&self, input: &Tensor, n: usize, h: usize, w: usize, oh: usize, ow: usize) -> Tensor {
+        let (c, k, s, p) = (
+            self.in_channels,
+            self.geom.kernel,
+            self.geom.stride,
+            self.geom.padding as isize,
+        );
+        let x = input.as_slice();
+        let mut cols = vec![0.0f32; n * oh * ow * c * k * k];
+        let col_w = c * k * k;
+        for bi in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((bi * oh + oy) * ow + ox) * col_w;
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            let iy = (oy * s + ky) as isize - p;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let src_base = ((bi * c + ci) * h + iy as usize) * w;
+                            let dst_base = row + (ci * k + ky) * k;
+                            for kx in 0..k {
+                                let ix = (ox * s + kx) as isize - p;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                cols[dst_base + kx] = x[src_base + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(cols, &[n * oh * ow, col_w]).expect("im2col volume")
+    }
+
+    /// Scatters column gradients back to input layout (col2im).
+    fn col2im(&self, dcols: &Tensor, n: usize, h: usize, w: usize, oh: usize, ow: usize) -> Tensor {
+        let (c, k, s, p) = (
+            self.in_channels,
+            self.geom.kernel,
+            self.geom.stride,
+            self.geom.padding as isize,
+        );
+        let dc = dcols.as_slice();
+        let col_w = c * k * k;
+        let mut dx = vec![0.0f32; n * c * h * w];
+        for bi in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((bi * oh + oy) * ow + ox) * col_w;
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            let iy = (oy * s + ky) as isize - p;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let dst_base = ((bi * c + ci) * h + iy as usize) * w;
+                            let src_base = row + (ci * k + ky) * k;
+                            for kx in 0..k {
+                                let ix = (ox * s + kx) as isize - p;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                dx[dst_base + ix as usize] += dc[src_base + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(dx, &[n, c, h, w]).expect("col2im volume")
+    }
+
+    /// Reorders `[n*oh*ow, oc]` row-major scores to `[n, oc, oh, ow]`.
+    fn rows_to_nchw(mat: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
+        let m = mat.as_slice();
+        let mut out = vec![0.0f32; n * oc * oh * ow];
+        for bi in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((bi * oh + oy) * ow + ox) * oc;
+                    for co in 0..oc {
+                        out[((bi * oc + co) * oh + oy) * ow + ox] = m[row + co];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, oc, oh, ow]).expect("reorder volume")
+    }
+
+    /// Reorders `[n, oc, oh, ow]` gradients back to `[n*oh*ow, oc]` rows.
+    fn nchw_to_rows(g: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
+        let x = g.as_slice();
+        let mut out = vec![0.0f32; n * oh * ow * oc];
+        for bi in 0..n {
+            for co in 0..oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        out[(((bi * oh + oy) * ow + ox) * oc) + co] =
+                            x[((bi * oc + co) * oh + oy) * ow + ox];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n * oh * ow, oc]).expect("reorder volume")
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, h, w, oh, ow) = self.check_dims(input.dims())?;
+        let cols = self.im2col(input, n, h, w, oh, ow);
+        let scores = cols
+            .matmul_nt(&self.weight.value)?
+            .add_row_broadcast(&self.bias.value)?;
+        let out = Self::rows_to_nchw(&scores, n, self.out_channels, oh, ow);
+        if mode == Mode::Train {
+            self.cache = Some(ConvCache {
+                cols,
+                input_dims: input.dims().to_vec(),
+            });
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .take()
+            .ok_or(NnError::MissingForwardCache { layer: "Conv2d" })?;
+        let (n, h, w, oh, ow) = self.check_dims(&cache.input_dims)?;
+        if grad_output.dims() != [n, self.out_channels, oh, ow] {
+            return Err(NnError::BadInputShape {
+                layer: "Conv2d",
+                detail: format!(
+                    "grad shape {:?} != output shape [{n}, {}, {oh}, {ow}]",
+                    grad_output.dims(),
+                    self.out_channels
+                ),
+            });
+        }
+        let g_rows = Self::nchw_to_rows(grad_output, n, self.out_channels, oh, ow);
+        // dW = g^T · cols, db = column sums of g, dcols = g · W.
+        self.weight
+            .grad
+            .add_assign(&g_rows.matmul_tn(&cache.cols)?)?;
+        self.bias.grad.add_assign(&g_rows.sum_rows()?)?;
+        let dcols = g_rows.matmul(&self.weight.value)?;
+        Ok(self.col2im(&dcols, n, h, w, oh, ow))
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn visit_params(&self, visitor: &mut dyn FnMut(&Param)) {
+        visitor(&self.weight);
+        visitor(&self.bias);
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        let (n, _, _, oh, ow) = self.check_dims(input_dims)?;
+        Ok(vec![n, self.out_channels, oh, ow])
+    }
+
+    fn flops(&self, input_dims: &[usize]) -> Result<u64> {
+        let out = self.output_dims(input_dims)?;
+        let fan_in = (self.in_channels * self.geom.kernel * self.geom.kernel) as u64;
+        let positions = (out[0] * out[2] * out[3]) as u64;
+        Ok(positions * self.out_channels as u64 * (2 * fan_in + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const G3X3: ConvGeometry = ConvGeometry {
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+
+    #[test]
+    fn geometry_output_size() {
+        assert_eq!(G3X3.output_size(16), Some(16));
+        let g = ConvGeometry {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        assert_eq!(g.output_size(16), Some(8));
+        let big = ConvGeometry {
+            kernel: 7,
+            stride: 1,
+            padding: 0,
+        };
+        assert_eq!(big.output_size(4), None);
+    }
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, G3X3, &mut rng).unwrap();
+        // Set the kernel to a delta at the center: output == input.
+        conv.weight.value.map_assign(|_| 0.0);
+        conv.weight.value.as_mut_slice()[4] = 1.0;
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn known_convolution_value() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let geom = ConvGeometry {
+            kernel: 2,
+            stride: 1,
+            padding: 0,
+        };
+        let mut conv = Conv2d::new(1, 1, geom, &mut rng).unwrap();
+        conv.weight
+            .value
+            .as_mut_slice()
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        conv.bias.value.as_mut_slice()[0] = 0.5;
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 1, 3, 3],
+        )
+        .unwrap();
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        // Window at (0,0): 1*1+2*2+4*3+5*4 = 37, plus bias.
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice()[0], 37.5);
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let geom = ConvGeometry {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let mut conv = Conv2d::new(3, 8, geom, &mut rng).unwrap();
+        let y = conv
+            .forward(&Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_channels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(3, 4, G3X3, &mut rng).unwrap();
+        assert!(conv
+            .forward(&Tensor::zeros(&[1, 2, 8, 8]), Mode::Eval)
+            .is_err());
+        assert!(conv.forward(&Tensor::zeros(&[8, 8]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new(2, 3, G3X3, &mut rng).unwrap();
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        let base = y.sum();
+        let dx = conv.backward(&Tensor::ones(y.dims())).unwrap();
+
+        let eps = 1e-2;
+        for i in (0..x.len()).step_by(5) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let yp = conv.forward(&xp, Mode::Eval).unwrap().sum();
+            let num = (yp - base) / eps;
+            assert!(
+                (num - dx.as_slice()[i]).abs() < 0.05,
+                "dx[{i}]: numeric {num} vs analytic {}",
+                dx.as_slice()[i]
+            );
+        }
+        for i in (0..conv.weight.value.len()).step_by(7) {
+            let orig = conv.weight.value.as_slice()[i];
+            conv.weight.value.as_mut_slice()[i] = orig + eps;
+            let yp = conv.forward(&x, Mode::Eval).unwrap().sum();
+            conv.weight.value.as_mut_slice()[i] = orig;
+            let num = (yp - base) / eps;
+            assert!(
+                (num - conv.weight.grad.as_slice()[i]).abs() < 0.05,
+                "dW[{i}]: numeric {num} vs analytic {}",
+                conv.weight.grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(1, 1, G3X3, &mut rng).unwrap();
+        assert!(conv.backward(&Tensor::zeros(&[1, 1, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn flops_positive_and_scale_with_batch() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let conv = Conv2d::new(3, 16, G3X3, &mut rng).unwrap();
+        let f1 = conv.flops(&[1, 3, 16, 16]).unwrap();
+        let f2 = conv.flops(&[2, 3, 16, 16]).unwrap();
+        assert!(f1 > 0);
+        assert_eq!(f2, 2 * f1);
+    }
+}

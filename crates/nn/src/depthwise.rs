@@ -1,0 +1,320 @@
+//! Depthwise convolution — the building block of MobileNet-style
+//! extractors, which the paper recommends for resource-constrained edge
+//! devices (§3.2: "One could use other models such as MobileNet").
+
+use fhdnn_tensor::{init, Tensor};
+use rand::Rng;
+
+use crate::conv::ConvGeometry;
+use crate::{Layer, Mode, NnError, Param, Result};
+
+/// A depthwise 2-D convolution: each input channel is convolved with its
+/// own `k×k` kernel (`groups == channels`), producing the same number of
+/// output channels at a fraction of a full convolution's cost.
+///
+/// Combined with a 1×1 [`crate::conv::Conv2d`] (pointwise), this forms the
+/// depthwise-separable block with `k²·C + C·C'` weights instead of
+/// `k²·C·C'`.
+#[derive(Debug)]
+pub struct DepthwiseConv2d {
+    weight: Param,
+    bias: Param,
+    channels: usize,
+    geom: ConvGeometry,
+    cache: Option<Tensor>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise convolution over `channels` feature maps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero channels, kernel, or
+    /// stride.
+    pub fn new<R: Rng + ?Sized>(channels: usize, geom: ConvGeometry, rng: &mut R) -> Result<Self> {
+        if channels == 0 {
+            return Err(NnError::InvalidConfig(
+                "depthwise channels must be positive".into(),
+            ));
+        }
+        if geom.kernel == 0 || geom.stride == 0 {
+            return Err(NnError::InvalidConfig(
+                "depthwise kernel and stride must be positive".into(),
+            ));
+        }
+        let fan_in = geom.kernel * geom.kernel;
+        let weight = init::kaiming_normal(&[channels, fan_in], fan_in, rng);
+        Ok(DepthwiseConv2d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[channels])),
+            channels,
+            geom,
+            cache: None,
+        })
+    }
+
+    fn check_dims(&self, dims: &[usize]) -> Result<(usize, usize, usize, usize, usize)> {
+        if dims.len() != 4 || dims[1] != self.channels {
+            return Err(NnError::BadInputShape {
+                layer: "DepthwiseConv2d",
+                detail: format!("expected [batch, {}, h, w], got {dims:?}", self.channels),
+            });
+        }
+        let (n, h, w) = (dims[0], dims[2], dims[3]);
+        let oh = self
+            .geom
+            .output_size(h)
+            .ok_or_else(|| NnError::BadInputShape {
+                layer: "DepthwiseConv2d",
+                detail: format!("kernel {} does not fit height {h}", self.geom.kernel),
+            })?;
+        let ow = self
+            .geom
+            .output_size(w)
+            .ok_or_else(|| NnError::BadInputShape {
+                layer: "DepthwiseConv2d",
+                detail: format!("kernel {} does not fit width {w}", self.geom.kernel),
+            })?;
+        Ok((n, h, w, oh, ow))
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn name(&self) -> &'static str {
+        "DepthwiseConv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, h, w, oh, ow) = self.check_dims(input.dims())?;
+        let (c, k, s, p) = (
+            self.channels,
+            self.geom.kernel,
+            self.geom.stride,
+            self.geom.padding as isize,
+        );
+        let x = input.as_slice();
+        let wgt = self.weight.value.as_slice();
+        let bias = self.bias.value.as_slice();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        for bi in 0..n {
+            for ci in 0..c {
+                let plane = (bi * c + ci) * h * w;
+                let kern = &wgt[ci * k * k..(ci + 1) * k * k];
+                let o_plane = (bi * c + ci) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias[ci];
+                        for ky in 0..k {
+                            let iy = (oy * s + ky) as isize - p;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * s + kx) as isize - p;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += kern[ky * k + kx] * x[plane + iy as usize * w + ix as usize];
+                            }
+                        }
+                        out[o_plane + oy * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cache = Some(input.clone());
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow]).map_err(Into::into)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self.cache.take().ok_or(NnError::MissingForwardCache {
+            layer: "DepthwiseConv2d",
+        })?;
+        let (n, h, w, oh, ow) = self.check_dims(input.dims())?;
+        if grad_output.dims() != [n, self.channels, oh, ow] {
+            return Err(NnError::BadInputShape {
+                layer: "DepthwiseConv2d",
+                detail: format!(
+                    "grad shape {:?} != output shape [{n}, {}, {oh}, {ow}]",
+                    grad_output.dims(),
+                    self.channels
+                ),
+            });
+        }
+        let (c, k, s, p) = (
+            self.channels,
+            self.geom.kernel,
+            self.geom.stride,
+            self.geom.padding as isize,
+        );
+        let x = input.as_slice();
+        let g = grad_output.as_slice();
+        let wgt = self.weight.value.as_slice();
+        let dw = self.weight.grad.as_mut_slice();
+        let db = self.bias.grad.as_mut_slice();
+        let mut dx = vec![0.0f32; x.len()];
+        for bi in 0..n {
+            for ci in 0..c {
+                let plane = (bi * c + ci) * h * w;
+                let o_plane = (bi * c + ci) * oh * ow;
+                let kern = &wgt[ci * k * k..(ci + 1) * k * k];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let gv = g[o_plane + oy * ow + ox];
+                        if gv == 0.0 {
+                            continue;
+                        }
+                        db[ci] += gv;
+                        for ky in 0..k {
+                            let iy = (oy * s + ky) as isize - p;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * s + kx) as isize - p;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let src = plane + iy as usize * w + ix as usize;
+                                dw[ci * k * k + ky * k + kx] += gv * x[src];
+                                dx[src] += gv * kern[ky * k + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(dx, input.dims()).map_err(Into::into)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn visit_params(&self, visitor: &mut dyn FnMut(&Param)) {
+        visitor(&self.weight);
+        visitor(&self.bias);
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        let (n, _, _, oh, ow) = self.check_dims(input_dims)?;
+        Ok(vec![n, self.channels, oh, ow])
+    }
+
+    fn flops(&self, input_dims: &[usize]) -> Result<u64> {
+        let out = self.output_dims(input_dims)?;
+        let per_position = (2 * self.geom.kernel * self.geom.kernel + 1) as u64;
+        Ok(out.iter().product::<usize>() as u64 * per_position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const G3: ConvGeometry = ConvGeometry {
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut dw = DepthwiseConv2d::new(2, G3, &mut rng).unwrap();
+        dw.weight.value.map_assign(|_| 0.0);
+        // Center tap = 1 for both channels.
+        dw.weight.value.as_mut_slice()[4] = 1.0;
+        dw.weight.value.as_mut_slice()[13] = 1.0;
+        let x = Tensor::from_vec((0..32).map(|i| i as f32).collect(), &[1, 2, 4, 4]).unwrap();
+        let y = dw.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn channels_do_not_mix() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut dw = DepthwiseConv2d::new(2, G3, &mut rng).unwrap();
+        // Zero channel 1's kernel: its output must be exactly the bias.
+        for v in dw.weight.value.row_mut(1).unwrap() {
+            *v = 0.0;
+        }
+        dw.bias.value.as_mut_slice()[1] = 0.25;
+        let mut x = Tensor::zeros(&[1, 2, 4, 4]);
+        // Energize channel 0 only.
+        for i in 0..16 {
+            x.as_mut_slice()[i] = 1.0;
+        }
+        let y = dw.forward(&x, Mode::Eval).unwrap();
+        assert!(y.as_slice()[16..].iter().all(|&v| v == 0.25));
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let geom = ConvGeometry {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let mut dw = DepthwiseConv2d::new(4, geom, &mut rng).unwrap();
+        let y = dw
+            .forward(&Tensor::zeros(&[2, 4, 8, 8]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.dims(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut dw = DepthwiseConv2d::new(2, G3, &mut rng).unwrap();
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let y = dw.forward(&x, Mode::Train).unwrap();
+        let base = y.sum();
+        let dx = dw.backward(&Tensor::ones(y.dims())).unwrap();
+
+        let eps = 1e-2;
+        for i in (0..x.len()).step_by(3) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let num = (dw.forward(&xp, Mode::Eval).unwrap().sum() - base) / eps;
+            assert!(
+                (num - dx.as_slice()[i]).abs() < 0.05,
+                "dx[{i}]: numeric {num} vs analytic {}",
+                dx.as_slice()[i]
+            );
+        }
+        for i in 0..dw.weight.value.len() {
+            let orig = dw.weight.value.as_slice()[i];
+            dw.weight.value.as_mut_slice()[i] = orig + eps;
+            let num = (dw.forward(&x, Mode::Eval).unwrap().sum() - base) / eps;
+            dw.weight.value.as_mut_slice()[i] = orig;
+            assert!(
+                (num - dw.weight.grad.as_slice()[i]).abs() < 0.05,
+                "dW[{i}]: numeric {num} vs analytic {}",
+                dw.weight.grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn flops_far_below_full_conv() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dw = DepthwiseConv2d::new(16, G3, &mut rng).unwrap();
+        let full = crate::conv::Conv2d::new(16, 16, G3, &mut rng).unwrap();
+        let f_dw = dw.flops(&[1, 16, 8, 8]).unwrap();
+        let f_full = full.flops(&[1, 16, 8, 8]).unwrap();
+        assert!(f_dw * 8 < f_full, "depthwise {f_dw} vs full {f_full}");
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut dw = DepthwiseConv2d::new(1, G3, &mut rng).unwrap();
+        assert!(dw.backward(&Tensor::zeros(&[1, 1, 4, 4])).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+use std::fmt;
+
+use fhdnn_tensor::TensorError;
+
+/// Errors produced by neural-network construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A layer received an input whose shape it cannot process.
+    BadInputShape {
+        /// Name of the layer reporting the problem.
+        layer: &'static str,
+        /// Human-readable description of the expectation.
+        detail: String,
+    },
+    /// `backward` was called before `forward` (no cached activations).
+    MissingForwardCache {
+        /// Name of the layer reporting the problem.
+        layer: &'static str,
+    },
+    /// A parameter buffer had the wrong length when loading a flattened
+    /// model (the federated transport format).
+    ParamLengthMismatch {
+        /// Number of scalars the network holds.
+        expected: usize,
+        /// Number of scalars supplied.
+        actual: usize,
+    },
+    /// A configuration argument was invalid (zero sizes, bad strides, …).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadInputShape { layer, detail } => {
+                write!(f, "{layer}: bad input shape: {detail}")
+            }
+            NnError::MissingForwardCache { layer } => {
+                write!(f, "{layer}: backward called before forward")
+            }
+            NnError::ParamLengthMismatch { expected, actual } => write!(
+                f,
+                "parameter vector length {actual} does not match model size {expected}"
+            ),
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_wraps_tensor_error() {
+        let e = NnError::from(TensorError::RankMismatch {
+            expected: 4,
+            actual: 2,
+        });
+        assert!(e.to_string().contains("rank 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,75 @@
+//! Flattening layer bridging convolutional and dense stacks.
+
+use fhdnn_tensor::Tensor;
+
+use crate::{Layer, Mode, NnError, Result};
+
+/// Flattens `[batch, d1, d2, …]` to `[batch, d1*d2*…]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { input_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = self.output_dims(input.dims())?;
+        if mode == Mode::Train {
+            self.input_dims = Some(input.dims().to_vec());
+        }
+        input.reshape(&out).map_err(Into::into)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .take()
+            .ok_or(NnError::MissingForwardCache { layer: "Flatten" })?;
+        grad_output.reshape(&dims).map_err(Into::into)
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        if input_dims.is_empty() {
+            return Err(NnError::BadInputShape {
+                layer: "Flatten",
+                detail: "input must have at least a batch dimension".into(),
+            });
+        }
+        Ok(vec![input_dims[0], input_dims[1..].iter().product()])
+    }
+
+    fn flops(&self, _input_dims: &[usize]) -> Result<u64> {
+        Ok(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 2, 2]).unwrap();
+        let y = f.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 12]);
+        let dx = f.backward(&y).unwrap();
+        assert_eq!(dx, x);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut f = Flatten::new();
+        assert!(f.backward(&Tensor::zeros(&[2, 4])).is_err());
+    }
+}

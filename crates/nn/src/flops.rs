@@ -1,0 +1,53 @@
+//! Training-cost accounting used by the Table 1 edge-device model.
+//!
+//! The paper's Table 1 compares on-device training time and energy of
+//! FHDnn vs ResNet on a Raspberry Pi 3b and an NVIDIA Jetson. We reproduce
+//! the comparison analytically: count the floating-point work of one local
+//! training pass and divide by a device profile's sustained throughput.
+
+use crate::{Network, Result};
+
+/// Ratio of backward-pass FLOPs to forward-pass FLOPs for CNN training.
+///
+/// The backward pass computes both input and weight gradients, each about
+/// as expensive as the forward pass; 2.0 is the standard estimate.
+pub const BACKWARD_TO_FORWARD_RATIO: f64 = 2.0;
+
+/// FLOPs of one full training step (forward + backward + SGD update) for a
+/// batch shaped `input_dims`.
+///
+/// # Errors
+///
+/// Propagates shape errors from the network's FLOP walk.
+pub fn training_flops(net: &Network, input_dims: &[usize]) -> Result<u64> {
+    let fwd = net.flops(input_dims)? as f64;
+    let update = 2.0 * net.num_params() as f64;
+    Ok((fwd * (1.0 + BACKWARD_TO_FORWARD_RATIO) + update) as u64)
+}
+
+/// FLOPs of one inference pass for a batch shaped `input_dims`.
+///
+/// # Errors
+///
+/// Propagates shape errors from the network's FLOP walk.
+pub fn inference_flops(net: &Network, input_dims: &[usize]) -> Result<u64> {
+    net.flops(input_dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn training_flops_are_roughly_3x_forward() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = Network::new().push(Linear::new(128, 64, &mut rng).unwrap());
+        let fwd = inference_flops(&net, &[8, 128]).unwrap();
+        let train = training_flops(&net, &[8, 128]).unwrap();
+        assert!(train > 3 * fwd - 2 * net.num_params() as u64);
+        assert!(train < 4 * fwd);
+    }
+}

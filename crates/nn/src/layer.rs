@@ -1,0 +1,115 @@
+//! The layer contract: forward, backward, parameters, shapes, FLOPs.
+
+use fhdnn_tensor::Tensor;
+
+use crate::{Param, Result};
+
+/// Whether a forward pass updates training-time statistics.
+///
+/// Batch normalization behaves differently in the two modes; all other
+/// layers ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Training: use batch statistics, update running averages, cache
+    /// activations for backward.
+    Train,
+    /// Inference: use running statistics, no caching requirements.
+    Eval,
+}
+
+/// A differentiable network layer with manually implemented backward pass.
+///
+/// The contract:
+///
+/// 1. `forward(x, Mode::Train)` must cache whatever `backward` needs.
+/// 2. `backward(grad_out)` consumes that cache, **accumulates** parameter
+///    gradients into its [`Param::grad`]s, and returns the gradient with
+///    respect to the layer input.
+/// 3. `params_mut` exposes trainable parameters in a deterministic order —
+///    the order defines the flattened federated transport layout.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Short human-readable layer name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Runs the layer on `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Back-propagates `grad_output`, returning the gradient w.r.t. the
+    /// layer's input and accumulating parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::MissingForwardCache`] if called before a
+    /// training-mode forward pass, or a shape error if `grad_output` does
+    /// not match the cached activation shape.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// Trainable parameters in deterministic order (may be empty).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Read-only visit of the trainable parameters, in the same order as
+    /// [`Layer::params_mut`].
+    fn visit_params(&self, _visitor: &mut dyn FnMut(&Param)) {}
+
+    /// Output shape for a given input shape (both without modification).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>>;
+
+    /// Floating-point operations of one forward pass on `input_dims`
+    /// (multiply–add counted as two FLOPs). Used by the Table 1 edge-device
+    /// cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn flops(&self, input_dims: &[usize]) -> Result<u64>;
+
+    /// Non-trainable running state (e.g. batch-norm statistics) appended
+    /// to checkpoints. Most layers have none.
+    fn running_state(&self) -> Vec<f32> {
+        Vec::new()
+    }
+
+    /// Restores the running state written by [`Layer::running_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `state` has the wrong length for this layer.
+    fn load_running_state(&mut self, state: &[f32]) -> Result<()> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(crate::NnError::ParamLengthMismatch {
+                expected: 0,
+                actual: state.len(),
+            })
+        }
+    }
+
+    /// Length of this layer's running state.
+    fn running_state_len(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_is_copy_eq() {
+        let m = Mode::Train;
+        let n = m;
+        assert_eq!(m, n);
+        assert_ne!(Mode::Train, Mode::Eval);
+    }
+}

@@ -1,0 +1,67 @@
+//! # fhdnn-nn
+//!
+//! A from-scratch neural-network framework with manual forward/backward
+//! passes, built as the CNN substrate for the FHDnn reproduction (DAC 2022).
+//!
+//! The paper compares FHDnn against federated averaging over a ResNet. This
+//! crate provides everything required to stand up that baseline without any
+//! external ML framework:
+//!
+//! - [`layer::Layer`] — the forward/backward contract,
+//! - convolution ([`conv::Conv2d`]), dense ([`linear::Linear`]),
+//!   normalization ([`norm::BatchNorm2d`]), activation
+//!   ([`activation::Relu`]), pooling ([`pool`]) and residual blocks
+//!   ([`residual::ResidualBlock`]),
+//! - [`network::Network`] — a sequential container with parameter
+//!   flattening/loading (the federated-learning transport format),
+//! - [`loss`] — softmax cross-entropy and MSE with analytic gradients,
+//! - [`optim::Sgd`] — SGD with momentum and weight decay,
+//! - [`models`] — the paper's two architectures: a small CNN for
+//!   MNIST-class data and `ResNetLite`, a genuine residual network,
+//! - [`flops`] — per-layer FLOP accounting backing the Table 1 cost model.
+//!
+//! # Example
+//!
+//! ```
+//! use fhdnn_nn::models::small_cnn;
+//! use fhdnn_tensor::Tensor;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), fhdnn_nn::NnError> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = small_cnn(1, 16, 10, &mut rng)?;
+//! let x = Tensor::zeros(&[2, 1, 16, 16]);
+//! let logits = net.forward(&x, fhdnn_nn::Mode::Eval)?;
+//! assert_eq!(logits.dims(), &[2, 10]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod activation;
+pub mod conv;
+pub mod depthwise;
+mod error;
+pub mod flatten;
+pub mod flops;
+pub mod layer;
+pub mod linear;
+pub mod loss;
+pub mod models;
+pub mod network;
+pub mod norm;
+pub mod optim;
+mod param;
+pub mod pool;
+pub mod residual;
+
+pub use error::NnError;
+pub use layer::{Layer, Mode};
+pub use network::Network;
+pub use param::Param;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NnError>;

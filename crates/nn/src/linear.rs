@@ -1,0 +1,242 @@
+//! Fully connected (dense) layer.
+
+use fhdnn_tensor::{init, Tensor};
+use rand::Rng;
+
+use crate::{Layer, Mode, NnError, Param, Result};
+
+/// A dense layer computing `y = x W^T + b` for `x: [batch, in]`,
+/// `W: [out, in]`, `b: [out]`.
+///
+/// # Example
+///
+/// ```
+/// use fhdnn_nn::linear::Linear;
+/// use fhdnn_nn::{Layer, Mode};
+/// use fhdnn_tensor::Tensor;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), fhdnn_nn::NnError> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut fc = Linear::new(4, 3, &mut rng)?;
+/// let y = fc.forward(&Tensor::zeros(&[2, 4]), Mode::Eval)?;
+/// assert_eq!(y.dims(), &[2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cache_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a dense layer with Kaiming-initialized weights and zero bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if either dimension is zero.
+    pub fn new<R: Rng + ?Sized>(
+        in_features: usize,
+        out_features: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if in_features == 0 || out_features == 0 {
+            return Err(NnError::InvalidConfig(format!(
+                "linear dimensions must be positive, got {in_features}x{out_features}"
+            )));
+        }
+        let weight = init::kaiming_normal(&[out_features, in_features], in_features, rng);
+        Ok(Linear {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cache_input: None,
+        })
+    }
+
+    /// Input feature width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<()> {
+        if input.shape().rank() != 2 || input.dims()[1] != self.in_features {
+            return Err(NnError::BadInputShape {
+                layer: "Linear",
+                detail: format!(
+                    "expected [batch, {}], got {:?}",
+                    self.in_features,
+                    input.dims()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        self.check_input(input)?;
+        let out = input
+            .matmul_nt(&self.weight.value)?
+            .add_row_broadcast(&self.bias.value)?;
+        if mode == Mode::Train {
+            self.cache_input = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cache_input
+            .take()
+            .ok_or(NnError::MissingForwardCache { layer: "Linear" })?;
+        // dW = dy^T · x, db = column sums of dy, dx = dy · W.
+        let dw = grad_output.matmul_tn(&input)?;
+        self.weight.grad.add_assign(&dw)?;
+        self.bias.grad.add_assign(&grad_output.sum_rows()?)?;
+        Ok(grad_output.matmul(&self.weight.value)?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn visit_params(&self, visitor: &mut dyn FnMut(&Param)) {
+        visitor(&self.weight);
+        visitor(&self.bias);
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        if input_dims.len() != 2 || input_dims[1] != self.in_features {
+            return Err(NnError::BadInputShape {
+                layer: "Linear",
+                detail: format!("expected [batch, {}], got {input_dims:?}", self.in_features),
+            });
+        }
+        Ok(vec![input_dims[0], self.out_features])
+    }
+
+    fn flops(&self, input_dims: &[usize]) -> Result<u64> {
+        let out = self.output_dims(input_dims)?;
+        // 2 FLOPs per multiply-add, plus bias add.
+        Ok((2 * self.in_features as u64 + 1) * (out[0] * out[1]) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer() -> Linear {
+        let mut rng = StdRng::seed_from_u64(11);
+        Linear::new(3, 2, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_dims() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Linear::new(0, 2, &mut rng).is_err());
+        assert!(Linear::new(2, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut fc = layer();
+        // Zero the weight: output must equal the bias.
+        fc.weight.value.map_assign(|_| 0.0);
+        fc.bias.value.as_mut_slice().copy_from_slice(&[1.5, -2.0]);
+        let y = fc.forward(&Tensor::ones(&[2, 3]), Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[1.5, -2.0, 1.5, -2.0]);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_width() {
+        let mut fc = layer();
+        assert!(fc.forward(&Tensor::zeros(&[2, 4]), Mode::Eval).is_err());
+        assert!(fc.forward(&Tensor::zeros(&[4]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut fc = layer();
+        assert!(matches!(
+            fc.backward(&Tensor::zeros(&[2, 2])),
+            Err(NnError::MissingForwardCache { .. })
+        ));
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let mut fc = layer();
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 1.0, 0.0, -0.5], &[2, 3]).unwrap();
+        // Loss = sum(y); dL/dy = ones.
+        let y = fc.forward(&x, Mode::Train).unwrap();
+        let base: f32 = y.sum();
+        let gones = Tensor::ones(&[2, 2]);
+        let dx = fc.backward(&gones).unwrap();
+
+        let eps = 1e-3;
+        // Check dL/dx numerically.
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let yp = fc.forward(&xp, Mode::Eval).unwrap().sum();
+            let num = (yp - base) / eps;
+            assert!(
+                (num - dx.as_slice()[i]).abs() < 1e-2,
+                "dx[{i}]: numeric {num} vs analytic {}",
+                dx.as_slice()[i]
+            );
+        }
+        // Check dL/dW numerically.
+        for i in 0..fc.weight.value.len() {
+            let orig = fc.weight.value.as_slice()[i];
+            fc.weight.value.as_mut_slice()[i] = orig + eps;
+            let yp = fc.forward(&x, Mode::Eval).unwrap().sum();
+            fc.weight.value.as_mut_slice()[i] = orig;
+            let num = (yp - base) / eps;
+            assert!(
+                (num - fc.weight.grad.as_slice()[i]).abs() < 1e-2,
+                "dW[{i}]: numeric {num} vs analytic {}",
+                fc.weight.grad.as_slice()[i]
+            );
+        }
+        // Bias gradient of sum loss is the batch size per output.
+        assert_eq!(fc.bias.grad.as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn grads_accumulate_across_backwards() {
+        let mut fc = layer();
+        let x = Tensor::ones(&[1, 3]);
+        for _ in 0..2 {
+            fc.forward(&x, Mode::Train).unwrap();
+            fc.backward(&Tensor::ones(&[1, 2])).unwrap();
+        }
+        assert_eq!(fc.bias.grad.as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn flops_formula() {
+        let fc = layer();
+        assert_eq!(fc.flops(&[4, 3]).unwrap(), (2 * 3 + 1) * 4 * 2);
+    }
+}

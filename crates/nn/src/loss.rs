@@ -1,0 +1,202 @@
+//! Loss functions with analytic gradients.
+
+use fhdnn_tensor::Tensor;
+
+use crate::{NnError, Result};
+
+/// Loss value plus the gradient with respect to the network output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss w.r.t. the logits/predictions, shaped
+    /// like the network output.
+    pub grad: Tensor,
+}
+
+/// Numerically stable row-wise softmax of a `[batch, classes]` matrix.
+///
+/// # Errors
+///
+/// Returns an error if `logits` is not rank 2.
+pub fn softmax(logits: &Tensor) -> Result<Tensor> {
+    if logits.shape().rank() != 2 {
+        return Err(NnError::BadInputShape {
+            layer: "softmax",
+            detail: format!("expected [batch, classes], got {:?}", logits.dims()),
+        });
+    }
+    let (rows, _cols) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = logits.clone();
+    for r in 0..rows {
+        let row = out.row_mut(r)?;
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+    Ok(out)
+}
+
+/// Mean softmax cross-entropy between logits `[batch, classes]` and integer
+/// labels, with the analytic gradient `(softmax - onehot) / batch`.
+///
+/// # Errors
+///
+/// Returns an error if shapes disagree or a label is out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+    let probs = softmax(logits)?;
+    let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != rows {
+        return Err(NnError::BadInputShape {
+            layer: "cross_entropy",
+            detail: format!("{} labels for batch of {rows}", labels.len()),
+        });
+    }
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    let scale = 1.0 / rows as f32;
+    for (r, &label) in labels.iter().enumerate() {
+        if label >= cols {
+            return Err(NnError::BadInputShape {
+                layer: "cross_entropy",
+                detail: format!("label {label} out of range for {cols} classes"),
+            });
+        }
+        let p = probs.row(r)?[label].max(1e-12);
+        loss -= p.ln();
+        let row = grad.row_mut(r)?;
+        row[label] -= 1.0;
+        for x in row.iter_mut() {
+            *x *= scale;
+        }
+    }
+    Ok(LossOutput {
+        loss: loss * scale,
+        grad,
+    })
+}
+
+/// Mean squared error between predictions and targets of equal shape, with
+/// gradient `2 (pred - target) / n`.
+///
+/// # Errors
+///
+/// Returns an error if shapes disagree.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> Result<LossOutput> {
+    let diff = pred.sub(target)?;
+    let n = diff.len().max(1) as f32;
+    Ok(LossOutput {
+        loss: diff.norm_sq() / n,
+        grad: diff.scale(2.0 / n),
+    })
+}
+
+/// Fraction of rows whose argmax matches the label.
+///
+/// # Errors
+///
+/// Returns an error if `scores` is not `[batch, classes]` with
+/// `batch == labels.len()`.
+pub fn accuracy(scores: &Tensor, labels: &[usize]) -> Result<f32> {
+    let preds = scores.argmax_rows()?;
+    if preds.len() != labels.len() {
+        return Err(NnError::BadInputShape {
+            layer: "accuracy",
+            detail: format!("{} predictions for {} labels", preds.len(), labels.len()),
+        });
+    }
+    if labels.is_empty() {
+        return Ok(0.0);
+    }
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Ok(correct as f32 / labels.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let p = softmax(&logits).unwrap();
+        for r in 0..2 {
+            let s: f32 = p.row(r).unwrap().iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]).unwrap();
+        let p = softmax(&logits).unwrap();
+        assert!(p.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]).unwrap();
+        let out = cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(out.loss < 1e-3, "loss {}", out.loss);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let out = cross_entropy(&logits, &[2]).unwrap();
+        assert!((out.loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_numeric() {
+        let logits = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, 0.2, -0.6], &[2, 3]).unwrap();
+        let labels = [2, 0];
+        let out = cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let num = (cross_entropy(&lp, &labels).unwrap().loss - out.loss) / eps;
+            assert!(
+                (num - out.grad.as_slice()[i]).abs() < 1e-3,
+                "grad[{i}]: numeric {num} vs analytic {}",
+                out.grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_rejects_bad_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(cross_entropy(&logits, &[0]).is_err());
+        assert!(cross_entropy(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn mse_gradient() {
+        let pred = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let target = Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap();
+        let out = mse_loss(&pred, &target).unwrap();
+        assert_eq!(out.loss, 2.5);
+        assert_eq!(out.grad.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let scores = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
+        let acc = accuracy(&scores, &[0, 1, 1]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_empty_is_zero() {
+        let scores = Tensor::zeros(&[0, 3]);
+        assert_eq!(accuracy(&scores, &[]).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! The paper's two client architectures, scaled to synthetic 16×16 inputs.
+//!
+//! - [`small_cnn`]: "a simple network consisting of 2 convolution layers
+//!   and 2 fully connected layers" (the paper's MNIST model, §4.1);
+//! - [`resnet_lite`]: a genuine residual network standing in for ResNet-18
+//!   (§4.1 uses ResNet-18 for CIFAR-10 and FashionMNIST). Same topology
+//!   family — conv stem, three stages of basic residual blocks with
+//!   channel doubling and stride-2 downsampling, global average pooling,
+//!   dense classifier — scaled to laptop-size synthetic images.
+
+use rand::Rng;
+
+use crate::activation::Relu;
+use crate::conv::{Conv2d, ConvGeometry};
+use crate::depthwise::DepthwiseConv2d;
+use crate::flatten::Flatten;
+use crate::linear::Linear;
+use crate::norm::BatchNorm2d;
+use crate::pool::{GlobalAvgPool, MaxPool2d};
+use crate::residual::ResidualBlock;
+use crate::{Network, Result};
+
+/// Builds the paper's MNIST client model: two 3×3 convolutions with ReLU
+/// and 2× max pooling, then two dense layers.
+///
+/// `image_size` must be divisible by 4 (two pooling stages).
+///
+/// # Errors
+///
+/// Returns an error for invalid sizes.
+pub fn small_cnn<R: Rng + ?Sized>(
+    in_channels: usize,
+    image_size: usize,
+    num_classes: usize,
+    rng: &mut R,
+) -> Result<Network> {
+    let g = ConvGeometry {
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let spatial = image_size / 4;
+    let net = Network::new()
+        .push(Conv2d::new(in_channels, 8, g, rng)?)
+        .push(Relu::new())
+        .push(MaxPool2d::new(2)?)
+        .push(Conv2d::new(8, 16, g, rng)?)
+        .push(Relu::new())
+        .push(MaxPool2d::new(2)?)
+        .push(Flatten::new())
+        .push(Linear::new(16 * spatial * spatial, 64, rng)?)
+        .push(Relu::new())
+        .push(Linear::new(64, num_classes, rng)?);
+    Ok(net)
+}
+
+/// Configuration for [`resnet_lite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResNetConfig {
+    /// Input channels (1 for grayscale, 3 for color).
+    pub in_channels: usize,
+    /// Base width of the stem; stages use `w`, `2w`, `4w` channels.
+    pub base_width: usize,
+    /// Residual blocks per stage.
+    pub blocks_per_stage: usize,
+    /// Number of output classes.
+    pub num_classes: usize,
+}
+
+impl Default for ResNetConfig {
+    fn default() -> Self {
+        ResNetConfig {
+            in_channels: 3,
+            base_width: 8,
+            blocks_per_stage: 2,
+            num_classes: 10,
+        }
+    }
+}
+
+/// Builds the `ResNetLite` *trunk*: conv stem + BN + ReLU, three residual
+/// stages with stride-2 transitions, and global average pooling — ending at
+/// the `[batch, 4 * base_width]` embedding, with no classifier.
+///
+/// This is the shared backbone of both [`resnet_lite`] (which appends a
+/// dense classifier) and SimCLR pretraining (which appends a throwaway
+/// projection head and later freezes the trunk as FHDnn's feature
+/// extractor).
+///
+/// # Errors
+///
+/// Returns an error for invalid configuration values.
+pub fn resnet_trunk<R: Rng + ?Sized>(config: ResNetConfig, rng: &mut R) -> Result<Network> {
+    let stem_geom = ConvGeometry {
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let w = config.base_width;
+    let mut net = Network::new()
+        .push(Conv2d::new(config.in_channels, w, stem_geom, rng)?)
+        .push(BatchNorm2d::new(w)?)
+        .push(Relu::new());
+    let widths = [w, 2 * w, 4 * w];
+    let mut in_c = w;
+    for (stage, &out_c) in widths.iter().enumerate() {
+        for block in 0..config.blocks_per_stage {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            net.push_boxed(Box::new(ResidualBlock::new(in_c, out_c, stride, rng)?));
+            in_c = out_c;
+        }
+    }
+    net.push_boxed(Box::new(GlobalAvgPool::new()));
+    Ok(net)
+}
+
+/// Builds `ResNetLite`: the [`resnet_trunk`] backbone plus a dense
+/// classifier.
+///
+/// With the default config and 16×16 inputs the network has three stages at
+/// 16×16, 8×8 and 4×4 spatial resolution — the ResNet-18 topology family at
+/// reproduction scale.
+///
+/// # Errors
+///
+/// Returns an error for invalid configuration values.
+pub fn resnet_lite<R: Rng + ?Sized>(config: ResNetConfig, rng: &mut R) -> Result<Network> {
+    let mut net = resnet_trunk(config, rng)?;
+    net.push_boxed(Box::new(Linear::new(
+        resnet_feature_width(&config),
+        config.num_classes,
+        rng,
+    )?));
+    Ok(net)
+}
+
+/// Feature width produced by [`resnet_lite`]'s penultimate layer (the
+/// global-average-pooled embedding): `4 * base_width`.
+pub fn resnet_feature_width(config: &ResNetConfig) -> usize {
+    4 * config.base_width
+}
+
+/// Which trunk architecture to build for a feature extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrunkArch {
+    /// Residual blocks ([`resnet_trunk`]) — the paper's primary choice.
+    #[default]
+    ResNet,
+    /// Depthwise-separable blocks ([`mobilenet_trunk`]) — the paper's
+    /// suggested alternative for resource-constrained edge devices.
+    MobileNet,
+}
+
+/// Builds the trunk of the requested architecture; both produce a
+/// `[batch, 4 * base_width]` embedding.
+///
+/// # Errors
+///
+/// Returns an error for invalid configuration values.
+pub fn build_trunk<R: Rng + ?Sized>(
+    arch: TrunkArch,
+    config: ResNetConfig,
+    rng: &mut R,
+) -> Result<Network> {
+    match arch {
+        TrunkArch::ResNet => resnet_trunk(config, rng),
+        TrunkArch::MobileNet => mobilenet_trunk(config, rng),
+    }
+}
+
+/// Builds the `MobileNetLite` trunk: a depthwise-separable alternative to
+/// [`resnet_trunk`], as the paper suggests for resource-constrained edge
+/// devices (§3.2). The topology mirrors MobileNetV1: conv stem, then
+/// depthwise-3×3 / pointwise-1×1 pairs with BN+ReLU, doubling channels and
+/// downsampling at stage boundaries, ending in global average pooling.
+///
+/// The trunk produces the same `[batch, 4 * base_width]` embedding as
+/// [`resnet_trunk`], so the two are drop-in interchangeable extractors.
+///
+/// # Errors
+///
+/// Returns an error for invalid configuration values.
+pub fn mobilenet_trunk<R: Rng + ?Sized>(config: ResNetConfig, rng: &mut R) -> Result<Network> {
+    let stem_geom = ConvGeometry {
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let pw_geom = ConvGeometry {
+        kernel: 1,
+        stride: 1,
+        padding: 0,
+    };
+    let w = config.base_width;
+    let mut net = Network::new()
+        .push(Conv2d::new(config.in_channels, w, stem_geom, rng)?)
+        .push(BatchNorm2d::new(w)?)
+        .push(Relu::new());
+    let widths = [w, 2 * w, 4 * w];
+    let mut in_c = w;
+    for (stage, &out_c) in widths.iter().enumerate() {
+        for block in 0..config.blocks_per_stage {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            let dw_geom = ConvGeometry {
+                kernel: 3,
+                stride,
+                padding: 1,
+            };
+            net.push_boxed(Box::new(DepthwiseConv2d::new(in_c, dw_geom, rng)?));
+            net.push_boxed(Box::new(BatchNorm2d::new(in_c)?));
+            net.push_boxed(Box::new(Relu::new()));
+            net.push_boxed(Box::new(Conv2d::new(in_c, out_c, pw_geom, rng)?));
+            net.push_boxed(Box::new(BatchNorm2d::new(out_c)?));
+            net.push_boxed(Box::new(Relu::new()));
+            in_c = out_c;
+        }
+    }
+    net.push_boxed(Box::new(GlobalAvgPool::new()));
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::cross_entropy;
+    use crate::optim::Sgd;
+    use crate::Mode;
+    use fhdnn_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_cnn_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = small_cnn(1, 16, 10, &mut rng).unwrap();
+        let y = net
+            .forward(&Tensor::zeros(&[3, 1, 16, 16]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.dims(), &[3, 10]);
+    }
+
+    #[test]
+    fn resnet_lite_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = ResNetConfig::default();
+        let mut net = resnet_lite(cfg, &mut rng).unwrap();
+        let y = net
+            .forward(&Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+        assert!(net.num_params() > 10_000, "has {} params", net.num_params());
+    }
+
+    #[test]
+    fn resnet_lite_trains_on_tiny_task() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = ResNetConfig {
+            in_channels: 1,
+            base_width: 4,
+            blocks_per_stage: 1,
+            num_classes: 2,
+        };
+        let mut net = resnet_lite(cfg, &mut rng).unwrap();
+        let mut opt = Sgd::new(0.05).momentum(0.9);
+        // Two trivially separable "images": all-bright vs all-dark.
+        let x = Tensor::concat_first_axis(&[
+            &Tensor::full(&[2, 1, 8, 8], 1.0),
+            &Tensor::full(&[2, 1, 8, 8], -1.0),
+        ])
+        .unwrap();
+        let labels = [0usize, 0, 1, 1];
+        let mut last = f32::MAX;
+        for _ in 0..30 {
+            net.zero_grad();
+            let logits = net.forward(&x, Mode::Train).unwrap();
+            let out = cross_entropy(&logits, &labels).unwrap();
+            net.backward(&out.grad).unwrap();
+            opt.step(&mut net).unwrap();
+            last = out.loss;
+        }
+        assert!(last < 0.4, "loss after training: {last}");
+    }
+
+    #[test]
+    fn resnet_flops_exceed_small_cnn() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = small_cnn(3, 16, 10, &mut rng).unwrap();
+        let resnet = resnet_lite(ResNetConfig::default(), &mut rng).unwrap();
+        let fs = small.flops(&[1, 3, 16, 16]).unwrap();
+        let fr = resnet.flops(&[1, 3, 16, 16]).unwrap();
+        assert!(fr > fs, "resnet {fr} vs small {fs}");
+    }
+
+    #[test]
+    fn mobilenet_trunk_shapes_and_cost() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = ResNetConfig::default();
+        let mut mobile = mobilenet_trunk(cfg, &mut rng).unwrap();
+        let y = mobile
+            .forward(&Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.dims(), &[2, resnet_feature_width(&cfg)]);
+        // The depthwise-separable trunk must be cheaper than the residual
+        // trunk at the same width - MobileNet's whole point.
+        let resnet = resnet_trunk(cfg, &mut rng).unwrap();
+        let fm = mobile.flops(&[1, 3, 16, 16]).unwrap();
+        let fr = resnet.flops(&[1, 3, 16, 16]).unwrap();
+        assert!(fm * 2 < fr, "mobilenet {fm} vs resnet {fr}");
+    }
+
+    #[test]
+    fn feature_width_matches_last_stage() {
+        let cfg = ResNetConfig::default();
+        assert_eq!(resnet_feature_width(&cfg), 32);
+    }
+}

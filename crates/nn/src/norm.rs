@@ -1,0 +1,353 @@
+//! Batch normalization.
+
+use fhdnn_tensor::Tensor;
+
+use crate::{Layer, Mode, NnError, Param, Result};
+
+/// Per-channel batch normalization over `[batch, c, h, w]` activations.
+///
+/// Training mode normalizes with batch statistics and maintains running
+/// averages; evaluation mode uses the running averages. Gamma and beta are
+/// trainable and participate in the federated parameter vector, exactly as
+/// BatchNorm parameters do in the paper's ResNet baseline.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    channels: usize,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    input_dims: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `channels == 0`.
+    pub fn new(channels: usize) -> Result<Self> {
+        if channels == 0 {
+            return Err(NnError::InvalidConfig(
+                "batchnorm channels must be positive".into(),
+            ));
+        }
+        Ok(BatchNorm2d {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            channels,
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        })
+    }
+
+    fn check_dims(&self, dims: &[usize]) -> Result<(usize, usize, usize, usize)> {
+        if dims.len() != 4 || dims[1] != self.channels {
+            return Err(NnError::BadInputShape {
+                layer: "BatchNorm2d",
+                detail: format!("expected [batch, {}, h, w], got {dims:?}", self.channels),
+            });
+        }
+        Ok((dims[0], dims[1], dims[2], dims[3]))
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &'static str {
+        "BatchNorm2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, c, h, w) = self.check_dims(input.dims())?;
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; x.len()];
+
+        match mode {
+            Mode::Train => {
+                let mut x_hat = vec![0.0f32; x.len()];
+                let mut inv_stds = vec![0.0f32; c];
+                #[allow(clippy::needless_range_loop)] // ci also indexes x/out planes
+                for ci in 0..c {
+                    let mut mean = 0.0;
+                    for bi in 0..n {
+                        let base = ((bi * c + ci) * plane)..((bi * c + ci + 1) * plane);
+                        mean += x[base].iter().sum::<f32>();
+                    }
+                    mean /= count;
+                    let mut var = 0.0;
+                    for bi in 0..n {
+                        let base = (bi * c + ci) * plane;
+                        for &v in &x[base..base + plane] {
+                            var += (v - mean) * (v - mean);
+                        }
+                    }
+                    var /= count;
+                    let inv_std = 1.0 / (var + self.eps).sqrt();
+                    inv_stds[ci] = inv_std;
+                    let (g, b) = (
+                        self.gamma.value.as_slice()[ci],
+                        self.beta.value.as_slice()[ci],
+                    );
+                    for bi in 0..n {
+                        let base = (bi * c + ci) * plane;
+                        for i in base..base + plane {
+                            let xh = (x[i] - mean) * inv_std;
+                            x_hat[i] = xh;
+                            out[i] = g * xh + b;
+                        }
+                    }
+                    let m = self.momentum;
+                    self.running_mean.as_mut_slice()[ci] =
+                        (1.0 - m) * self.running_mean.as_slice()[ci] + m * mean;
+                    self.running_var.as_mut_slice()[ci] =
+                        (1.0 - m) * self.running_var.as_slice()[ci] + m * var;
+                }
+                self.cache = Some(BnCache {
+                    x_hat: Tensor::from_vec(x_hat, input.dims())?,
+                    inv_std: inv_stds,
+                    input_dims: input.dims().to_vec(),
+                });
+            }
+            Mode::Eval => {
+                for ci in 0..c {
+                    let mean = self.running_mean.as_slice()[ci];
+                    let inv_std = 1.0 / (self.running_var.as_slice()[ci] + self.eps).sqrt();
+                    let (g, b) = (
+                        self.gamma.value.as_slice()[ci],
+                        self.beta.value.as_slice()[ci],
+                    );
+                    for bi in 0..n {
+                        let base = (bi * c + ci) * plane;
+                        for i in base..base + plane {
+                            out[i] = g * (x[i] - mean) * inv_std + b;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, input.dims()).map_err(Into::into)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.take().ok_or(NnError::MissingForwardCache {
+            layer: "BatchNorm2d",
+        })?;
+        if grad_output.dims() != cache.input_dims.as_slice() {
+            return Err(NnError::BadInputShape {
+                layer: "BatchNorm2d",
+                detail: format!(
+                    "grad shape {:?} != cached input shape {:?}",
+                    grad_output.dims(),
+                    cache.input_dims
+                ),
+            });
+        }
+        let (n, c, h, w) = self.check_dims(&cache.input_dims)?;
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let g_out = grad_output.as_slice();
+        let x_hat = cache.x_hat.as_slice();
+        let mut dx = vec![0.0f32; g_out.len()];
+
+        for ci in 0..c {
+            // Per-channel reductions: dgamma = Σ g·x̂, dbeta = Σ g.
+            let mut dgamma = 0.0;
+            let mut dbeta = 0.0;
+            for bi in 0..n {
+                let base = (bi * c + ci) * plane;
+                for i in base..base + plane {
+                    dgamma += g_out[i] * x_hat[i];
+                    dbeta += g_out[i];
+                }
+            }
+            self.gamma.grad.as_mut_slice()[ci] += dgamma;
+            self.beta.grad.as_mut_slice()[ci] += dbeta;
+
+            // Standard batchnorm input gradient:
+            // dx = γ·inv_std/m · (m·g − Σg − x̂·Σ(g·x̂))
+            let gamma = self.gamma.value.as_slice()[ci];
+            let scale = gamma * cache.inv_std[ci] / count;
+            for bi in 0..n {
+                let base = (bi * c + ci) * plane;
+                for i in base..base + plane {
+                    dx[i] = scale * (count * g_out[i] - dbeta - x_hat[i] * dgamma);
+                }
+            }
+        }
+        Tensor::from_vec(dx, &cache.input_dims).map_err(Into::into)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn visit_params(&self, visitor: &mut dyn FnMut(&Param)) {
+        visitor(&self.gamma);
+        visitor(&self.beta);
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        self.check_dims(input_dims)?;
+        Ok(input_dims.to_vec())
+    }
+
+    fn flops(&self, input_dims: &[usize]) -> Result<u64> {
+        self.check_dims(input_dims)?;
+        // Normalize + affine: ~4 FLOPs per element.
+        Ok(4 * input_dims.iter().product::<usize>() as u64)
+    }
+
+    fn running_state(&self) -> Vec<f32> {
+        let mut out = self.running_mean.as_slice().to_vec();
+        out.extend_from_slice(self.running_var.as_slice());
+        out
+    }
+
+    fn load_running_state(&mut self, state: &[f32]) -> Result<()> {
+        if state.len() != 2 * self.channels {
+            return Err(NnError::ParamLengthMismatch {
+                expected: 2 * self.channels,
+                actual: state.len(),
+            });
+        }
+        self.running_mean
+            .as_mut_slice()
+            .copy_from_slice(&state[..self.channels]);
+        self.running_var
+            .as_mut_slice()
+            .copy_from_slice(&state[self.channels..]);
+        Ok(())
+    }
+
+    fn running_state_len(&self) -> usize {
+        2 * self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn train_normalizes_batch() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::randn(&[4, 2, 3, 3], 3.0, &mut rng).add_scalar(5.0);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        // Per-channel mean ~0, var ~1.
+        for ci in 0..2 {
+            let mut vals = Vec::new();
+            for bi in 0..4 {
+                for i in 0..9 {
+                    vals.push(y.as_slice()[(bi * 2 + ci) * 9 + i]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Warm running stats with many training passes.
+        for _ in 0..200 {
+            let x = Tensor::randn(&[8, 1, 2, 2], 2.0, &mut rng).add_scalar(3.0);
+            bn.forward(&x, Mode::Train).unwrap();
+        }
+        let x = Tensor::full(&[1, 1, 2, 2], 3.0);
+        let y = bn.forward(&x, Mode::Eval).unwrap();
+        // Input at the running mean should map near zero.
+        assert!(y.as_slice().iter().all(|v| v.abs() < 0.2), "{y}");
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        bn.gamma.value.as_mut_slice().copy_from_slice(&[1.3, 0.7]);
+        bn.beta.value.as_mut_slice().copy_from_slice(&[0.2, -0.1]);
+        let x = Tensor::randn(&[2, 2, 2, 2], 1.0, &mut rng);
+        // Quadratic loss L = Σ y² to exercise nontrivial gradients.
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        let g = y.scale(2.0);
+        let dx = bn.backward(&g).unwrap();
+        let base: f32 = y.as_slice().iter().map(|v| v * v).sum();
+
+        let eps = 1e-3;
+        for i in (0..x.len()).step_by(3) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            // Use a fresh layer with identical affine params so running
+            // stats don't drift between evaluations.
+            let mut bn2 = BatchNorm2d::new(2).unwrap();
+            bn2.gamma.value = bn.gamma.value.clone();
+            bn2.beta.value = bn.beta.value.clone();
+            let yp = bn2.forward(&xp, Mode::Train).unwrap();
+            let lp: f32 = yp.as_slice().iter().map(|v| v * v).sum();
+            let num = (lp - base) / eps;
+            assert!(
+                (num - dx.as_slice()[i]).abs() < 0.05,
+                "dx[{i}]: numeric {num} vs analytic {}",
+                dx.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_channels() {
+        let mut bn = BatchNorm2d::new(3).unwrap();
+        assert!(bn
+            .forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Train)
+            .is_err());
+        assert!(BatchNorm2d::new(0).is_err());
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        assert!(bn.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn running_state_roundtrip() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let x = Tensor::randn(&[4, 2, 2, 2], 2.0, &mut rng).add_scalar(1.0);
+            bn.forward(&x, Mode::Train).unwrap();
+        }
+        let state = bn.running_state();
+        assert_eq!(state.len(), 4);
+        let mut fresh = BatchNorm2d::new(2).unwrap();
+        fresh.load_running_state(&state).unwrap();
+        let x = Tensor::randn(&[1, 2, 2, 2], 1.0, &mut rng);
+        // Copy affine params too so eval outputs match exactly.
+        fresh.gamma.value = bn.gamma.value.clone();
+        fresh.beta.value = bn.beta.value.clone();
+        assert_eq!(
+            fresh.forward(&x, Mode::Eval).unwrap(),
+            bn.forward(&x, Mode::Eval).unwrap()
+        );
+        assert!(fresh.load_running_state(&[0.0]).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Spatial pooling layers.
+
+use fhdnn_tensor::Tensor;
+
+use crate::{Layer, Mode, NnError, Result};
+
+/// Non-overlapping max pooling over `[batch, c, h, w]` with a square window.
+///
+/// `h` and `w` must be divisible by the window size.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    window: usize,
+    cache: Option<PoolCache>,
+}
+
+#[derive(Debug)]
+struct PoolCache {
+    argmax: Vec<usize>,
+    input_dims: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool with the given square window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `window == 0`.
+    pub fn new(window: usize) -> Result<Self> {
+        if window == 0 {
+            return Err(NnError::InvalidConfig(
+                "pool window must be positive".into(),
+            ));
+        }
+        Ok(MaxPool2d {
+            window,
+            cache: None,
+        })
+    }
+
+    fn check_dims(&self, dims: &[usize]) -> Result<(usize, usize, usize, usize)> {
+        if dims.len() != 4 {
+            return Err(NnError::BadInputShape {
+                layer: "MaxPool2d",
+                detail: format!("expected rank-4 NCHW input, got {dims:?}"),
+            });
+        }
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        if h % self.window != 0 || w % self.window != 0 {
+            return Err(NnError::BadInputShape {
+                layer: "MaxPool2d",
+                detail: format!(
+                    "spatial dims {h}x{w} not divisible by window {}",
+                    self.window
+                ),
+            });
+        }
+        Ok((n, c, h, w))
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, c, h, w) = self.check_dims(input.dims())?;
+        let k = self.window;
+        let (oh, ow) = (h / k, w / k);
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut argmax = vec![0usize; out.len()];
+        for nc in 0..n * c {
+            let plane = &x[nc * h * w..(nc + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best_idx = (oy * k) * w + ox * k;
+                    let mut best = plane[best_idx];
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let idx = (oy * k + ky) * w + (ox * k + kx);
+                            if plane[idx] > best {
+                                best = plane[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = nc * oh * ow + oy * ow + ox;
+                    out[o] = best;
+                    argmax[o] = nc * h * w + best_idx;
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cache = Some(PoolCache {
+                argmax,
+                input_dims: input.dims().to_vec(),
+            });
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow]).map_err(Into::into)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .take()
+            .ok_or(NnError::MissingForwardCache { layer: "MaxPool2d" })?;
+        if grad_output.len() != cache.argmax.len() {
+            return Err(NnError::BadInputShape {
+                layer: "MaxPool2d",
+                detail: "grad length does not match pooled output".into(),
+            });
+        }
+        let mut dx = Tensor::zeros(&cache.input_dims);
+        let d = dx.as_mut_slice();
+        for (&src, &g) in cache.argmax.iter().zip(grad_output.as_slice()) {
+            d[src] += g;
+        }
+        Ok(dx)
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        let (n, c, h, w) = self.check_dims(input_dims)?;
+        Ok(vec![n, c, h / self.window, w / self.window])
+    }
+
+    fn flops(&self, input_dims: &[usize]) -> Result<u64> {
+        // One comparison per input element.
+        self.check_dims(input_dims)?;
+        Ok(input_dims.iter().product::<usize>() as u64)
+    }
+}
+
+/// Global average pooling: `[batch, c, h, w] -> [batch, c]`.
+///
+/// This is the ResNet head that feeds the final classifier — and, in FHDnn,
+/// the feature vector handed to the hyperdimensional encoder.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { input_dims: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let dims = input.dims();
+        if dims.len() != 4 {
+            return Err(NnError::BadInputShape {
+                layer: "GlobalAvgPool",
+                detail: format!("expected rank-4 NCHW input, got {dims:?}"),
+            });
+        }
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let area = (h * w) as f32;
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; n * c];
+        for (nc, o) in out.iter_mut().enumerate() {
+            *o = x[nc * h * w..(nc + 1) * h * w].iter().sum::<f32>() / area;
+        }
+        if mode == Mode::Train {
+            self.input_dims = Some(dims.to_vec());
+        }
+        Tensor::from_vec(out, &[n, c]).map_err(Into::into)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self.input_dims.take().ok_or(NnError::MissingForwardCache {
+            layer: "GlobalAvgPool",
+        })?;
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        if grad_output.dims() != [n, c] {
+            return Err(NnError::BadInputShape {
+                layer: "GlobalAvgPool",
+                detail: format!("grad shape {:?} != [{n}, {c}]", grad_output.dims()),
+            });
+        }
+        let area = (h * w) as f32;
+        let g = grad_output.as_slice();
+        let mut dx = vec![0.0f32; n * c * h * w];
+        for nc in 0..n * c {
+            let v = g[nc] / area;
+            for d in &mut dx[nc * h * w..(nc + 1) * h * w] {
+                *d = v;
+            }
+        }
+        Tensor::from_vec(dx, &dims).map_err(Into::into)
+    }
+
+    fn output_dims(&self, input_dims: &[usize]) -> Result<Vec<usize>> {
+        if input_dims.len() != 4 {
+            return Err(NnError::BadInputShape {
+                layer: "GlobalAvgPool",
+                detail: format!("expected rank-4 NCHW input, got {input_dims:?}"),
+            });
+        }
+        Ok(vec![input_dims[0], input_dims[1]])
+    }
+
+    fn flops(&self, input_dims: &[usize]) -> Result<u64> {
+        self.output_dims(input_dims)?;
+        Ok(input_dims.iter().product::<usize>() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_known_values() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = pool.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        pool.forward(&x, Mode::Train).unwrap();
+        let dx = pool
+            .backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap())
+            .unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn maxpool_rejects_indivisible() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        assert!(pool
+            .forward(&Tensor::zeros(&[1, 1, 3, 4]), Mode::Eval)
+            .is_err());
+    }
+
+    #[test]
+    fn gap_averages_planes() {
+        let mut gap = GlobalAvgPool::new();
+        let x =
+            Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2]).unwrap();
+        let y = gap.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.as_slice(), &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn gap_backward_spreads_gradient() {
+        let mut gap = GlobalAvgPool::new();
+        gap.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Train)
+            .unwrap();
+        let dx = gap
+            .backward(&Tensor::from_vec(vec![8.0], &[1, 1]).unwrap())
+            .unwrap();
+        assert_eq!(dx.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pool_backward_requires_forward() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        assert!(pool.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+        let mut gap = GlobalAvgPool::new();
+        assert!(gap.backward(&Tensor::zeros(&[1, 1])).is_err());
+    }
+}

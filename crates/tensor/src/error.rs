@@ -1,0 +1,107 @@
+use std::fmt;
+
+/// Errors produced by tensor operations.
+///
+/// Every fallible operation in this crate returns a `TensorError` describing
+/// the exact shape or argument mismatch, so callers can surface actionable
+/// diagnostics instead of panicking deep inside numeric code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// length supplied.
+    LengthMismatch {
+        /// Number of elements the shape requires.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// An operation required a tensor of a specific rank.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Rank of the tensor provided.
+        actual: usize,
+    },
+    /// Inner dimensions incompatible for matrix multiplication.
+    MatmulDimMismatch {
+        /// `[m, k]` of the left matrix.
+        lhs: [usize; 2],
+        /// `[k2, n]` of the right matrix.
+        rhs: [usize; 2],
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// A scalar argument was invalid (e.g. zero or negative where a positive
+    /// value is required).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { lhs, rhs } => {
+                write!(f, "shape mismatch: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected}, got rank {actual}")
+            }
+            TensorError::MatmulDimMismatch { lhs, rhs } => write!(
+                f,
+                "matmul inner dimensions incompatible: [{}, {}] x [{}, {}]",
+                lhs[0], lhs[1], rhs[0], rhs[1]
+            ),
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert_eq!(e.to_string(), "data length 3 does not match shape volume 4");
+    }
+
+    #[test]
+    fn display_matmul_mismatch() {
+        let e = TensorError::MatmulDimMismatch {
+            lhs: [2, 3],
+            rhs: [4, 5],
+        };
+        assert!(e.to_string().contains("[2, 3] x [4, 5]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,117 @@
+//! Weight initialization schemes for neural-network layers.
+//!
+//! These are free functions rather than `Tensor` constructors because each
+//! scheme interprets the shape with layer-specific semantics (fan-in /
+//! fan-out), which a generic tensor should not know about.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Kaiming-He normal initialization for ReLU networks.
+///
+/// Draws from `N(0, sqrt(2 / fan_in)^2)`. For a conv weight
+/// `[out_c, in_c, kh, kw]`, `fan_in = in_c * kh * kw`; for a linear weight
+/// `[out, in]`, `fan_in = in`.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming_normal<R: Rng + ?Sized>(dims: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    Tensor::randn(dims, std, rng)
+}
+
+/// Xavier-Glorot uniform initialization.
+///
+/// Draws from `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    dims: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan sum must be positive");
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(dims, -a, a, rng)
+}
+
+/// Rows drawn uniformly from the unit sphere in `R^n` — the random
+/// projection matrix `Φ ∈ R^{d×n}` of the paper's HD encoder (Section 3.3),
+/// whose rows are "randomly sampled directions from the n-dimensional unit
+/// sphere".
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn unit_sphere_rows<R: Rng + ?Sized>(d: usize, n: usize, rng: &mut R) -> Tensor {
+    assert!(n > 0, "row dimension must be positive");
+    let mut t = Tensor::randn(&[d, n], 1.0, rng);
+    for i in 0..d {
+        let row = t.row_mut(i).expect("shape is [d, n]");
+        let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+        // A zero-norm Gaussian draw has probability zero; guard against the
+        // pathological case anyway by re-pointing at a basis direction.
+        if norm > 0.0 {
+            for x in row.iter_mut() {
+                *x /= norm;
+            }
+        } else {
+            row[0] = 1.0;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_std_matches_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = kaiming_normal(&[100, 200], 200, &mut rng);
+        let var = t.as_slice().iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
+        let expect = 2.0 / 200.0;
+        assert!((var - expect).abs() < expect * 0.2, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = xavier_uniform(&[50, 60], 60, 50, &mut rng);
+        let a = (6.0 / 110.0f32).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= a));
+    }
+
+    #[test]
+    fn unit_sphere_rows_are_normalized() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = unit_sphere_rows(64, 32, &mut rng);
+        for i in 0..64 {
+            let norm = t.row(i).unwrap().iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-5, "row {i} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn unit_sphere_rows_decorrelated() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = unit_sphere_rows(2, 1024, &mut rng);
+        let dot: f32 = t
+            .row(0)
+            .unwrap()
+            .iter()
+            .zip(t.row(1).unwrap())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(dot.abs() < 0.15, "rows nearly orthogonal, dot {dot}");
+    }
+}

@@ -1,0 +1,258 @@
+//! Matrix multiplication and related rank-2 linear algebra.
+//!
+//! The matmul kernel is a cache-friendly `i-k-j` triple loop — deliberately
+//! simple, `forbid(unsafe)`, and fast enough for the laptop-scale CNNs and
+//! random-projection encoders this reproduction trains.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    fn as_matrix(&self) -> Result<(usize, usize)> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape().rank(),
+            });
+        }
+        Ok((self.dims()[0], self.dims()[1]))
+    }
+
+    /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either operand is not rank 2 or the inner
+    /// dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = self.as_matrix()?;
+        let (k2, n) = other.as_matrix()?;
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs: [m, k],
+                rhs: [k2, n],
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * b_pj;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self^T * other` without materializing the transpose:
+    /// `[k, m]^T x [k, n] -> [m, n]`.
+    ///
+    /// Used by linear-layer weight gradients (`x^T · dy`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank or dimension mismatch.
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
+        let (k, m) = self.as_matrix()?;
+        let (k2, n) = other.as_matrix()?;
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs: [m, k],
+                rhs: [k2, n],
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_pi * b_pj;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self * other^T`: `[m, k] x [n, k]^T -> [m, n]`.
+    ///
+    /// Used by linear-layer input gradients (`dy · W`) when the weight is
+    /// stored `[out, in]`, and by HD similarity against a prototype matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank or dimension mismatch.
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = self.as_matrix()?;
+        let (n, k2) = other.as_matrix()?;
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs: [m, k],
+                rhs: [k2, n],
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                out[i * n + j] = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix–vector product: `[m, n] x [n] -> [m]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank or dimension mismatch.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
+        let (m, n) = self.as_matrix()?;
+        if v.shape().rank() != 1 || v.len() != n {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: v.dims().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let out = (0..m)
+            .map(|i| {
+                a[i * n..(i + 1) * n]
+                    .iter()
+                    .zip(x)
+                    .map(|(p, q)| p * q)
+                    .sum()
+            })
+            .collect();
+        Tensor::from_vec(out, &[m])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor is not rank 2.
+    pub fn transpose(&self) -> Result<Tensor> {
+        let (m, n) = self.as_matrix()?;
+        let a = self.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Outer product of two rank-1 tensors: `[m] x [n] -> [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either input is not rank 1.
+    pub fn outer(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape().rank() != 1 || other.shape().rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: self.shape().rank().max(other.shape().rank()),
+            });
+        }
+        let (m, n) = (self.len(), other.len());
+        let mut out = Vec::with_capacity(m * n);
+        for &a in self.as_slice() {
+            for &b in other.as_slice() {
+                out.push(a * b);
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(data: &[f32], r: usize, c: usize) -> Tensor {
+        Tensor::from_vec(data.to_vec(), &[r, c]).unwrap()
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = m(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let b = m(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], 3, 2);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(a.matmul(&Tensor::eye(2)).unwrap(), a);
+        assert_eq!(Tensor::eye(2).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_dim_mismatch() {
+        let a = m(&[0.0; 6], 2, 3);
+        let b = m(&[0.0; 6], 2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_matmul() {
+        let a = m(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2);
+        let b = m(&[1.0, 0.0, -1.0, 2.0, 0.5, 1.0], 3, 2);
+        let expect = a.transpose().unwrap().matmul(&b).unwrap();
+        assert_eq!(a.matmul_tn(&b).unwrap(), expect);
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_transpose() {
+        let a = m(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = m(&[5.0, 6.0, 7.0, 8.0], 2, 2);
+        let expect = a.matmul(&b.transpose().unwrap()).unwrap();
+        assert_eq!(a.matmul_nt(&b).unwrap(), expect);
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        let a = m(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let v = Tensor::from_vec(vec![1.0, 0.0, -1.0], &[3]).unwrap();
+        let out = a.matvec(&v).unwrap();
+        assert_eq!(out.as_slice(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let t = a.transpose().unwrap();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn outer_product() {
+        let u = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let v = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]).unwrap();
+        let o = u.outer(&v).unwrap();
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.as_slice(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+}

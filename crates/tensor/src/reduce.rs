@@ -1,0 +1,157 @@
+//! Reductions: sums, means, extrema, and argmax.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements; `0.0` for empty tensors.
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element; `None` for empty tensors.
+    pub fn max(&self) -> Option<f32> {
+        self.as_slice().iter().copied().reduce(f32::max)
+    }
+
+    /// Minimum element; `None` for empty tensors.
+    pub fn min(&self) -> Option<f32> {
+        self.as_slice().iter().copied().reduce(f32::min)
+    }
+
+    /// Index of the maximum element (first occurrence); `None` if empty.
+    pub fn argmax(&self) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &x) in self.as_slice().iter().enumerate() {
+            match best {
+                Some((_, b)) if x <= b => {}
+                _ => best = Some((i, x)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Per-row argmax of a rank-2 tensor — the predicted class of each
+    /// sample in a `[batch, classes]` score matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor is not rank 2 or has zero columns.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape().rank(),
+            });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        if cols == 0 {
+            return Err(TensorError::InvalidArgument(
+                "argmax over zero columns".into(),
+            ));
+        }
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = self.row(r)?;
+            let mut best = 0;
+            for (j, &x) in row.iter().enumerate() {
+                if x > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Column-wise sum of a rank-2 tensor: `[rows, cols] -> [cols]`.
+    ///
+    /// This is the bias-gradient reduction for dense layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor is not rank 2.
+    pub fn sum_rows(&self) -> Result<Tensor> {
+        if self.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape().rank(),
+            });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; cols];
+        for r in 0..rows {
+            for (o, &x) in out.iter_mut().zip(self.row(r)?) {
+                *o += x;
+            }
+        }
+        Tensor::from_vec(out, &[cols])
+    }
+
+    /// Mean squared error between two same-shape tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn mse(&self, other: &Tensor) -> Result<f32> {
+        let diff = self.sub(other)?;
+        Ok(diff.norm_sq() / diff.len().max(1) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_mean() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+    }
+
+    #[test]
+    fn empty_tensor_reductions() {
+        let t = Tensor::zeros(&[0]);
+        assert_eq!(t.mean(), 0.0);
+        assert!(t.max().is_none());
+        assert!(t.argmax().is_none());
+    }
+
+    #[test]
+    fn max_min_argmax() {
+        let t = Tensor::from_vec(vec![3.0, -1.0, 7.0, 7.0], &[4]).unwrap();
+        assert_eq!(t.max(), Some(7.0));
+        assert_eq!(t.min(), Some(-1.0));
+        assert_eq!(t.argmax(), Some(2), "first occurrence wins");
+    }
+
+    #[test]
+    fn argmax_rows_per_sample() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.6, 0.3, 0.1], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn sum_rows_columnwise() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(t.sum_rows().unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn mse_symmetric_and_zero_on_equal() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![2.0, 4.0], &[2]).unwrap();
+        assert_eq!(a.mse(&a).unwrap(), 0.0);
+        assert_eq!(a.mse(&b).unwrap(), b.mse(&a).unwrap());
+        assert_eq!(a.mse(&b).unwrap(), 2.5);
+    }
+}

@@ -1,0 +1,85 @@
+//! AIoT deployment scenario: a fleet of battery-powered camera nodes on a
+//! lossy LPWAN uplink (the paper's motivating setting).
+//!
+//! Trains FHDnn and the FedAvg/ResNet baseline on the same non-IID data
+//! under 20% packet loss — the realistic operating point [Hu et al. 2020]
+//! says an energy-efficient IoT network should tolerate — then prices
+//! both out in update bytes, LTE airtime and on-device energy.
+//!
+//! ```text
+//! cargo run --release --example aiot_deployment
+//! ```
+
+use fhdnn::channel::lte::LteLink;
+use fhdnn::channel::packet::PacketLossChannel;
+use fhdnn::experiment::{ExperimentSpec, Workload};
+use fhdnn::federated::comm::CommReport;
+use fhdnn::federated::cost::{hd_encode_flops, hd_refine_flops, DeviceProfile};
+use fhdnn::nn::flops::training_flops;
+use fhdnn::nn::models::resnet_lite;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("AIoT deployment: 6 camera nodes, non-IID data, 20% packet loss\n");
+    let spec = ExperimentSpec::quick(Workload::Cifar).non_iid();
+    let channel = PacketLossChannel::new(0.20, 256 * 8)?;
+
+    let fh = spec.run_fhdnn(&channel)?;
+    println!(
+        "FHDnn   : final accuracy {:.3} ({} rounds, {} B/update)",
+        fh.history.final_accuracy(),
+        fh.history.rounds.len(),
+        fh.update_bytes
+    );
+    let cnn = spec.run_resnet(&channel)?;
+    println!(
+        "ResNet  : final accuracy {:.3} ({} rounds, {} B/update)",
+        cnn.history.final_accuracy(),
+        cnn.history.rounds.len(),
+        cnn.update_bytes
+    );
+
+    // Network cost of the whole campaign.
+    let target = 0.9 * fh.history.final_accuracy();
+    let rep_fh = CommReport::from_history(&fh.history, target, &LteLink::error_admitting());
+    let rep_cnn = CommReport::from_history(&cnn.history, target, &LteLink::error_free());
+    println!("\nnetwork cost to {:.0}% accuracy:", target * 100.0);
+    println!(
+        "  FHDnn  : {} B/client, {:.2} s LTE uplink",
+        rep_fh.bytes_per_client, rep_fh.uplink_seconds
+    );
+    println!(
+        "  ResNet : {} B/client, {:.2} s LTE uplink (target reached: {})",
+        rep_cnn.bytes_per_client,
+        rep_cnn.uplink_seconds,
+        rep_cnn.rounds_to_target.is_some()
+    );
+
+    // On-device cost of one local round on a Raspberry Pi-class node.
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = resnet_lite(spec.backbone, &mut rng)?;
+    let samples = spec.train_size / spec.fl.num_clients;
+    let input = [samples, spec.backbone.in_channels, 16, 16];
+    let cnn_flops = spec.fl.local_epochs as f64 * training_flops(&net, &input)? as f64;
+    let hd_flops = net.flops(&input)? as f64
+        + hd_encode_flops(
+            samples as u64,
+            spec.feature_width() as u64,
+            spec.hd_dim as u64,
+        ) as f64
+        + spec.fl.local_epochs as f64
+            * hd_refine_flops(samples as u64, 10, spec.hd_dim as u64) as f64;
+    let rpi = DeviceProfile::raspberry_pi_3b();
+    let c_cnn = rpi.estimate(cnn_flops)?;
+    let c_hd = rpi.estimate(hd_flops)?;
+    println!("\non-device cost per round ({}):", rpi.name);
+    println!("  FHDnn  : {:.3} s, {:.3} J", c_hd.seconds, c_hd.joules);
+    println!(
+        "  ResNet : {:.3} s, {:.3} J  ({:.1}x more energy)",
+        c_cnn.seconds,
+        c_cnn.joules,
+        c_cnn.joules / c_hd.joules
+    );
+    Ok(())
+}

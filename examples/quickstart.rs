@@ -1,0 +1,41 @@
+//! Quickstart: train FHDnn federatedly on the synthetic CIFAR stand-in
+//! over a clean channel and print the learning curve.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fhdnn::channel::NoiselessChannel;
+use fhdnn::experiment::{ExperimentSpec, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A laptop-scale FHDnn experiment: 6 clients, 5 rounds, frozen
+    // feature extractor + federated hyperdimensional learner.
+    let spec = ExperimentSpec::quick(Workload::Cifar);
+    println!(
+        "FHDnn quickstart: {} clients, {} rounds, E={}, B={}, C={}",
+        spec.fl.num_clients,
+        spec.fl.rounds,
+        spec.fl.local_epochs,
+        spec.fl.batch_size,
+        spec.fl.client_fraction
+    );
+
+    let outcome = spec.run_fhdnn(&NoiselessChannel::new())?;
+    println!("\nround  accuracy  bytes/client");
+    for r in &outcome.history.rounds {
+        println!(
+            "{:>5}  {:>8.3}  {:>12}",
+            r.round + 1,
+            r.test_accuracy,
+            r.bytes_per_client
+        );
+    }
+    println!(
+        "\nfinal accuracy: {:.1}%  (update size {} bytes — only the HD \
+         model ever crosses the network)",
+        outcome.history.final_accuracy() * 100.0,
+        outcome.update_bytes
+    );
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Integration tests for the beyond-the-paper extensions: binary
+//! transport, burst losses, MobileNet trunks, compressed CNN uploads, and
+//! adaptive refinement — exercised through the public API.
+
+use fhdnn::channel::gilbert::GilbertElliottChannel;
+use fhdnn::channel::NoiselessChannel;
+use fhdnn::experiment::{ExperimentSpec, Workload};
+use fhdnn::federated::fedhd::HdTransport;
+use fhdnn::nn::models::TrunkArch;
+
+#[test]
+fn binary_transport_is_32x_smaller_and_competitive() {
+    let spec = ExperimentSpec::quick(Workload::Mnist).with_light_pretrain();
+    let channel = NoiselessChannel::new();
+    let float_outcome = spec.run_fhdnn(&channel).unwrap();
+    let mut binary_spec = spec.clone();
+    binary_spec.transport = HdTransport::Binary;
+    let binary_outcome = binary_spec.run_fhdnn(&channel).unwrap();
+
+    assert_eq!(
+        float_outcome.update_bytes,
+        32 * binary_outcome.update_bytes,
+        "1 bit per dimension vs 32"
+    );
+    assert!(
+        binary_outcome.history.final_accuracy() > float_outcome.history.final_accuracy() - 0.1,
+        "binary {} vs float {}",
+        binary_outcome.history.final_accuracy(),
+        float_outcome.history.final_accuracy()
+    );
+}
+
+#[test]
+fn binary_transport_survives_burst_losses() {
+    let mut spec = ExperimentSpec::quick(Workload::Mnist).with_light_pretrain();
+    spec.transport = HdTransport::Binary;
+    let clean = spec
+        .run_fhdnn(&NoiselessChannel::new())
+        .unwrap()
+        .history
+        .final_accuracy();
+    // ~17% average loss arriving in bursts.
+    let bursty = GilbertElliottChannel::new(0.01, 0.8, 0.05, 0.2, 256 * 8).unwrap();
+    let lossy = spec.run_fhdnn(&bursty).unwrap().history.final_accuracy();
+    assert!(lossy > clean - 0.12, "clean {clean} vs bursty {lossy}");
+}
+
+#[test]
+fn mobilenet_extractor_runs_end_to_end() {
+    // Depthwise trunks need pretraining: untrained they destroy far more
+    // information than untrained residual trunks.
+    let mut spec = ExperimentSpec::quick(Workload::Mnist).with_light_pretrain();
+    spec.arch = TrunkArch::MobileNet;
+    if let Some(p) = &mut spec.pretrain {
+        p.arch = TrunkArch::MobileNet;
+    }
+    let outcome = spec.run_fhdnn(&NoiselessChannel::new()).unwrap();
+    assert!(
+        outcome.history.final_accuracy() > 0.6,
+        "mobilenet accuracy {}",
+        outcome.history.final_accuracy()
+    );
+}
+
+#[test]
+fn compressed_cnn_is_not_robust_but_fhdnn_is() {
+    use fhdnn::channel::packet::PacketLossChannel;
+    let spec = ExperimentSpec::quick(Workload::Mnist).with_light_pretrain();
+    let lossy = PacketLossChannel::new(0.2, 256 * 8).unwrap();
+    let compressed = spec
+        .run_resnet_compressed(&lossy, 0.25)
+        .unwrap()
+        .history
+        .final_accuracy();
+    let fh = spec.run_fhdnn(&lossy).unwrap().history.final_accuracy();
+    assert!(
+        fh > compressed + 0.2,
+        "fhdnn {fh} vs compressed cnn {compressed} at 20% loss"
+    );
+}
+
+#[test]
+fn convergence_regret_favors_fhdnn() {
+    use fhdnn::federated::convergence::mean_regret;
+    let spec = ExperimentSpec::quick(Workload::Mnist).with_light_pretrain();
+    let channel = NoiselessChannel::new();
+    let fh = spec.run_fhdnn(&channel).unwrap();
+    let cnn = spec.run_resnet(&channel).unwrap();
+    assert!(
+        mean_regret(&fh.history) < mean_regret(&cnn.history),
+        "fhdnn regret {} vs resnet {}",
+        mean_regret(&fh.history),
+        mean_regret(&cnn.history)
+    );
+}

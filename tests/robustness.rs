@@ -1,0 +1,106 @@
+//! The paper's central comparative claims under unreliable channels
+//! (Figure 8), as integration tests.
+
+use fhdnn::channel::awgn::AwgnChannel;
+use fhdnn::channel::bit_error::BitErrorChannel;
+use fhdnn::channel::packet::PacketLossChannel;
+use fhdnn::channel::NoiselessChannel;
+use fhdnn::experiment::{ExperimentSpec, Workload};
+use fhdnn::federated::fedhd::HdTransport;
+
+/// The paper's robustness claims concern the full FHDnn pipeline: a
+/// contrastively pretrained, frozen extractor in front of the HD learner.
+/// Separable prototypes are what the holographic redundancy protects.
+fn spec() -> ExperimentSpec {
+    ExperimentSpec::quick(Workload::Mnist).with_light_pretrain()
+}
+
+#[test]
+fn fhdnn_survives_20_percent_packet_loss() {
+    // The paper's headline robustness claim: at the realistic 20% loss
+    // rate FHDnn keeps nearly its clean accuracy.
+    let s = spec();
+    let clean = s
+        .run_fhdnn(&NoiselessChannel::new())
+        .unwrap()
+        .history
+        .final_accuracy();
+    let lossy = s
+        .run_fhdnn(&PacketLossChannel::new(0.2, 256 * 8).unwrap())
+        .unwrap()
+        .history
+        .final_accuracy();
+    assert!(lossy > clean - 0.15, "clean {clean} vs 20% loss {lossy}");
+}
+
+#[test]
+fn resnet_collapses_under_20_percent_packet_loss() {
+    let s = spec();
+    let lossy = s
+        .run_resnet(&PacketLossChannel::new(0.2, 256 * 8).unwrap())
+        .unwrap()
+        .history
+        .final_accuracy();
+    // 10 classes: collapse means near-chance.
+    assert!(lossy < 0.3, "resnet under 20% loss: {lossy}");
+}
+
+#[test]
+fn fhdnn_beats_resnet_under_packet_loss() {
+    let s = spec();
+    let ch = PacketLossChannel::new(0.2, 256 * 8).unwrap();
+    let fh = s.run_fhdnn(&ch).unwrap().history.final_accuracy();
+    let cnn = s.run_resnet(&ch).unwrap().history.final_accuracy();
+    assert!(fh > cnn + 0.2, "fhdnn {fh} vs resnet {cnn}");
+}
+
+#[test]
+fn bit_errors_destroy_float_cnn_aggregation() {
+    // Even a tiny BER puts float32 CNN weights at risk of exponent-bit
+    // corruption; the paper calls the failure inevitable.
+    let s = spec();
+    let ch = BitErrorChannel::new(1e-4).unwrap();
+    let cnn = s.run_resnet(&ch).unwrap().history.final_accuracy();
+    assert!(cnn < 0.3, "resnet under BER 1e-4: {cnn}");
+}
+
+#[test]
+fn quantizer_rescues_hd_from_bit_errors() {
+    let mut s = spec();
+    let ch = BitErrorChannel::new(1e-3).unwrap();
+    s.transport = HdTransport::Float;
+    let float_acc = s.run_fhdnn(&ch).unwrap().history.final_accuracy();
+    s.transport = HdTransport::Quantized { bitwidth: 16 };
+    let quant_acc = s.run_fhdnn(&ch).unwrap().history.final_accuracy();
+    assert!(
+        quant_acc > float_acc + 0.15,
+        "quantized {quant_acc} vs float {float_acc} at BER 1e-3"
+    );
+    assert!(quant_acc > 0.5, "quantized accuracy {quant_acc}");
+}
+
+#[test]
+fn fhdnn_tolerates_low_snr_awgn() {
+    let s = spec();
+    let clean = s
+        .run_fhdnn(&NoiselessChannel::new())
+        .unwrap()
+        .history
+        .final_accuracy();
+    let noisy = s
+        .run_fhdnn(&AwgnChannel::new(10.0).unwrap())
+        .unwrap()
+        .history
+        .final_accuracy();
+    // The paper reports only ~3% loss for FHDnn under noisy links.
+    assert!(noisy > clean - 0.15, "clean {clean} vs 10 dB AWGN {noisy}");
+}
+
+#[test]
+fn awgn_hurts_resnet_more_than_fhdnn() {
+    let s = spec();
+    let ch = AwgnChannel::new(5.0).unwrap();
+    let fh = s.run_fhdnn(&ch).unwrap().history.final_accuracy();
+    let cnn = s.run_resnet(&ch).unwrap().history.final_accuracy();
+    assert!(fh > cnn, "fhdnn {fh} vs resnet {cnn} at 5 dB");
+}
