@@ -131,6 +131,35 @@ impl Channel for AwgnChannel {
             *s = if rx >= 0.0 { 1 } else { -1 };
         }
     }
+
+    // Analog accounting: record injected noise energy rather than
+    // (meaningless) IEEE-754 bit diffs.
+    fn transmit_f32_stats(
+        &self,
+        payload: &mut [f32],
+        rng: &mut dyn RngCore,
+        stats: &crate::ChannelStats,
+    ) {
+        let before = payload.to_vec();
+        self.transmit_f32(payload, rng);
+        stats.record_transmission(payload.len() as u64);
+        stats.account_noise_f32(&before, payload);
+    }
+
+    fn transmit_words_stats(
+        &self,
+        words: &mut [i64],
+        bitwidth: u32,
+        rng: &mut dyn RngCore,
+        stats: &crate::ChannelStats,
+    ) {
+        let before = words.to_vec();
+        self.transmit_words(words, bitwidth, rng);
+        stats.record_transmission(words.len() as u64);
+        stats.account_noise_words(&before, words);
+    }
+    // `transmit_bipolar_stats` keeps the default: hard-decision BPSK
+    // errors are genuine sign flips.
 }
 
 impl AwgnChannel {
@@ -234,5 +263,45 @@ mod tests {
     fn rejects_non_finite_snr() {
         assert!(AwgnChannel::new(f64::NAN).is_err());
         assert!(AwgnChannel::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn stats_record_noise_energy() {
+        use crate::ChannelStats;
+        let ch = AwgnChannel::new(10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let clean = vec![2.0f32; 10_000];
+        let mut noisy = clean.clone();
+        let stats = ChannelStats::new();
+        ch.transmit_f32_stats(&mut noisy, &mut rng, &stats);
+        let realized: f64 = noisy
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| ((a - b) as f64).powi(2))
+            .sum();
+        let snap = stats.snapshot();
+        assert!(snap.noise_energy > 0.0);
+        assert!(
+            (snap.noise_energy - realized).abs() < 1e-6 * realized.max(1.0),
+            "accounted {} vs realized {realized}",
+            snap.noise_energy
+        );
+        // At 10 dB and power 4, expected noise energy ≈ 0.4 per symbol.
+        let per_symbol = snap.noise_energy / clean.len() as f64;
+        assert!((0.3..0.5).contains(&per_symbol), "{per_symbol}");
+        assert_eq!(snap.packets_dropped, 0);
+    }
+
+    #[test]
+    fn stats_bipolar_flips_counted_as_bits() {
+        use crate::ChannelStats;
+        let ch = AwgnChannel::new(0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut syms = vec![1i8; 10_000];
+        let stats = ChannelStats::new();
+        ch.transmit_bipolar_stats(&mut syms, &mut rng, &stats);
+        let flipped = syms.iter().filter(|&&s| s == -1).count() as u64;
+        assert_eq!(stats.snapshot().bits_flipped, flipped);
+        assert!(flipped > 0);
     }
 }

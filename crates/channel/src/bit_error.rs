@@ -212,6 +212,52 @@ mod tests {
     }
 
     #[test]
+    fn stats_count_exact_bit_flips() {
+        use crate::ChannelStats;
+        let ch = BitErrorChannel::new(0.01).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let clean = vec![0.5f32; 5_000];
+        let mut noisy = clean.clone();
+        let stats = ChannelStats::new();
+        ch.transmit_f32_stats(&mut noisy, &mut rng, &stats);
+        let realized: u64 = noisy
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a.to_bits() ^ b.to_bits()).count_ones() as u64)
+            .sum();
+        let snap = stats.snapshot();
+        assert_eq!(snap.bits_flipped, realized);
+        assert!(snap.bits_flipped > 0, "lossy channel flipped nothing");
+        assert_eq!(snap.packets_dropped, 0);
+    }
+
+    #[test]
+    fn stats_count_word_and_bipolar_flips() {
+        use crate::ChannelStats;
+        let ch = BitErrorChannel::new(0.02).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let clean_words = vec![100i64; 2_000];
+        let mut words = clean_words.clone();
+        let stats = ChannelStats::new();
+        ch.transmit_words_stats(&mut words, 8, &mut rng, &stats);
+        let mask = 0xFFu64;
+        let realized: u64 = words
+            .iter()
+            .zip(&clean_words)
+            .map(|(a, b)| ((*a as u64 ^ *b as u64) & mask).count_ones() as u64)
+            .sum();
+        assert_eq!(stats.snapshot().bits_flipped, realized);
+        assert!(realized > 0);
+
+        let stats = ChannelStats::new();
+        let mut syms = vec![1i8; 5_000];
+        ch.transmit_bipolar_stats(&mut syms, &mut rng, &stats);
+        let flipped = syms.iter().filter(|&&s| s == -1).count() as u64;
+        assert_eq!(stats.snapshot().bits_flipped, flipped);
+        assert!(flipped > 0);
+    }
+
+    #[test]
     fn deterministic_under_seed() {
         let ch = BitErrorChannel::new(0.05).unwrap();
         let run = || {

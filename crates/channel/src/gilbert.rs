@@ -131,6 +131,46 @@ impl Channel for GilbertElliottChannel {
     fn transmit_bipolar(&self, symbols: &mut [i8], rng: &mut dyn RngCore) {
         self.erase_spans(symbols, 1, rng);
     }
+
+    // Exact span accounting (see `PacketLossChannel`): bursts drop whole
+    // packets, so every erasure belongs to a dropped span.
+    fn transmit_f32_stats(
+        &self,
+        payload: &mut [f32],
+        rng: &mut dyn RngCore,
+        stats: &crate::ChannelStats,
+    ) {
+        let before = payload.to_vec();
+        self.transmit_f32(payload, rng);
+        stats.record_transmission(payload.len() as u64);
+        stats.account_span_erasures(&before, payload, (self.packet_bits / 32).max(1));
+    }
+
+    fn transmit_words_stats(
+        &self,
+        words: &mut [i64],
+        bitwidth: u32,
+        rng: &mut dyn RngCore,
+        stats: &crate::ChannelStats,
+    ) {
+        let before = words.to_vec();
+        self.transmit_words(words, bitwidth, rng);
+        stats.record_transmission(words.len() as u64);
+        let span = (self.packet_bits / bitwidth.max(1) as usize).max(1);
+        stats.account_span_erasures(&before, words, span);
+    }
+
+    fn transmit_bipolar_stats(
+        &self,
+        symbols: &mut [i8],
+        rng: &mut dyn RngCore,
+        stats: &crate::ChannelStats,
+    ) {
+        let before = symbols.to_vec();
+        self.transmit_bipolar(symbols, rng);
+        stats.record_transmission(symbols.len() as u64);
+        stats.account_span_erasures(&before, symbols, self.packet_bits.max(1));
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +245,23 @@ mod tests {
             mean_run(&ge_losses),
             mean_run(&independent)
         );
+    }
+
+    #[test]
+    fn stats_match_burst_erasures() {
+        use crate::ChannelStats;
+        let ch = bursty();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut payload = vec![1.0f32; 8 * 1000];
+        let stats = ChannelStats::new();
+        ch.transmit_f32_stats(&mut payload, &mut rng, &stats);
+        let zeros = payload.iter().filter(|&&x| x == 0.0).count() as u64;
+        let dropped_spans = payload.chunks(8).filter(|c| c[0] == 0.0).count() as u64;
+        let snap = stats.snapshot();
+        assert_eq!(snap.dims_erased, zeros);
+        assert_eq!(snap.packets_dropped, dropped_spans);
+        assert!(snap.packets_dropped > 0);
+        assert_eq!(snap.bits_flipped, 0);
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //!   accounting (1.6 Mbit/s error-free vs 5.0 Mbit/s error-admitting),
 //! - [`packetizer`] — concrete packet framing with CRC-32: bit errors on
 //!   the wire surface as dropped packets after reassembly, realizing the
-//!   §3.5.3 protocol behaviour end to end.
+//!   §3.5.3 protocol behaviour end to end,
+//! - [`stats`] — impairment accounting: every channel also offers
+//!   `transmit_*_stats` variants that tally *realized* damage (bits
+//!   flipped, dimensions erased, packets dropped, CRC rejects, noise
+//!   energy) into a shared [`ChannelStats`] accumulator.
 //!
 //! All channels implement the object-safe [`Channel`] trait so federated
 //! orchestration can inject any error model into the uplink.
@@ -48,8 +52,10 @@ pub mod gilbert;
 pub mod lte;
 pub mod packet;
 pub mod packetizer;
+pub mod stats;
 
 pub use error::ChannelError;
+pub use stats::{ChannelStats, ChannelStatsSnapshot};
 
 use rand::RngCore;
 
@@ -80,6 +86,49 @@ pub trait Channel: std::fmt::Debug + Send + Sync {
     /// whole spans to `0`, and analog noise acts as BPSK with a
     /// hard-decision receiver.
     fn transmit_bipolar(&self, symbols: &mut [i8], rng: &mut dyn RngCore);
+
+    /// Like [`Channel::transmit_f32`], additionally accounting realized
+    /// impairments into `stats`.
+    ///
+    /// The default implementation measures by diffing the payload before
+    /// and after transmission (flipped IEEE-754 bits, nonzero→zero
+    /// erasures); implementations override it where cheaper or more
+    /// precise accounting exists (packet spans, analog noise energy).
+    fn transmit_f32_stats(&self, payload: &mut [f32], rng: &mut dyn RngCore, stats: &ChannelStats) {
+        let before = payload.to_vec();
+        self.transmit_f32(payload, rng);
+        stats.record_transmission(payload.len() as u64);
+        stats.account_f32(&before, payload);
+    }
+
+    /// Like [`Channel::transmit_words`], additionally accounting realized
+    /// impairments into `stats` (see [`Channel::transmit_f32_stats`]).
+    fn transmit_words_stats(
+        &self,
+        words: &mut [i64],
+        bitwidth: u32,
+        rng: &mut dyn RngCore,
+        stats: &ChannelStats,
+    ) {
+        let before = words.to_vec();
+        self.transmit_words(words, bitwidth, rng);
+        stats.record_transmission(words.len() as u64);
+        stats.account_words(&before, words, bitwidth);
+    }
+
+    /// Like [`Channel::transmit_bipolar`], additionally accounting realized
+    /// impairments into `stats` (see [`Channel::transmit_f32_stats`]).
+    fn transmit_bipolar_stats(
+        &self,
+        symbols: &mut [i8],
+        rng: &mut dyn RngCore,
+        stats: &ChannelStats,
+    ) {
+        let before = symbols.to_vec();
+        self.transmit_bipolar(symbols, rng);
+        stats.record_transmission(symbols.len() as u64);
+        stats.account_bipolar(&before, symbols);
+    }
 }
 
 /// The identity channel: reliable, error-free transmission (the baseline
@@ -104,6 +153,35 @@ impl Channel for NoiselessChannel {
     fn transmit_words(&self, _words: &mut [i64], _bitwidth: u32, _rng: &mut dyn RngCore) {}
 
     fn transmit_bipolar(&self, _symbols: &mut [i8], _rng: &mut dyn RngCore) {}
+
+    // The identity channel never impairs anything: skip the diffing.
+    fn transmit_f32_stats(
+        &self,
+        payload: &mut [f32],
+        _rng: &mut dyn RngCore,
+        stats: &ChannelStats,
+    ) {
+        stats.record_transmission(payload.len() as u64);
+    }
+
+    fn transmit_words_stats(
+        &self,
+        words: &mut [i64],
+        _bitwidth: u32,
+        _rng: &mut dyn RngCore,
+        stats: &ChannelStats,
+    ) {
+        stats.record_transmission(words.len() as u64);
+    }
+
+    fn transmit_bipolar_stats(
+        &self,
+        symbols: &mut [i8],
+        _rng: &mut dyn RngCore,
+        stats: &ChannelStats,
+    ) {
+        stats.record_transmission(symbols.len() as u64);
+    }
 }
 
 #[cfg(test)]

@@ -108,6 +108,49 @@ impl Channel for PacketLossChannel {
         // One bit per symbol: large spans per packet.
         self.erase_spans(symbols, 1, rng);
     }
+
+    // Exact span accounting: whole packets are either kept or dropped, so
+    // per-span diffing attributes every erasure to a dropped packet.
+    fn transmit_f32_stats(
+        &self,
+        payload: &mut [f32],
+        rng: &mut dyn RngCore,
+        stats: &crate::ChannelStats,
+    ) {
+        let before = payload.to_vec();
+        self.transmit_f32(payload, rng);
+        stats.record_transmission(payload.len() as u64);
+        stats.account_span_erasures(&before, payload, self.symbols_per_packet(32));
+    }
+
+    fn transmit_words_stats(
+        &self,
+        words: &mut [i64],
+        bitwidth: u32,
+        rng: &mut dyn RngCore,
+        stats: &crate::ChannelStats,
+    ) {
+        let before = words.to_vec();
+        self.transmit_words(words, bitwidth, rng);
+        stats.record_transmission(words.len() as u64);
+        stats.account_span_erasures(
+            &before,
+            words,
+            self.symbols_per_packet(bitwidth.max(1) as usize),
+        );
+    }
+
+    fn transmit_bipolar_stats(
+        &self,
+        symbols: &mut [i8],
+        rng: &mut dyn RngCore,
+        stats: &crate::ChannelStats,
+    ) {
+        let before = symbols.to_vec();
+        self.transmit_bipolar(symbols, rng);
+        stats.record_transmission(symbols.len() as u64);
+        stats.account_span_erasures(&before, symbols, self.symbols_per_packet(1));
+    }
 }
 
 #[cfg(test)]
@@ -189,5 +232,39 @@ mod tests {
         assert!(PacketLossChannel::new(-0.1, 256).is_err());
         assert!(PacketLossChannel::new(1.5, 256).is_err());
         assert!(PacketLossChannel::new(0.1, 16).is_err());
+    }
+
+    #[test]
+    fn stats_match_realized_erasures() {
+        use crate::ChannelStats;
+        let ch = PacketLossChannel::new(0.3, 32 * 8).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut payload = vec![1.0f32; 8 * 500];
+        let stats = ChannelStats::new();
+        ch.transmit_f32_stats(&mut payload, &mut rng, &stats);
+        let zeros = payload.iter().filter(|&&x| x == 0.0).count() as u64;
+        let dropped_spans = payload.chunks(8).filter(|c| c[0] == 0.0).count() as u64;
+        let snap = stats.snapshot();
+        assert_eq!(snap.dims_erased, zeros);
+        assert_eq!(snap.packets_dropped, dropped_spans);
+        assert!(snap.packets_dropped > 0, "lossy channel dropped nothing");
+        assert_eq!(snap.bits_flipped, 0, "erasure channel flips no bits");
+        assert_eq!(snap.transmissions, 1);
+        assert_eq!(snap.symbols_sent, payload.len() as u64);
+    }
+
+    #[test]
+    fn stats_words_use_word_spans() {
+        use crate::ChannelStats;
+        let ch = PacketLossChannel::new(1.0, 64).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut words = vec![5i64; 12];
+        let stats = ChannelStats::new();
+        ch.transmit_words_stats(&mut words, 16, &mut rng, &stats);
+        let snap = stats.snapshot();
+        // 64-bit packets carry four 16-bit words: 12 words = 3 packets,
+        // all dropped at loss_prob 1.
+        assert_eq!(snap.packets_dropped, 3);
+        assert_eq!(snap.dims_erased, 12);
     }
 }

@@ -109,10 +109,35 @@ impl Packetizer {
     /// zeros in their span. Returns the payload and the number of packets
     /// dropped.
     pub fn reassemble(&self, packets: &[Packet], total_len: usize) -> (Vec<f32>, usize) {
+        self.reassemble_inner(packets, total_len, None)
+    }
+
+    /// Like [`Packetizer::reassemble`], additionally accounting dropped
+    /// packets into `stats` — CRC failures as `crc_rejects` (and drops),
+    /// never-arrived packets as plain drops, and all unfilled payload
+    /// positions as erased dimensions.
+    pub fn reassemble_stats(
+        &self,
+        packets: &[Packet],
+        total_len: usize,
+        stats: &crate::ChannelStats,
+    ) -> (Vec<f32>, usize) {
+        self.reassemble_inner(packets, total_len, Some(stats))
+    }
+
+    fn reassemble_inner(
+        &self,
+        packets: &[Packet],
+        total_len: usize,
+        stats: Option<&crate::ChannelStats>,
+    ) -> (Vec<f32>, usize) {
         let mut out = vec![0.0f32; total_len];
         let mut dropped = total_len.div_ceil(self.floats_per_packet);
+        let mut crc_rejects = 0u64;
+        let mut filled = 0usize;
         for p in packets {
             if !p.verify() {
+                crc_rejects += 1;
                 continue;
             }
             let start = p.seq as usize * self.floats_per_packet;
@@ -126,7 +151,14 @@ impl Packetizer {
                     break;
                 }
                 out[idx] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                filled += 1;
             }
+        }
+        if let Some(stats) = stats {
+            stats.record_transmission(total_len as u64);
+            stats.add_crc_rejects(crc_rejects);
+            stats.add_packets_dropped(dropped as u64);
+            stats.add_dims_erased((total_len - filled.min(total_len)) as u64);
         }
         (out, dropped)
     }
@@ -165,6 +197,20 @@ pub fn transport_through(
     let mut packets = packetizer.packetize(payload);
     corrupt_packets(&mut packets, channel, rng);
     packetizer.reassemble(&packets, payload.len())
+}
+
+/// [`transport_through`] with impairment accounting (CRC rejects, dropped
+/// packets, erased dimensions) into `stats`.
+pub fn transport_through_stats(
+    packetizer: &Packetizer,
+    payload: &[f32],
+    channel: &dyn Channel,
+    rng: &mut dyn RngCore,
+    stats: &crate::ChannelStats,
+) -> (Vec<f32>, usize) {
+    let mut packets = packetizer.packetize(payload);
+    corrupt_packets(&mut packets, channel, rng);
+    packetizer.reassemble_stats(&packets, payload.len(), stats)
 }
 
 #[cfg(test)]
@@ -257,5 +303,47 @@ mod tests {
     #[test]
     fn rejects_zero_size() {
         assert!(Packetizer::new(0).is_err());
+    }
+
+    #[test]
+    fn stats_classify_crc_rejects_and_missing_packets() {
+        use crate::ChannelStats;
+        let pz = Packetizer::new(4).unwrap();
+        let payload: Vec<f32> = (1..=16).map(|i| i as f32).collect();
+        let mut packets = pz.packetize(&payload);
+        packets[1].payload[0] ^= 0x01; // CRC failure
+        packets.remove(3); // never arrives
+        let stats = ChannelStats::new();
+        let (rx, dropped) = pz.reassemble_stats(&packets, payload.len(), &stats);
+        assert_eq!(dropped, 2);
+        let snap = stats.snapshot();
+        assert_eq!(snap.crc_rejects, 1);
+        assert_eq!(snap.packets_dropped, 2);
+        assert_eq!(
+            snap.dims_erased,
+            rx.iter().filter(|&&x| x == 0.0).count() as u64
+        );
+    }
+
+    #[test]
+    fn transport_through_stats_counts_end_to_end() {
+        use crate::ChannelStats;
+        let pz = Packetizer::new(8).unwrap();
+        let payload = vec![0.25f32; 8 * 500];
+        let ch = BitErrorChannel::new(1e-3).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let stats = ChannelStats::new();
+        let (rx, dropped) = transport_through_stats(&pz, &payload, &ch, &mut rng, &stats);
+        let snap = stats.snapshot();
+        assert_eq!(snap.packets_dropped, dropped as u64);
+        assert_eq!(snap.crc_rejects, dropped as u64, "all drops are CRC hits");
+        assert!(
+            snap.crc_rejects > 0,
+            "BER 1e-3 on 256-bit packets drops some"
+        );
+        assert_eq!(
+            snap.dims_erased,
+            rx.iter().filter(|&&x| x == 0.0).count() as u64
+        );
     }
 }

@@ -1,0 +1,342 @@
+//! Impairment accounting for channel transmissions.
+//!
+//! [`ChannelStats`] is a thread-safe accumulator of *realized* channel
+//! damage — bits actually flipped, dimensions actually erased, packets
+//! actually dropped, CRC rejects, injected noise energy — as opposed to
+//! the configured probabilities. The federated loop attaches one to its
+//! uplink (see `Channel::transmit_f32_stats` and friends) and reports the
+//! deltas per round through the telemetry layer.
+//!
+//! The accumulator is deliberately independent of any telemetry crate:
+//! plain atomics, zero dependencies, usable from tests directly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe accumulator of realized channel impairments.
+///
+/// All counters are cumulative; use [`ChannelStats::snapshot`] before and
+/// after a window and subtract to get deltas.
+#[derive(Debug, Default)]
+pub struct ChannelStats {
+    transmissions: AtomicU64,
+    symbols_sent: AtomicU64,
+    bits_flipped: AtomicU64,
+    dims_erased: AtomicU64,
+    packets_dropped: AtomicU64,
+    crc_rejects: AtomicU64,
+    /// f64 bit pattern; accumulated with a CAS loop.
+    noise_energy_bits: AtomicU64,
+}
+
+/// A point-in-time copy of [`ChannelStats`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChannelStatsSnapshot {
+    /// Number of `transmit_*` calls accounted.
+    pub transmissions: u64,
+    /// Total symbols (f32 lanes, words, or bipolar dims) sent.
+    pub symbols_sent: u64,
+    /// Bits whose received value differs from the transmitted value.
+    pub bits_flipped: u64,
+    /// Symbols erased to zero (packet losses, CRC drops).
+    pub dims_erased: u64,
+    /// Whole packets dropped by erasure channels or CRC verification.
+    pub packets_dropped: u64,
+    /// Packets rejected specifically by CRC-32 verification.
+    pub crc_rejects: u64,
+    /// Total injected noise energy (sum of squared differences) on
+    /// analog channels.
+    pub noise_energy: f64,
+}
+
+impl ChannelStatsSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating on integers).
+    pub fn since(&self, earlier: &ChannelStatsSnapshot) -> ChannelStatsSnapshot {
+        ChannelStatsSnapshot {
+            transmissions: self.transmissions.saturating_sub(earlier.transmissions),
+            symbols_sent: self.symbols_sent.saturating_sub(earlier.symbols_sent),
+            bits_flipped: self.bits_flipped.saturating_sub(earlier.bits_flipped),
+            dims_erased: self.dims_erased.saturating_sub(earlier.dims_erased),
+            packets_dropped: self.packets_dropped.saturating_sub(earlier.packets_dropped),
+            crc_rejects: self.crc_rejects.saturating_sub(earlier.crc_rejects),
+            noise_energy: (self.noise_energy - earlier.noise_energy).max(0.0),
+        }
+    }
+}
+
+impl ChannelStats {
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Notes one `transmit_*` call carrying `symbols` payload elements.
+    pub fn record_transmission(&self, symbols: u64) {
+        self.transmissions.fetch_add(1, Ordering::Relaxed);
+        self.symbols_sent.fetch_add(symbols, Ordering::Relaxed);
+    }
+
+    /// Adds to the flipped-bit counter.
+    pub fn add_bits_flipped(&self, n: u64) {
+        self.bits_flipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds to the erased-dimension counter.
+    pub fn add_dims_erased(&self, n: u64) {
+        self.dims_erased.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds to the dropped-packet counter.
+    pub fn add_packets_dropped(&self, n: u64) {
+        self.packets_dropped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds to the CRC-reject counter.
+    pub fn add_crc_rejects(&self, n: u64) {
+        self.crc_rejects.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds analog noise energy (ignored unless positive and finite).
+    pub fn add_noise_energy(&self, e: f64) {
+        if e <= 0.0 || !e.is_finite() {
+            return;
+        }
+        let mut cur = self.noise_energy_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + e).to_bits();
+            match self.noise_energy_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Accumulated noise energy.
+    pub fn noise_energy(&self) -> f64 {
+        f64::from_bits(self.noise_energy_bits.load(Ordering::Relaxed))
+    }
+
+    /// Copies all counters.
+    pub fn snapshot(&self) -> ChannelStatsSnapshot {
+        ChannelStatsSnapshot {
+            transmissions: self.transmissions.load(Ordering::Relaxed),
+            symbols_sent: self.symbols_sent.load(Ordering::Relaxed),
+            bits_flipped: self.bits_flipped.load(Ordering::Relaxed),
+            dims_erased: self.dims_erased.load(Ordering::Relaxed),
+            packets_dropped: self.packets_dropped.load(Ordering::Relaxed),
+            crc_rejects: self.crc_rejects.load(Ordering::Relaxed),
+            noise_energy: self.noise_energy(),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.transmissions.store(0, Ordering::Relaxed);
+        self.symbols_sent.store(0, Ordering::Relaxed);
+        self.bits_flipped.store(0, Ordering::Relaxed);
+        self.dims_erased.store(0, Ordering::Relaxed);
+        self.packets_dropped.store(0, Ordering::Relaxed);
+        self.crc_rejects.store(0, Ordering::Relaxed);
+        self.noise_energy_bits.store(0, Ordering::Relaxed);
+    }
+
+    /// Generic before/after accounting for float payloads: counts changed
+    /// IEEE-754 bits and nonzero→zero erasures.
+    pub fn account_f32(&self, before: &[f32], after: &[f32]) {
+        let mut bits = 0u64;
+        let mut erased = 0u64;
+        for (&b, &a) in before.iter().zip(after) {
+            bits += (b.to_bits() ^ a.to_bits()).count_ones() as u64;
+            if b != 0.0 && a == 0.0 {
+                erased += 1;
+            }
+        }
+        self.add_bits_flipped(bits);
+        self.add_dims_erased(erased);
+    }
+
+    /// Generic before/after accounting for `bitwidth`-bit integer words.
+    pub fn account_words(&self, before: &[i64], after: &[i64], bitwidth: u32) {
+        let mask = if bitwidth >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bitwidth.max(1)) - 1
+        };
+        let mut bits = 0u64;
+        let mut erased = 0u64;
+        for (&b, &a) in before.iter().zip(after) {
+            bits += ((b as u64 ^ a as u64) & mask).count_ones() as u64;
+            if b != 0 && a == 0 {
+                erased += 1;
+            }
+        }
+        self.add_bits_flipped(bits);
+        self.add_dims_erased(erased);
+    }
+
+    /// Generic before/after accounting for bipolar payloads: sign flips
+    /// count as flipped bits, zeroed symbols as erasures.
+    pub fn account_bipolar(&self, before: &[i8], after: &[i8]) {
+        let mut bits = 0u64;
+        let mut erased = 0u64;
+        for (&b, &a) in before.iter().zip(after) {
+            if b != 0 && a == -b {
+                bits += 1;
+            }
+            if b != 0 && a == 0 {
+                erased += 1;
+            }
+        }
+        self.add_bits_flipped(bits);
+        self.add_dims_erased(erased);
+    }
+
+    /// Span-erasure accounting for packetized channels: an aligned span of
+    /// `span` symbols that went from carrying data to all-default counts
+    /// as one dropped packet, and its formerly nonzero symbols as erased
+    /// dimensions.
+    pub fn account_span_erasures<T: PartialEq + Default>(
+        &self,
+        before: &[T],
+        after: &[T],
+        span: usize,
+    ) {
+        let span = span.max(1);
+        let zero = T::default();
+        let mut dropped = 0u64;
+        let mut erased = 0u64;
+        for (b, a) in before.chunks(span).zip(after.chunks(span)) {
+            let had_data = b.iter().any(|x| *x != zero);
+            let now_empty = a.iter().all(|x| *x == zero);
+            if had_data && now_empty {
+                dropped += 1;
+                erased += b.iter().filter(|x| **x != zero).count() as u64;
+            }
+        }
+        self.add_packets_dropped(dropped);
+        self.add_dims_erased(erased);
+    }
+
+    /// Analog accounting: sum of squared differences as noise energy.
+    pub fn account_noise_f32(&self, before: &[f32], after: &[f32]) {
+        let energy: f64 = before
+            .iter()
+            .zip(after)
+            .map(|(&b, &a)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum();
+        self.add_noise_energy(energy);
+    }
+
+    /// Analog accounting over integer words.
+    pub fn account_noise_words(&self, before: &[i64], after: &[i64]) {
+        let energy: f64 = before
+            .iter()
+            .zip(after)
+            .map(|(&b, &a)| {
+                let d = a as f64 - b as f64;
+                d * d
+            })
+            .sum();
+        self.add_noise_energy(energy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let s = ChannelStats::new();
+        s.record_transmission(10);
+        s.add_bits_flipped(3);
+        s.add_dims_erased(2);
+        s.add_packets_dropped(1);
+        s.add_crc_rejects(1);
+        s.add_noise_energy(0.5);
+        s.add_noise_energy(0.25);
+        let snap = s.snapshot();
+        assert_eq!(snap.transmissions, 1);
+        assert_eq!(snap.symbols_sent, 10);
+        assert_eq!(snap.bits_flipped, 3);
+        assert_eq!(snap.dims_erased, 2);
+        assert_eq!(snap.packets_dropped, 1);
+        assert_eq!(snap.crc_rejects, 1);
+        assert!((snap.noise_energy - 0.75).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s.snapshot(), ChannelStatsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_deltas_subtract() {
+        let s = ChannelStats::new();
+        s.add_bits_flipped(5);
+        let first = s.snapshot();
+        s.add_bits_flipped(7);
+        s.add_noise_energy(1.0);
+        let delta = s.snapshot().since(&first);
+        assert_eq!(delta.bits_flipped, 7);
+        assert!((delta.noise_energy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f32_diff_counts_bits_and_erasures() {
+        let s = ChannelStats::new();
+        let before = [1.0f32, 2.0, 3.0];
+        let mut after = before;
+        after[0] = f32::from_bits(before[0].to_bits() ^ 0b101); // 2 bits
+        after[2] = 0.0; // erasure
+        s.account_f32(&before, &after);
+        let snap = s.snapshot();
+        assert_eq!(
+            snap.bits_flipped,
+            2 + (3.0f32.to_bits().count_ones() as u64)
+        );
+        assert_eq!(snap.dims_erased, 1);
+    }
+
+    #[test]
+    fn word_diff_masks_to_bitwidth() {
+        let s = ChannelStats::new();
+        // -1 and 0 differ in all 64 bits, but only the low 8 count at B=8.
+        s.account_words(&[-1i64], &[0i64], 8);
+        let snap = s.snapshot();
+        assert_eq!(snap.bits_flipped, 8);
+        assert_eq!(snap.dims_erased, 1);
+    }
+
+    #[test]
+    fn bipolar_diff_separates_flips_from_erasures() {
+        let s = ChannelStats::new();
+        s.account_bipolar(&[1i8, -1, 1, 0], &[-1i8, -1, 0, 0]);
+        let snap = s.snapshot();
+        assert_eq!(snap.bits_flipped, 1);
+        assert_eq!(snap.dims_erased, 1);
+    }
+
+    #[test]
+    fn span_erasures_count_packets() {
+        let s = ChannelStats::new();
+        let before = [1.0f32, 2.0, 3.0, 4.0, 0.0, 0.0];
+        let after = [0.0f32, 0.0, 3.0, 4.0, 0.0, 0.0];
+        // Spans of 2: [1,2] dropped, [3,4] kept, [0,0] had no data.
+        s.account_span_erasures(&before, &after, 2);
+        let snap = s.snapshot();
+        assert_eq!(snap.packets_dropped, 1);
+        assert_eq!(snap.dims_erased, 2);
+    }
+
+    #[test]
+    fn noise_energy_is_sum_of_squares() {
+        let s = ChannelStats::new();
+        s.account_noise_f32(&[1.0, 2.0], &[1.5, 1.0]);
+        assert!((s.noise_energy() - (0.25 + 1.0)).abs() < 1e-9);
+    }
+}

@@ -7,7 +7,8 @@ use fhdnn::checkpoint::FhdnnCheckpoint;
 use fhdnn::experiment::{ExperimentSpec, Workload};
 use fhdnn::hdc::encoder::RandomProjectionEncoder;
 use fhdnn::hdc::model::HdModel;
-use fhdnn_cli::{parse_channel, Cli, Command, SimulateArgs};
+use fhdnn::telemetry::{Recorder, Telemetry};
+use fhdnn_cli::{parse_channel, Cli, Command, SimulateArgs, Verbosity};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,34 +62,82 @@ fn build_spec(sim: &SimulateArgs) -> ExperimentSpec {
     spec
 }
 
+/// Builds the run's recorder: streaming to JSONL when `--telemetry` is
+/// given, in-memory aggregation (for the end-of-run summary) otherwise —
+/// except under `--quiet` without a sink, where the shared disabled
+/// recorder keeps overhead at zero.
+fn build_recorder(sim: &SimulateArgs) -> Result<Telemetry, String> {
+    match &sim.telemetry {
+        Some(path) => Recorder::to_jsonl(path).map_err(|e| format!("telemetry {path}: {e}")),
+        None if sim.verbosity == Verbosity::Quiet => Ok(Recorder::disabled()),
+        None => Ok(Recorder::in_memory()),
+    }
+}
+
 fn simulate(sim: SimulateArgs) -> Result<(), String> {
     let channel = parse_channel(&sim.channel)?;
     let spec = build_spec(&sim);
-    println!(
-        "fhdnn simulate: workload={} channel={} rounds={} partition={} transport={:?}",
-        sim.workload, sim.channel, spec.fl.rounds, spec.partition, sim.transport
-    );
+    let tel = build_recorder(&sim)?;
+    let chatty = sim.verbosity != Verbosity::Quiet;
+    if chatty {
+        println!(
+            "fhdnn simulate: workload={} channel={} rounds={} partition={} transport={:?}",
+            sim.workload, sim.channel, spec.fl.rounds, spec.partition, sim.transport
+        );
+    }
 
     let mut extractor = spec.build_extractor().map_err(|e| e.to_string())?;
     let mut system = spec
-        .build_fhdnn_with(&mut extractor)
+        .build_fhdnn_with_telemetry(&mut extractor, tel.clone())
         .map_err(|e| e.to_string())?;
     let history = system
         .run(channel.as_ref(), "cli")
         .map_err(|e| e.to_string())?;
-    println!("\nround  accuracy");
-    for r in &history.rounds {
-        println!("{:>5}  {:.4}", r.round + 1, r.test_accuracy);
+    if chatty {
+        match sim.verbosity {
+            Verbosity::Verbose => {
+                println!("\nround  accuracy  up B/cl  down B/cl  seconds");
+                for r in &history.rounds {
+                    println!(
+                        "{:>5}  {:.4}  {:>8}  {:>9}  {:>7.3}",
+                        r.round + 1,
+                        r.test_accuracy,
+                        r.bytes_per_client,
+                        r.downlink_bytes_per_client,
+                        r.round_seconds
+                    );
+                }
+            }
+            _ => {
+                println!("\nround  accuracy");
+                for r in &history.rounds {
+                    println!("{:>5}  {:.4}", r.round + 1, r.test_accuracy);
+                }
+            }
+        }
     }
     println!(
         "\nfhdnn: final accuracy {:.3}, update {} B/client/round",
         history.final_accuracy(),
         system.update_bytes()
     );
+    if sim.verbosity == Verbosity::Verbose {
+        let chan = system.channel_stats();
+        println!(
+            "channel: {} transmissions, {} symbols, {} bits flipped, {} dims erased, \
+             {} packets dropped, noise energy {:.3}",
+            chan.transmissions,
+            chan.symbols_sent,
+            chan.bits_flipped,
+            chan.dims_erased,
+            chan.packets_dropped,
+            chan.noise_energy
+        );
+    }
 
     if sim.baseline {
         let outcome = spec
-            .run_resnet(channel.as_ref())
+            .run_resnet_with_telemetry(channel.as_ref(), tel.clone())
             .map_err(|e| e.to_string())?;
         println!(
             "resnet baseline: final accuracy {:.3}, update {} B/client/round",
@@ -96,6 +145,12 @@ fn simulate(sim: SimulateArgs) -> Result<(), String> {
             outcome.update_bytes
         );
     }
+
+    if chatty && tel.enabled() {
+        println!("\ntelemetry summary:");
+        print!("{}", tel.summary());
+    }
+    tel.flush();
 
     if let Some(path) = &sim.save {
         let ckpt = FhdnnCheckpoint::capture(

@@ -40,6 +40,19 @@ pub enum Command {
     },
 }
 
+/// Output verbosity of the `simulate` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Verbosity {
+    /// `-q`: only the final accuracy line (and errors).
+    Quiet,
+    /// Default: progress, per-round table, telemetry summary.
+    #[default]
+    Normal,
+    /// `-v`: additionally per-round byte/timing columns and channel
+    /// impairment totals.
+    Verbose,
+}
+
 /// Arguments for `simulate`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulateArgs {
@@ -61,6 +74,10 @@ pub struct SimulateArgs {
     pub seed: u64,
     /// Optional checkpoint output path for the trained deployment.
     pub save: Option<String>,
+    /// Optional JSONL telemetry event-stream output path.
+    pub telemetry: Option<String>,
+    /// Output verbosity.
+    pub verbosity: Verbosity,
 }
 
 impl Default for SimulateArgs {
@@ -75,6 +92,8 @@ impl Default for SimulateArgs {
             pretrain: true,
             seed: 0,
             save: None,
+            telemetry: None,
+            verbosity: Verbosity::Normal,
         }
     }
 }
@@ -125,6 +144,9 @@ commands:
              --no-pretrain                    use a random extractor
              --seed N                         master seed (default 0)
              --save PATH                      write the trained checkpoint
+             --telemetry PATH                 stream telemetry events to PATH (JSONL)
+             -q, --quiet                      only the final accuracy line
+             -v, --verbose                    per-round bytes/timing + channel stats
   pretrain   --workload W --out PATH [--seed N]
   evaluate   --ckpt PATH --workload W [--test-size N]
   info       --ckpt PATH";
@@ -173,11 +195,20 @@ impl Cli {
                     sim.seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
                 }
                 sim.save = get_value("--save")?;
+                sim.telemetry = get_value("--telemetry")?;
                 sim.non_iid = has_flag("--non-iid");
                 sim.baseline = has_flag("--baseline");
                 if has_flag("--no-pretrain") {
                     sim.pretrain = false;
                 }
+                let quiet = has_flag("-q") || has_flag("--quiet");
+                let verbose = has_flag("-v") || has_flag("--verbose");
+                sim.verbosity = match (quiet, verbose) {
+                    (true, true) => return Err("choose one of --quiet/--verbose".into()),
+                    (true, false) => Verbosity::Quiet,
+                    (false, true) => Verbosity::Verbose,
+                    (false, false) => Verbosity::Normal,
+                };
                 Ok(Cli {
                     command: Command::Simulate(sim),
                 })
@@ -244,13 +275,16 @@ mod tests {
         assert_eq!(sim.channel, "noiseless");
         assert!(sim.pretrain);
         assert!(!sim.baseline);
+        assert_eq!(sim.telemetry, None);
+        assert_eq!(sim.verbosity, Verbosity::Normal);
     }
 
     #[test]
     fn simulate_full_flags() {
         let cli = Cli::parse(&args(
             "simulate --workload mnist --channel packet:0.2 --rounds 7 \
-             --non-iid --baseline --transport q8 --no-pretrain --seed 9 --save out.json",
+             --non-iid --baseline --transport q8 --no-pretrain --seed 9 --save out.json \
+             --telemetry trace.jsonl -v",
         ))
         .unwrap();
         let Command::Simulate(sim) = cli.command else {
@@ -263,6 +297,25 @@ mod tests {
         assert_eq!(sim.transport, HdTransport::Quantized { bitwidth: 8 });
         assert_eq!(sim.seed, 9);
         assert_eq!(sim.save.as_deref(), Some("out.json"));
+        assert_eq!(sim.telemetry.as_deref(), Some("trace.jsonl"));
+        assert_eq!(sim.verbosity, Verbosity::Verbose);
+    }
+
+    #[test]
+    fn verbosity_flags() {
+        for flags in ["-q", "--quiet"] {
+            let cli = Cli::parse(&args(&format!("simulate {flags}"))).unwrap();
+            let Command::Simulate(sim) = cli.command else {
+                panic!("expected simulate");
+            };
+            assert_eq!(sim.verbosity, Verbosity::Quiet);
+        }
+        let cli = Cli::parse(&args("simulate --verbose")).unwrap();
+        let Command::Simulate(sim) = cli.command else {
+            panic!("expected simulate");
+        };
+        assert_eq!(sim.verbosity, Verbosity::Verbose);
+        assert!(Cli::parse(&args("simulate -q -v")).is_err());
     }
 
     #[test]

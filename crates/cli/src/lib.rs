@@ -21,4 +21,4 @@ pub mod channel_spec;
 pub mod config;
 
 pub use channel_spec::parse_channel;
-pub use config::{Cli, Command, SimulateArgs};
+pub use config::{Cli, Command, SimulateArgs, Verbosity};

@@ -83,6 +83,7 @@ mod tests {
                 test_accuracy: a,
                 participants: 4,
                 bytes_per_client: update,
+                ..RoundMetrics::default()
             });
         }
         h

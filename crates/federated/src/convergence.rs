@@ -127,6 +127,7 @@ mod tests {
                 test_accuracy: a,
                 participants: 1,
                 bytes_per_client: 1,
+                ..RoundMetrics::default()
             });
         }
         h

@@ -7,12 +7,13 @@
 //! uplink through a (possibly unreliable) [`Channel`]; the server averages
 //! the received vectors weighted by client sample counts.
 
-use fhdnn_channel::Channel;
+use fhdnn_channel::{Channel, ChannelStats, ChannelStatsSnapshot};
 use fhdnn_datasets::batcher::Batcher;
 use fhdnn_datasets::image::ImageDataset;
 use fhdnn_nn::loss::{accuracy, cross_entropy};
 use fhdnn_nn::optim::{LrSchedule, Sgd};
 use fhdnn_nn::{Mode, Network};
+use fhdnn_telemetry::{Recorder, Telemetry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -58,6 +59,8 @@ pub struct CnnFederation {
     round: usize,
     upload_fraction: f32,
     lr_schedule: LrSchedule,
+    telemetry: Telemetry,
+    channel_stats: ChannelStats,
 }
 
 impl CnnFederation {
@@ -95,7 +98,27 @@ impl CnnFederation {
             round: 0,
             upload_fraction: 1.0,
             lr_schedule: LrSchedule::Constant,
+            telemetry: Recorder::disabled(),
+            channel_stats: ChannelStats::new(),
         })
+    }
+
+    /// Attaches a telemetry recorder; subsequent rounds emit spans,
+    /// counters and gauges through it. Defaults to the shared disabled
+    /// recorder (no-ops).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry recorder.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Cumulative realized channel impairments across all transmissions
+    /// so far.
+    pub fn channel_stats(&self) -> ChannelStatsSnapshot {
+        self.channel_stats.snapshot()
     }
 
     /// Sets the per-round learning-rate schedule applied on top of the
@@ -173,23 +196,36 @@ impl CnnFederation {
         channel: &dyn Channel,
         test: &ImageDataset,
     ) -> Result<RoundMetrics> {
-        let broadcast = self.global.flatten_params();
+        let tel = self.telemetry.clone();
+        let tick = tel.now_micros();
+        let wall = std::time::Instant::now();
+        let chan_before = self.channel_stats.snapshot();
+        let broadcast = {
+            let _span = tel.span("round.broadcast");
+            self.global.flatten_params()
+        };
         let participants = sample_clients(
             self.config.num_clients,
             self.config.participants_per_round(),
             &mut self.rng,
         )?;
+        // FedAvg broadcasts the full float32 parameter vector downlink.
+        let downlink_bytes = broadcast.len() as u64 * 4;
         let mut acc: Vec<f64> = vec![0.0; broadcast.len()];
         let mut weights: Vec<f64> = vec![0.0; broadcast.len()];
         for &client in &participants {
             // Broadcast: client starts from the current global model.
             self.global.load_params(&broadcast)?;
-            let update = self.train_client(client)?;
+            let update = {
+                let _span = tel.span("round.local_train");
+                self.train_client(client)?
+            };
             let weight = self.clients[client].len() as f64;
+            let _span = tel.span("round.transmit");
             if self.upload_fraction >= 1.0 {
                 let mut payload = update;
                 // Uplink through the unreliable channel.
-                channel.transmit_f32(&mut payload, &mut self.rng);
+                channel.transmit_f32_stats(&mut payload, &mut self.rng, &self.channel_stats);
                 for (i, &u) in payload.iter().enumerate() {
                     acc[i] += weight * u as f64;
                     weights[i] += weight;
@@ -202,7 +238,7 @@ impl CnnFederation {
                 indices.shuffle(&mut self.rng);
                 indices.truncate(keep);
                 let mut payload: Vec<f32> = indices.iter().map(|&i| update[i]).collect();
-                channel.transmit_f32(&mut payload, &mut self.rng);
+                channel.transmit_f32_stats(&mut payload, &mut self.rng, &self.channel_stats);
                 for (&i, &u) in indices.iter().zip(&payload) {
                     acc[i] += weight * u as f64;
                     weights[i] += weight;
@@ -210,20 +246,42 @@ impl CnnFederation {
             }
         }
         // Coordinates nobody sent keep their previous global value.
-        let averaged: Vec<f32> = acc
-            .iter()
-            .zip(&weights)
-            .zip(&broadcast)
-            .map(|((&a, &w), &prev)| if w > 0.0 { (a / w) as f32 } else { prev })
-            .collect();
-        self.global.load_params(&averaged)?;
+        {
+            let _span = tel.span("round.aggregate");
+            let averaged: Vec<f32> = acc
+                .iter()
+                .zip(&weights)
+                .zip(&broadcast)
+                .map(|((&a, &w), &prev)| if w > 0.0 { (a / w) as f32 } else { prev })
+                .collect();
+            self.global.load_params(&averaged)?;
+        }
 
-        let test_accuracy = self.evaluate(test)?;
+        let test_accuracy = {
+            let _span = tel.span("round.eval");
+            self.evaluate(test)?
+        };
+
+        if tel.enabled() {
+            tel.incr("fl.rounds", 1);
+            tel.incr("fl.participants", participants.len() as u64);
+            tel.incr(
+                "fl.bytes_up",
+                self.update_bytes() * participants.len() as u64,
+            );
+            tel.incr("fl.bytes_down", downlink_bytes * participants.len() as u64);
+            tel.gauge("fl.test_accuracy", test_accuracy as f64);
+            crate::emit_channel_delta(&tel, self.channel_stats.snapshot().since(&chan_before));
+            tel.observe("fl.round_micros", tel.now_micros().saturating_sub(tick));
+        }
+
         let metrics = RoundMetrics {
             round: self.round,
             test_accuracy,
             participants: participants.len(),
             bytes_per_client: self.update_bytes(),
+            downlink_bytes_per_client: downlink_bytes,
+            round_seconds: wall.elapsed().as_secs_f64(),
         };
         self.round += 1;
         Ok(metrics)

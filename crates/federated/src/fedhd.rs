@@ -14,9 +14,10 @@
 //!    sum (Eq. 1) while keeping float magnitudes bounded over hundreds of
 //!    rounds.
 
-use fhdnn_channel::Channel;
+use fhdnn_channel::{Channel, ChannelStats, ChannelStatsSnapshot};
 use fhdnn_hdc::model::HdModel;
-use fhdnn_hdc::quantizer::{dequantize, quantize};
+use fhdnn_hdc::quantizer::{dequantize, quantize_instrumented};
+use fhdnn_telemetry::{Recorder, Telemetry};
 use fhdnn_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -115,6 +116,8 @@ pub struct HdFederation {
     round: usize,
     straggler_prob: f64,
     adaptive_lr: Option<f32>,
+    telemetry: Telemetry,
+    channel_stats: ChannelStats,
 }
 
 impl HdFederation {
@@ -161,7 +164,28 @@ impl HdFederation {
             round: 0,
             straggler_prob: 0.0,
             adaptive_lr: None,
+            telemetry: Recorder::disabled(),
+            channel_stats: ChannelStats::new(),
         })
+    }
+
+    /// Attaches a telemetry recorder; subsequent rounds emit spans,
+    /// counters and gauges through it. Defaults to the shared disabled
+    /// recorder (no-ops).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry recorder.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Cumulative realized channel impairments across all transmissions
+    /// so far (bits flipped, dimensions erased, packets dropped, noise
+    /// energy).
+    pub fn channel_stats(&self) -> ChannelStatsSnapshot {
+        self.channel_stats.snapshot()
     }
 
     /// Switches local refinement to the adaptive (OnlineHD-style)
@@ -211,9 +235,11 @@ impl HdFederation {
         self.transport.update_bytes(self.global.num_params())
     }
 
-    fn train_client(&mut self, client: usize) -> Result<HdModel> {
+    /// Local update on `client`, starting from the broadcast copy of the
+    /// global model (cloned by the caller so the broadcast span can time
+    /// it separately).
+    fn train_client(&mut self, client: usize, mut local: HdModel) -> Result<HdModel> {
         let data = &self.clients[client];
-        let mut local = self.global.clone();
         // An untrained (all-zero) model bootstraps by one-shot bundling;
         // afterwards the paper's refinement loop takes over.
         let untrained = local.prototypes().as_slice().iter().all(|&v| v == 0.0);
@@ -236,11 +262,20 @@ impl HdFederation {
     fn transmit(&mut self, model: &mut HdModel, channel: &dyn Channel) -> Result<()> {
         match self.transport {
             HdTransport::Float => {
-                channel.transmit_f32(model.prototypes_mut().as_mut_slice(), &mut self.rng);
+                channel.transmit_f32_stats(
+                    model.prototypes_mut().as_mut_slice(),
+                    &mut self.rng,
+                    &self.channel_stats,
+                );
             }
             HdTransport::Quantized { bitwidth } => {
-                let mut q = quantize(model, bitwidth)?;
-                channel.transmit_words(&mut q.words, bitwidth, &mut self.rng);
+                let mut q = quantize_instrumented(model, bitwidth, &self.telemetry)?;
+                channel.transmit_words_stats(
+                    &mut q.words,
+                    bitwidth,
+                    &mut self.rng,
+                    &self.channel_stats,
+                );
                 *model = dequantize(&q)?;
             }
             HdTransport::Binary => {
@@ -256,7 +291,7 @@ impl HdFederation {
                     })
                     .collect::<Result<_>>()?;
                 let mut symbols = model.to_bipolar();
-                channel.transmit_bipolar(&mut symbols, &mut self.rng);
+                channel.transmit_bipolar_stats(&mut symbols, &mut self.rng, &self.channel_stats);
                 let mut received =
                     HdModel::from_bipolar(&symbols, model.num_classes(), model.dim())?;
                 for (k, &g) in gains.iter().enumerate() {
@@ -281,37 +316,79 @@ impl HdFederation {
         channel: &dyn Channel,
         test: &HdClientData,
     ) -> Result<RoundMetrics> {
+        let tel = self.telemetry.clone();
+        let tick = tel.now_micros();
+        let wall = std::time::Instant::now();
+        let chan_before = self.channel_stats.snapshot();
         let participants = sample_clients(
             self.config.num_clients,
             self.config.participants_per_round(),
             &mut self.rng,
         )?;
+        // The server broadcasts float prototypes over a reliable downlink
+        // (base stations transmit at much higher power than devices — the
+        // paper models the uplink as the lossy direction).
+        let downlink_bytes = self.global.num_params() as u64 * 4;
         let mut received = Vec::with_capacity(participants.len());
         for &client in &participants {
-            let mut local = self.train_client(client)?;
+            let broadcast = {
+                let _span = tel.span("round.broadcast");
+                self.global.clone()
+            };
+            let mut local = {
+                let _span = tel.span("round.local_train");
+                self.train_client(client, broadcast)?
+            };
             if self.straggler_prob > 0.0 && rand::Rng::gen_bool(&mut self.rng, self.straggler_prob)
             {
                 continue; // straggler: update never arrives
             }
-            self.transmit(&mut local, channel)?;
+            {
+                let _span = tel.span("round.transmit");
+                self.transmit(&mut local, channel)?;
+            }
             received.push(local);
         }
         // Bundle then normalize by the participant count: cosine inference
         // is scale-invariant, so mean == the paper's sum, numerically tame.
         // If every participant straggled, keep the previous global model.
         if !received.is_empty() {
+            let _span = tel.span("round.aggregate");
             let n = received.len() as f32;
             let mut bundled = HdModel::bundle(&received)?;
             bundled.scale(1.0 / n);
             self.global = bundled;
         }
 
-        let test_accuracy = self.global.accuracy(&test.hypervectors, &test.labels)?;
+        let test_accuracy = {
+            let _span = tel.span("round.eval");
+            self.global.accuracy(&test.hypervectors, &test.labels)?
+        };
+
+        if tel.enabled() {
+            tel.incr("fl.rounds", 1);
+            tel.incr("fl.participants", participants.len() as u64);
+            let stragglers = participants.len() - received.len();
+            if stragglers > 0 {
+                tel.incr("fl.stragglers", stragglers as u64);
+            }
+            // Uplink counts only updates that arrived; with stragglers
+            // disabled this equals `bytes_per_client × participants`, the
+            // `RunHistory` accounting.
+            tel.incr("fl.bytes_up", self.update_bytes() * received.len() as u64);
+            tel.incr("fl.bytes_down", downlink_bytes * participants.len() as u64);
+            tel.gauge("fl.test_accuracy", test_accuracy as f64);
+            crate::emit_channel_delta(&tel, self.channel_stats.snapshot().since(&chan_before));
+            tel.observe("fl.round_micros", tel.now_micros().saturating_sub(tick));
+        }
+
         let metrics = RoundMetrics {
             round: self.round,
             test_accuracy,
             participants: participants.len(),
             bytes_per_client: self.update_bytes(),
+            downlink_bytes_per_client: downlink_bytes,
+            round_seconds: wall.elapsed().as_secs_f64(),
         };
         self.round += 1;
         Ok(metrics)

@@ -56,3 +56,27 @@ pub use error::FedError;
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, FedError>;
+
+/// Emits the per-round channel-impairment delta as `chan.*` counters and
+/// gauges. Zero-valued entries are suppressed so clean (noiseless) runs
+/// produce no `chan.*` noise in the event stream.
+pub(crate) fn emit_channel_delta(
+    tel: &fhdnn_telemetry::Recorder,
+    delta: fhdnn_channel::ChannelStatsSnapshot,
+) {
+    for (name, value) in [
+        ("chan.transmissions", delta.transmissions),
+        ("chan.symbols_sent", delta.symbols_sent),
+        ("chan.bits_flipped", delta.bits_flipped),
+        ("chan.dims_erased", delta.dims_erased),
+        ("chan.packets_dropped", delta.packets_dropped),
+        ("chan.crc_rejects", delta.crc_rejects),
+    ] {
+        if value > 0 {
+            tel.incr(name, value);
+        }
+    }
+    if delta.noise_energy > 0.0 {
+        tel.gauge("chan.noise_energy", delta.noise_energy);
+    }
+}

@@ -3,7 +3,11 @@
 use serde::{Deserialize, Serialize};
 
 /// Metrics recorded after one communication round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `downlink_bytes_per_client` and `round_seconds` were added after the
+/// first release; both carry `#[serde(default)]` so histories saved in the
+/// old four-field shape still deserialize.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct RoundMetrics {
     /// Round index (0-based).
     pub round: usize,
@@ -13,6 +17,25 @@ pub struct RoundMetrics {
     pub participants: usize,
     /// Bytes uploaded by each participant this round.
     pub bytes_per_client: u64,
+    /// Bytes broadcast to each participant this round (global model).
+    #[serde(default)]
+    pub downlink_bytes_per_client: u64,
+    /// Wall-clock duration of the round in seconds.
+    #[serde(default)]
+    pub round_seconds: f64,
+}
+
+/// Equality ignores `round_seconds`: two otherwise identical seeded runs
+/// must compare equal even though their wall-clock timings differ (the
+/// reproducibility suite relies on this).
+impl PartialEq for RoundMetrics {
+    fn eq(&self, other: &Self) -> bool {
+        self.round == other.round
+            && self.test_accuracy == other.test_accuracy
+            && self.participants == other.participants
+            && self.bytes_per_client == other.bytes_per_client
+            && self.downlink_bytes_per_client == other.downlink_bytes_per_client
+    }
 }
 
 /// The full history of a federated run.
@@ -60,8 +83,18 @@ impl RunHistory {
             .map(|i| i + 1)
     }
 
-    /// Total bytes uploaded across all rounds and participants.
+    /// Total bytes moved across all rounds and participants, both
+    /// directions (uplink updates plus downlink broadcasts).
     pub fn total_bytes(&self) -> u64 {
+        self.rounds
+            .iter()
+            .map(|r| (r.bytes_per_client + r.downlink_bytes_per_client) * r.participants as u64)
+            .sum()
+    }
+
+    /// Total bytes uploaded across all rounds and participants
+    /// (uplink only).
+    pub fn total_uplink_bytes(&self) -> u64 {
         self.rounds
             .iter()
             .map(|r| r.bytes_per_client * r.participants as u64)
@@ -69,8 +102,8 @@ impl RunHistory {
     }
 
     /// Bytes uploaded per client to reach `target` accuracy (the paper's
-    /// `data_transmitted = n_rounds × update_size`), or `None` if the
-    /// target was never reached.
+    /// `data_transmitted = n_rounds × update_size`; uplink only, matching
+    /// the paper's accounting), or `None` if the target was never reached.
     pub fn bytes_per_client_to_accuracy(&self, target: f32) -> Option<u64> {
         let n = self.rounds_to_accuracy(target)?;
         Some(self.rounds[..n].iter().map(|r| r.bytes_per_client).sum())
@@ -89,6 +122,8 @@ mod tests {
                 test_accuracy: *acc,
                 participants: 4,
                 bytes_per_client: 100,
+                downlink_bytes_per_client: 40,
+                round_seconds: 0.5,
             });
         }
         h
@@ -106,9 +141,33 @@ mod tests {
     #[test]
     fn byte_accounting() {
         let h = history();
-        assert_eq!(h.total_bytes(), 4 * 4 * 100);
+        assert_eq!(h.total_uplink_bytes(), 4 * 4 * 100);
+        assert_eq!(h.total_bytes(), 4 * 4 * (100 + 40));
         assert_eq!(h.bytes_per_client_to_accuracy(0.8), Some(300));
         assert_eq!(h.bytes_per_client_to_accuracy(0.99), None);
+    }
+
+    #[test]
+    fn equality_ignores_round_seconds() {
+        let mut a = history();
+        let b = history();
+        a.rounds[0].round_seconds = 999.0;
+        assert_eq!(a, b);
+        a.rounds[0].downlink_bytes_per_client += 1;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn old_four_field_shape_still_deserializes() {
+        // Histories saved before downlink/time accounting existed.
+        let old = r#"{"label":"legacy","rounds":[
+            {"round":0,"test_accuracy":0.5,"participants":2,"bytes_per_client":64}
+        ]}"#;
+        let h: RunHistory = serde_json::from_str(old).unwrap();
+        assert_eq!(h.rounds.len(), 1);
+        assert_eq!(h.rounds[0].downlink_bytes_per_client, 0);
+        assert_eq!(h.rounds[0].round_seconds, 0.0);
+        assert_eq!(h.total_bytes(), 2 * 64);
     }
 
     #[test]

@@ -114,6 +114,7 @@ mod tests {
                 test_accuracy: a,
                 participants: 4,
                 bytes_per_client: update_bytes,
+                ..RoundMetrics::default()
             });
         }
         h

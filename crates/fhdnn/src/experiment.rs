@@ -18,6 +18,7 @@ use fhdnn_federated::fedavg::{carve_clients, CnnFederation, LocalSgdConfig};
 use fhdnn_federated::fedhd::HdTransport;
 use fhdnn_federated::metrics::RunHistory;
 use fhdnn_nn::models::{resnet_feature_width, resnet_lite, ResNetConfig, TrunkArch};
+use fhdnn_telemetry::{Recorder, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -263,8 +264,22 @@ impl ExperimentSpec {
     ///
     /// Propagates system assembly failures.
     pub fn build_fhdnn_with(&self, extractor: &mut FeatureExtractor) -> Result<FhdnnSystem> {
+        self.build_fhdnn_with_telemetry(extractor, Recorder::disabled())
+    }
+
+    /// [`ExperimentSpec::build_fhdnn_with`] with a telemetry recorder, so
+    /// the one-time encoding and every subsequent round are observed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates system assembly failures.
+    pub fn build_fhdnn_with_telemetry(
+        &self,
+        extractor: &mut FeatureExtractor,
+        telemetry: Telemetry,
+    ) -> Result<FhdnnSystem> {
         let (clients, test) = self.materialize_data()?;
-        FhdnnSystem::new(
+        FhdnnSystem::new_with_telemetry(
             extractor,
             &clients,
             &test,
@@ -272,6 +287,7 @@ impl ExperimentSpec {
             self.seed ^ SEED_ENCODER,
             self.fl,
             self.transport,
+            telemetry,
         )
     }
 
@@ -298,10 +314,25 @@ impl ExperimentSpec {
     ///
     /// Propagates any stage's failures.
     pub fn run_resnet(&self, channel: &dyn Channel) -> Result<ExperimentOutcome> {
+        self.run_resnet_with_telemetry(channel, Recorder::disabled())
+    }
+
+    /// [`ExperimentSpec::run_resnet`] with a telemetry recorder attached
+    /// to the FedAvg federation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stage's failures.
+    pub fn run_resnet_with_telemetry(
+        &self,
+        channel: &dyn Channel,
+        telemetry: Telemetry,
+    ) -> Result<ExperimentOutcome> {
         let (clients, test) = self.materialize_data()?;
         let mut rng = StdRng::seed_from_u64(self.seed ^ SEED_BASELINE);
         let net = resnet_lite(self.backbone, &mut rng)?;
         let mut fed = CnnFederation::new(net, clients, self.fl, LocalSgdConfig::default())?;
+        fed.set_telemetry(telemetry);
         let label = format!("resnet/{}/{}", self.workload, self.partition);
         let update_bytes = fed.update_bytes();
         let history = fed.run(channel, &test, label)?;

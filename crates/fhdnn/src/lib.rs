@@ -27,6 +27,7 @@
 //! | [`hdc`] | random-projection encoding, HD model, AGC quantizer |
 //! | [`channel`] | AWGN / bit-error / packet-loss channels, LTE model |
 //! | [`federated`] | FedAvg baseline, federated bundling, cost models |
+//! | [`telemetry`] | zero-dependency tracing/metrics: spans, counters, JSONL |
 //!
 //! # Quickstart
 //!
@@ -66,6 +67,7 @@ pub use fhdnn_datasets as datasets;
 pub use fhdnn_federated as federated;
 pub use fhdnn_hdc as hdc;
 pub use fhdnn_nn as nn;
+pub use fhdnn_telemetry as telemetry;
 pub use fhdnn_tensor as tensor;
 
 /// Convenience result alias used throughout the crate.

@@ -5,13 +5,14 @@
 //! encodings. This mirrors the deployment story of the paper: on-device
 //! work per round is HD refinement only, with no backpropagation.
 
-use fhdnn_channel::Channel;
+use fhdnn_channel::{Channel, ChannelStatsSnapshot};
 use fhdnn_datasets::image::ImageDataset;
 use fhdnn_federated::config::FlConfig;
 use fhdnn_federated::fedhd::{HdClientData, HdFederation, HdTransport};
 use fhdnn_federated::metrics::{RoundMetrics, RunHistory};
 use fhdnn_hdc::encoder::RandomProjectionEncoder;
 use fhdnn_hdc::model::HdModel;
+use fhdnn_telemetry::{Recorder, Telemetry};
 
 use crate::extractor::FeatureExtractor;
 use crate::{FhdnnError, Result};
@@ -48,6 +49,7 @@ impl FhdnnSystem {
     ///
     /// Returns an error on shape mismatches, invalid configs, or empty
     /// client data.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         extractor: &mut FeatureExtractor,
         clients: &[ImageDataset],
@@ -56,6 +58,37 @@ impl FhdnnSystem {
         encoder_seed: u64,
         config: FlConfig,
         transport: HdTransport,
+    ) -> Result<Self> {
+        Self::new_with_telemetry(
+            extractor,
+            clients,
+            test,
+            hd_dim,
+            encoder_seed,
+            config,
+            transport,
+            Recorder::disabled(),
+        )
+    }
+
+    /// [`FhdnnSystem::new`] with a telemetry recorder attached from the
+    /// start, so the one-time client/test encoding is instrumented too
+    /// (`hdc.encode` spans, `hdc.encoded_vectors` counter) in addition to
+    /// the per-round federation observations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FhdnnSystem::new`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with_telemetry(
+        extractor: &mut FeatureExtractor,
+        clients: &[ImageDataset],
+        test: &ImageDataset,
+        hd_dim: usize,
+        encoder_seed: u64,
+        config: FlConfig,
+        transport: HdTransport,
+        telemetry: Telemetry,
     ) -> Result<Self> {
         let num_classes = test
             .num_classes
@@ -69,22 +102,40 @@ impl FhdnnSystem {
         for c in clients {
             let feats = extractor.extract_chunked(&c.images, 64)?;
             encoded_clients.push(HdClientData {
-                hypervectors: encoder.encode_batch(&feats)?,
+                hypervectors: encoder.encode_batch_instrumented(&feats, &telemetry)?,
                 labels: c.labels.clone(),
             });
         }
         let test_feats = extractor.extract_chunked(&test.images, 64)?;
         let test_data = HdClientData {
-            hypervectors: encoder.encode_batch(&test_feats)?,
+            hypervectors: encoder.encode_batch_instrumented(&test_feats, &telemetry)?,
             labels: test.labels.clone(),
         };
         let global = HdModel::new(num_classes, hd_dim)?;
-        let federation = HdFederation::new(global, encoded_clients, config, transport)?;
+        let mut federation = HdFederation::new(global, encoded_clients, config, transport)?;
+        federation.set_telemetry(telemetry);
         Ok(FhdnnSystem {
             federation,
             test: test_data,
             hd_dim,
         })
+    }
+
+    /// Attaches (or replaces) the telemetry recorder used by subsequent
+    /// rounds.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.federation.set_telemetry(telemetry);
+    }
+
+    /// The attached telemetry recorder.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.federation.telemetry()
+    }
+
+    /// Cumulative realized channel impairments across all uplink
+    /// transmissions so far.
+    pub fn channel_stats(&self) -> ChannelStatsSnapshot {
+        self.federation.channel_stats()
     }
 
     /// Hypervector dimensionality.

@@ -153,6 +153,24 @@ impl RandomProjectionEncoder {
         Ok(self.project_batch(features)?.sign_pm1())
     }
 
+    /// [`RandomProjectionEncoder::encode_batch`] with telemetry: wraps the
+    /// projection in an `hdc.encode` span and counts the produced
+    /// hypervectors on `hdc.encoded_vectors`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RandomProjectionEncoder::encode_batch`].
+    pub fn encode_batch_instrumented(
+        &self,
+        features: &Tensor,
+        tel: &fhdnn_telemetry::Recorder,
+    ) -> Result<Tensor> {
+        let _span = tel.span("hdc.encode");
+        let encoded = self.encode_batch(features)?;
+        tel.incr("hdc.encoded_vectors", encoded.dims()[0] as u64);
+        Ok(encoded)
+    }
+
     /// Encodes a single feature vector `[n]` → `[d]`.
     ///
     /// # Errors
@@ -219,6 +237,17 @@ mod tests {
         let z = Tensor::from_vec(vec![0.3, -0.1, 0.9, 0.0], &[1, 4]).unwrap();
         let h = enc.encode_batch(&z).unwrap();
         assert!(h.as_slice().iter().all(|&x| x == 1.0 || x == -1.0));
+    }
+
+    #[test]
+    fn instrumented_encode_matches_and_counts() {
+        let enc = RandomProjectionEncoder::new(128, 4, 0).unwrap();
+        let z = Tensor::from_vec(vec![0.3, -0.1, 0.9, 0.0, 1.0, 2.0, -3.0, 0.5], &[2, 4]).unwrap();
+        let tel = fhdnn_telemetry::Recorder::in_memory();
+        let h = enc.encode_batch_instrumented(&z, &tel).unwrap();
+        assert_eq!(h.as_slice(), enc.encode_batch(&z).unwrap().as_slice());
+        assert_eq!(tel.counter_value("hdc.encoded_vectors"), 2);
+        assert_eq!(tel.span_stat("hdc.encode").count, 1);
     }
 
     #[test]

@@ -85,6 +85,37 @@ pub fn quantize(model: &HdModel, bitwidth: u32) -> Result<QuantizedModel> {
     })
 }
 
+/// [`quantize`] with telemetry: wraps the conversion in an `hdc.quantize`
+/// span and counts words at the quantizer's extremes — `|w| == 2^{B-1}-1`
+/// (`hdc.quant.saturated_words`, the AGC gain pinned a value at full
+/// scale) and `w == 0` (`hdc.quant.zeroed_words`, values truncated below
+/// one quantization step). Both are the observable symptoms of a
+/// bit width too narrow for the prototype's dynamic range.
+///
+/// # Errors
+///
+/// Same as [`quantize`].
+pub fn quantize_instrumented(
+    model: &HdModel,
+    bitwidth: u32,
+    tel: &fhdnn_telemetry::Recorder,
+) -> Result<QuantizedModel> {
+    let _span = tel.span("hdc.quantize");
+    let q = quantize(model, bitwidth)?;
+    if tel.enabled() {
+        let max_word = q.max_word();
+        let saturated = q.words.iter().filter(|w| w.abs() == max_word).count() as u64;
+        let zeroed = q.words.iter().filter(|&&w| w == 0).count() as u64;
+        if saturated > 0 {
+            tel.incr("hdc.quant.saturated_words", saturated);
+        }
+        if zeroed > 0 {
+            tel.incr("hdc.quant.zeroed_words", zeroed);
+        }
+    }
+    Ok(q)
+}
+
 /// Reconstructs a model from received (possibly corrupted) words by
 /// scaling each class back down by its gain.
 ///
@@ -134,6 +165,18 @@ mod tests {
         let q = quantize(&m, 8).unwrap();
         assert_eq!(q.max_word(), 127);
         assert_eq!(q.words.iter().map(|w| w.abs()).max().unwrap(), 127);
+    }
+
+    #[test]
+    fn instrumented_quantize_matches_and_counts_extremes() {
+        // Gains pin -10 at the full scale (-127); 0.0 truncates to zero.
+        let m = model_with(&[5.0, -10.0, 2.5, 0.0], 1, 4);
+        let tel = fhdnn_telemetry::Recorder::in_memory();
+        let q = quantize_instrumented(&m, 8, &tel).unwrap();
+        assert_eq!(q, quantize(&m, 8).unwrap());
+        assert_eq!(tel.counter_value("hdc.quant.saturated_words"), 1);
+        assert_eq!(tel.counter_value("hdc.quant.zeroed_words"), 1);
+        assert_eq!(tel.span_stat("hdc.quantize").count, 1);
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! The telemetry event model and its JSON-lines wire form.
+//!
+//! Every observation the [`crate::Recorder`] makes is lowered to an
+//! [`Event`] and handed to the active sink. On the JSON-lines sink each
+//! event is one line:
+//!
+//! ```json
+//! {"ts":1234,"kind":"span","name":"round.local_train","fields":{"micros":812}}
+//! {"ts":1290,"kind":"counter","name":"fl.bytes_up","fields":{"delta":40960,"total":81920}}
+//! ```
+//!
+//! The wire form is produced by a small hand-rolled serializer so that the
+//! crate stays free of external dependencies; the shape is fixed and the
+//! field map is a `BTreeMap`, making output key order deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// What an event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed timed span; `fields.micros` holds its duration.
+    Span,
+    /// A counter increment; `fields.delta` and `fields.total`.
+    Counter,
+    /// A gauge update; `fields.value`.
+    Gauge,
+    /// A histogram observation; `fields.value`.
+    Hist,
+    /// A free-form point event with arbitrary fields.
+    Event,
+}
+
+impl EventKind {
+    /// The lowercase wire name of the kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Counter => "counter",
+            EventKind::Gauge => "gauge",
+            EventKind::Hist => "hist",
+            EventKind::Event => "event",
+        }
+    }
+}
+
+/// A field value: unsigned integer, float, or string.
+///
+/// Serializes as a plain JSON scalar (untagged).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer field.
+    U64(u64),
+    /// A floating-point field.
+    F64(f64),
+    /// A string field.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl FieldValue {
+    /// Appends the JSON form of the value to `out`.
+    fn write_json(&self, out: &mut String) {
+        match self {
+            FieldValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            // JSON has no NaN/Infinity literal; map non-finite values to
+            // null rather than emitting an unparseable line.
+            FieldValue::F64(v) if !v.is_finite() => out.push_str("null"),
+            FieldValue::F64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::Str(s) => write_json_string(out, s),
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped) to `out`.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One telemetry observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Microseconds since the recorder's clock origin.
+    pub ts: u64,
+    /// Event class.
+    pub kind: EventKind,
+    /// Dotted event name, e.g. `round.transmit` or `fl.bytes_up`.
+    pub name: String,
+    /// Named scalar payload; `BTreeMap` keeps the wire order stable.
+    pub fields: BTreeMap<String, FieldValue>,
+}
+
+impl Event {
+    /// Builds an event from a field slice.
+    pub fn new(ts: u64, kind: EventKind, name: &str, fields: &[(&str, FieldValue)]) -> Self {
+        Event {
+            ts,
+            kind,
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// The event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 16 * self.fields.len());
+        let _ = write!(out, "{{\"ts\":{},\"kind\":", self.ts);
+        write_json_string(&mut out, self.kind.as_str());
+        out.push_str(",\"name\":");
+        write_json_string(&mut out, &self.name);
+        out.push_str(",\"fields\":{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, k);
+            out.push(':');
+            v.write_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_matches_schema() {
+        let e = Event::new(
+            42,
+            EventKind::Counter,
+            "fl.bytes_up",
+            &[("delta", 10u64.into()), ("total", 30u64.into())],
+        );
+        assert_eq!(
+            e.to_json(),
+            r#"{"ts":42,"kind":"counter","name":"fl.bytes_up","fields":{"delta":10,"total":30}}"#
+        );
+    }
+
+    #[test]
+    fn floats_and_strings_serialize_as_json_scalars() {
+        let e = Event::new(
+            7,
+            EventKind::Gauge,
+            "fl.test_accuracy",
+            &[("value", 0.5f64.into()), ("note", "a\"b\\c\nd".into())],
+        );
+        assert_eq!(
+            e.to_json(),
+            r#"{"ts":7,"kind":"gauge","name":"fl.test_accuracy","fields":{"note":"a\"b\\c\nd","value":0.5}}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = Event::new(0, EventKind::Event, "e", &[("value", f64::NAN.into())]);
+        assert_eq!(
+            e.to_json(),
+            r#"{"ts":0,"kind":"event","name":"e","fields":{"value":null}}"#
+        );
+    }
+
+    #[test]
+    fn field_order_is_sorted_and_stable() {
+        let e = Event::new(
+            1,
+            EventKind::Event,
+            "e",
+            &[("z", 1u64.into()), ("a", 2u64.into()), ("m", 3u64.into())],
+        );
+        assert_eq!(
+            e.to_json(),
+            r#"{"ts":1,"kind":"event","name":"e","fields":{"a":2,"m":3,"z":1}}"#
+        );
+    }
+}

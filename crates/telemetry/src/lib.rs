@@ -1,0 +1,478 @@
+//! # fhdnn-telemetry
+//!
+//! A zero-dependency (std-only) tracing/metrics layer for the
+//! FHDnn reproduction. The paper's headline results are accounting claims
+//! — bytes on the wire, airtime, accuracy under injected impairments — so
+//! the stack needs a way to *observe itself*: where round wall-clock goes,
+//! how many bits actually flipped, what the encoder hot path costs.
+//!
+//! The building blocks:
+//!
+//! - [`Recorder`] — counters, gauges, log2-bucket histograms and timed
+//!   [`SpanGuard`] spans, aggregated in memory and streamed to a sink,
+//! - sinks — [`sink::NoopSink`] (near-zero overhead when disabled),
+//!   [`sink::MemorySink`] (tests), [`sink::JsonlSink`] (one JSON object
+//!   per line: `{"ts":…,"kind":"span|counter|gauge|hist|event","name":…,
+//!   "fields":{…}}`),
+//! - [`clock::Clock`] — injectable time source; [`clock::ManualClock`]
+//!   makes two identical runs byte-identical, timestamps included,
+//! - [`Recorder::summary`] — an aligned, human-readable table of span
+//!   totals, counters, gauges and histograms.
+//!
+//! # Example
+//!
+//! ```
+//! use fhdnn_telemetry::{Recorder, sink::MemorySink};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(MemorySink::new());
+//! let tel = Recorder::with_sink(sink.clone());
+//! {
+//!     let _round = tel.span("round");
+//!     tel.incr("fl.bytes_up", 4096);
+//! }
+//! assert_eq!(tel.counter_value("fl.bytes_up"), 4096);
+//! assert_eq!(sink.len(), 2); // one counter event + one span event
+//! println!("{}", tel.summary());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod event;
+pub mod histogram;
+pub mod sink;
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use clock::{Clock, SystemClock};
+use event::{Event, EventKind, FieldValue};
+use histogram::Histogram;
+use sink::{JsonlSink, NoopSink, Sink};
+
+/// The shared handle everything holds: a cheaply-clonable recorder.
+pub type Telemetry = Arc<Recorder>;
+
+/// Aggregate of one span name: completions and total duration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed span count.
+    pub count: u64,
+    /// Total duration across completions, microseconds.
+    pub total_micros: u64,
+}
+
+/// The telemetry recorder: aggregates metrics in memory and streams every
+/// observation to the configured sink.
+///
+/// All methods take `&self`; a recorder is shared as [`Telemetry`]
+/// (`Arc<Recorder>`). A disabled recorder ([`Recorder::disabled`]) costs
+/// one branch per call.
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: bool,
+    clock: Arc<dyn Clock>,
+    sink: Arc<dyn Sink>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Recorder {
+    fn build(enabled: bool, sink: Arc<dyn Sink>, clock: Arc<dyn Clock>) -> Telemetry {
+        Arc::new(Recorder {
+            enabled,
+            clock,
+            sink,
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The shared disabled recorder: every call is a no-op behind a single
+    /// branch. This is the default wired through the federated stack, so
+    /// uninstrumented runs pay (almost) nothing.
+    pub fn disabled() -> Telemetry {
+        static NOOP: OnceLock<Telemetry> = OnceLock::new();
+        NOOP.get_or_init(|| {
+            Recorder::build(false, Arc::new(NoopSink), Arc::new(SystemClock::new()))
+        })
+        .clone()
+    }
+
+    /// An enabled recorder streaming to `sink` on the real clock.
+    pub fn with_sink(sink: Arc<dyn Sink>) -> Telemetry {
+        Recorder::build(true, sink, Arc::new(SystemClock::new()))
+    }
+
+    /// An enabled recorder with an explicit clock — inject a
+    /// [`clock::ManualClock`] for deterministic timestamps.
+    pub fn with_sink_and_clock(sink: Arc<dyn Sink>, clock: Arc<dyn Clock>) -> Telemetry {
+        Recorder::build(true, sink, clock)
+    }
+
+    /// An enabled recorder that only aggregates in memory (no event
+    /// stream) — enough for [`Recorder::summary`].
+    pub fn in_memory() -> Telemetry {
+        Recorder::with_sink(Arc::new(NoopSink))
+    }
+
+    /// An enabled recorder appending JSON lines to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn to_jsonl(path: impl AsRef<std::path::Path>) -> std::io::Result<Telemetry> {
+        Ok(Recorder::with_sink(Arc::new(JsonlSink::create(path)?)))
+    }
+
+    /// `true` when observations are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current reading of the recorder's clock in microseconds.
+    ///
+    /// Useful for measuring durations that must stay deterministic under
+    /// an injected [`clock::ManualClock`] (e.g. round timing in seeded
+    /// reproducibility runs).
+    pub fn now_micros(&self) -> u64 {
+        self.clock.now_micros()
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn incr(&self, name: &str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        let total = {
+            let mut counters = self.counters.lock().expect("counters poisoned");
+            let entry = counters.entry(name.to_string()).or_insert(0);
+            *entry += delta;
+            *entry
+        };
+        self.emit(
+            EventKind::Counter,
+            name,
+            &[("delta", delta.into()), ("total", total.into())],
+        );
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.gauges
+            .lock()
+            .expect("gauges poisoned")
+            .insert(name.to_string(), value);
+        self.emit(EventKind::Gauge, name, &[("value", value.into())]);
+    }
+
+    /// Records one observation into the named log2-bucket histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.histograms
+            .lock()
+            .expect("histograms poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+        self.emit(EventKind::Hist, name, &[("value", value.into())]);
+    }
+
+    /// Emits a free-form point event.
+    pub fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        if !self.enabled {
+            return;
+        }
+        self.emit(EventKind::Event, name, fields);
+    }
+
+    /// Opens a timed span; the returned guard records the elapsed time
+    /// when dropped.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        if !self.enabled {
+            return SpanGuard {
+                recorder: None,
+                name,
+                start: 0,
+            };
+        }
+        SpanGuard {
+            recorder: Some(self),
+            name,
+            start: self.clock.now_micros(),
+        }
+    }
+
+    fn close_span(&self, name: &str, start: u64) {
+        let end = self.clock.now_micros();
+        let micros = end.saturating_sub(start);
+        {
+            let mut spans = self.spans.lock().expect("spans poisoned");
+            let stat = spans.entry(name.to_string()).or_default();
+            stat.count += 1;
+            stat.total_micros += micros;
+        }
+        self.emit(EventKind::Span, name, &[("micros", micros.into())]);
+    }
+
+    fn emit(&self, kind: EventKind, name: &str, fields: &[(&str, FieldValue)]) {
+        let event = Event::new(self.clock.now_micros(), kind, name, fields);
+        self.sink.record(&event);
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        *self
+            .counters
+            .lock()
+            .expect("counters poisoned")
+            .get(name)
+            .unwrap_or(&0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .lock()
+            .expect("gauges poisoned")
+            .get(name)
+            .copied()
+    }
+
+    /// Aggregate of a span name (zero if never closed).
+    pub fn span_stat(&self, name: &str) -> SpanStat {
+        self.spans
+            .lock()
+            .expect("spans poisoned")
+            .get(name)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Flushes the sink.
+    pub fn flush(&self) {
+        self.sink.flush();
+    }
+
+    /// Renders an aligned human-readable table of span totals, counters,
+    /// gauges and histograms. Empty sections are omitted; a recorder with
+    /// no data renders an explanatory one-liner.
+    pub fn summary(&self) -> String {
+        let spans = self.spans.lock().expect("spans poisoned").clone();
+        let counters = self.counters.lock().expect("counters poisoned").clone();
+        let gauges = self.gauges.lock().expect("gauges poisoned").clone();
+        let histograms = self.histograms.lock().expect("histograms poisoned").clone();
+
+        let name_width = spans
+            .keys()
+            .chain(counters.keys())
+            .chain(gauges.keys())
+            .chain(histograms.keys())
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(4)
+            .max("name".len());
+
+        let mut out = String::new();
+        if !spans.is_empty() {
+            out.push_str(&format!(
+                "{:<name_width$}  {:>8}  {:>12}  {:>12}\n",
+                "span", "count", "total", "mean"
+            ));
+            for (name, stat) in &spans {
+                let mean = if stat.count == 0 {
+                    0.0
+                } else {
+                    stat.total_micros as f64 / stat.count as f64
+                };
+                out.push_str(&format!(
+                    "{:<name_width$}  {:>8}  {:>12}  {:>12}\n",
+                    name,
+                    stat.count,
+                    fmt_micros(stat.total_micros as f64),
+                    fmt_micros(mean)
+                ));
+            }
+        }
+        if !counters.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!("{:<name_width$}  {:>16}\n", "counter", "value"));
+            for (name, value) in &counters {
+                out.push_str(&format!("{name:<name_width$}  {value:>16}\n"));
+            }
+        }
+        if !gauges.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!("{:<name_width$}  {:>16}\n", "gauge", "value"));
+            for (name, value) in &gauges {
+                out.push_str(&format!("{name:<name_width$}  {value:>16.4}\n"));
+            }
+        }
+        if !histograms.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "{:<name_width$}  {:>8}  {:>12}  {:>12}  {:>12}\n",
+                "histogram", "count", "mean", "~p50", "~p99"
+            ));
+            for (name, h) in &histograms {
+                out.push_str(&format!(
+                    "{:<name_width$}  {:>8}  {:>12.1}  {:>12}  {:>12}\n",
+                    name,
+                    h.count(),
+                    h.mean(),
+                    h.quantile_bound(0.5),
+                    h.quantile_bound(0.99)
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("telemetry: no data recorded\n");
+        }
+        out
+    }
+}
+
+/// Formats microseconds with a readable unit.
+fn fmt_micros(micros: f64) -> String {
+    if micros >= 1_000_000.0 {
+        format!("{:.3}s", micros / 1_000_000.0)
+    } else if micros >= 1_000.0 {
+        format!("{:.3}ms", micros / 1_000.0)
+    } else {
+        format!("{micros:.0}us")
+    }
+}
+
+/// RAII guard for a timed span: records the elapsed time on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    recorder: Option<&'a Recorder>,
+    name: &'static str,
+    start: u64,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(rec) = self.recorder {
+            rec.close_span(self.name, self.start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clock::ManualClock;
+    use sink::MemorySink;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let tel = Recorder::disabled();
+        tel.incr("c", 5);
+        tel.gauge("g", 1.0);
+        tel.observe("h", 3);
+        {
+            let _s = tel.span("s");
+        }
+        assert!(!tel.enabled());
+        assert_eq!(tel.counter_value("c"), 0);
+        assert_eq!(tel.gauge_value("g"), None);
+        assert_eq!(tel.span_stat("s"), SpanStat::default());
+    }
+
+    #[test]
+    fn counters_accumulate_and_emit() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Recorder::with_sink(sink.clone());
+        tel.incr("fl.bytes_up", 10);
+        tel.incr("fl.bytes_up", 20);
+        assert_eq!(tel.counter_value("fl.bytes_up"), 30);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].fields["total"], FieldValue::U64(30));
+    }
+
+    #[test]
+    fn spans_measure_manual_clock_time() {
+        let sink = Arc::new(MemorySink::new());
+        let clock = Arc::new(ManualClock::new(5));
+        let tel = Recorder::with_sink_and_clock(sink.clone(), clock);
+        {
+            let _outer = tel.span("outer");
+            let _inner = tel.span("inner");
+        }
+        // Each clock reading advances 5us; inner closes first.
+        let inner = tel.span_stat("inner");
+        let outer = tel.span_stat("outer");
+        assert_eq!(inner.count, 1);
+        assert_eq!(outer.count, 1);
+        assert!(outer.total_micros > inner.total_micros);
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn manual_clock_runs_are_byte_identical() {
+        let run = || {
+            let sink = Arc::new(MemorySink::new());
+            let tel = Recorder::with_sink_and_clock(sink.clone(), Arc::new(ManualClock::new(1)));
+            {
+                let _s = tel.span("round");
+                tel.incr("bytes", 42);
+            }
+            tel.gauge("acc", 0.9);
+            sink.events()
+                .iter()
+                .map(Event::to_json)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn summary_is_aligned_and_complete() {
+        let tel = Recorder::in_memory();
+        tel.incr("fl.participants", 4);
+        tel.gauge("fl.test_accuracy", 0.87);
+        tel.observe("round_micros", 1500);
+        {
+            let _s = tel.span("round.local_train");
+        }
+        let s = tel.summary();
+        assert!(s.contains("round.local_train"), "{s}");
+        assert!(s.contains("fl.participants"), "{s}");
+        assert!(s.contains("fl.test_accuracy"), "{s}");
+        assert!(s.contains("round_micros"), "{s}");
+        // Every non-empty line starts aligned within its section.
+        assert!(s.lines().count() >= 8, "{s}");
+    }
+
+    #[test]
+    fn empty_summary_explains_itself() {
+        assert!(Recorder::in_memory().summary().contains("no data"));
+    }
+
+    #[test]
+    fn fmt_micros_units() {
+        assert_eq!(fmt_micros(500.0), "500us");
+        assert_eq!(fmt_micros(1500.0), "1.500ms");
+        assert_eq!(fmt_micros(2_500_000.0), "2.500s");
+    }
+}

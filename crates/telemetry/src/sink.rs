@@ -1,0 +1,140 @@
+//! Pluggable event sinks.
+//!
+//! A sink receives every [`Event`] the recorder emits. Three
+//! implementations cover the intended deployments:
+//!
+//! - [`NoopSink`] — discards events; combined with a disabled recorder the
+//!   instrumentation cost is one branch per call site,
+//! - [`MemorySink`] — buffers events for tests and programmatic queries,
+//! - [`JsonlSink`] — appends one JSON line per event to a file.
+
+use std::fmt::Debug;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// A destination for telemetry events.
+pub trait Sink: Debug + Send + Sync {
+    /// Accepts one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Buffers events in memory; intended for tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of all events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Appends one JSON line per event to a file.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the output file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        // Telemetry must never take the run down: I/O errors are dropped.
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        for i in 0..3 {
+            sink.record(&Event::new(i, EventKind::Event, "e", &[]));
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2].ts, 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("fhdnn_telemetry_sink_test.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&Event::new(
+            1,
+            EventKind::Counter,
+            "c",
+            &[("delta", 2u64.into())],
+        ));
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text.trim(),
+            r#"{"ts":1,"kind":"counter","name":"c","fields":{"delta":2}}"#
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
