@@ -22,7 +22,7 @@ use std::io::Write as _;
 use std::process::ExitCode;
 
 use fhdnn_bench::report::ExperimentReport;
-use fhdnn_bench::{ablations, figures, tables, Scale};
+use fhdnn_bench::{ablations, figures, kernels, micro, tables, Scale};
 
 fn run_one(name: &str, scale: Scale) -> Result<ExperimentReport, String> {
     let result = match name {
@@ -90,13 +90,135 @@ fn experiments_for(name: &str) -> Vec<&'static str> {
     }
 }
 
+/// `repro bench`: runs the registered microbenches, writes
+/// `BENCH_kernels.json` + `BENCH_rounds.json`, and optionally gates the
+/// results against committed baselines.
+fn run_bench_command(args: &[String]) -> ExitCode {
+    let mut cfg = micro::BenchConfig::standard();
+    let mut out_dir = ".".to_string();
+    let mut filter: Option<String> = None;
+    let mut baselines: Vec<String> = Vec::new();
+    let mut tol = 0.25f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                cfg = micro::BenchConfig::smoke();
+                i += 1;
+            }
+            "--filter" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("--filter needs a substring");
+                    return ExitCode::FAILURE;
+                };
+                filter = Some(v.clone());
+                i += 2;
+            }
+            "--out" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                out_dir = v.clone();
+                i += 2;
+            }
+            "--check" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("--check needs a baseline file");
+                    return ExitCode::FAILURE;
+                };
+                baselines.push(v.clone());
+                i += 2;
+            }
+            "--tol" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--tol needs a number (e.g. 0.25)");
+                    return ExitCode::FAILURE;
+                };
+                tol = v;
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown bench flag: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let keep = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
+    let run_group = |benches: Vec<kernels::Bench>| -> Vec<micro::BenchResult> {
+        benches
+            .iter()
+            .filter(|b| keep(b.name))
+            .map(|b| {
+                let started = std::time::Instant::now();
+                let r = (b.run)(&cfg);
+                eprintln!("[{} in {:.1} s]", b.name, started.elapsed().as_secs_f64());
+                r
+            })
+            .collect()
+    };
+    let kernel_results = run_group(kernels::kernel_benches());
+    let round_results = run_group(kernels::round_benches());
+    if kernel_results.is_empty() && round_results.is_empty() {
+        eprintln!("no benches match filter {filter:?}");
+        return ExitCode::FAILURE;
+    }
+    print!("{}", micro::render_results("kernels", &kernel_results));
+    print!("{}", micro::render_results("rounds", &round_results));
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for (file, results) in [
+        ("BENCH_kernels.json", &kernel_results),
+        ("BENCH_rounds.json", &round_results),
+    ] {
+        // A filtered run still writes both files (possibly with an empty
+        // bench list) so the output set is predictable for CI artifacts.
+        let path = format!("{out_dir}/{file}");
+        if let Err(e) = std::fs::write(&path, micro::to_json(results)) {
+            eprintln!("write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    let current: Vec<micro::BenchResult> =
+        kernel_results.into_iter().chain(round_results).collect();
+    let mut ok = true;
+    for baseline_path in &baselines {
+        let baseline = match micro::load_baseline(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = micro::gate(baseline_path, &baseline, &current, tol);
+        print!("{}", report.render(tol));
+        ok &= report.passed();
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("regression gate FAILED");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!("usage: repro <experiment|fast|all> [--scale quick|standard] [--json DIR]");
+        eprintln!("       repro bench [--smoke] [--filter SUBSTR] [--out DIR] [--check BASELINE.json]... [--tol 0.25]");
         eprintln!("experiments: fig4 fig5 fig6 fig7 fig8 convergence table1 comm summary");
         eprintln!("             ablation-extractor ablation-snr ablation-dimension ablation-quantizer ablation-backbone");
         return ExitCode::FAILURE;
+    }
+    if args[0] == "bench" {
+        return run_bench_command(&args[1..]);
     }
     let mut scale = Scale::Quick;
     let mut json_dir: Option<String> = None;

@@ -1,0 +1,283 @@
+//! Registered microbenches for the hot kernels and full federated rounds.
+//!
+//! Two registries back the two tracked baselines: [`kernel_benches`]
+//! (tensor/hdc/channel/federated primitives → `BENCH_kernels.json`) and
+//! [`round_benches`] (one `HdFederation::run_round` per transport →
+//! `BENCH_rounds.json`). Every bench is seeded, so the *work* is
+//! identical across runs and only the wall time varies.
+
+use fhdnn::channel::packet::PacketLossChannel;
+use fhdnn::channel::packetizer::{transport_through, Packetizer};
+use fhdnn::datasets::features::FeatureSpec;
+use fhdnn::datasets::partition::Partition;
+use fhdnn::federated::config::FlConfig;
+use fhdnn::federated::fedhd::{HdClientData, HdFederation, HdTransport};
+use fhdnn::hdc::encoder::RandomProjectionEncoder;
+use fhdnn::hdc::model::HdModel;
+use fhdnn::hdc::quantizer::quantize;
+use fhdnn::nn::conv::{Conv2d, ConvGeometry};
+use fhdnn::nn::{Layer, Mode};
+use fhdnn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::micro::{black_box, run_bench, BenchConfig, BenchResult};
+
+/// A named bench: `run` measures it under the given plan.
+pub struct Bench {
+    /// Stable identifier used in `BENCH_*.json` and `--filter`.
+    pub name: &'static str,
+    /// Executes the bench and returns its summary.
+    pub run: fn(&BenchConfig) -> BenchResult,
+}
+
+/// Kernel-level benches, in reporting order.
+pub fn kernel_benches() -> Vec<Bench> {
+    vec![
+        Bench {
+            name: "tensor.matmul",
+            run: bench_matmul,
+        },
+        Bench {
+            name: "tensor.conv2d",
+            run: bench_conv2d,
+        },
+        Bench {
+            name: "hdc.encode",
+            run: bench_hdc_encode,
+        },
+        Bench {
+            name: "hdc.bundle",
+            run: bench_hdc_bundle,
+        },
+        Bench {
+            name: "hdc.quantize",
+            run: bench_hdc_quantize,
+        },
+        Bench {
+            name: "channel.transport",
+            run: bench_channel_transport,
+        },
+        Bench {
+            name: "federated.aggregate",
+            run: bench_federated_aggregate,
+        },
+    ]
+}
+
+/// Round-level benches (one full `run_round` per iteration).
+pub fn round_benches() -> Vec<Bench> {
+    vec![
+        Bench {
+            name: "round.fedhd_float",
+            run: bench_round_float,
+        },
+        Bench {
+            name: "round.fedhd_quantized",
+            run: bench_round_quantized,
+        },
+        Bench {
+            name: "round.fedhd_binary",
+            run: bench_round_binary,
+        },
+    ]
+}
+
+fn random_tensor(dims: &[usize], seed: u64) -> Tensor {
+    let len: usize = dims.iter().product();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    Tensor::from_vec(data, dims).expect("bench tensor shape")
+}
+
+fn random_model(num_classes: usize, dim: usize, seed: u64) -> HdModel {
+    HdModel::from_prototypes(random_tensor(&[num_classes, dim], seed)).expect("bench model")
+}
+
+fn bench_matmul(cfg: &BenchConfig) -> BenchResult {
+    let a = random_tensor(&[64, 64], 1);
+    let b = random_tensor(&[64, 64], 2);
+    // 64³ multiply-adds per iteration.
+    run_bench("tensor.matmul", cfg, 200, (64 * 64 * 64) as f64, || {
+        black_box(a.matmul(&b).expect("matmul"));
+    })
+}
+
+fn bench_conv2d(cfg: &BenchConfig) -> BenchResult {
+    let mut rng = StdRng::seed_from_u64(3);
+    let geom = ConvGeometry {
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let mut conv = Conv2d::new(8, 16, geom, &mut rng).expect("conv");
+    let input = random_tensor(&[4, 8, 16, 16], 4);
+    run_bench("tensor.conv2d", cfg, 50, 4.0, || {
+        black_box(conv.forward(&input, Mode::Eval).expect("conv forward"));
+    })
+}
+
+fn bench_hdc_encode(cfg: &BenchConfig) -> BenchResult {
+    let enc = RandomProjectionEncoder::new(2048, 64, 5).expect("encoder");
+    let batch = random_tensor(&[32, 64], 6);
+    run_bench("hdc.encode", cfg, 50, 32.0, || {
+        black_box(enc.encode_batch(&batch).expect("encode"));
+    })
+}
+
+fn bench_hdc_bundle(cfg: &BenchConfig) -> BenchResult {
+    let models: Vec<HdModel> = (0..8).map(|i| random_model(10, 2048, 10 + i)).collect();
+    run_bench("hdc.bundle", cfg, 100, 8.0, || {
+        black_box(HdModel::bundle(&models).expect("bundle"));
+    })
+}
+
+fn bench_hdc_quantize(cfg: &BenchConfig) -> BenchResult {
+    let model = random_model(10, 2048, 20);
+    run_bench("hdc.quantize", cfg, 200, (10 * 2048) as f64, || {
+        black_box(quantize(&model, 4).expect("quantize"));
+    })
+}
+
+fn bench_channel_transport(cfg: &BenchConfig) -> BenchResult {
+    let packetizer = Packetizer::new(256).expect("packetizer");
+    let channel = PacketLossChannel::new(0.1, 256 * 32).expect("channel");
+    let payload: Vec<f32> = {
+        let mut rng = StdRng::seed_from_u64(30);
+        (0..4096).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    };
+    let mut rng = StdRng::seed_from_u64(31);
+    run_bench("channel.transport", cfg, 100, 4096.0, || {
+        black_box(transport_through(&packetizer, &payload, &channel, &mut rng));
+    })
+}
+
+fn bench_federated_aggregate(cfg: &BenchConfig) -> BenchResult {
+    // Mirrors `run_round`'s aggregate stage: bundle the received client
+    // models, then normalize by the participant count.
+    let received: Vec<HdModel> = (0..10).map(|i| random_model(10, 2048, 40 + i)).collect();
+    let n = received.len() as f32;
+    run_bench("federated.aggregate", cfg, 100, 10.0, || {
+        let mut bundled = HdModel::bundle(&received).expect("aggregate");
+        bundled.scale(1.0 / n);
+        black_box(bundled);
+    })
+}
+
+/// Small seeded federation shared by the round benches (mirrors the
+/// telemetry integration fixture).
+fn build_federation(transport: HdTransport) -> (HdFederation, HdClientData) {
+    const DIM: usize = 1024;
+    const NUM_CLIENTS: usize = 4;
+    let spec = FeatureSpec {
+        num_classes: 5,
+        width: 40,
+        noise_std: 0.6,
+        class_seed: 11,
+    };
+    let train = spec.generate(NUM_CLIENTS * 25, 0).expect("train set");
+    let test = spec.generate(60, 1).expect("test set");
+    let enc = RandomProjectionEncoder::new(DIM, 40, 3).expect("encoder");
+    let h_train = enc.encode_batch(&train.features).expect("train encode");
+    let h_test = enc.encode_batch(&test.features).expect("test encode");
+    let mut rng = StdRng::seed_from_u64(0);
+    let parts = Partition::Iid
+        .split(&train.labels, NUM_CLIENTS, &mut rng)
+        .expect("partition");
+    let clients: Vec<HdClientData> = parts
+        .iter()
+        .map(|idx| {
+            let mut data = Vec::new();
+            let mut labels = Vec::new();
+            for &i in idx {
+                data.extend_from_slice(h_train.row(i).expect("row"));
+                labels.push(train.labels[i]);
+            }
+            HdClientData {
+                hypervectors: Tensor::from_vec(data, &[idx.len(), DIM]).expect("client tensor"),
+                labels,
+            }
+        })
+        .collect();
+    let config = FlConfig {
+        num_clients: NUM_CLIENTS,
+        rounds: 1,
+        local_epochs: 1,
+        batch_size: 10,
+        client_fraction: 0.5,
+        seed: 7,
+    };
+    let global = HdModel::new(5, DIM).expect("global model");
+    let fed = HdFederation::new(global, clients, config, transport).expect("federation");
+    let test_data = HdClientData {
+        hypervectors: h_test,
+        labels: test.labels,
+    };
+    (fed, test_data)
+}
+
+fn bench_round(name: &'static str, transport: HdTransport, cfg: &BenchConfig) -> BenchResult {
+    let (mut fed, test) = build_federation(transport);
+    let channel = PacketLossChannel::new(0.1, 256).expect("channel");
+    run_bench(name, cfg, 10, 1.0, || {
+        black_box(fed.run_round(&channel, &test).expect("round"));
+    })
+}
+
+fn bench_round_float(cfg: &BenchConfig) -> BenchResult {
+    bench_round("round.fedhd_float", HdTransport::Float, cfg)
+}
+
+fn bench_round_quantized(cfg: &BenchConfig) -> BenchResult {
+    bench_round(
+        "round.fedhd_quantized",
+        HdTransport::Quantized { bitwidth: 8 },
+        cfg,
+    )
+}
+
+fn bench_round_binary(cfg: &BenchConfig) -> BenchResult {
+    bench_round("round.fedhd_binary", HdTransport::Binary, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registries_have_unique_stable_names() {
+        let mut names: Vec<&str> = kernel_benches()
+            .iter()
+            .chain(round_benches().iter())
+            .map(|b| b.name)
+            .collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate bench names");
+        assert!(names.contains(&"tensor.matmul"));
+        assert!(names.contains(&"round.fedhd_float"));
+    }
+
+    #[test]
+    fn smoke_run_of_every_kernel_bench_produces_sane_results() {
+        let mut cfg = BenchConfig::smoke();
+        cfg.iter_scale = 0.001; // keep unit tests fast
+        for b in kernel_benches() {
+            let r = (b.run)(&cfg);
+            assert_eq!(r.name, b.name);
+            assert!(r.ns_per_iter > 0.0, "{} measured nothing", b.name);
+            assert!(r.throughput > 0.0, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn smoke_run_of_one_round_bench() {
+        let mut cfg = BenchConfig::smoke();
+        cfg.iter_scale = 0.001;
+        cfg.samples = 1;
+        let r = (round_benches()[0].run)(&cfg);
+        assert_eq!(r.name, "round.fedhd_float");
+        assert!(r.ns_per_iter > 0.0);
+    }
+}

@@ -15,6 +15,8 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod kernels;
+pub mod micro;
 pub mod report;
 pub mod tables;
 

@@ -1,0 +1,456 @@
+//! Zero-dependency microbench harness.
+//!
+//! Criterion stays available for local deep-dives (`cargo bench`), but the
+//! tracked perf trajectory — `BENCH_kernels.json` / `BENCH_rounds.json` at
+//! the repo root — comes from this much smaller harness so it can run as a
+//! `repro` subcommand, in CI smoke mode, and inside the regression gate
+//! without extra tooling. The statistics are deliberately simple and
+//! robust: per-sample timing of fixed-iteration batches after a warmup,
+//! summarized by the median with the MAD (median absolute deviation) as
+//! the spread estimate, both insensitive to the occasional scheduler
+//! hiccup that would wreck a mean/stddev summary.
+//!
+//! Baselines are parsed back with [`fhdnn::telemetry::jsonl`], the same
+//! zero-dependency JSON reader the profiler uses for offline replay, so
+//! the gate has no parsing dependencies of its own.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fhdnn::telemetry::jsonl;
+
+/// Re-export of the standard optimization barrier: keeps benched values
+/// alive without letting the optimizer see through them.
+pub use std::hint::black_box;
+
+/// Iteration/sampling plan for one harness run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Untimed iterations before sampling starts (caches, allocator,
+    /// branch predictors).
+    pub warmup_iters: u64,
+    /// Timed batches; the reported `ns_per_iter` is their median.
+    pub samples: u64,
+    /// Multiplier applied to each bench's nominal per-sample iteration
+    /// count (1.0 = full scale, smoke mode uses a small fraction).
+    pub iter_scale: f64,
+}
+
+impl BenchConfig {
+    /// Full-scale plan used when refreshing committed baselines.
+    pub fn standard() -> Self {
+        BenchConfig {
+            warmup_iters: 3,
+            samples: 9,
+            iter_scale: 1.0,
+        }
+    }
+
+    /// Tiny plan for CI smoke runs: exercises every bench end-to-end in
+    /// seconds; the numbers are only held to a loose tolerance.
+    pub fn smoke() -> Self {
+        BenchConfig {
+            warmup_iters: 1,
+            samples: 3,
+            iter_scale: 0.05,
+        }
+    }
+
+    /// Scales a bench's nominal per-sample iteration count, never below 1.
+    pub fn iters(&self, nominal: u64) -> u64 {
+        ((nominal as f64 * self.iter_scale).round() as u64).max(1)
+    }
+}
+
+/// One bench's summary, serialized verbatim into `BENCH_*.json`.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Stable bench identifier, e.g. `hdc.encode`.
+    pub name: String,
+    /// Median wall time per iteration in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Items processed per second (items/iteration × iterations/second).
+    pub throughput: f64,
+    /// Number of timed samples behind the median.
+    pub samples: u64,
+    /// Median absolute deviation of the per-sample ns/iter readings.
+    pub mad_ns: f64,
+    /// `git rev-parse --short HEAD` at measurement time, or `unknown`.
+    pub git_rev: String,
+}
+
+/// Times `f` under the plan in `cfg`: warmup, then `cfg.samples` batches
+/// of `cfg.iters(nominal_iters)` calls each. `items_per_iter` feeds the
+/// throughput figure (e.g. encoded vectors per call).
+pub fn run_bench<F: FnMut()>(
+    name: &str,
+    cfg: &BenchConfig,
+    nominal_iters: u64,
+    items_per_iter: f64,
+    mut f: F,
+) -> BenchResult {
+    let iters = cfg.iters(nominal_iters);
+    for _ in 0..cfg.warmup_iters.max(1) {
+        f();
+    }
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(cfg.samples as usize);
+    for _ in 0..cfg.samples.max(1) {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    let ns = median(&per_iter_ns);
+    let deviations: Vec<f64> = per_iter_ns.iter().map(|&s| (s - ns).abs()).collect();
+    BenchResult {
+        name: name.to_string(),
+        ns_per_iter: ns,
+        throughput: if ns > 0.0 {
+            items_per_iter * 1e9 / ns
+        } else {
+            0.0
+        },
+        samples: per_iter_ns.len() as u64,
+        mad_ns: median(&deviations),
+        git_rev: git_rev(),
+    }
+}
+
+fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// The short git revision of the working tree, or `unknown` outside a
+/// repository.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Renders a result set as the stable `BENCH_*.json` document:
+/// `{"schema": "fhdnn-bench-v1", "git_rev": ..., "benches": [...]}` with
+/// one `{name, ns_per_iter, throughput, samples, git_rev}` entry per
+/// bench (plus `mad_ns` for the spread).
+pub fn to_json(results: &[BenchResult]) -> String {
+    let rev = results
+        .first()
+        .map(|r| r.git_rev.clone())
+        .unwrap_or_else(git_rev);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"fhdnn-bench-v1\",");
+    let _ = writeln!(out, "  \"git_rev\": {},", json_str(&rev));
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": {}, \"ns_per_iter\": {:.1}, \"throughput\": {:.1}, \"samples\": {}, \"mad_ns\": {:.1}, \"git_rev\": {}}}",
+            json_str(&r.name),
+            r.ns_per_iter,
+            r.throughput,
+            r.samples,
+            r.mad_ns,
+            json_str(&r.git_rev),
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One gate comparison row: a bench present in both the baseline and the
+/// current run.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// Bench name shared by both sides.
+    pub name: String,
+    /// Baseline ns/iter.
+    pub baseline_ns: f64,
+    /// Current ns/iter.
+    pub current_ns: f64,
+    /// Signed relative deviation `(current - baseline) / baseline`.
+    pub delta: f64,
+    /// Whether `|delta|` exceeds the gate tolerance.
+    pub failed: bool,
+}
+
+/// Outcome of gating current results against one baseline file.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Baseline path, echoed for the report.
+    pub baseline_path: String,
+    /// Per-bench comparisons for benches present on both sides.
+    pub rows: Vec<GateRow>,
+    /// Baseline benches with no current measurement (always a failure:
+    /// a silently vanished bench must not pass the gate).
+    pub missing: Vec<String>,
+}
+
+impl GateReport {
+    /// True when every compared bench is within tolerance and no baseline
+    /// bench went missing.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.rows.iter().all(|r| !r.failed)
+    }
+
+    /// Renders the gate outcome as an aligned text table.
+    pub fn render(&self, tol: f64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "regression gate vs {} (tol ±{:.0}%)",
+            self.baseline_path,
+            tol * 100.0
+        );
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .chain(self.missing.iter().map(|n| n.len()))
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let _ = writeln!(
+            out,
+            "  {:<width$}  {:>14}  {:>14}  {:>8}  status",
+            "name", "baseline ns", "current ns", "delta"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "  {:<width$}  {:>14.1}  {:>14.1}  {:>7.1}%  {}",
+                r.name,
+                r.baseline_ns,
+                r.current_ns,
+                r.delta * 100.0,
+                if r.failed { "FAIL" } else { "ok" }
+            );
+        }
+        for name in &self.missing {
+            let _ = writeln!(
+                out,
+                "  {:<width$}  {:>14}  {:>14}  {:>8}  FAIL (missing)",
+                name, "-", "-", "-"
+            );
+        }
+        out
+    }
+}
+
+/// Parses a committed `BENCH_*.json` baseline into `(name, ns_per_iter)`
+/// pairs. Accepts both the wrapped document this harness writes and a
+/// bare array of bench entries.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem (unreadable
+/// file, invalid JSON, missing fields).
+pub fn load_baseline(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = jsonl::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let entries = match doc.get("benches") {
+        Some(jsonl::Value::Arr(items)) => items.as_slice(),
+        _ => match &doc {
+            jsonl::Value::Arr(items) => items.as_slice(),
+            _ => return Err(format!("{path}: expected a \"benches\" array")),
+        },
+    };
+    let mut out = Vec::with_capacity(entries.len());
+    for (i, e) in entries.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(jsonl::Value::as_str)
+            .ok_or_else(|| format!("{path}: bench #{i} has no \"name\""))?;
+        let ns = e
+            .get("ns_per_iter")
+            .and_then(jsonl::Value::as_f64)
+            .ok_or_else(|| format!("{path}: bench {name} has no \"ns_per_iter\""))?;
+        out.push((name.to_string(), ns));
+    }
+    Ok(out)
+}
+
+/// Gates `current` against a baseline: the relative deviation of each
+/// shared bench must stay within `tol` in **either** direction. Slower
+/// means a regression; dramatically faster means the committed baseline
+/// is stale and must be refreshed — both should stop CI. Baseline
+/// benches with no current counterpart are reported as failures.
+pub fn gate(
+    baseline_path: &str,
+    baseline: &[(String, f64)],
+    current: &[BenchResult],
+    tol: f64,
+) -> GateReport {
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for (name, base_ns) in baseline {
+        match current.iter().find(|r| &r.name == name) {
+            Some(cur) => {
+                let delta = if *base_ns > 0.0 {
+                    (cur.ns_per_iter - base_ns) / base_ns
+                } else {
+                    0.0
+                };
+                rows.push(GateRow {
+                    name: name.clone(),
+                    baseline_ns: *base_ns,
+                    current_ns: cur.ns_per_iter,
+                    delta,
+                    failed: delta.abs() > tol,
+                });
+            }
+            None => missing.push(name.clone()),
+        }
+    }
+    GateReport {
+        baseline_path: baseline_path.to_string(),
+        rows,
+        missing,
+    }
+}
+
+/// Renders current results as an aligned text table.
+pub fn render_results(title: &str, results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let width = results
+        .iter()
+        .map(|r| r.name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let _ = writeln!(
+        out,
+        "  {:<width$}  {:>14}  {:>10}  {:>16}  {:>7}",
+        "name", "ns/iter", "mad", "throughput/s", "samples"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "  {:<width$}  {:>14.1}  {:>10.1}  {:>16.1}  {:>7}",
+            r.name, r.ns_per_iter, r.mad_ns, r.throughput, r.samples
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, ns: f64) -> BenchResult {
+        BenchResult {
+            name: name.into(),
+            ns_per_iter: ns,
+            throughput: 1e9 / ns,
+            samples: 5,
+            mad_ns: 1.0,
+            git_rev: "deadbee".into(),
+        }
+    }
+
+    #[test]
+    fn harness_measures_and_summarizes() {
+        let cfg = BenchConfig::smoke();
+        let mut acc = 0u64;
+        let r = run_bench("spin", &cfg, 100, 10.0, || {
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+        });
+        assert_eq!(r.name, "spin");
+        assert!(r.ns_per_iter > 0.0);
+        assert!(r.throughput > 0.0);
+        assert_eq!(r.samples, cfg.samples);
+        black_box(acc);
+    }
+
+    #[test]
+    fn json_round_trips_through_baseline_loader() {
+        let results = vec![result("a.one", 120.5), result("b.two", 3456.0)];
+        let json = to_json(&results);
+        let tmp = std::env::temp_dir().join(format!("fhdnn-bench-{}.json", std::process::id()));
+        std::fs::write(&tmp, &json).unwrap();
+        let loaded = load_baseline(tmp.to_str().unwrap()).unwrap();
+        std::fs::remove_file(&tmp).ok();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].0, "a.one");
+        assert!((loaded[0].1 - 120.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_is_two_sided_and_flags_missing() {
+        let baseline = vec![
+            ("stable".to_string(), 100.0),
+            ("regressed".to_string(), 100.0),
+            ("inflated".to_string(), 1000.0),
+            ("vanished".to_string(), 100.0),
+        ];
+        let current = vec![
+            result("stable", 110.0),
+            result("regressed", 200.0),
+            result("inflated", 100.0),
+        ];
+        let report = gate("BASE.json", &baseline, &current, 0.25);
+        assert!(!report.passed());
+        let by_name = |n: &str| report.rows.iter().find(|r| r.name == n).unwrap();
+        assert!(!by_name("stable").failed);
+        assert!(by_name("regressed").failed, "slower must fail");
+        assert!(by_name("inflated").failed, "stale-fast baseline must fail");
+        assert_eq!(report.missing, vec!["vanished".to_string()]);
+        let rendered = report.render(0.25);
+        assert!(rendered.contains("FAIL"));
+        assert!(rendered.contains("missing"));
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let baseline = vec![("k".to_string(), 100.0)];
+        let current = vec![result("k", 80.0)];
+        assert!(gate("B", &baseline, &current, 0.25).passed());
+    }
+
+    #[test]
+    fn config_scales_iterations_with_floor() {
+        let smoke = BenchConfig::smoke();
+        assert_eq!(smoke.iters(1), 1);
+        assert_eq!(smoke.iters(1000), 50);
+        assert_eq!(BenchConfig::standard().iters(1000), 1000);
+    }
+}

@@ -1,0 +1,267 @@
+//! `ChannelStats` accounting vs independent recomputation.
+//!
+//! Each impairment model transmits a seeded payload through its
+//! `transmit_*_stats` entry point; the test then rederives the expected
+//! counters straight from the before/after payloads — reimplementing the
+//! diff logic locally rather than calling the crate's `account_*`
+//! helpers — and requires exact agreement (analog energy up to float
+//! tolerance). Seeds are chosen so every model realizes nonzero damage.
+
+use fhdnn_channel::awgn::AwgnChannel;
+use fhdnn_channel::bit_error::BitErrorChannel;
+use fhdnn_channel::gilbert::GilbertElliottChannel;
+use fhdnn_channel::packet::PacketLossChannel;
+use fhdnn_channel::{Channel, ChannelStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn f32_payload(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Strictly nonzero so an observed zero can only mean an erasure.
+    (0..len)
+        .map(|_| {
+            let v: f32 = rng.gen_range(0.5..1.5);
+            if rng.gen_bool(0.5) {
+                v
+            } else {
+                -v
+            }
+        })
+        .collect()
+}
+
+fn bipolar_payload(len: usize, seed: u64) -> Vec<i8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| if rng.gen_bool(0.5) { 1i8 } else { -1 })
+        .collect()
+}
+
+/// Independent recount of IEEE-754 bit flips and nonzero→zero erasures.
+fn recount_f32(before: &[f32], after: &[f32]) -> (u64, u64) {
+    let mut bits = 0u64;
+    let mut erased = 0u64;
+    for (&b, &a) in before.iter().zip(after) {
+        bits += (b.to_bits() ^ a.to_bits()).count_ones() as u64;
+        if b != 0.0 && a == 0.0 {
+            erased += 1;
+        }
+    }
+    (bits, erased)
+}
+
+/// Independent recount of masked word-bit flips and word erasures.
+fn recount_words(before: &[i64], after: &[i64], bitwidth: u32) -> (u64, u64) {
+    let mask = (1u64 << bitwidth) - 1;
+    let mut bits = 0u64;
+    let mut erased = 0u64;
+    for (&b, &a) in before.iter().zip(after) {
+        bits += ((b as u64 ^ a as u64) & mask).count_ones() as u64;
+        if b != 0 && a == 0 {
+            erased += 1;
+        }
+    }
+    (bits, erased)
+}
+
+/// Independent recount of bipolar sign flips and zeroed symbols.
+fn recount_bipolar(before: &[i8], after: &[i8]) -> (u64, u64) {
+    let mut flips = 0u64;
+    let mut erased = 0u64;
+    for (&b, &a) in before.iter().zip(after) {
+        if b != 0 && a == -b {
+            flips += 1;
+        }
+        if b != 0 && a == 0 {
+            erased += 1;
+        }
+    }
+    (flips, erased)
+}
+
+/// Independent recount of whole-packet drops: an aligned span that held
+/// data and came back all-default counts as one dropped packet and its
+/// formerly nonzero symbols as erasures.
+fn recount_drops<T: PartialEq + Default>(before: &[T], after: &[T], span: usize) -> (u64, u64) {
+    let zero = T::default();
+    let mut dropped = 0u64;
+    let mut erased = 0u64;
+    for (b, a) in before.chunks(span).zip(after.chunks(span)) {
+        if b.iter().any(|x| *x != zero) && a.iter().all(|x| *x == zero) {
+            dropped += 1;
+            erased += b.iter().filter(|x| **x != zero).count() as u64;
+        }
+    }
+    (dropped, erased)
+}
+
+#[test]
+fn awgn_accounts_noise_energy_on_floats() {
+    let ch = AwgnChannel::new(10.0).unwrap();
+    let stats = ChannelStats::new();
+    let before = f32_payload(2048, 1);
+    let mut after = before.clone();
+    let mut rng = StdRng::seed_from_u64(2);
+    ch.transmit_f32_stats(&mut after, &mut rng, &stats);
+
+    let expected_energy: f64 = before
+        .iter()
+        .zip(&after)
+        .map(|(&b, &a)| ((a - b) as f64).powi(2))
+        .sum();
+    let snap = stats.snapshot();
+    assert_eq!(snap.transmissions, 1);
+    assert_eq!(snap.symbols_sent, 2048);
+    assert!(expected_energy > 0.0, "AWGN must inject noise");
+    assert!(
+        (snap.noise_energy - expected_energy).abs() <= expected_energy * 1e-9,
+        "noise energy {} != recomputed {expected_energy}",
+        snap.noise_energy
+    );
+    // The analog model perturbs values rather than flipping digital bits.
+    assert_eq!(snap.bits_flipped, 0);
+    assert_eq!(snap.packets_dropped, 0);
+}
+
+#[test]
+fn awgn_accounts_hard_decision_flips_on_bipolar() {
+    // Low SNR so hard-decision BPSK demodulation realizes sign flips.
+    let ch = AwgnChannel::new(-3.0).unwrap();
+    let stats = ChannelStats::new();
+    let before = bipolar_payload(4096, 3);
+    let mut after = before.clone();
+    let mut rng = StdRng::seed_from_u64(4);
+    ch.transmit_bipolar_stats(&mut after, &mut rng, &stats);
+
+    let (flips, erased) = recount_bipolar(&before, &after);
+    let snap = stats.snapshot();
+    assert!(flips > 0, "low-SNR BPSK must flip some symbols");
+    assert_eq!(snap.bits_flipped, flips);
+    assert_eq!(snap.dims_erased, erased);
+    assert_eq!(snap.symbols_sent, 4096);
+}
+
+#[test]
+fn bit_error_accounts_flips_on_every_payload_kind() {
+    let ch = BitErrorChannel::new(1e-2).unwrap();
+
+    // f32 payloads: flipped IEEE-754 bits, plus erasures when a mantissa
+    // happens to collapse to 0.0 (counted identically on both sides).
+    let stats = ChannelStats::new();
+    let before = f32_payload(1024, 5);
+    let mut after = before.clone();
+    let mut rng = StdRng::seed_from_u64(6);
+    ch.transmit_f32_stats(&mut after, &mut rng, &stats);
+    let (bits, erased) = recount_f32(&before, &after);
+    let snap = stats.snapshot();
+    assert!(bits > 0, "BER 1e-2 over 32 Kbit must flip bits");
+    assert_eq!(snap.bits_flipped, bits);
+    assert_eq!(snap.dims_erased, erased);
+    assert_eq!(snap.symbols_sent, 1024);
+
+    // Quantized words: only the low `bitwidth` bits are on the wire.
+    let stats = ChannelStats::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let before: Vec<i64> = {
+        let mut r = StdRng::seed_from_u64(8);
+        (0..4096).map(|_| r.gen_range(1i64..128)).collect()
+    };
+    let mut after = before.clone();
+    ch.transmit_words_stats(&mut after, 8, &mut rng, &stats);
+    let (bits, erased) = recount_words(&before, &after, 8);
+    let snap = stats.snapshot();
+    assert!(bits > 0);
+    assert_eq!(snap.bits_flipped, bits);
+    assert_eq!(snap.dims_erased, erased);
+
+    // Bipolar symbols: one bit each, flips are sign inversions.
+    let stats = ChannelStats::new();
+    let before = bipolar_payload(8192, 9);
+    let mut after = before.clone();
+    let mut rng = StdRng::seed_from_u64(10);
+    ch.transmit_bipolar_stats(&mut after, &mut rng, &stats);
+    let (flips, erased) = recount_bipolar(&before, &after);
+    let snap = stats.snapshot();
+    assert!(flips > 0);
+    assert_eq!(snap.bits_flipped, flips);
+    assert_eq!(snap.dims_erased, erased);
+}
+
+#[test]
+fn packet_loss_accounts_whole_packet_drops() {
+    const PACKET_BITS: usize = 256;
+    let ch = PacketLossChannel::new(0.3, PACKET_BITS).unwrap();
+
+    // f32: one packet spans PACKET_BITS/32 floats.
+    let stats = ChannelStats::new();
+    let before = f32_payload(1000, 11);
+    let mut after = before.clone();
+    let mut rng = StdRng::seed_from_u64(12);
+    ch.transmit_f32_stats(&mut after, &mut rng, &stats);
+    let (dropped, erased) = recount_drops(&before, &after, PACKET_BITS / 32);
+    let snap = stats.snapshot();
+    assert!(dropped > 0, "30% loss over 125 packets must drop some");
+    assert_eq!(snap.packets_dropped, dropped);
+    assert_eq!(snap.dims_erased, erased);
+    assert_eq!(snap.symbols_sent, 1000);
+    assert_eq!(snap.bits_flipped, 0, "erasure channels do not flip bits");
+
+    // Bipolar: one packet spans PACKET_BITS one-bit symbols.
+    let stats = ChannelStats::new();
+    let before = bipolar_payload(4096, 13);
+    let mut after = before.clone();
+    let mut rng = StdRng::seed_from_u64(14);
+    ch.transmit_bipolar_stats(&mut after, &mut rng, &stats);
+    let (dropped, erased) = recount_drops(&before, &after, PACKET_BITS);
+    let snap = stats.snapshot();
+    assert!(dropped > 0);
+    assert_eq!(snap.packets_dropped, dropped);
+    assert_eq!(snap.dims_erased, erased);
+}
+
+#[test]
+fn gilbert_elliott_accounts_bursty_drops() {
+    const PACKET_BITS: usize = 128;
+    // Loss-free good state, lossy bad state, sticky transitions: drops
+    // arrive in bursts but the accounting is still exact per packet.
+    let ch = GilbertElliottChannel::new(0.01, 0.8, 0.2, 0.3, PACKET_BITS).unwrap();
+
+    let stats = ChannelStats::new();
+    let before = f32_payload(2000, 15);
+    let mut after = before.clone();
+    let mut rng = StdRng::seed_from_u64(16);
+    ch.transmit_f32_stats(&mut after, &mut rng, &stats);
+    let (dropped, erased) = recount_drops(&before, &after, PACKET_BITS / 32);
+    let snap = stats.snapshot();
+    assert!(
+        dropped > 0,
+        "bursty channel must drop packets at these rates"
+    );
+    assert_eq!(snap.packets_dropped, dropped);
+    assert_eq!(snap.dims_erased, erased);
+    assert_eq!(snap.symbols_sent, 2000);
+    assert_eq!(snap.bits_flipped, 0);
+}
+
+#[test]
+fn counters_accumulate_across_transmissions() {
+    let ch = PacketLossChannel::new(0.5, 64).unwrap();
+    let stats = ChannelStats::new();
+    let mut expected_dropped = 0u64;
+    let mut expected_erased = 0u64;
+    let mut rng = StdRng::seed_from_u64(17);
+    for i in 0..5 {
+        let before = f32_payload(200, 20 + i);
+        let mut after = before.clone();
+        ch.transmit_f32_stats(&mut after, &mut rng, &stats);
+        let (d, e) = recount_drops(&before, &after, 64 / 32);
+        expected_dropped += d;
+        expected_erased += e;
+    }
+    let snap = stats.snapshot();
+    assert_eq!(snap.transmissions, 5);
+    assert_eq!(snap.symbols_sent, 1000);
+    assert!(expected_dropped > 0);
+    assert_eq!(snap.packets_dropped, expected_dropped);
+    assert_eq!(snap.dims_erased, expected_erased);
+}

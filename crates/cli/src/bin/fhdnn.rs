@@ -7,8 +7,11 @@ use fhdnn::checkpoint::FhdnnCheckpoint;
 use fhdnn::experiment::{ExperimentSpec, Workload};
 use fhdnn::hdc::encoder::RandomProjectionEncoder;
 use fhdnn::hdc::model::HdModel;
+use fhdnn::telemetry::profile::Profile;
 use fhdnn::telemetry::{Recorder, Telemetry};
-use fhdnn_cli::{parse_channel, Cli, Command, SimulateArgs, Verbosity};
+use fhdnn_cli::{
+    open_telemetry, parse_channel, Cli, Command, ProfileArgs, SimulateArgs, Verbosity,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
             test_size,
         } => evaluate(&ckpt, workload, test_size),
         Command::Info { ckpt } => info(&ckpt),
+        Command::Profile(args) => profile(args),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -68,7 +72,7 @@ fn build_spec(sim: &SimulateArgs) -> ExperimentSpec {
 /// recorder keeps overhead at zero.
 fn build_recorder(sim: &SimulateArgs) -> Result<Telemetry, String> {
     match &sim.telemetry {
-        Some(path) => Recorder::to_jsonl(path).map_err(|e| format!("telemetry {path}: {e}")),
+        Some(path) => open_telemetry(path),
         None if sim.verbosity == Verbosity::Quiet => Ok(Recorder::disabled()),
         None => Ok(Recorder::in_memory()),
     }
@@ -170,6 +174,55 @@ fn simulate(sim: SimulateArgs) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
         save(&ckpt, path)?;
         println!("checkpoint saved to {path}");
+    }
+    Ok(())
+}
+
+/// `fhdnn profile`: renders a span-tree profile either by replaying a
+/// recorded `--telemetry` JSONL stream (`--from`) or by running a fresh
+/// simulation with an enabled recorder.
+fn profile(args: ProfileArgs) -> Result<(), String> {
+    let prof = match &args.from {
+        Some(path) => Profile::from_jsonl_path(path)?,
+        None => {
+            let sim = &args.sim;
+            let channel = parse_channel(&sim.channel)?;
+            let spec = build_spec(sim);
+            // Profiling needs an enabled recorder even under --quiet; the
+            // stream still goes to --telemetry when requested.
+            let tel = match &sim.telemetry {
+                Some(path) => open_telemetry(path)?,
+                None => Recorder::in_memory(),
+            };
+            if sim.verbosity != Verbosity::Quiet {
+                println!(
+                    "fhdnn profile: workload={} channel={} rounds={} transport={:?}",
+                    sim.workload, sim.channel, spec.fl.rounds, sim.transport
+                );
+            }
+            let mut extractor = spec.build_extractor().map_err(|e| e.to_string())?;
+            let mut system = spec
+                .build_fhdnn_with_telemetry(&mut extractor, tel.clone())
+                .map_err(|e| e.to_string())?;
+            system
+                .run(channel.as_ref(), "profile")
+                .map_err(|e| e.to_string())?;
+            tel.flush();
+            let prof = Profile::from_recorder(&tel);
+            if sim.verbosity != Verbosity::Quiet {
+                println!("\ntelemetry summary:");
+                print!("{}", tel.summary());
+            }
+            prof
+        }
+    };
+
+    println!("\nspan-tree profile:");
+    print!("{}", prof.render());
+    if let Some(path) = &args.collapsed {
+        std::fs::write(path, prof.collapsed())
+            .map_err(|e| format!("write collapsed stacks {path}: {e}"))?;
+        println!("collapsed stacks written to {path}");
     }
     Ok(())
 }

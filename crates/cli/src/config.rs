@@ -38,6 +38,21 @@ pub enum Command {
         /// Checkpoint path.
         ckpt: String,
     },
+    /// Render a span-tree profile, live or from a recorded stream.
+    Profile(ProfileArgs),
+}
+
+/// Arguments for `profile`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileArgs {
+    /// Replay a recorded `--telemetry` JSONL stream instead of running a
+    /// fresh simulation.
+    pub from: Option<String>,
+    /// Optional collapsed-stack (flamegraph-compatible) output path.
+    pub collapsed: Option<String>,
+    /// Simulation to profile when `from` is absent (same flags as
+    /// `simulate`).
+    pub sim: SimulateArgs,
 }
 
 /// Output verbosity of the `simulate` command.
@@ -128,6 +143,58 @@ fn parse_transport(s: &str) -> Result<HdTransport, String> {
     }
 }
 
+/// Parses the `simulate` flag set out of an argument list. Shared by
+/// `simulate` and `profile` (which profiles the same simulation).
+fn parse_simulate_args(rest: &[&String]) -> Result<SimulateArgs, String> {
+    let get_value = |flag: &str| -> Result<Option<String>, String> {
+        let mut i = 0;
+        while i < rest.len() {
+            if rest[i] == flag {
+                return rest
+                    .get(i + 1)
+                    .map(|v| Some((*v).clone()))
+                    .ok_or(format!("{flag} needs a value"));
+            }
+            i += 1;
+        }
+        Ok(None)
+    };
+    let has_flag = |flag: &str| rest.iter().any(|a| *a == flag);
+
+    let mut sim = SimulateArgs::default();
+    if let Some(w) = get_value("--workload")? {
+        sim.workload = parse_workload(&w)?;
+    }
+    if let Some(c) = get_value("--channel")? {
+        sim.channel = c;
+    }
+    if let Some(r) = get_value("--rounds")? {
+        sim.rounds = r.parse().map_err(|e| format!("--rounds: {e}"))?;
+    }
+    if let Some(t) = get_value("--transport")? {
+        sim.transport = parse_transport(&t)?;
+    }
+    if let Some(s) = get_value("--seed")? {
+        sim.seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
+    }
+    sim.save = get_value("--save")?;
+    sim.telemetry = get_value("--telemetry")?;
+    sim.non_iid = has_flag("--non-iid");
+    sim.baseline = has_flag("--baseline");
+    if has_flag("--no-pretrain") {
+        sim.pretrain = false;
+    }
+    let quiet = has_flag("-q") || has_flag("--quiet");
+    let verbose = has_flag("-v") || has_flag("--verbose");
+    sim.verbosity = match (quiet, verbose) {
+        (true, true) => return Err("choose one of --quiet/--verbose".into()),
+        (true, false) => Verbosity::Quiet,
+        (false, true) => Verbosity::Verbose,
+        (false, false) => Verbosity::Normal,
+    };
+    Ok(sim)
+}
+
 /// The usage text printed on `--help` or argument errors.
 pub const USAGE: &str = "\
 usage: fhdnn <command> [options]
@@ -147,6 +214,12 @@ commands:
              --telemetry PATH                 stream telemetry events to PATH (JSONL)
              -q, --quiet                      only the final accuracy line
              -v, --verbose                    per-round bytes/timing + channel stats
+  profile    span-tree profile of a simulation (or a recorded stream)
+             --from PATH                      replay a recorded --telemetry JSONL
+                                              stream instead of simulating
+             --collapsed PATH                 also write collapsed stacks
+                                              (flamegraph.pl / inferno input)
+             plus any simulate flags when running live
   pretrain   --workload W --out PATH [--seed N]
   evaluate   --ckpt PATH --workload W [--test-size N]
   info       --ckpt PATH";
@@ -174,43 +247,24 @@ impl Cli {
             }
             Ok(None)
         };
-        let has_flag = |flag: &str| rest.iter().any(|a| *a == flag);
 
         match command.as_str() {
             "simulate" => {
-                let mut sim = SimulateArgs::default();
-                if let Some(w) = get_value("--workload")? {
-                    sim.workload = parse_workload(&w)?;
-                }
-                if let Some(c) = get_value("--channel")? {
-                    sim.channel = c;
-                }
-                if let Some(r) = get_value("--rounds")? {
-                    sim.rounds = r.parse().map_err(|e| format!("--rounds: {e}"))?;
-                }
-                if let Some(t) = get_value("--transport")? {
-                    sim.transport = parse_transport(&t)?;
-                }
-                if let Some(s) = get_value("--seed")? {
-                    sim.seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
-                }
-                sim.save = get_value("--save")?;
-                sim.telemetry = get_value("--telemetry")?;
-                sim.non_iid = has_flag("--non-iid");
-                sim.baseline = has_flag("--baseline");
-                if has_flag("--no-pretrain") {
-                    sim.pretrain = false;
-                }
-                let quiet = has_flag("-q") || has_flag("--quiet");
-                let verbose = has_flag("-v") || has_flag("--verbose");
-                sim.verbosity = match (quiet, verbose) {
-                    (true, true) => return Err("choose one of --quiet/--verbose".into()),
-                    (true, false) => Verbosity::Quiet,
-                    (false, true) => Verbosity::Verbose,
-                    (false, false) => Verbosity::Normal,
-                };
+                let sim = parse_simulate_args(&rest)?;
                 Ok(Cli {
                     command: Command::Simulate(sim),
+                })
+            }
+            "profile" => {
+                let sim = parse_simulate_args(&rest)?;
+                let from = get_value("--from")?;
+                let collapsed = get_value("--collapsed")?;
+                Ok(Cli {
+                    command: Command::Profile(ProfileArgs {
+                        from,
+                        collapsed,
+                        sim,
+                    }),
                 })
             }
             "pretrain" => {
@@ -348,6 +402,25 @@ mod tests {
             Cli::parse(&args("info --ckpt x.json")).unwrap().command,
             Command::Info { .. }
         ));
+    }
+
+    #[test]
+    fn profile_parses_replay_and_live_forms() {
+        let cli = Cli::parse(&args("profile --from trace.jsonl --collapsed out.folded")).unwrap();
+        let Command::Profile(p) = cli.command else {
+            panic!("expected profile");
+        };
+        assert_eq!(p.from.as_deref(), Some("trace.jsonl"));
+        assert_eq!(p.collapsed.as_deref(), Some("out.folded"));
+
+        let cli = Cli::parse(&args("profile --workload mnist --rounds 3 -q")).unwrap();
+        let Command::Profile(p) = cli.command else {
+            panic!("expected profile");
+        };
+        assert_eq!(p.from, None);
+        assert_eq!(p.sim.workload, Workload::Mnist);
+        assert_eq!(p.sim.rounds, 3);
+        assert_eq!(p.sim.verbosity, Verbosity::Quiet);
     }
 
     #[test]

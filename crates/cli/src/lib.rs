@@ -19,6 +19,8 @@
 
 pub mod channel_spec;
 pub mod config;
+pub mod telemetry_out;
 
 pub use channel_spec::parse_channel;
-pub use config::{Cli, Command, SimulateArgs, Verbosity};
+pub use config::{Cli, Command, ProfileArgs, SimulateArgs, Verbosity};
+pub use telemetry_out::open_telemetry;

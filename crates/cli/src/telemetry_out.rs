@@ -1,0 +1,70 @@
+//! Opening `--telemetry` output streams with friendly failure modes.
+
+use fhdnn::telemetry::{Recorder, Telemetry};
+
+/// Opens a JSONL telemetry stream at `path`, creating missing parent
+/// directories first. Failures come back as one-line diagnostics naming
+/// the flag, the path, and the failing step — never a panic or a bare
+/// io error.
+///
+/// # Errors
+///
+/// Returns a printable message when the parent directory cannot be
+/// created or the file cannot be opened for writing.
+pub fn open_telemetry(path: &str) -> Result<Telemetry, String> {
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() && !parent.exists() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                format!(
+                    "--telemetry {path}: cannot create parent directory {}: {e}",
+                    parent.display()
+                )
+            })?;
+        }
+    }
+    Recorder::to_jsonl(path).map_err(|e| format!("--telemetry {path}: cannot open: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fhdnn-cli-telemetry-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn creates_missing_parent_directories() {
+        let dir = temp_dir("nested");
+        let path = dir.join("deep/run.jsonl");
+        let tel = open_telemetry(path.to_str().unwrap()).unwrap();
+        tel.incr("x", 1);
+        tel.flush();
+        assert!(path.exists(), "stream file should exist");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritable_path_yields_clean_diagnostic() {
+        let dir = temp_dir("blocked");
+        std::fs::create_dir_all(&dir).unwrap();
+        // The target's "parent" is a regular file, so neither directory
+        // creation nor opening can succeed.
+        let clash = dir.join("not-a-dir");
+        std::fs::write(&clash, b"file").unwrap();
+        let target = clash.join("run.jsonl");
+        let err = open_telemetry(target.to_str().unwrap()).unwrap_err();
+        assert!(
+            err.starts_with("--telemetry "),
+            "diagnostic names the flag: {err}"
+        );
+        assert!(
+            err.contains("run.jsonl"),
+            "diagnostic names the path: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -200,6 +200,8 @@ impl CnnFederation {
         let tick = tel.now_micros();
         let wall = std::time::Instant::now();
         let chan_before = self.channel_stats.snapshot();
+        // Root span: stage spans nest under `round` for the profiler's tree.
+        let round_span = tel.span("round");
         let broadcast = {
             let _span = tel.span("round.broadcast");
             self.global.flatten_params()
@@ -224,8 +226,11 @@ impl CnnFederation {
             let _span = tel.span("round.transmit");
             if self.upload_fraction >= 1.0 {
                 let mut payload = update;
-                // Uplink through the unreliable channel.
-                channel.transmit_f32_stats(&mut payload, &mut self.rng, &self.channel_stats);
+                {
+                    // Uplink through the unreliable channel.
+                    let _span = tel.span("chan.uplink");
+                    channel.transmit_f32_stats(&mut payload, &mut self.rng, &self.channel_stats);
+                }
                 for (i, &u) in payload.iter().enumerate() {
                     acc[i] += weight * u as f64;
                     weights[i] += weight;
@@ -238,7 +243,10 @@ impl CnnFederation {
                 indices.shuffle(&mut self.rng);
                 indices.truncate(keep);
                 let mut payload: Vec<f32> = indices.iter().map(|&i| update[i]).collect();
-                channel.transmit_f32_stats(&mut payload, &mut self.rng, &self.channel_stats);
+                {
+                    let _span = tel.span("chan.uplink");
+                    channel.transmit_f32_stats(&mut payload, &mut self.rng, &self.channel_stats);
+                }
                 for (&i, &u) in indices.iter().zip(&payload) {
                     acc[i] += weight * u as f64;
                     weights[i] += weight;
@@ -261,6 +269,7 @@ impl CnnFederation {
             let _span = tel.span("round.eval");
             self.evaluate(test)?
         };
+        drop(round_span);
 
         if tel.enabled() {
             tel.incr("fl.rounds", 1);

@@ -262,6 +262,7 @@ impl HdFederation {
     fn transmit(&mut self, model: &mut HdModel, channel: &dyn Channel) -> Result<()> {
         match self.transport {
             HdTransport::Float => {
+                let _span = self.telemetry.span("chan.uplink");
                 channel.transmit_f32_stats(
                     model.prototypes_mut().as_mut_slice(),
                     &mut self.rng,
@@ -270,12 +271,15 @@ impl HdFederation {
             }
             HdTransport::Quantized { bitwidth } => {
                 let mut q = quantize_instrumented(model, bitwidth, &self.telemetry)?;
-                channel.transmit_words_stats(
-                    &mut q.words,
-                    bitwidth,
-                    &mut self.rng,
-                    &self.channel_stats,
-                );
+                {
+                    let _span = self.telemetry.span("chan.uplink");
+                    channel.transmit_words_stats(
+                        &mut q.words,
+                        bitwidth,
+                        &mut self.rng,
+                        &self.channel_stats,
+                    );
+                }
                 *model = dequantize(&q)?;
             }
             HdTransport::Binary => {
@@ -291,7 +295,14 @@ impl HdFederation {
                     })
                     .collect::<Result<_>>()?;
                 let mut symbols = model.to_bipolar();
-                channel.transmit_bipolar_stats(&mut symbols, &mut self.rng, &self.channel_stats);
+                {
+                    let _span = self.telemetry.span("chan.uplink");
+                    channel.transmit_bipolar_stats(
+                        &mut symbols,
+                        &mut self.rng,
+                        &self.channel_stats,
+                    );
+                }
                 let mut received =
                     HdModel::from_bipolar(&symbols, model.num_classes(), model.dim())?;
                 for (k, &g) in gains.iter().enumerate() {
@@ -320,6 +331,9 @@ impl HdFederation {
         let tick = tel.now_micros();
         let wall = std::time::Instant::now();
         let chan_before = self.channel_stats.snapshot();
+        // Root span: every stage span below nests under `round`, which is
+        // what lets the profiler rebuild the per-round call tree.
+        let round_span = tel.span("round");
         let participants = sample_clients(
             self.config.num_clients,
             self.config.participants_per_round(),
@@ -364,6 +378,7 @@ impl HdFederation {
             let _span = tel.span("round.eval");
             self.global.accuracy(&test.hypervectors, &test.labels)?
         };
+        drop(round_span);
 
         if tel.enabled() {
             tel.incr("fl.rounds", 1);

@@ -166,7 +166,14 @@ impl RandomProjectionEncoder {
         tel: &fhdnn_telemetry::Recorder,
     ) -> Result<Tensor> {
         let _span = tel.span("hdc.encode");
-        let encoded = self.encode_batch(features)?;
+        let projected = {
+            let _span = tel.span("hdc.project");
+            self.project_batch(features)?
+        };
+        let encoded = {
+            let _span = tel.span("hdc.sign");
+            projected.sign_pm1()
+        };
         tel.incr("hdc.encoded_vectors", encoded.dims()[0] as u64);
         Ok(encoded)
     }

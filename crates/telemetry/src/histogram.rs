@@ -47,6 +47,22 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Merges another histogram into this one: bucket-wise counts plus
+    /// exact count/sum/min/max. Percentiles of the merge are exact at the
+    /// shared log2 bucket resolution.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count
@@ -78,6 +94,46 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimated value at quantile `q` (`0.0..=1.0`), e.g. `percentile(0.5)`
+    /// for p50 and `percentile(0.99)` for p99.
+    ///
+    /// Finds the log2 bucket containing the target rank and interpolates
+    /// linearly within it, then clamps to the observed `[min, max]` range —
+    /// much tighter than the bucket upper bound [`Histogram::quantile_bound`]
+    /// reports, while still requiring only the 65 fixed buckets. Returns 0
+    /// for an empty histogram.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q >= 1.0 {
+            return self.max as f64;
+        }
+        let target = (q.max(0.0) * self.count as f64).ceil().max(1.0);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = seen;
+            seen += n;
+            if (seen as f64) >= target {
+                if i == 0 {
+                    return 0.0;
+                }
+                // Bucket i spans [2^(i-1), 2^i); interpolate at the
+                // midpoint rank of the target within the bucket's
+                // population so the estimate stays strictly inside it.
+                let lo = (1u64 << (i - 1)) as f64;
+                let hi = (1u64 << i) as f64;
+                let frac = (target - before as f64 - 0.5) / n as f64;
+                let v = lo + frac.clamp(0.0, 1.0) * (hi - lo);
+                return v.clamp(self.min() as f64, self.max as f64);
+            }
+        }
+        self.max as f64
     }
 
     /// Upper bound (exclusive) of the bucket containing quantile `q`
@@ -123,6 +179,50 @@ mod tests {
         assert_eq!(h.min(), 1);
         assert_eq!(h.max(), 100);
         assert!((h.mean() - 26.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate_and_clamp() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(10);
+        }
+        h.observe(1000);
+        // p50 lands in the [8,16) bucket and must stay within it — far
+        // tighter than the bucket-bound estimate of 16.
+        let p50 = h.percentile(0.5);
+        assert!((8.0..16.0).contains(&p50), "p50 {p50}");
+        // p99 is rank 99, still inside the [8,16) bucket's population.
+        assert!(h.percentile(0.99) < 16.0);
+        // p100 reaches the outlier, clamped to the observed max.
+        assert!((h.percentile(1.0) - 1000.0).abs() < 1e-9);
+        // Clamping to min: every observation is 10, so all percentiles
+        // stay at 10 despite the bucket spanning [8,16).
+        let mut same = Histogram::new();
+        for _ in 0..4 {
+            same.observe(10);
+        }
+        assert!(same.percentile(0.01) >= 10.0);
+        assert!(same.percentile(0.99) <= 10.0 + 1e-9);
+        // Empties and zeros.
+        assert_eq!(Histogram::new().percentile(0.5), 0.0);
+        let mut z = Histogram::new();
+        z.observe(0);
+        assert_eq!(z.percentile(0.99), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_q() {
+        let mut h = Histogram::new();
+        for v in [1u64, 3, 9, 27, 81, 243, 729] {
+            h.observe(v);
+        }
+        let mut last = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let p = h.percentile(q);
+            assert!(p >= last, "percentile({q}) = {p} < {last}");
+            last = p;
+        }
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! A minimal JSON reader for telemetry's own JSONL output.
+//!
+//! The crate stays free of external dependencies, so replaying a recorded
+//! `--telemetry` stream (see [`crate::profile`]) needs a small parser of
+//! its own. This is a strict recursive-descent parser over the full JSON
+//! grammar — objects, arrays, strings with escapes, numbers, booleans,
+//! null — kept deliberately tiny (no borrowed-slice zero-copy tricks, no
+//! streaming) because telemetry lines are short and parsed once.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Numbers are uniformly `f64`, which is lossless
+/// for every field telemetry itself emits (timestamps and durations stay
+/// below 2^53 for ~285 years of microseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; key order is not preserved (sorted).
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value as an object map, if it is one.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj().and_then(|m| m.get(key))
+    }
+}
+
+/// Parses one complete JSON document (e.g. one JSONL line).
+///
+/// # Errors
+///
+/// Returns a message naming the byte offset of the first syntax error,
+/// including trailing garbage after the document.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing characters at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}",
+                b as char,
+                self.pos.saturating_sub(1)
+            ))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected character at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Obj(map)),
+                _ => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos.saturating_sub(1)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Arr(items)),
+                _ => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos.saturating_sub(1)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let cp = self.hex4()?;
+                        // Surrogate pair: a high surrogate must be
+                        // followed by an escaped low surrogate.
+                        let c = if (0xD800..0xDC00).contains(&cp) {
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err("unpaired surrogate".into());
+                            }
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err("invalid low surrogate".into());
+                            }
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(combined).ok_or("invalid surrogate pair")?
+                        } else {
+                            char::from_u32(cp).ok_or("invalid unicode escape")?
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", self.pos)),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control character at byte {}", self.pos - 1))
+                }
+                Some(b) => {
+                    // Re-assemble multi-byte UTF-8 sequences: the input
+                    // came from a &str, so the bytes are valid UTF-8.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    self.pos = start + len;
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a') as u32 + 10,
+                Some(b @ b'A'..=b'F') => (b - b'A') as u32 + 10,
+                _ => return Err(format!("invalid \\u escape at byte {}", self.pos)),
+            };
+            cp = cp * 16 + d;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_string())?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("invalid number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_telemetry_lines() {
+        let line = r#"{"ts":1520,"kind":"span","name":"round.transmit","fields":{"micros":412,"path":"round;round.transmit"}}"#;
+        let v = parse(line).unwrap();
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("span"));
+        assert_eq!(v.get("ts").and_then(Value::as_f64), Some(1520.0));
+        let fields = v.get("fields").unwrap();
+        assert_eq!(fields.get("micros").and_then(Value::as_f64), Some(412.0));
+        assert_eq!(
+            fields.get("path").and_then(Value::as_str),
+            Some("round;round.transmit")
+        );
+    }
+
+    #[test]
+    fn parses_scalars_arrays_escapes() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("-1.5e2").unwrap(), Value::Num(-150.0));
+        assert_eq!(
+            parse(r#"[1, "a\nb", {}]"#).unwrap(),
+            Value::Arr(vec![
+                Value::Num(1.0),
+                Value::Str("a\nb".into()),
+                Value::Obj(BTreeMap::new())
+            ])
+        );
+        assert_eq!(parse(r#""é😀""#).unwrap(), Value::Str("é😀".into()));
+    }
+
+    #[test]
+    fn round_trips_own_event_serializer() {
+        use crate::event::{Event, EventKind};
+        let e = Event::new(
+            7,
+            EventKind::Gauge,
+            "fl.test_accuracy",
+            &[("value", 0.5f64.into()), ("note", "a\"b\\c\nd".into())],
+        );
+        let v = parse(&e.to_json()).unwrap();
+        assert_eq!(
+            v.get("name").and_then(Value::as_str),
+            Some("fl.test_accuracy")
+        );
+        assert_eq!(
+            v.get("fields").unwrap().get("note").and_then(Value::as_str),
+            Some("a\"b\\c\nd")
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "\"abc", "12x", "{} extra"] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

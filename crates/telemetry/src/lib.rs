@@ -42,8 +42,11 @@
 pub mod clock;
 pub mod event;
 pub mod histogram;
+pub mod jsonl;
+pub mod profile;
 pub mod sink;
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -64,6 +67,35 @@ pub struct SpanStat {
     pub total_micros: u64,
 }
 
+/// Aggregate of one span *path* (the `;`-joined chain of enclosing span
+/// names, innermost last): completions, total duration, and a log2
+/// histogram of individual durations for percentile queries.
+///
+/// Paths are what the [`profile`] module's span-tree profiler consumes;
+/// the flat per-name [`SpanStat`]s remain available for summary tables
+/// and equal the per-name sum of path stats.
+#[derive(Debug, Clone, Default)]
+pub struct PathStat {
+    /// Completed span count on this path.
+    pub count: u64,
+    /// Total duration across completions, microseconds.
+    pub total_micros: u64,
+    /// Distribution of individual span durations, microseconds.
+    pub durations: Histogram,
+}
+
+/// Separator between span names in a recorded path — the same character
+/// the collapsed-stack (flamegraph) format uses, so paths double as
+/// ready-made stack frames.
+pub const PATH_SEPARATOR: char = ';';
+
+thread_local! {
+    /// The stack of currently-open span names on this thread. Shared by
+    /// all recorders (in practice one enabled recorder exists per run);
+    /// disabled recorders never touch it.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
 /// The telemetry recorder: aggregates metrics in memory and streams every
 /// observation to the configured sink.
 ///
@@ -78,6 +110,7 @@ pub struct Recorder {
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, f64>>,
     spans: Mutex<BTreeMap<String, SpanStat>>,
+    paths: Mutex<BTreeMap<String, PathStat>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
 }
 
@@ -90,6 +123,7 @@ impl Recorder {
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             spans: Mutex::new(BTreeMap::new()),
+            paths: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
         })
     }
@@ -199,22 +233,46 @@ impl Recorder {
 
     /// Opens a timed span; the returned guard records the elapsed time
     /// when dropped.
+    ///
+    /// Spans opened while another span is open on the same thread become
+    /// its children: the closing event carries the full `;`-joined path
+    /// (e.g. `round;round.transmit;hdc.quantize`), which feeds the
+    /// [`profile`] module's call-tree aggregation. Guards are expected to
+    /// drop in LIFO order (the natural RAII pattern); a guard dropped
+    /// early also closes any children still open on its own bookkeeping.
     pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
         if !self.enabled {
             return SpanGuard {
                 recorder: None,
                 name,
+                path: String::new(),
+                depth: 0,
                 start: 0,
             };
         }
+        let (path, depth) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let mut path = String::with_capacity(
+                stack.iter().map(|s| s.len() + 1).sum::<usize>() + name.len(),
+            );
+            for seg in stack.iter() {
+                path.push_str(seg);
+                path.push(PATH_SEPARATOR);
+            }
+            path.push_str(name);
+            stack.push(name);
+            (path, stack.len())
+        });
         SpanGuard {
             recorder: Some(self),
             name,
+            path,
+            depth,
             start: self.clock.now_micros(),
         }
     }
 
-    fn close_span(&self, name: &str, start: u64) {
+    fn close_span(&self, name: &str, path: &str, start: u64) {
         let end = self.clock.now_micros();
         let micros = end.saturating_sub(start);
         {
@@ -223,7 +281,18 @@ impl Recorder {
             stat.count += 1;
             stat.total_micros += micros;
         }
-        self.emit(EventKind::Span, name, &[("micros", micros.into())]);
+        {
+            let mut paths = self.paths.lock().expect("paths poisoned");
+            let stat = paths.entry(path.to_string()).or_default();
+            stat.count += 1;
+            stat.total_micros += micros;
+            stat.durations.observe(micros);
+        }
+        self.emit(
+            EventKind::Span,
+            name,
+            &[("micros", micros.into()), ("path", path.into())],
+        );
     }
 
     fn emit(&self, kind: EventKind, name: &str, fields: &[(&str, FieldValue)]) {
@@ -258,6 +327,17 @@ impl Recorder {
             .get(name)
             .copied()
             .unwrap_or_default()
+    }
+
+    /// All flat per-name span aggregates.
+    pub fn span_stats(&self) -> BTreeMap<String, SpanStat> {
+        self.spans.lock().expect("spans poisoned").clone()
+    }
+
+    /// All per-path span aggregates (`;`-joined paths, innermost last) —
+    /// the raw material of the [`profile`] span-tree profiler.
+    pub fn path_stats(&self) -> BTreeMap<String, PathStat> {
+        self.paths.lock().expect("paths poisoned").clone()
     }
 
     /// Flushes the sink.
@@ -329,16 +409,16 @@ impl Recorder {
             }
             out.push_str(&format!(
                 "{:<name_width$}  {:>8}  {:>12}  {:>12}  {:>12}\n",
-                "histogram", "count", "mean", "~p50", "~p99"
+                "histogram", "count", "mean", "p50", "p99"
             ));
             for (name, h) in &histograms {
                 out.push_str(&format!(
-                    "{:<name_width$}  {:>8}  {:>12.1}  {:>12}  {:>12}\n",
+                    "{:<name_width$}  {:>8}  {:>12.1}  {:>12.1}  {:>12.1}\n",
                     name,
                     h.count(),
                     h.mean(),
-                    h.quantile_bound(0.5),
-                    h.quantile_bound(0.99)
+                    h.percentile(0.5),
+                    h.percentile(0.99)
                 ));
             }
         }
@@ -350,7 +430,7 @@ impl Recorder {
 }
 
 /// Formats microseconds with a readable unit.
-fn fmt_micros(micros: f64) -> String {
+pub(crate) fn fmt_micros(micros: f64) -> String {
     if micros >= 1_000_000.0 {
         format!("{:.3}s", micros / 1_000_000.0)
     } else if micros >= 1_000.0 {
@@ -365,13 +445,26 @@ fn fmt_micros(micros: f64) -> String {
 pub struct SpanGuard<'a> {
     recorder: Option<&'a Recorder>,
     name: &'static str,
+    /// Full `;`-joined path including `name`, computed at open.
+    path: String,
+    /// Stack depth just after pushing `name` (1-based).
+    depth: usize,
     start: u64,
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let Some(rec) = self.recorder {
-            rec.close_span(self.name, self.start);
+            // Truncate rather than pop: if children were leaked or
+            // dropped out of order, closing the parent still restores a
+            // consistent stack.
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if stack.len() >= self.depth {
+                    stack.truncate(self.depth - 1);
+                }
+            });
+            rec.close_span(self.name, &self.path, self.start);
         }
     }
 }
@@ -425,6 +518,76 @@ mod tests {
         assert_eq!(outer.count, 1);
         assert!(outer.total_micros > inner.total_micros);
         assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn nested_spans_record_paths() {
+        let sink = Arc::new(MemorySink::new());
+        let clock = Arc::new(ManualClock::new(5));
+        let tel = Recorder::with_sink_and_clock(sink.clone(), clock);
+        {
+            let _outer = tel.span("round");
+            {
+                let _inner = tel.span("round.transmit");
+                let _leaf = tel.span("hdc.quantize");
+            }
+            let _again = tel.span("round.transmit");
+        }
+        let paths = tel.path_stats();
+        assert_eq!(paths["round"].count, 1);
+        assert_eq!(paths["round;round.transmit"].count, 2);
+        assert_eq!(paths["round;round.transmit;hdc.quantize"].count, 1);
+        // Flat per-name stats equal the per-name sum over paths.
+        assert_eq!(tel.span_stat("round.transmit").count, 2);
+        assert_eq!(
+            tel.span_stat("round.transmit").total_micros,
+            paths["round;round.transmit"].total_micros
+        );
+        // The emitted span events carry the path field.
+        let span_paths: Vec<String> = sink
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Span)
+            .map(|e| match &e.fields["path"] {
+                FieldValue::Str(s) => s.clone(),
+                other => panic!("path should be a string, got {other:?}"),
+            })
+            .collect();
+        assert!(span_paths.contains(&"round;round.transmit;hdc.quantize".to_string()));
+    }
+
+    #[test]
+    fn early_parent_drop_recovers_stack() {
+        let tel = Recorder::in_memory();
+        let outer = tel.span("outer");
+        let inner = tel.span("inner");
+        // Parent dropped before child: the stack self-heals, and a span
+        // opened afterwards is a root again.
+        drop(outer);
+        drop(inner);
+        {
+            let _fresh = tel.span("fresh");
+        }
+        let paths = tel.path_stats();
+        assert!(paths.contains_key("fresh"), "paths: {:?}", paths.keys());
+        assert!(paths.contains_key("outer;inner"));
+    }
+
+    #[test]
+    fn disabled_recorder_skips_path_tracking() {
+        let tel = Recorder::disabled();
+        {
+            let _a = tel.span("a");
+            let _b = tel.span("b");
+        }
+        assert!(tel.path_stats().is_empty());
+        // And it must not pollute the shared thread-local stack for a
+        // subsequently enabled recorder.
+        let live = Recorder::in_memory();
+        {
+            let _root = live.span("root");
+        }
+        assert!(live.path_stats().contains_key("root"));
     }
 
     #[test]

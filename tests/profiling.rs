@@ -1,0 +1,180 @@
+//! End-to-end profiling: the span-tree profile of a seeded federated run
+//! agrees with the recorder's flat summary stats, nests the stage spans
+//! under the `round` root (with `chan.uplink` below `round.transmit`),
+//! survives an offline JSONL replay bit-for-bit, and exports valid
+//! collapsed stacks.
+
+use std::sync::Arc;
+
+use fhdnn::channel::packet::PacketLossChannel;
+use fhdnn::datasets::features::FeatureSpec;
+use fhdnn::datasets::partition::Partition;
+use fhdnn::federated::config::FlConfig;
+use fhdnn::federated::fedhd::{HdClientData, HdFederation, HdTransport};
+use fhdnn::hdc::encoder::RandomProjectionEncoder;
+use fhdnn::hdc::model::HdModel;
+use fhdnn::telemetry::clock::ManualClock;
+use fhdnn::telemetry::profile::Profile;
+use fhdnn::telemetry::sink::JsonlSink;
+use fhdnn::telemetry::{Recorder, Telemetry};
+use fhdnn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIM: usize = 1024;
+const NUM_CLIENTS: usize = 4;
+const ROUNDS: usize = 2;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "fhdnn-profiling-{}-{name}.jsonl",
+        std::process::id()
+    ));
+    p
+}
+
+fn build_federation(transport: HdTransport) -> (HdFederation, HdClientData) {
+    let spec = FeatureSpec {
+        num_classes: 5,
+        width: 40,
+        noise_std: 0.6,
+        class_seed: 11,
+    };
+    let train = spec.generate(NUM_CLIENTS * 25, 0).unwrap();
+    let test = spec.generate(60, 1).unwrap();
+    let enc = RandomProjectionEncoder::new(DIM, 40, 3).unwrap();
+    let h_train = enc.encode_batch(&train.features).unwrap();
+    let h_test = enc.encode_batch(&test.features).unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    let parts = Partition::Iid
+        .split(&train.labels, NUM_CLIENTS, &mut rng)
+        .unwrap();
+    let clients: Vec<HdClientData> = parts
+        .iter()
+        .map(|idx| {
+            let mut data = Vec::new();
+            let mut labels = Vec::new();
+            for &i in idx {
+                data.extend_from_slice(h_train.row(i).unwrap());
+                labels.push(train.labels[i]);
+            }
+            HdClientData {
+                hypervectors: Tensor::from_vec(data, &[idx.len(), DIM]).unwrap(),
+                labels,
+            }
+        })
+        .collect();
+    let config = FlConfig {
+        num_clients: NUM_CLIENTS,
+        rounds: ROUNDS,
+        local_epochs: 1,
+        batch_size: 10,
+        client_fraction: 0.5,
+        seed: 7,
+    };
+    let global = HdModel::new(5, DIM).unwrap();
+    let fed = HdFederation::new(global, clients, config, transport).unwrap();
+    let test_data = HdClientData {
+        hypervectors: h_test,
+        labels: test.labels,
+    };
+    (fed, test_data)
+}
+
+/// Runs the fixture federation on a manual clock, streaming to `path`.
+fn run_profiled(path: &std::path::Path, transport: HdTransport) -> Telemetry {
+    let (mut fed, test) = build_federation(transport);
+    let sink = JsonlSink::create(path).unwrap();
+    let tel = Recorder::with_sink_and_clock(Arc::new(sink), Arc::new(ManualClock::new(10)));
+    fed.set_telemetry(tel.clone());
+    let channel = PacketLossChannel::new(0.3, 256).unwrap();
+    fed.run(&channel, &test, "profiling").unwrap();
+    tel.flush();
+    tel
+}
+
+#[test]
+fn profile_totals_agree_with_summary_stats() {
+    let path = temp_path("totals");
+    let tel = run_profiled(&path, HdTransport::Float);
+    std::fs::remove_file(&path).ok();
+
+    let profile = Profile::from_recorder(&tel);
+    // The profiler and the summary table aggregate the same closures:
+    // per-name totals must agree exactly.
+    assert_eq!(profile.flat_totals(), tel.span_stats());
+
+    // And the summary text names every span the tree contains.
+    let summary = tel.summary();
+    for (name, stat) in profile.flat_totals() {
+        assert!(summary.contains(&name), "summary is missing span {name}");
+        assert!(stat.count > 0, "{name} never completed");
+    }
+}
+
+#[test]
+fn stage_spans_nest_under_the_round_root() {
+    let path = temp_path("tree");
+    let tel = run_profiled(&path, HdTransport::Quantized { bitwidth: 8 });
+    std::fs::remove_file(&path).ok();
+
+    let profile = Profile::from_recorder(&tel);
+    let round = profile
+        .roots()
+        .find(|n| n.name == "round")
+        .expect("round root span");
+    assert_eq!(round.count as usize, ROUNDS);
+    for stage in [
+        "round.broadcast",
+        "round.local_train",
+        "round.transmit",
+        "round.aggregate",
+        "round.eval",
+    ] {
+        assert!(
+            round.children.contains_key(stage),
+            "{stage} should nest under round, got {:?}",
+            round.children.keys().collect::<Vec<_>>()
+        );
+    }
+    // The quantized transport opens hdc.quantize and chan.uplink inside
+    // the transmit stage.
+    let transmit = &round.children["round.transmit"];
+    assert!(transmit.children.contains_key("chan.uplink"));
+    assert!(transmit.children.contains_key("hdc.quantize"));
+    // Inclusive totals nest.
+    assert!(round.total_micros >= transmit.total_micros);
+    assert!(transmit.total_micros >= transmit.children["chan.uplink"].total_micros);
+}
+
+#[test]
+fn offline_replay_matches_the_live_profile() {
+    let path = temp_path("replay");
+    let tel = run_profiled(&path, HdTransport::Float);
+    let live = Profile::from_recorder(&tel);
+    let replayed = Profile::from_jsonl_path(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(replayed.flat_totals(), live.flat_totals());
+    assert_eq!(replayed.total_micros(), live.total_micros());
+    assert_eq!(replayed.render(), live.render());
+}
+
+#[test]
+fn collapsed_stacks_cover_the_accounted_time() {
+    let path = temp_path("collapsed");
+    let tel = run_profiled(&path, HdTransport::Float);
+    std::fs::remove_file(&path).ok();
+
+    let profile = Profile::from_recorder(&tel);
+    let folded = profile.collapsed();
+    let mut folded_total = 0u64;
+    for line in folded.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("weight-terminated line");
+        assert!(stack.starts_with("round"), "stacks are rooted: {line}");
+        folded_total += weight.parse::<u64>().expect("numeric weight");
+    }
+    // Self times over the whole tree sum back to the inclusive root total.
+    assert_eq!(folded_total, profile.total_micros());
+}
