@@ -49,8 +49,13 @@ pub struct ChannelStatsSnapshot {
 }
 
 impl ChannelStatsSnapshot {
-    /// Counter-wise difference `self - earlier` (saturating on integers).
-    pub fn since(&self, earlier: &ChannelStatsSnapshot) -> ChannelStatsSnapshot {
+    /// Counter-wise difference `self - earlier`: the damage realized
+    /// between two snapshots of the same accumulator. Integer counters
+    /// subtract saturating (an `earlier` taken after `self`, or after a
+    /// [`ChannelStats::reset`], yields zeros rather than wrapping); noise
+    /// energy clamps at 0. This is what per-round damage attribution
+    /// windows on: snapshot before the round, snapshot after, `delta`.
+    pub fn delta(&self, earlier: &ChannelStatsSnapshot) -> ChannelStatsSnapshot {
         ChannelStatsSnapshot {
             transmissions: self.transmissions.saturating_sub(earlier.transmissions),
             symbols_sent: self.symbols_sent.saturating_sub(earlier.symbols_sent),
@@ -60,6 +65,22 @@ impl ChannelStatsSnapshot {
             crc_rejects: self.crc_rejects.saturating_sub(earlier.crc_rejects),
             noise_energy: (self.noise_energy - earlier.noise_energy).max(0.0),
         }
+    }
+
+    /// Alias of [`ChannelStatsSnapshot::delta`], kept for call sites that
+    /// read better as `after.since(&before)`.
+    pub fn since(&self, earlier: &ChannelStatsSnapshot) -> ChannelStatsSnapshot {
+        self.delta(earlier)
+    }
+
+    /// `true` when no impairment counter is nonzero (transmissions and
+    /// symbols may still be — a clean channel transmits undamaged).
+    pub fn is_clean(&self) -> bool {
+        self.bits_flipped == 0
+            && self.dims_erased == 0
+            && self.packets_dropped == 0
+            && self.crc_rejects == 0
+            && self.noise_energy == 0.0
     }
 }
 
@@ -284,6 +305,61 @@ mod tests {
         let delta = s.snapshot().since(&first);
         assert_eq!(delta.bits_flipped, 7);
         assert!((delta.noise_energy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_covers_every_counter() {
+        let s = ChannelStats::new();
+        s.record_transmission(100);
+        s.add_bits_flipped(1);
+        let before = s.snapshot();
+        s.record_transmission(50);
+        s.add_bits_flipped(2);
+        s.add_dims_erased(3);
+        s.add_packets_dropped(4);
+        s.add_crc_rejects(5);
+        s.add_noise_energy(6.0);
+        let d = s.snapshot().delta(&before);
+        assert_eq!(d.transmissions, 1);
+        assert_eq!(d.symbols_sent, 50);
+        assert_eq!(d.bits_flipped, 2);
+        assert_eq!(d.dims_erased, 3);
+        assert_eq!(d.packets_dropped, 4);
+        assert_eq!(d.crc_rejects, 5);
+        assert!((d.noise_energy - 6.0).abs() < 1e-12);
+        // since() is the same computation.
+        assert_eq!(s.snapshot().since(&before), d);
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_wrapping() {
+        let s = ChannelStats::new();
+        s.add_bits_flipped(9);
+        s.add_noise_energy(2.0);
+        let later = s.snapshot();
+        // A reset between snapshots makes "earlier" numerically larger;
+        // the delta must clamp at zero, not wrap to u64::MAX.
+        s.reset();
+        s.add_bits_flipped(1);
+        let d = s.snapshot().delta(&later);
+        assert_eq!(d.bits_flipped, 0);
+        assert_eq!(d.noise_energy, 0.0);
+        assert!(d.is_clean());
+    }
+
+    #[test]
+    fn clean_ignores_traffic_counters() {
+        let clean = ChannelStatsSnapshot {
+            transmissions: 10,
+            symbols_sent: 4096,
+            ..ChannelStatsSnapshot::default()
+        };
+        assert!(clean.is_clean());
+        let dirty = ChannelStatsSnapshot {
+            dims_erased: 1,
+            ..clean
+        };
+        assert!(!dirty.is_clean());
     }
 
     #[test]

@@ -2,15 +2,18 @@
 //! management for the FHDnn reproduction.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use fhdnn::checkpoint::FhdnnCheckpoint;
 use fhdnn::experiment::{ExperimentSpec, Workload};
 use fhdnn::hdc::encoder::RandomProjectionEncoder;
 use fhdnn::hdc::model::HdModel;
 use fhdnn::telemetry::profile::Profile;
+use fhdnn::telemetry::sink::MemorySink;
 use fhdnn::telemetry::{Recorder, Telemetry};
 use fhdnn_cli::{
-    open_telemetry, parse_channel, Cli, Command, ProfileArgs, SimulateArgs, Verbosity,
+    open_telemetry, parse_channel, Cli, Command, Dashboard, ProfileArgs, SimulateArgs, Verbosity,
+    WatchArgs,
 };
 
 fn main() -> ExitCode {
@@ -39,6 +42,8 @@ fn main() -> ExitCode {
         } => evaluate(&ckpt, workload, test_size),
         Command::Info { ckpt } => info(&ckpt),
         Command::Profile(args) => profile(args),
+        Command::Watch(args) => watch(args),
+        Command::Export { from, prom } => export(&from, &prom),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -223,6 +228,70 @@ fn profile(args: ProfileArgs) -> Result<(), String> {
         std::fs::write(path, prof.collapsed())
             .map_err(|e| format!("write collapsed stacks {path}: {e}"))?;
         println!("collapsed stacks written to {path}");
+    }
+    Ok(())
+}
+
+/// `fhdnn watch`: renders the model-health dashboard either by replaying
+/// a recorded `--telemetry` JSONL stream (`--from`, a pure and therefore
+/// byte-deterministic function of the stream) or by running a fresh
+/// simulation against an in-memory sink and folding its events.
+fn watch(args: WatchArgs) -> Result<(), String> {
+    let dash = match &args.from {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            Dashboard::from_jsonl_str(&text)
+        }
+        None => {
+            let sim = &args.sim;
+            let channel = parse_channel(&sim.channel)?;
+            let spec = build_spec(sim);
+            // The dashboard folds the serialized event stream, so watch
+            // always records into memory; --telemetry additionally
+            // persists the same lines for later replay.
+            let sink = Arc::new(MemorySink::new());
+            let tel = Recorder::with_sink(sink.clone());
+            if sim.verbosity != Verbosity::Quiet {
+                println!(
+                    "fhdnn watch: workload={} channel={} rounds={} transport={:?}",
+                    sim.workload, sim.channel, spec.fl.rounds, sim.transport
+                );
+            }
+            let mut extractor = spec.build_extractor().map_err(|e| e.to_string())?;
+            let mut system = spec
+                .build_fhdnn_with_telemetry(&mut extractor, tel.clone())
+                .map_err(|e| e.to_string())?;
+            system
+                .run(channel.as_ref(), "watch")
+                .map_err(|e| e.to_string())?;
+            tel.flush();
+            let stream = sink
+                .events()
+                .iter()
+                .map(|e| e.to_json())
+                .collect::<Vec<_>>()
+                .join("\n");
+            if let Some(path) = &sim.telemetry {
+                std::fs::write(path, format!("{stream}\n"))
+                    .map_err(|e| format!("write {path}: {e}"))?;
+            }
+            Dashboard::from_jsonl_str(&stream)
+        }
+    };
+    print!("{}", dash.render());
+    Ok(())
+}
+
+/// `fhdnn export`: folds a recorded stream and writes the latest health
+/// snapshot in the Prometheus text exposition format.
+fn export(from: &str, prom: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(from).map_err(|e| format!("read {from}: {e}"))?;
+    let exposition = Dashboard::from_jsonl_str(&text).prometheus();
+    if prom == "-" {
+        print!("{exposition}");
+    } else {
+        std::fs::write(prom, exposition).map_err(|e| format!("write {prom}: {e}"))?;
+        println!("health snapshot exported to {prom}");
     }
     Ok(())
 }

@@ -40,6 +40,26 @@ pub enum Command {
     },
     /// Render a span-tree profile, live or from a recorded stream.
     Profile(ProfileArgs),
+    /// Render the model-health dashboard, live or from a recorded stream.
+    Watch(WatchArgs),
+    /// Export the latest health snapshot from a recorded stream.
+    Export {
+        /// Recorded `--telemetry` JSONL stream to read.
+        from: String,
+        /// Prometheus text-exposition output path (`-` for stdout).
+        prom: String,
+    },
+}
+
+/// Arguments for `watch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchArgs {
+    /// Replay a recorded `--telemetry` JSONL stream instead of running a
+    /// fresh simulation.
+    pub from: Option<String>,
+    /// Simulation to watch when `from` is absent (same flags as
+    /// `simulate`).
+    pub sim: SimulateArgs,
 }
 
 /// Arguments for `profile`.
@@ -220,6 +240,14 @@ commands:
              --collapsed PATH                 also write collapsed stacks
                                               (flamegraph.pl / inferno input)
              plus any simulate flags when running live
+  watch      model-health dashboard of a simulation (or a recorded stream):
+             accuracy sparkline, channel damage, saturation gauge, alerts
+             --from PATH                      replay a recorded --telemetry JSONL
+                                              stream (deterministic render)
+             plus any simulate flags when running live
+  export     --from PATH --prom PATH          write the latest health snapshot
+                                              in Prometheus text exposition
+                                              format (PATH '-' for stdout)
   pretrain   --workload W --out PATH [--seed N]
   evaluate   --ckpt PATH --workload W [--test-size N]
   info       --ckpt PATH";
@@ -265,6 +293,20 @@ impl Cli {
                         collapsed,
                         sim,
                     }),
+                })
+            }
+            "watch" => {
+                let sim = parse_simulate_args(&rest)?;
+                let from = get_value("--from")?;
+                Ok(Cli {
+                    command: Command::Watch(WatchArgs { from, sim }),
+                })
+            }
+            "export" => {
+                let from = get_value("--from")?.ok_or("export needs --from")?;
+                let prom = get_value("--prom")?.ok_or("export needs --prom")?;
+                Ok(Cli {
+                    command: Command::Export { from, prom },
                 })
             }
             "pretrain" => {
@@ -421,6 +463,41 @@ mod tests {
         assert_eq!(p.sim.workload, Workload::Mnist);
         assert_eq!(p.sim.rounds, 3);
         assert_eq!(p.sim.verbosity, Verbosity::Quiet);
+    }
+
+    #[test]
+    fn watch_parses_replay_and_live_forms() {
+        let cli = Cli::parse(&args("watch --from trace.jsonl")).unwrap();
+        let Command::Watch(w) = cli.command else {
+            panic!("expected watch");
+        };
+        assert_eq!(w.from.as_deref(), Some("trace.jsonl"));
+
+        let cli = Cli::parse(&args(
+            "watch --workload mnist --channel ber:1e-3 --rounds 4",
+        ))
+        .unwrap();
+        let Command::Watch(w) = cli.command else {
+            panic!("expected watch");
+        };
+        assert_eq!(w.from, None);
+        assert_eq!(w.sim.workload, Workload::Mnist);
+        assert_eq!(w.sim.channel, "ber:1e-3");
+        assert_eq!(w.sim.rounds, 4);
+    }
+
+    #[test]
+    fn export_needs_both_paths() {
+        let cli = Cli::parse(&args("export --from trace.jsonl --prom out.prom")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Export {
+                from: "trace.jsonl".into(),
+                prom: "out.prom".into(),
+            }
+        );
+        assert!(Cli::parse(&args("export --from trace.jsonl")).is_err());
+        assert!(Cli::parse(&args("export --prom out.prom")).is_err());
     }
 
     #[test]

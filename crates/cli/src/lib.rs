@@ -6,6 +6,8 @@
 //!
 //! ```text
 //! fhdnn simulate --workload cifar --channel packet:0.2 --rounds 10
+//! fhdnn watch --from trace.jsonl
+//! fhdnn export --from trace.jsonl --prom health.prom
 //! fhdnn pretrain --workload fashion --out extractor.json
 //! fhdnn evaluate --ckpt extractor.json --workload fashion
 //! fhdnn info --ckpt extractor.json
@@ -20,7 +22,9 @@
 pub mod channel_spec;
 pub mod config;
 pub mod telemetry_out;
+pub mod watch;
 
 pub use channel_spec::parse_channel;
-pub use config::{Cli, Command, ProfileArgs, SimulateArgs, Verbosity};
+pub use config::{Cli, Command, ProfileArgs, SimulateArgs, Verbosity, WatchArgs};
 pub use telemetry_out::open_telemetry;
+pub use watch::Dashboard;

@@ -1,0 +1,494 @@
+//! The `fhdnn watch` health dashboard and its Prometheus export.
+//!
+//! A [`Dashboard`] is a pure function of a recorded telemetry stream: it
+//! folds the `health.round` and `alert` events out of a JSONL event log
+//! (see `fhdnn::federated::health`) and renders them as a deterministic
+//! text dashboard — the same bytes for the same stream, every time, which
+//! is what makes `fhdnn watch --from` replay testable. The
+//! [`Dashboard::prometheus`] view serializes the latest snapshot in the
+//! Prometheus text exposition format for scraping without a client
+//! library.
+
+use fhdnn::federated::health::HealthRecord;
+use fhdnn::telemetry::jsonl::{self, Value};
+use std::fmt::Write as _;
+
+/// How many trailing rounds the per-round table shows; earlier rounds are
+/// summarized by the sparklines, which always span the full run.
+const TABLE_ROUNDS: usize = 12;
+
+/// One alert row recovered from the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRow {
+    /// Rule identifier, e.g. `accuracy_drop`.
+    pub rule: String,
+    /// `warning` or `critical`.
+    pub severity: String,
+    /// Round the alert fired on.
+    pub round: u64,
+    /// Human-readable alert message.
+    pub message: String,
+}
+
+/// A replayable model-health dashboard.
+#[derive(Debug, Clone, Default)]
+pub struct Dashboard {
+    records: Vec<HealthRecord>,
+    alerts: Vec<AlertRow>,
+}
+
+impl Dashboard {
+    /// Folds a JSONL telemetry stream into a dashboard. Lines that are
+    /// not valid JSON, not events, or not health/alert events are
+    /// skipped, so the full `--telemetry` stream (spans, counters, …)
+    /// replays as-is.
+    pub fn from_jsonl_str(stream: &str) -> Dashboard {
+        let mut dash = Dashboard::default();
+        for line in stream.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(v) = jsonl::parse(line) else {
+                continue;
+            };
+            if v.get("kind").and_then(Value::as_str) != Some("event") {
+                continue;
+            }
+            let Some(fields) = v.get("fields") else {
+                continue;
+            };
+            match v.get("name").and_then(Value::as_str) {
+                Some("health.round") => {
+                    if let Some(rec) = HealthRecord::from_event_fields(fields) {
+                        dash.records.push(rec);
+                    }
+                }
+                Some("alert") => {
+                    let s = |k: &str| {
+                        fields
+                            .get(k)
+                            .and_then(Value::as_str)
+                            .unwrap_or_default()
+                            .to_string()
+                    };
+                    dash.alerts.push(AlertRow {
+                        rule: s("rule"),
+                        severity: s("severity"),
+                        round: fields
+                            .get("round")
+                            .and_then(Value::as_f64)
+                            .unwrap_or(0.0)
+                            .max(0.0) as u64,
+                        message: s("message"),
+                    });
+                }
+                _ => {}
+            }
+        }
+        dash
+    }
+
+    /// Parsed `health.round` records, in stream order.
+    pub fn records(&self) -> &[HealthRecord] {
+        &self.records
+    }
+
+    /// Parsed `alert` events, in stream order.
+    pub fn alerts(&self) -> &[AlertRow] {
+        &self.alerts
+    }
+
+    /// Renders the dashboard. The output is a pure function of the
+    /// parsed stream — byte-identical across replays of the same log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.records.is_empty() {
+            out.push_str("fhdnn watch: no health.round events in stream\n");
+            if !self.alerts.is_empty() {
+                self.render_alerts(&mut out);
+            }
+            return out;
+        }
+        let last = &self.records[self.records.len() - 1];
+        let best = self
+            .records
+            .iter()
+            .map(|r| r.test_accuracy)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let engine = if last.engine.is_empty() {
+            "unknown"
+        } else {
+            &last.engine
+        };
+        let _ = writeln!(
+            out,
+            "fhdnn watch — {engine} · {} round{}",
+            self.records.len(),
+            if self.records.len() == 1 { "" } else { "s" }
+        );
+        out.push('\n');
+
+        let acc: Vec<f64> = self.records.iter().map(|r| r.test_accuracy).collect();
+        let bits: Vec<f64> = self.records.iter().map(|r| r.bits_flipped as f64).collect();
+        let erased: Vec<f64> = self.records.iter().map(|r| r.dims_erased as f64).collect();
+        let total_bits: u64 = self.records.iter().map(|r| r.bits_flipped).sum();
+        let total_erased: u64 = self.records.iter().map(|r| r.dims_erased).sum();
+        let total_dropped: u64 = self.records.iter().map(|r| r.packets_dropped).sum();
+        let _ = writeln!(
+            out,
+            "accuracy    {}  last {:.4}  best {:.4}",
+            sparkline(&acc),
+            last.test_accuracy,
+            best
+        );
+        if total_bits + total_erased + total_dropped == 0 {
+            out.push_str("damage      clean channel (no bit flips, erasures, or drops)\n");
+        } else {
+            let _ = writeln!(out, "bit flips   {}  total {total_bits}", sparkline(&bits));
+            let _ = writeln!(
+                out,
+                "erasures    {}  total {total_erased} dims · {total_dropped} packets dropped",
+                sparkline(&erased)
+            );
+        }
+        let _ = writeln!(out, "saturation  {}", gauge(last.saturation, 24));
+        let _ = writeln!(
+            out,
+            "divergence  mean {:.4}  max |z| {:.2}{}",
+            last.mean_divergence,
+            last.max_abs_z,
+            if last.outlier_clients.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "  outliers [{}]",
+                    last.outlier_clients
+                        .iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            }
+        );
+        out.push('\n');
+
+        let skip = self.records.len().saturating_sub(TABLE_ROUNDS);
+        if skip > 0 {
+            let _ = writeln!(out, "(… {skip} earlier rounds elided …)");
+        }
+        out.push_str(
+            "round  accuracy  sat%   margin  flip%  div     max|z|  bits  erased  drops  outliers\n",
+        );
+        for r in &self.records[skip..] {
+            let outliers = if r.outlier_clients.is_empty() {
+                "-".to_string()
+            } else {
+                r.outlier_clients
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let _ = writeln!(
+                out,
+                "{:>5}  {:.4}    {:>5.1}  {:.4}  {:>5.1}  {:.4}  {:>6.2}  {:>4}  {:>6}  {:>5}  {}",
+                r.round,
+                r.test_accuracy,
+                r.saturation * 100.0,
+                r.cosine_margin,
+                r.sign_flip_rate * 100.0,
+                r.mean_divergence,
+                r.max_abs_z,
+                r.bits_flipped,
+                r.dims_erased,
+                r.packets_dropped,
+                outliers
+            );
+        }
+        out.push('\n');
+        self.render_alerts(&mut out);
+        out
+    }
+
+    fn render_alerts(&self, out: &mut String) {
+        if self.alerts.is_empty() {
+            out.push_str("alerts: none\n");
+            return;
+        }
+        let _ = writeln!(out, "alerts ({}):", self.alerts.len());
+        for a in &self.alerts {
+            let _ = writeln!(
+                out,
+                "  [{}] {} @ round {}: {}",
+                a.severity, a.rule, a.round, a.message
+            );
+        }
+    }
+
+    /// The latest snapshot in the Prometheus text exposition format:
+    /// `# HELP` / `# TYPE` headers plus one sample per metric, gauges for
+    /// latest-round values and counters for run totals. Empty streams
+    /// produce only the alert totals (both zero).
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut gauge_metric = |name: &str, help: &str, labels: &str, value: f64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let v = if value.is_finite() { value } else { 0.0 };
+            let _ = writeln!(out, "{name}{labels} {v}");
+        };
+        if let Some(last) = self.records.last() {
+            let labels = format!("{{engine=\"{}\"}}", last.engine.replace('"', ""));
+            gauge_metric(
+                "fhdnn_health_round",
+                "Latest federated round index.",
+                &labels,
+                last.round as f64,
+            );
+            gauge_metric(
+                "fhdnn_health_test_accuracy",
+                "Global-model test accuracy after aggregation.",
+                &labels,
+                last.test_accuracy,
+            );
+            gauge_metric(
+                "fhdnn_health_participants",
+                "Clients sampled in the latest round.",
+                &labels,
+                last.participants as f64,
+            );
+            gauge_metric(
+                "fhdnn_health_arrived",
+                "Client updates that arrived in the latest round.",
+                &labels,
+                last.arrived as f64,
+            );
+            gauge_metric(
+                "fhdnn_health_norm_mean",
+                "Mean per-class prototype L2 norm.",
+                &labels,
+                last.norm_mean,
+            );
+            gauge_metric(
+                "fhdnn_health_saturation",
+                "Counter-saturation fraction of the quantized global model.",
+                &labels,
+                last.saturation,
+            );
+            gauge_metric(
+                "fhdnn_health_cosine_margin",
+                "Minimum pairwise inter-class cosine separation.",
+                &labels,
+                last.cosine_margin,
+            );
+            gauge_metric(
+                "fhdnn_health_sign_flip_rate",
+                "Fraction of model entries that flipped sign last round.",
+                &labels,
+                last.sign_flip_rate,
+            );
+            gauge_metric(
+                "fhdnn_health_mean_divergence",
+                "Mean cosine distance of client deltas from the aggregate.",
+                &labels,
+                last.mean_divergence,
+            );
+            gauge_metric(
+                "fhdnn_health_max_abs_z",
+                "Largest client divergence |z-score| in the latest round.",
+                &labels,
+                last.max_abs_z,
+            );
+            gauge_metric(
+                "fhdnn_health_outlier_clients",
+                "Clients flagged as divergence outliers in the latest round.",
+                &labels,
+                last.outlier_clients.len() as f64,
+            );
+            let counters: [(&str, &str, u64); 3] = [
+                (
+                    "fhdnn_channel_bits_flipped_total",
+                    "Bits flipped by the channel across the run.",
+                    self.records.iter().map(|r| r.bits_flipped).sum(),
+                ),
+                (
+                    "fhdnn_channel_dims_erased_total",
+                    "Dimensions erased by the channel across the run.",
+                    self.records.iter().map(|r| r.dims_erased).sum(),
+                ),
+                (
+                    "fhdnn_channel_packets_dropped_total",
+                    "Packets dropped by the channel across the run.",
+                    self.records.iter().map(|r| r.packets_dropped).sum(),
+                ),
+            ];
+            for (name, help, value) in counters {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name}{labels} {value}");
+            }
+        }
+        let warnings = self
+            .alerts
+            .iter()
+            .filter(|a| a.severity == "warning")
+            .count();
+        let criticals = self
+            .alerts
+            .iter()
+            .filter(|a| a.severity == "critical")
+            .count();
+        out.push_str("# HELP fhdnn_alerts_total Alerts fired across the run, by severity.\n");
+        out.push_str("# TYPE fhdnn_alerts_total counter\n");
+        let _ = writeln!(out, "fhdnn_alerts_total{{severity=\"warning\"}} {warnings}");
+        let _ = writeln!(
+            out,
+            "fhdnn_alerts_total{{severity=\"critical\"}} {criticals}"
+        );
+        out
+    }
+}
+
+/// Renders `values` as a unicode sparkline, scaled to the series' own
+/// min/max (a flat series renders as the lowest bar).
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    values
+        .iter()
+        .map(|&v| {
+            let t = if span > 0.0 && span.is_finite() && v.is_finite() {
+                (v - min) / span
+            } else {
+                0.0
+            };
+            BARS[((t * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+/// Renders a `[0,1]` fraction as a fixed-width bar gauge with a percent
+/// readout. Out-of-range and non-finite fractions clamp into the bar.
+fn gauge(frac: f64, width: usize) -> String {
+    let f = if frac.is_finite() {
+        frac.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let filled = ((f * width as f64).round() as usize).min(width);
+    format!(
+        "[{}{}] {:.1}%",
+        "#".repeat(filled),
+        ".".repeat(width - filled),
+        f * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn health_line(round: u64, acc: f64, bits: u64) -> String {
+        format!(
+            r#"{{"ts":{ts},"kind":"event","name":"health.round","fields":{{"round":{round},"engine":"fedhd","test_accuracy":{acc},"participants":4,"arrived":4,"norm_min":1.0,"norm_max":2.0,"norm_mean":1.5,"saturation":0.125,"cosine_margin":0.8,"sign_flip_rate":0.01,"mean_divergence":0.2,"max_abs_z":1.5,"outlier_clients":"","bits_flipped":{bits},"dims_erased":0,"packets_dropped":0,"noise_energy":0}}}}"#,
+            ts = round * 10,
+        )
+    }
+
+    fn fixture_stream() -> String {
+        let mut s = String::new();
+        s.push_str(&health_line(0, 0.4, 0));
+        s.push('\n');
+        // Unrelated kinds and garbage must be skipped, not fatal.
+        s.push_str(r#"{"ts":5,"kind":"span","name":"round.eval","fields":{"micros":10}}"#);
+        s.push_str("\nnot json at all\n");
+        s.push_str(&health_line(1, 0.8, 120));
+        s.push('\n');
+        s.push_str(
+            r#"{"ts":25,"kind":"event","name":"alert","fields":{"rule":"saturation","severity":"warning","round":1,"value":0.3,"threshold":0.25,"message":"saturation 0.30 at round 1"}}"#,
+        );
+        s.push('\n');
+        s
+    }
+
+    #[test]
+    fn parses_health_and_alert_events_only() {
+        let dash = Dashboard::from_jsonl_str(&fixture_stream());
+        assert_eq!(dash.records().len(), 2);
+        assert_eq!(dash.records()[1].round, 1);
+        assert_eq!(dash.records()[1].bits_flipped, 120);
+        assert_eq!(dash.alerts().len(), 1);
+        assert_eq!(dash.alerts()[0].rule, "saturation");
+        assert_eq!(dash.alerts()[0].severity, "warning");
+        assert_eq!(dash.alerts()[0].round, 1);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_complete() {
+        let dash = Dashboard::from_jsonl_str(&fixture_stream());
+        let a = dash.render();
+        let b = Dashboard::from_jsonl_str(&fixture_stream()).render();
+        assert_eq!(a, b, "same stream must render the same bytes");
+        assert!(a.contains("fhdnn watch — fedhd · 2 rounds"), "{a}");
+        assert!(a.contains("last 0.8000"), "{a}");
+        assert!(a.contains("best 0.8000"), "{a}");
+        assert!(a.contains("bit flips"), "{a}");
+        assert!(a.contains("total 120"), "{a}");
+        assert!(a.contains("[warning] saturation @ round 1"), "{a}");
+    }
+
+    #[test]
+    fn empty_and_clean_streams_render_gracefully() {
+        let empty = Dashboard::from_jsonl_str("");
+        assert!(empty.render().contains("no health.round events"));
+        let clean = Dashboard::from_jsonl_str(&health_line(0, 0.9, 0));
+        let r = clean.render();
+        assert!(r.contains("clean channel"), "{r}");
+        assert!(r.contains("alerts: none"), "{r}");
+    }
+
+    #[test]
+    fn table_elides_old_rounds() {
+        let mut s = String::new();
+        for i in 0..20 {
+            s.push_str(&health_line(i, 0.5, 0));
+            s.push('\n');
+        }
+        let r = Dashboard::from_jsonl_str(&s).render();
+        assert!(r.contains("(… 8 earlier rounds elided …)"), "{r}");
+    }
+
+    #[test]
+    fn prometheus_exposition_has_headers_and_samples() {
+        let dash = Dashboard::from_jsonl_str(&fixture_stream());
+        let text = dash.prometheus();
+        assert!(text.contains("# TYPE fhdnn_health_test_accuracy gauge"));
+        assert!(text.contains("fhdnn_health_test_accuracy{engine=\"fedhd\"} 0.8"));
+        assert!(text.contains("fhdnn_channel_bits_flipped_total{engine=\"fedhd\"} 120"));
+        assert!(text.contains("fhdnn_alerts_total{severity=\"warning\"} 1"));
+        assert!(text.contains("fhdnn_alerts_total{severity=\"critical\"} 0"));
+        // Every line is a comment or `name{labels} value` — no blanks.
+        for line in text.lines() {
+            assert!(!line.trim().is_empty());
+        }
+        // An empty stream still exposes alert totals.
+        let empty = Dashboard::from_jsonl_str("").prometheus();
+        assert!(empty.contains("fhdnn_alerts_total{severity=\"warning\"} 0"));
+    }
+
+    #[test]
+    fn sparkline_and_gauge_are_clamped() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0, 1.0]), "▁▁");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        assert_eq!(gauge(0.0, 4), "[....] 0.0%");
+        assert_eq!(gauge(1.0, 4), "[####] 100.0%");
+        assert_eq!(gauge(2.0, 4), "[####] 100.0%");
+        assert_eq!(gauge(f64::NAN, 4), "[....] 0.0%");
+    }
+}

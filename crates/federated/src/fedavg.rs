@@ -13,12 +13,14 @@ use fhdnn_datasets::image::ImageDataset;
 use fhdnn_nn::loss::{accuracy, cross_entropy};
 use fhdnn_nn::optim::{LrSchedule, Sgd};
 use fhdnn_nn::{Mode, Network};
+use fhdnn_telemetry::alert::{emit_alerts, AlertEngine};
 use fhdnn_telemetry::{Recorder, Telemetry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::config::FlConfig;
+use crate::health::{divergence_summary, elementwise_delta, norm_stats, HealthRecord};
 use crate::metrics::{RoundMetrics, RunHistory};
 use crate::sampling::sample_clients;
 use crate::{FedError, Result};
@@ -61,6 +63,7 @@ pub struct CnnFederation {
     lr_schedule: LrSchedule,
     telemetry: Telemetry,
     channel_stats: ChannelStats,
+    alerts: AlertEngine,
 }
 
 impl CnnFederation {
@@ -100,6 +103,7 @@ impl CnnFederation {
             lr_schedule: LrSchedule::Constant,
             telemetry: Recorder::disabled(),
             channel_stats: ChannelStats::new(),
+            alerts: AlertEngine::default(),
         })
     }
 
@@ -215,6 +219,10 @@ impl CnnFederation {
         let downlink_bytes = broadcast.len() as u64 * 4;
         let mut acc: Vec<f64> = vec![0.0; broadcast.len()];
         let mut weights: Vec<f64> = vec![0.0; broadcast.len()];
+        // Health bookkeeping (per-client deltas vs the broadcast) is pure
+        // arithmetic over values the round computes anyway; gated on an
+        // enabled recorder so uninstrumented runs pay nothing.
+        let mut client_deltas: Vec<Vec<f32>> = Vec::new();
         for &client in &participants {
             // Broadcast: client starts from the current global model.
             self.global.load_params(&broadcast)?;
@@ -235,6 +243,9 @@ impl CnnFederation {
                     acc[i] += weight * u as f64;
                     weights[i] += weight;
                 }
+                if tel.enabled() {
+                    client_deltas.push(elementwise_delta(&payload, &broadcast));
+                }
             } else {
                 // Compressed upload: a fresh random coordinate subset.
                 let keep = ((broadcast.len() as f64 * self.upload_fraction as f64).ceil() as usize)
@@ -251,10 +262,18 @@ impl CnnFederation {
                     acc[i] += weight * u as f64;
                     weights[i] += weight;
                 }
+                if tel.enabled() {
+                    // Unsent coordinates contribute zero delta.
+                    let mut delta = vec![0.0f32; broadcast.len()];
+                    for (&i, &u) in indices.iter().zip(&payload) {
+                        delta[i] = u - broadcast[i];
+                    }
+                    client_deltas.push(delta);
+                }
             }
         }
         // Coordinates nobody sent keep their previous global value.
-        {
+        let averaged: Vec<f32> = {
             let _span = tel.span("round.aggregate");
             let averaged: Vec<f32> = acc
                 .iter()
@@ -263,7 +282,8 @@ impl CnnFederation {
                 .map(|((&a, &w), &prev)| if w > 0.0 { (a / w) as f32 } else { prev })
                 .collect();
             self.global.load_params(&averaged)?;
-        }
+            averaged
+        };
 
         let test_accuracy = {
             let _span = tel.span("round.eval");
@@ -280,7 +300,39 @@ impl CnnFederation {
             );
             tel.incr("fl.bytes_down", downlink_bytes * participants.len() as u64);
             tel.gauge("fl.test_accuracy", test_accuracy as f64);
-            crate::emit_channel_delta(&tel, self.channel_stats.snapshot().since(&chan_before));
+            let chan_delta = self.channel_stats.snapshot().delta(&chan_before);
+            crate::emit_channel_delta(&tel, chan_delta);
+
+            // Flight record: the CNN has no class prototypes, so the HD
+            // diagnostics degrade to whole-vector statistics (single norm,
+            // sign flips over all parameters, no saturation/margin).
+            let aggregate_delta = elementwise_delta(&averaged, &broadcast);
+            let div = divergence_summary(&client_deltas, &aggregate_delta, &participants);
+            let (norm_min, norm_max, norm_mean) =
+                norm_stats(&[fhdnn_hdc::health::l2_norm(&averaged)]);
+            let record = HealthRecord {
+                round: self.round as u64,
+                engine: "fedavg".into(),
+                test_accuracy: test_accuracy as f64,
+                participants: participants.len() as u64,
+                arrived: participants.len() as u64,
+                norm_min,
+                norm_max,
+                norm_mean,
+                saturation: 0.0,
+                cosine_margin: 1.0,
+                sign_flip_rate: fhdnn_hdc::health::sign_flip_rate_slices(&averaged, &broadcast)
+                    as f64,
+                mean_divergence: div.mean,
+                max_abs_z: div.max_abs_z,
+                outlier_clients: div.outliers,
+                bits_flipped: chan_delta.bits_flipped,
+                dims_erased: chan_delta.dims_erased,
+                packets_dropped: chan_delta.packets_dropped,
+                noise_energy: chan_delta.noise_energy,
+            };
+            record.emit(&tel);
+            emit_alerts(&tel, &self.alerts.observe(&record.to_sample()));
             tel.observe("fl.round_micros", tel.now_micros().saturating_sub(tick));
         }
 

@@ -17,6 +17,7 @@
 use fhdnn_channel::{Channel, ChannelStats, ChannelStatsSnapshot};
 use fhdnn_hdc::model::HdModel;
 use fhdnn_hdc::quantizer::{dequantize, quantize_instrumented};
+use fhdnn_telemetry::alert::{emit_alerts, AlertEngine};
 use fhdnn_telemetry::{Recorder, Telemetry};
 use fhdnn_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -24,6 +25,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::config::FlConfig;
+use crate::health::{divergence_summary, elementwise_delta, HealthRecord, SATURATION_EPSILON};
 use crate::metrics::{RoundMetrics, RunHistory};
 use crate::sampling::sample_clients;
 use crate::{FedError, Result};
@@ -118,6 +120,7 @@ pub struct HdFederation {
     adaptive_lr: Option<f32>,
     telemetry: Telemetry,
     channel_stats: ChannelStats,
+    alerts: AlertEngine,
 }
 
 impl HdFederation {
@@ -166,6 +169,7 @@ impl HdFederation {
             adaptive_lr: None,
             telemetry: Recorder::disabled(),
             channel_stats: ChannelStats::new(),
+            alerts: AlertEngine::default(),
         })
     }
 
@@ -343,7 +347,15 @@ impl HdFederation {
         // (base stations transmit at much higher power than devices — the
         // paper models the uplink as the lossy direction).
         let downlink_bytes = self.global.num_params() as u64 * 4;
+        // The round-start global model doubles as the health baseline:
+        // client deltas and the sign-flip rate are measured against it.
+        // Pure reads only — the seeded RNG stream is untouched, so runs
+        // with and without a recorder stay identical.
+        let health_baseline: Option<Vec<f32>> = tel
+            .enabled()
+            .then(|| self.global.prototypes().as_slice().to_vec());
         let mut received = Vec::with_capacity(participants.len());
+        let mut arrived_ids = Vec::with_capacity(participants.len());
         for &client in &participants {
             let broadcast = {
                 let _span = tel.span("round.broadcast");
@@ -362,6 +374,7 @@ impl HdFederation {
                 self.transmit(&mut local, channel)?;
             }
             received.push(local);
+            arrived_ids.push(client);
         }
         // Bundle then normalize by the participant count: cosine inference
         // is scale-invariant, so mean == the paper's sum, numerically tame.
@@ -393,7 +406,55 @@ impl HdFederation {
             tel.incr("fl.bytes_up", self.update_bytes() * received.len() as u64);
             tel.incr("fl.bytes_down", downlink_bytes * participants.len() as u64);
             tel.gauge("fl.test_accuracy", test_accuracy as f64);
-            crate::emit_channel_delta(&tel, self.channel_stats.snapshot().since(&chan_before));
+            let chan_delta = self.channel_stats.snapshot().delta(&chan_before);
+            crate::emit_channel_delta(&tel, chan_delta);
+
+            // Flight record: HD diagnostics on the new global model,
+            // client-divergence outliers, channel-damage attribution.
+            if let Some(baseline) = &health_baseline {
+                let new_params = self.global.prototypes().as_slice();
+                let aggregate_delta = elementwise_delta(new_params, baseline);
+                let deltas: Vec<Vec<f32>> = received
+                    .iter()
+                    .map(|m| elementwise_delta(m.prototypes().as_slice(), baseline))
+                    .collect();
+                let div = divergence_summary(&deltas, &aggregate_delta, &arrived_ids);
+                let norms = fhdnn_hdc::health::row_norms(&self.global)?;
+                let (norm_min, norm_max, norm_mean) = crate::health::norm_stats(&norms);
+                let saturation = match self.transport {
+                    HdTransport::Quantized { bitwidth } => fhdnn_hdc::health::saturation_fraction(
+                        &self.global,
+                        bitwidth,
+                        SATURATION_EPSILON,
+                    )? as f64,
+                    // Float transmits no quantized counters; Binary words
+                    // are ±1 by construction (saturation is meaningless).
+                    HdTransport::Float | HdTransport::Binary => 0.0,
+                };
+                let record = HealthRecord {
+                    round: self.round as u64,
+                    engine: "fedhd".into(),
+                    test_accuracy: test_accuracy as f64,
+                    participants: participants.len() as u64,
+                    arrived: received.len() as u64,
+                    norm_min,
+                    norm_max,
+                    norm_mean,
+                    saturation,
+                    cosine_margin: fhdnn_hdc::health::cosine_margin(&self.global)? as f64,
+                    sign_flip_rate: fhdnn_hdc::health::sign_flip_rate_slices(new_params, baseline)
+                        as f64,
+                    mean_divergence: div.mean,
+                    max_abs_z: div.max_abs_z,
+                    outlier_clients: div.outliers,
+                    bits_flipped: chan_delta.bits_flipped,
+                    dims_erased: chan_delta.dims_erased,
+                    packets_dropped: chan_delta.packets_dropped,
+                    noise_energy: chan_delta.noise_energy,
+                };
+                record.emit(&tel);
+                emit_alerts(&tel, &self.alerts.observe(&record.to_sample()));
+            }
             tel.observe("fl.round_micros", tel.now_micros().saturating_sub(tick));
         }
 
@@ -613,6 +674,67 @@ mod tests {
         );
         assert!(fed.set_straggler_prob(1.0).is_err());
         assert!(fed.set_straggler_prob(-0.1).is_err());
+    }
+
+    #[test]
+    fn health_records_emitted_each_round() {
+        use fhdnn_telemetry::sink::MemorySink;
+        use std::sync::Arc;
+        let (clients, test, k) = encoded_clients(4, 8);
+        let global = HdModel::new(k, DIM).unwrap();
+        let mut fed = HdFederation::new(
+            global,
+            clients,
+            config(4, 2),
+            HdTransport::Quantized { bitwidth: 8 },
+        )
+        .unwrap();
+        let sink = Arc::new(MemorySink::new());
+        fed.set_telemetry(Recorder::with_sink(sink.clone()));
+        fed.run(&NoiselessChannel::new(), &test, "health").unwrap();
+        let health: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "health.round")
+            .collect();
+        assert_eq!(health.len(), 2, "one record per round");
+        let parsed = fhdnn_telemetry::jsonl::parse(&health[1].to_json()).unwrap();
+        let rec =
+            crate::health::HealthRecord::from_event_fields(parsed.get("fields").unwrap()).unwrap();
+        assert_eq!(rec.engine, "fedhd");
+        assert_eq!(rec.round, 1);
+        assert_eq!(rec.participants, 2);
+        assert_eq!(rec.arrived, 2);
+        assert!(rec.test_accuracy > 0.5, "accuracy {}", rec.test_accuracy);
+        assert!(rec.norm_max >= rec.norm_min && rec.norm_min > 0.0);
+        assert!(rec.cosine_margin > 0.0, "margin {}", rec.cosine_margin);
+        // A noiseless channel attributes zero damage.
+        assert_eq!(rec.bits_flipped, 0);
+        assert_eq!(rec.dims_erased, 0);
+        assert!((rec.noise_energy - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_recorder_matches_enabled_run() {
+        // Health bookkeeping must not perturb the seeded RNG stream: the
+        // same federation with and without a recorder produces identical
+        // round metrics.
+        let (clients, test, k) = encoded_clients(4, 9);
+        let run = |instrument: bool| {
+            let global = HdModel::new(k, DIM).unwrap();
+            let mut fed = HdFederation::new(
+                global,
+                clients.clone(),
+                config(4, 3),
+                HdTransport::Quantized { bitwidth: 8 },
+            )
+            .unwrap();
+            if instrument {
+                fed.set_telemetry(Recorder::in_memory());
+            }
+            fed.run(&NoiselessChannel::new(), &test, "det").unwrap()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

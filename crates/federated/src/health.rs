@@ -1,0 +1,371 @@
+//! The per-round model-health flight record.
+//!
+//! Each federated round distills the diagnostics computed by
+//! `fhdnn_hdc::health` plus the round's client-divergence and
+//! channel-damage attribution into one serde-stable [`HealthRecord`],
+//! emitted as a flat `health.round` event through the telemetry sink. The
+//! JSONL stream is then enough to reconstruct the full health timeline
+//! offline ([`HealthRecord::from_event_fields`]) — which is exactly what
+//! the `fhdnn watch --from` dashboard replays.
+//!
+//! Client outliers use the classic z-score test over per-client cosine
+//! divergence from the aggregate update ([`divergence_summary`]): a
+//! client whose update points somewhere statistically unlike the
+//! consensus is flagged — the FL-at-scale monitoring playbook, applied to
+//! HD deltas.
+
+use fhdnn_telemetry::event::FieldValue;
+use fhdnn_telemetry::jsonl::Value;
+use fhdnn_telemetry::Recorder;
+use serde::{Deserialize, Serialize};
+
+/// |z-score| at or above which a client is flagged an outlier in the
+/// record (the alert engine applies its own, typically equal, threshold).
+pub const OUTLIER_Z: f32 = 3.0;
+
+/// Relative band of the quantizer clip range counted as saturated by the
+/// per-round diagnostics: words with `|w| ≥ (1 − ε)·(2^{B-1}−1)`.
+pub const SATURATION_EPSILON: f32 = 0.02;
+
+/// One round's model-health flight record.
+///
+/// Serde-stable: every field is `#[serde(default)]` via the struct-level
+/// attribute, so records written by older (or newer) versions with a
+/// different field set still deserialize — the same back-compat contract
+/// `RoundMetrics` follows.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct HealthRecord {
+    /// Round index (0-based).
+    pub round: u64,
+    /// Which engine produced the record: `fedhd` or `fedavg`.
+    pub engine: String,
+    /// Global-model test accuracy after aggregation.
+    pub test_accuracy: f64,
+    /// Clients sampled this round.
+    pub participants: u64,
+    /// Client updates that actually arrived (participants minus
+    /// stragglers).
+    pub arrived: u64,
+    /// Smallest per-class prototype L2 norm (full-vector L2 for fedavg).
+    pub norm_min: f64,
+    /// Largest per-class prototype L2 norm.
+    pub norm_max: f64,
+    /// Mean per-class prototype L2 norm.
+    pub norm_mean: f64,
+    /// Counter-saturation fraction of the quantized global model, `[0,1]`;
+    /// 0 on transports without a quantizer.
+    pub saturation: f64,
+    /// Minimum pairwise inter-class cosine separation (1 when fewer than
+    /// two classes exist, e.g. fedavg's flat parameter vector).
+    pub cosine_margin: f64,
+    /// Fraction of model entries whose sign flipped vs the previous
+    /// round's model.
+    pub sign_flip_rate: f64,
+    /// Mean cosine distance of arrived client deltas from the aggregate
+    /// delta.
+    pub mean_divergence: f64,
+    /// Largest |z-score| among the per-client divergences.
+    pub max_abs_z: f64,
+    /// Client indices whose divergence |z| reached [`OUTLIER_Z`].
+    pub outlier_clients: Vec<u64>,
+    /// Bits the channel flipped this round.
+    pub bits_flipped: u64,
+    /// Dimensions the channel erased this round.
+    pub dims_erased: u64,
+    /// Packets the channel dropped this round.
+    pub packets_dropped: u64,
+    /// Noise energy the channel injected this round.
+    pub noise_energy: f64,
+}
+
+impl HealthRecord {
+    /// Emits the record as one flat `health.round` event. Outlier client
+    /// indices travel as a comma-joined string (the event model has no
+    /// array fields); empty means none.
+    pub fn emit(&self, tel: &Recorder) {
+        if !tel.enabled() {
+            return;
+        }
+        let outliers = self
+            .outlier_clients
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        tel.event(
+            "health.round",
+            &[
+                ("round", FieldValue::U64(self.round)),
+                ("engine", FieldValue::Str(self.engine.clone())),
+                ("test_accuracy", FieldValue::F64(self.test_accuracy)),
+                ("participants", FieldValue::U64(self.participants)),
+                ("arrived", FieldValue::U64(self.arrived)),
+                ("norm_min", FieldValue::F64(self.norm_min)),
+                ("norm_max", FieldValue::F64(self.norm_max)),
+                ("norm_mean", FieldValue::F64(self.norm_mean)),
+                ("saturation", FieldValue::F64(self.saturation)),
+                ("cosine_margin", FieldValue::F64(self.cosine_margin)),
+                ("sign_flip_rate", FieldValue::F64(self.sign_flip_rate)),
+                ("mean_divergence", FieldValue::F64(self.mean_divergence)),
+                ("max_abs_z", FieldValue::F64(self.max_abs_z)),
+                ("outlier_clients", FieldValue::Str(outliers)),
+                ("bits_flipped", FieldValue::U64(self.bits_flipped)),
+                ("dims_erased", FieldValue::U64(self.dims_erased)),
+                ("packets_dropped", FieldValue::U64(self.packets_dropped)),
+                ("noise_energy", FieldValue::F64(self.noise_energy)),
+            ],
+        );
+    }
+
+    /// Rebuilds a record from the `fields` object of a parsed
+    /// `health.round` JSONL event ([`fhdnn_telemetry::jsonl`]). Missing
+    /// fields default, mirroring the serde contract; returns `None` only
+    /// if `fields` is not an object.
+    pub fn from_event_fields(fields: &Value) -> Option<HealthRecord> {
+        let obj = fields.as_obj()?;
+        let num = |k: &str| obj.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        let int = |k: &str| num(k).max(0.0) as u64;
+        let outlier_clients = obj
+            .get("outlier_clients")
+            .and_then(Value::as_str)
+            .map(|s| {
+                s.split(',')
+                    .filter(|t| !t.is_empty())
+                    .filter_map(|t| t.parse().ok())
+                    .collect()
+            })
+            .unwrap_or_default();
+        Some(HealthRecord {
+            round: int("round"),
+            engine: obj
+                .get("engine")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            test_accuracy: num("test_accuracy"),
+            participants: int("participants"),
+            arrived: int("arrived"),
+            norm_min: num("norm_min"),
+            norm_max: num("norm_max"),
+            norm_mean: num("norm_mean"),
+            saturation: num("saturation"),
+            cosine_margin: num("cosine_margin"),
+            sign_flip_rate: num("sign_flip_rate"),
+            mean_divergence: num("mean_divergence"),
+            max_abs_z: num("max_abs_z"),
+            outlier_clients,
+            bits_flipped: int("bits_flipped"),
+            dims_erased: int("dims_erased"),
+            packets_dropped: int("packets_dropped"),
+            noise_energy: num("noise_energy"),
+        })
+    }
+
+    /// The record as an alert-engine sample.
+    pub fn to_sample(&self) -> fhdnn_telemetry::alert::HealthSample {
+        fhdnn_telemetry::alert::HealthSample {
+            round: self.round,
+            accuracy: self.test_accuracy,
+            saturation: self.saturation,
+            max_client_abs_z: self.max_abs_z,
+            dims_erased: self.dims_erased,
+        }
+    }
+}
+
+/// Population z-scores of `values`: `(v - mean) / std`. A zero (or
+/// undefined) standard deviation yields all-zero scores — no value can be
+/// an outlier in a population with no spread.
+pub fn zscores(values: &[f32]) -> Vec<f32> {
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let var = values
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n as f64;
+    let std = var.sqrt();
+    if std <= f64::EPSILON {
+        return vec![0.0; n];
+    }
+    values
+        .iter()
+        .map(|&v| ((v as f64 - mean) / std) as f32)
+        .collect()
+}
+
+/// Per-round client-divergence summary, as landed in a [`HealthRecord`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DivergenceSummary {
+    /// Mean cosine distance of client deltas from the aggregate delta.
+    pub mean: f64,
+    /// Largest |z-score| among the clients.
+    pub max_abs_z: f64,
+    /// Client ids whose |z| reached [`OUTLIER_Z`].
+    pub outliers: Vec<u64>,
+}
+
+/// Scores each arrived client's update against the aggregate: cosine
+/// distance of `delta_i = update_i − broadcast` from
+/// `aggregate_delta = new_global − broadcast`, then z-scores across the
+/// round's clients. `client_ids[i]` labels `deltas[i]` in the outlier
+/// list. Fewer than two clients cannot have outliers (no population).
+pub fn divergence_summary(
+    deltas: &[Vec<f32>],
+    aggregate_delta: &[f32],
+    client_ids: &[usize],
+) -> DivergenceSummary {
+    let distances: Vec<f32> = deltas
+        .iter()
+        .map(|d| fhdnn_hdc::health::cosine_distance(d, aggregate_delta))
+        .collect();
+    if distances.is_empty() {
+        return DivergenceSummary::default();
+    }
+    let mean = distances.iter().map(|&d| d as f64).sum::<f64>() / distances.len() as f64;
+    if distances.len() < 2 {
+        return DivergenceSummary {
+            mean,
+            ..DivergenceSummary::default()
+        };
+    }
+    let z = zscores(&distances);
+    let max_abs_z = z.iter().map(|v| v.abs() as f64).fold(0.0, f64::max);
+    let outliers = z
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.abs() >= OUTLIER_Z)
+        .map(|(i, _)| client_ids.get(i).copied().unwrap_or(i) as u64)
+        .collect();
+    DivergenceSummary {
+        mean,
+        max_abs_z,
+        outliers,
+    }
+}
+
+/// Element-wise `a − b` into a fresh vector (the client/aggregate delta
+/// helper; lengths must already agree — callers subtract models of one
+/// shape).
+pub fn elementwise_delta(a: &[f32], b: &[f32]) -> Vec<f32> {
+    a.iter().zip(b).map(|(&x, &y)| x - y).collect()
+}
+
+/// `(min, max, mean)` of a norm list, all zeros when empty.
+pub fn norm_stats(norms: &[f32]) -> (f64, f64, f64) {
+    if norms.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let min = norms.iter().copied().fold(f32::INFINITY, f32::min) as f64;
+    let max = norms.iter().copied().fold(0.0f32, f32::max) as f64;
+    let mean = norms.iter().map(|&n| n as f64).sum::<f64>() / norms.len() as f64;
+    (min, max, mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhdnn_telemetry::sink::MemorySink;
+    use std::sync::Arc;
+
+    fn record() -> HealthRecord {
+        HealthRecord {
+            round: 3,
+            engine: "fedhd".into(),
+            test_accuracy: 0.91,
+            participants: 4,
+            arrived: 3,
+            norm_min: 1.0,
+            norm_max: 2.5,
+            norm_mean: 1.75,
+            saturation: 0.01,
+            cosine_margin: 0.85,
+            sign_flip_rate: 0.02,
+            mean_divergence: 0.1,
+            max_abs_z: 1.2,
+            outlier_clients: vec![2, 7],
+            bits_flipped: 12,
+            dims_erased: 3,
+            packets_dropped: 1,
+            noise_energy: 0.5,
+        }
+    }
+
+    #[test]
+    fn emit_then_parse_round_trips() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = fhdnn_telemetry::Recorder::with_sink(sink.clone());
+        let rec = record();
+        rec.emit(&tel);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "health.round");
+        let parsed = fhdnn_telemetry::jsonl::parse(&events[0].to_json()).unwrap();
+        let back = HealthRecord::from_event_fields(parsed.get("fields").unwrap()).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn parse_defaults_missing_fields() {
+        let v = fhdnn_telemetry::jsonl::parse(r#"{"round":2,"test_accuracy":0.5}"#).unwrap();
+        let rec = HealthRecord::from_event_fields(&v).unwrap();
+        assert_eq!(rec.round, 2);
+        assert_eq!(rec.test_accuracy, 0.5);
+        assert_eq!(rec.engine, "");
+        assert!(rec.outlier_clients.is_empty());
+        assert!(HealthRecord::from_event_fields(&fhdnn_telemetry::jsonl::Value::Null).is_none());
+    }
+
+    #[test]
+    fn zscores_handle_degenerate_populations() {
+        assert!(zscores(&[]).is_empty());
+        assert_eq!(zscores(&[5.0, 5.0, 5.0]), vec![0.0, 0.0, 0.0]);
+        let z = zscores(&[0.0, 0.0, 0.0, 0.0, 10.0]);
+        assert!(z[4] > 1.9, "spiked value scores high: {z:?}");
+        assert!(z[0] < 0.0);
+    }
+
+    #[test]
+    fn divergence_summary_shapes() {
+        // Empty and singleton populations cannot flag outliers.
+        assert_eq!(
+            divergence_summary(&[], &[1.0, 0.0], &[]),
+            DivergenceSummary::default()
+        );
+        let one = divergence_summary(&[vec![0.0, 1.0]], &[1.0, 0.0], &[9]);
+        assert!((one.mean - 1.0).abs() < 1e-6);
+        assert_eq!(one.max_abs_z, 0.0);
+        assert!(one.outliers.is_empty());
+        // A clear outlier among aligned clients is flagged by id. With 10
+        // aligned clients and one inverted, the inverted one's z-score
+        // exceeds 3 (mean pulled slightly up, std small).
+        let mut deltas: Vec<Vec<f32>> = (0..10).map(|_| vec![1.0, 0.0]).collect();
+        deltas.push(vec![-1.0, 0.0]);
+        let ids: Vec<usize> = (100..111).collect();
+        let s = divergence_summary(&deltas, &[1.0, 0.0], &ids);
+        assert!(s.max_abs_z >= OUTLIER_Z as f64, "z {}", s.max_abs_z);
+        assert_eq!(s.outliers, vec![110]);
+    }
+
+    #[test]
+    fn record_converts_to_alert_sample() {
+        let rec = record();
+        let s = rec.to_sample();
+        assert_eq!(s.round, 3);
+        assert_eq!(s.accuracy, 0.91);
+        assert_eq!(s.dims_erased, 3);
+        assert_eq!(s.max_client_abs_z, 1.2);
+    }
+
+    #[test]
+    fn elementwise_delta_subtracts() {
+        assert_eq!(elementwise_delta(&[3.0, 1.0], &[1.0, 1.0]), vec![2.0, 0.0]);
+    }
+}

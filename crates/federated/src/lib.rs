@@ -48,6 +48,7 @@ pub mod cost;
 mod error;
 pub mod fedavg;
 pub mod fedhd;
+pub mod health;
 pub mod metrics;
 pub mod sampling;
 pub mod timeline;

@@ -176,6 +176,75 @@ mod tests {
         assert_eq!(h.final_accuracy(), 0.0);
         assert_eq!(h.best_accuracy(), 0.0);
         assert_eq!(h.total_bytes(), 0);
+        assert_eq!(h.total_uplink_bytes(), 0);
+        assert_eq!(h.rounds_to_accuracy(0.0), None);
+        assert_eq!(h.bytes_per_client_to_accuracy(0.0), None);
+    }
+
+    #[test]
+    fn empty_history_serde_round_trip() {
+        let h = RunHistory::new("empty");
+        let json = serde_json::to_string(&h).unwrap();
+        let back: RunHistory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn unreachable_accuracy_targets() {
+        let h = history();
+        // Just above the best round: never reached.
+        assert_eq!(h.rounds_to_accuracy(0.8201), None);
+        assert_eq!(h.bytes_per_client_to_accuracy(0.8201), None);
+        // Exactly the best: reached at that round (>= comparison).
+        assert_eq!(h.rounds_to_accuracy(0.82), Some(3));
+        // A zero target is reached on the first round.
+        assert_eq!(h.rounds_to_accuracy(0.0), Some(1));
+        // NaN compares false against everything: never reached, not a panic.
+        assert_eq!(h.rounds_to_accuracy(f32::NAN), None);
+    }
+
+    #[test]
+    fn health_record_serde_round_trip() {
+        use crate::health::HealthRecord;
+        let rec = HealthRecord {
+            round: 5,
+            engine: "fedhd".into(),
+            test_accuracy: 0.875,
+            participants: 8,
+            arrived: 7,
+            norm_min: 0.5,
+            norm_max: 3.0,
+            norm_mean: 1.2,
+            saturation: 0.03,
+            cosine_margin: 0.9,
+            sign_flip_rate: 0.01,
+            mean_divergence: 0.2,
+            max_abs_z: 2.1,
+            outlier_clients: vec![3],
+            bits_flipped: 100,
+            dims_erased: 5,
+            packets_dropped: 2,
+            noise_energy: 1.5,
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: HealthRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn health_record_back_compat_defaults() {
+        use crate::health::HealthRecord;
+        // A record written by an older (or trimmed) producer: every absent
+        // field must default rather than fail, mirroring RoundMetrics.
+        let minimal = r#"{"round":1,"test_accuracy":0.75}"#;
+        let rec: HealthRecord = serde_json::from_str(minimal).unwrap();
+        assert_eq!(rec.round, 1);
+        assert_eq!(rec.test_accuracy, 0.75);
+        assert_eq!(rec.engine, "");
+        assert_eq!(rec.saturation, 0.0);
+        assert!(rec.outlier_clients.is_empty());
+        let empty: HealthRecord = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, HealthRecord::default());
     }
 
     #[test]

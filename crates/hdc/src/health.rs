@@ -1,0 +1,230 @@
+//! Model-health diagnostics over HD models.
+//!
+//! FHDnn's robustness story (paper §4–5) is that the integer HD model
+//! degrades *gracefully* under channel damage — which means degradation is
+//! observable long before final accuracy is printed, if anyone looks. This
+//! module computes the per-round signals worth looking at:
+//!
+//! - [`row_norms`] — per-class prototype L2 norms. A collapsing norm means
+//!   a class stopped accumulating evidence; an exploding one dominates the
+//!   AGC quantizer's gain and squeezes every other class into few bits.
+//! - [`saturation_fraction`] — the share of quantized counters within a
+//!   relative `ε` of the clip range `±(2^{B-1}-1)`. High saturation is the
+//!   observable symptom of a bit width too narrow for the prototype's
+//!   dynamic range (or of bit-error damage inflating outliers).
+//! - [`cosine_margin`] — the minimum pairwise inter-class separation
+//!   `1 − cos(c_i, c_j)`. Shrinking margins predict misclassification
+//!   before accuracy moves, because cosine inference *is* the margin.
+//! - [`sign_flip_rate`] — the fraction of prototype entries whose sign
+//!   changed against the previous round's model. Healthy convergence
+//!   settles signs; a sign-flip spike marks a catastrophically damaged or
+//!   diverging round.
+//! - [`cosine_distance`] — the building block of per-client update
+//!   divergence in the federated layer.
+//!
+//! Everything here is pure arithmetic over existing state: no RNG, no
+//! allocation beyond the returned vectors, safe to compute only when a
+//! telemetry recorder is enabled without perturbing seeded runs.
+
+use crate::model::HdModel;
+use crate::quantizer::quantize;
+use crate::Result;
+
+/// L2 norm of a slice.
+pub fn l2_norm(v: &[f32]) -> f32 {
+    v.iter()
+        .map(|x| (*x as f64) * (*x as f64))
+        .sum::<f64>()
+        .sqrt() as f32
+}
+
+/// Per-class prototype L2 norms, `[num_classes]`.
+///
+/// # Errors
+///
+/// Propagates row-access failures (never for a well-formed model).
+pub fn row_norms(model: &HdModel) -> Result<Vec<f32>> {
+    (0..model.num_classes())
+        .map(|k| Ok(l2_norm(model.prototypes().row(k)?)))
+        .collect()
+}
+
+/// Counter-saturation fraction: the share of `bitwidth`-bit quantized
+/// words with `|w| ≥ (1 − epsilon) · (2^{B-1} − 1)`, i.e. within a
+/// relative `epsilon` of the AGC clip range.
+///
+/// The AGC gain pins each class's largest magnitude at full scale, so a
+/// healthy model saturates a handful of words per class; a fraction
+/// approaching the prototype width means the quantizer is clipping real
+/// signal (bit width too narrow, or damage-inflated outliers have crushed
+/// the gain).
+///
+/// # Errors
+///
+/// Same as [`quantize`] (`bitwidth` outside `2..=32`).
+pub fn saturation_fraction(model: &HdModel, bitwidth: u32, epsilon: f32) -> Result<f32> {
+    let q = quantize(model, bitwidth)?;
+    if q.words.is_empty() {
+        return Ok(0.0);
+    }
+    let clip = q.max_word() as f32;
+    let threshold = (clip * (1.0 - epsilon.clamp(0.0, 1.0))).max(1.0);
+    let saturated = q
+        .words
+        .iter()
+        .filter(|w| w.unsigned_abs() as f32 >= threshold)
+        .count();
+    Ok(saturated as f32 / q.words.len() as f32)
+}
+
+/// Cosine distance `1 − cos(a, b)`, in `[0, 2]`.
+///
+/// Conventions for degenerate inputs: two zero vectors are identical
+/// (distance 0); one zero vector against a nonzero one is maximally
+/// uninformative (distance 1, the orthogonal reading).
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    let (mut dot, mut na, mut nb) = (0.0f64, 0.0f64, 0.0f64);
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x as f64 * y as f64;
+        na += x as f64 * x as f64;
+        nb += y as f64 * y as f64;
+    }
+    if na == 0.0 && nb == 0.0 {
+        return 0.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    (1.0 - dot / (na.sqrt() * nb.sqrt())) as f32
+}
+
+/// Minimum pairwise inter-class separation: `min_{i<j} 1 − cos(c_i, c_j)`.
+///
+/// 0 means two prototypes point the same way (inference cannot tell the
+/// classes apart); values near 1 mean near-orthogonal prototypes — the
+/// healthy HD regime. Returns 1.0 for models with fewer than two classes
+/// (nothing to confuse).
+///
+/// # Errors
+///
+/// Propagates row-access failures (never for a well-formed model).
+pub fn cosine_margin(model: &HdModel) -> Result<f32> {
+    let k = model.num_classes();
+    if k < 2 {
+        return Ok(1.0);
+    }
+    let mut margin = f32::INFINITY;
+    for i in 0..k {
+        let a = model.prototypes().row(i)?;
+        for j in (i + 1)..k {
+            let b = model.prototypes().row(j)?;
+            margin = margin.min(cosine_distance(a, b));
+        }
+    }
+    Ok(margin)
+}
+
+/// Fraction of entries whose sign differs between two equal-length slices
+/// (using the paper's `sign(0) = +1` convention, matching
+/// [`HdModel::to_bipolar`]). Returns 0.0 for empty slices.
+pub fn sign_flip_rate_slices(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let flips = a
+        .iter()
+        .zip(b)
+        .filter(|(&x, &y)| (x >= 0.0) != (y >= 0.0))
+        .count();
+    flips as f32 / n as f32
+}
+
+/// Fraction of prototype entries whose sign flipped between two rounds'
+/// models.
+///
+/// # Errors
+///
+/// Returns an error if the models' shapes disagree.
+pub fn sign_flip_rate(current: &HdModel, previous: &HdModel) -> Result<f32> {
+    if current.num_classes() != previous.num_classes() || current.dim() != previous.dim() {
+        return Err(crate::HdcError::InvalidArgument(format!(
+            "sign-flip rate between [{}, {}] and [{}, {}] models",
+            current.num_classes(),
+            current.dim(),
+            previous.num_classes(),
+            previous.dim()
+        )));
+    }
+    Ok(sign_flip_rate_slices(
+        current.prototypes().as_slice(),
+        previous.prototypes().as_slice(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhdnn_tensor::Tensor;
+
+    fn model_with(values: &[f32], k: usize, d: usize) -> HdModel {
+        HdModel::from_prototypes(Tensor::from_vec(values.to_vec(), &[k, d]).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn row_norms_are_per_class_l2() {
+        let m = model_with(&[3.0, 4.0, 0.0, 0.0], 2, 2);
+        let norms = row_norms(&m).unwrap();
+        assert!((norms[0] - 5.0).abs() < 1e-6);
+        assert_eq!(norms[1], 0.0);
+    }
+
+    #[test]
+    fn saturation_counts_words_near_clip() {
+        // Gains pin each row's max at the clip; the 0.5 entries land at
+        // half scale, well outside a 10% epsilon band.
+        let m = model_with(&[1.0, 0.5, -1.0, 0.5], 2, 2);
+        let f = saturation_fraction(&m, 8, 0.1).unwrap();
+        assert!((f - 0.5).abs() < 1e-6, "fraction {f}");
+        // With epsilon = 1 every nonzero word counts.
+        assert!(saturation_fraction(&m, 8, 1.0).unwrap() >= 0.99);
+        assert!(saturation_fraction(&m, 1, 0.1).is_err());
+    }
+
+    #[test]
+    fn all_zero_model_has_zero_saturation() {
+        let m = HdModel::new(2, 4).unwrap();
+        assert_eq!(saturation_fraction(&m, 8, 0.05).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cosine_distance_conventions() {
+        assert!(cosine_distance(&[1.0, 0.0], &[1.0, 0.0]).abs() < 1e-6);
+        assert!((cosine_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-6);
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn margin_detects_aligned_prototypes() {
+        let orth = model_with(&[1.0, 0.0, 0.0, 1.0], 2, 2);
+        assert!((cosine_margin(&orth).unwrap() - 1.0).abs() < 1e-6);
+        let aligned = model_with(&[1.0, 1.0, 2.0, 2.0], 2, 2);
+        assert!(cosine_margin(&aligned).unwrap() < 1e-6);
+        let single = model_with(&[1.0, 2.0], 1, 2);
+        assert_eq!(cosine_margin(&single).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn sign_flips_use_sign_zero_is_positive() {
+        // 0.0 → +, so 0.0 vs -1.0 flips but 0.0 vs 2.0 does not.
+        assert_eq!(sign_flip_rate_slices(&[0.0, 0.0], &[2.0, -1.0]), 0.5);
+        assert_eq!(sign_flip_rate_slices(&[], &[]), 0.0);
+        let a = model_with(&[1.0, -1.0], 1, 2);
+        let b = model_with(&[1.0, 1.0], 1, 2);
+        assert!((sign_flip_rate(&a, &b).unwrap() - 0.5).abs() < 1e-6);
+        let wrong = model_with(&[1.0, 1.0, 1.0], 1, 3);
+        assert!(sign_flip_rate(&a, &wrong).is_err());
+    }
+}

@@ -47,6 +47,7 @@
 
 pub mod encoder;
 mod error;
+pub mod health;
 pub mod id_level;
 pub mod masking;
 pub mod model;

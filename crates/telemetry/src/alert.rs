@@ -1,0 +1,449 @@
+//! Rule-based alerting over per-round health samples.
+//!
+//! The flight-recorder layers (hdc/federated) compute *signals*; this
+//! module decides when a signal is *bad*. An [`AlertEngine`] is fed one
+//! [`HealthSample`] per round and applies four rules:
+//!
+//! 1. **Accuracy drop** — test accuracy fell by at least
+//!    [`AlertConfig::accuracy_drop`] below the best accuracy seen within
+//!    the trailing [`AlertConfig::accuracy_window`] rounds (critical).
+//! 2. **Saturation** — quantizer counter-saturation fraction at or above
+//!    [`AlertConfig::saturation`] (warning; critical at twice the
+//!    threshold).
+//! 3. **Client outlier** — some client's update-divergence |z-score| at or
+//!    above [`AlertConfig::client_z`] (warning).
+//! 4. **Erasure spike** — dims erased this round exceed both an absolute
+//!    floor and a multiple of the trailing mean (warning).
+//!
+//! The engine is pure state-machine logic: [`AlertEngine::observe`]
+//! returns the alerts that fired and never touches a recorder, so rules
+//! are unit-testable without sinks. [`emit_alerts`] lowers fired alerts to
+//! structured `alert` events on a [`crate::Recorder`] for the JSONL
+//! stream, where the `fhdnn watch` dashboard picks them up.
+
+use crate::event::FieldValue;
+use crate::Recorder;
+
+/// Thresholds for the alert rules. [`AlertConfig::default`] gives
+/// conservative values tuned for the reproduction's quick campaigns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertConfig {
+    /// Minimum accuracy fall (absolute, e.g. `0.15` = 15 points) below the
+    /// trailing-window best that fires the accuracy-drop rule.
+    pub accuracy_drop: f64,
+    /// Trailing window, in rounds, over which the best accuracy is taken.
+    pub accuracy_window: usize,
+    /// Counter-saturation fraction that fires the saturation rule; twice
+    /// this value escalates to [`Severity::Critical`]. Trained HD
+    /// prototypes are near-bipolar, so a healthy quantized model already
+    /// parks ~30% of its counters at the clip — the default threshold
+    /// sits above that floor and fires only on genuine clip crowding.
+    pub saturation: f64,
+    /// |z-score| of a client's update divergence that flags it an outlier.
+    pub client_z: f64,
+    /// An erasure spike must exceed `dims_erased_factor ×` the trailing
+    /// mean erasures per round…
+    pub dims_erased_factor: f64,
+    /// …and this absolute floor, so noisy near-zero rounds never fire.
+    pub dims_erased_min: u64,
+}
+
+impl Default for AlertConfig {
+    fn default() -> Self {
+        AlertConfig {
+            accuracy_drop: 0.15,
+            accuracy_window: 3,
+            saturation: 0.5,
+            client_z: 3.0,
+            dims_erased_factor: 4.0,
+            dims_erased_min: 64,
+        }
+    }
+}
+
+/// How bad a fired alert is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Degradation worth watching: the run is still making progress.
+    Warning,
+    /// The round's model is likely damaged or the run is diverging.
+    Critical,
+}
+
+impl Severity {
+    /// Lowercase wire name, used in `alert` event fields.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// One per-round health observation, as fed to [`AlertEngine::observe`].
+///
+/// Fields the caller cannot compute (e.g. saturation on a float transport)
+/// should be left at their zero defaults; the corresponding rules then
+/// never fire.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HealthSample {
+    /// Round index (0-based).
+    pub round: u64,
+    /// Global-model test accuracy after the round.
+    pub accuracy: f64,
+    /// Counter-saturation fraction of the quantized global model, `[0,1]`.
+    pub saturation: f64,
+    /// Largest per-client update-divergence |z-score| this round.
+    pub max_client_abs_z: f64,
+    /// Hypervector dimensions erased by the channel this round.
+    pub dims_erased: u64,
+}
+
+/// A fired alert: which rule, how bad, and the numbers behind it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Rule identifier: `accuracy_drop`, `saturation`, `client_outlier`,
+    /// or `erasure_spike`.
+    pub rule: &'static str,
+    /// Escalation level.
+    pub severity: Severity,
+    /// Round the alert fired on.
+    pub round: u64,
+    /// The observed value that tripped the rule.
+    pub value: f64,
+    /// The threshold it tripped against.
+    pub threshold: f64,
+    /// Human-readable firing context.
+    pub message: String,
+}
+
+/// The alert state machine: holds trailing history and applies the rules
+/// round by round.
+#[derive(Debug, Clone)]
+pub struct AlertEngine {
+    config: AlertConfig,
+    /// Trailing accuracies, most recent last (bounded by the window).
+    accuracy: Vec<f64>,
+    /// Total dims erased across observed rounds, for the trailing mean.
+    erased_sum: u64,
+    /// Number of rounds observed so far.
+    rounds_seen: u64,
+}
+
+impl AlertEngine {
+    /// An engine with explicit thresholds.
+    pub fn new(config: AlertConfig) -> Self {
+        AlertEngine {
+            config,
+            accuracy: Vec::new(),
+            erased_sum: 0,
+            rounds_seen: 0,
+        }
+    }
+
+    /// The engine's thresholds.
+    pub fn config(&self) -> &AlertConfig {
+        &self.config
+    }
+
+    /// Feeds one round's sample; returns the alerts that fired on it (in
+    /// rule order, possibly empty).
+    pub fn observe(&mut self, sample: &HealthSample) -> Vec<Alert> {
+        let cfg = &self.config;
+        let mut fired = Vec::new();
+
+        // Accuracy drop vs the best of the trailing window.
+        if let Some(best) = self
+            .accuracy
+            .iter()
+            .copied()
+            .fold(None::<f64>, |m, a| Some(m.map_or(a, |m| m.max(a))))
+        {
+            let drop = best - sample.accuracy;
+            if drop >= cfg.accuracy_drop {
+                fired.push(Alert {
+                    rule: "accuracy_drop",
+                    severity: Severity::Critical,
+                    round: sample.round,
+                    value: drop,
+                    threshold: cfg.accuracy_drop,
+                    message: format!(
+                        "accuracy {:.3} is {:.3} below the {}-round best {:.3}",
+                        sample.accuracy,
+                        drop,
+                        self.accuracy.len(),
+                        best
+                    ),
+                });
+            }
+        }
+
+        // Quantizer saturation.
+        if cfg.saturation > 0.0 && sample.saturation >= cfg.saturation {
+            let severity = if sample.saturation >= 2.0 * cfg.saturation {
+                Severity::Critical
+            } else {
+                Severity::Warning
+            };
+            fired.push(Alert {
+                rule: "saturation",
+                severity,
+                round: sample.round,
+                value: sample.saturation,
+                threshold: cfg.saturation,
+                message: format!(
+                    "{:.1}% of quantized counters sit at the clip range (threshold {:.1}%)",
+                    100.0 * sample.saturation,
+                    100.0 * cfg.saturation
+                ),
+            });
+        }
+
+        // Client-divergence outlier.
+        if cfg.client_z > 0.0 && sample.max_client_abs_z >= cfg.client_z {
+            fired.push(Alert {
+                rule: "client_outlier",
+                severity: Severity::Warning,
+                round: sample.round,
+                value: sample.max_client_abs_z,
+                threshold: cfg.client_z,
+                message: format!(
+                    "a client's update diverges at |z| = {:.2} (threshold {:.2})",
+                    sample.max_client_abs_z, cfg.client_z
+                ),
+            });
+        }
+
+        // Erasure spike vs the trailing mean.
+        if self.rounds_seen > 0 && sample.dims_erased >= cfg.dims_erased_min {
+            let mean = self.erased_sum as f64 / self.rounds_seen as f64;
+            let floor = cfg.dims_erased_factor * mean;
+            if sample.dims_erased as f64 > floor {
+                fired.push(Alert {
+                    rule: "erasure_spike",
+                    severity: Severity::Warning,
+                    round: sample.round,
+                    value: sample.dims_erased as f64,
+                    threshold: floor.max(cfg.dims_erased_min as f64),
+                    message: format!(
+                        "{} dims erased vs trailing mean {:.1}/round",
+                        sample.dims_erased, mean
+                    ),
+                });
+            }
+        }
+
+        // Roll the trailing state forward.
+        self.accuracy.push(sample.accuracy);
+        if self.accuracy.len() > self.config.accuracy_window {
+            self.accuracy.remove(0);
+        }
+        self.erased_sum = self.erased_sum.saturating_add(sample.dims_erased);
+        self.rounds_seen += 1;
+        fired
+    }
+}
+
+impl Default for AlertEngine {
+    fn default() -> Self {
+        AlertEngine::new(AlertConfig::default())
+    }
+}
+
+/// Lowers fired alerts to structured `alert` events on `tel`, one event
+/// per alert with `rule`, `severity`, `round`, `value`, `threshold`, and
+/// `message` fields. No-op on a disabled recorder or an empty slice.
+pub fn emit_alerts(tel: &Recorder, alerts: &[Alert]) {
+    if !tel.enabled() {
+        return;
+    }
+    for a in alerts {
+        tel.event(
+            "alert",
+            &[
+                ("rule", FieldValue::Str(a.rule.to_string())),
+                ("severity", FieldValue::Str(a.severity.as_str().to_string())),
+                ("round", FieldValue::U64(a.round)),
+                ("value", FieldValue::F64(a.value)),
+                ("threshold", FieldValue::F64(a.threshold)),
+                ("message", FieldValue::Str(a.message.clone())),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use std::sync::Arc;
+
+    fn sample(round: u64, accuracy: f64) -> HealthSample {
+        HealthSample {
+            round,
+            accuracy,
+            ..HealthSample::default()
+        }
+    }
+
+    #[test]
+    fn steady_run_fires_nothing() {
+        let mut eng = AlertEngine::default();
+        for r in 0..10 {
+            let fired = eng.observe(&sample(r, 0.80 + 0.01 * r as f64));
+            assert!(fired.is_empty(), "round {r}: {fired:?}");
+        }
+    }
+
+    #[test]
+    fn accuracy_drop_fires_against_window_best() {
+        let mut eng = AlertEngine::default();
+        for r in 0..3 {
+            assert!(eng.observe(&sample(r, 0.85)).is_empty());
+        }
+        let fired = eng.observe(&sample(3, 0.60));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "accuracy_drop");
+        assert_eq!(fired[0].severity, Severity::Critical);
+        assert!((fired[0].value - 0.25).abs() < 1e-9);
+        // The window rolls: after enough low rounds the drop stops firing
+        // because the old high accuracy ages out.
+        let mut quiet = false;
+        for r in 4..10 {
+            if eng.observe(&sample(r, 0.60)).is_empty() {
+                quiet = true;
+                break;
+            }
+        }
+        assert!(quiet, "drop alert should age out of the window");
+    }
+
+    #[test]
+    fn first_round_never_fires_accuracy_drop() {
+        let mut eng = AlertEngine::default();
+        assert!(eng.observe(&sample(0, 0.0)).is_empty());
+    }
+
+    #[test]
+    fn saturation_escalates_to_critical() {
+        let mut eng = AlertEngine::default();
+        let warn = eng.observe(&HealthSample {
+            saturation: 0.55,
+            ..HealthSample::default()
+        });
+        assert_eq!(warn.len(), 1);
+        assert_eq!(warn[0].rule, "saturation");
+        assert_eq!(warn[0].severity, Severity::Warning);
+        let crit = eng.observe(&HealthSample {
+            round: 1,
+            saturation: 1.0,
+            ..HealthSample::default()
+        });
+        assert_eq!(crit[0].severity, Severity::Critical);
+        // A healthy near-bipolar HD model parks ~30% of counters at the
+        // clip; that must stay below the threshold.
+        assert!(eng
+            .observe(&HealthSample {
+                round: 2,
+                saturation: 0.30,
+                ..HealthSample::default()
+            })
+            .is_empty());
+    }
+
+    #[test]
+    fn client_outlier_fires_on_z() {
+        let mut eng = AlertEngine::default();
+        let fired = eng.observe(&HealthSample {
+            max_client_abs_z: 3.5,
+            ..HealthSample::default()
+        });
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "client_outlier");
+    }
+
+    #[test]
+    fn erasure_spike_needs_history_and_floor() {
+        let mut eng = AlertEngine::default();
+        // Round 0: no history yet, even a big erasure count cannot spike.
+        assert!(eng
+            .observe(&HealthSample {
+                dims_erased: 10_000,
+                ..HealthSample::default()
+            })
+            .is_empty());
+        // Trailing mean is now huge; a similar round is not a spike.
+        assert!(eng
+            .observe(&HealthSample {
+                round: 1,
+                dims_erased: 9_000,
+                ..HealthSample::default()
+            })
+            .is_empty());
+        // A fresh engine with a calm history fires on a sudden burst…
+        let mut calm = AlertEngine::default();
+        for r in 0..3 {
+            assert!(calm
+                .observe(&HealthSample {
+                    round: r,
+                    dims_erased: 2,
+                    ..HealthSample::default()
+                })
+                .is_empty());
+        }
+        let fired = calm.observe(&HealthSample {
+            round: 3,
+            dims_erased: 500,
+            ..HealthSample::default()
+        });
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "erasure_spike");
+        // …but a burst below the absolute floor stays quiet.
+        let mut tiny = AlertEngine::default();
+        assert!(tiny.observe(&HealthSample::default()).is_empty());
+        assert!(tiny
+            .observe(&HealthSample {
+                round: 1,
+                dims_erased: 63,
+                ..HealthSample::default()
+            })
+            .is_empty());
+    }
+
+    #[test]
+    fn multiple_rules_fire_together_in_order() {
+        let mut eng = AlertEngine::default();
+        for r in 0..2 {
+            eng.observe(&sample(r, 0.9));
+        }
+        let fired = eng.observe(&HealthSample {
+            round: 2,
+            accuracy: 0.2,
+            saturation: 0.9,
+            max_client_abs_z: 5.0,
+            dims_erased: 0,
+        });
+        let rules: Vec<&str> = fired.iter().map(|a| a.rule).collect();
+        assert_eq!(rules, ["accuracy_drop", "saturation", "client_outlier"]);
+    }
+
+    #[test]
+    fn emit_lowers_alerts_to_events() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Recorder::with_sink(sink.clone());
+        let mut eng = AlertEngine::default();
+        let fired = eng.observe(&HealthSample {
+            saturation: 0.6,
+            ..HealthSample::default()
+        });
+        emit_alerts(&tel, &fired);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "alert");
+        let json = events[0].to_json();
+        assert!(json.contains("\"rule\":\"saturation\""), "{json}");
+        assert!(json.contains("\"severity\":\"warning\""), "{json}");
+        // Disabled recorders swallow everything.
+        emit_alerts(&Recorder::disabled(), &fired);
+    }
+}

@@ -102,16 +102,21 @@ impl Histogram {
     /// Finds the log2 bucket containing the target rank and interpolates
     /// linearly within it, then clamps to the observed `[min, max]` range —
     /// much tighter than the bucket upper bound [`Histogram::quantile_bound`]
-    /// reports, while still requiring only the 65 fixed buckets. Returns 0
-    /// for an empty histogram.
+    /// reports, while still requiring only the 65 fixed buckets.
+    ///
+    /// Degenerate inputs are well-defined rather than propagating garbage:
+    /// the empty histogram reports 0 for every `q`; out-of-range `q` is
+    /// clamped into `[0, 1]`; a NaN `q` reads as 0 (the most conservative
+    /// quantile), never as NaN output.
     pub fn percentile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         if q >= 1.0 {
             return self.max as f64;
         }
-        let target = (q.max(0.0) * self.count as f64).ceil().max(1.0);
+        let target = (q * self.count as f64).ceil().max(1.0);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             if n == 0 {
@@ -137,12 +142,15 @@ impl Histogram {
     }
 
     /// Upper bound (exclusive) of the bucket containing quantile `q`
-    /// (`0.0..=1.0`) — a log2-resolution approximation.
+    /// (`0.0..=1.0`) — a log2-resolution approximation. Empty histograms
+    /// report 0; out-of-range and NaN `q` are clamped like
+    /// [`Histogram::percentile`].
     pub fn quantile_bound(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let target = (q * self.count as f64).ceil() as u64;
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -222,6 +230,31 @@ mod tests {
             let p = h.percentile(q);
             assert!(p >= last, "percentile({q}) = {p} < {last}");
             last = p;
+        }
+    }
+
+    #[test]
+    fn degenerate_quantiles_are_clamped() {
+        let mut h = Histogram::new();
+        for v in [4u64, 8, 16, 1000] {
+            h.observe(v);
+        }
+        // NaN reads as the most conservative quantile (q = 0)...
+        assert_eq!(h.percentile(f64::NAN), h.percentile(0.0));
+        assert!(!h.percentile(f64::NAN).is_nan());
+        // ...and out-of-range q clamps into [0, 1].
+        assert_eq!(h.percentile(-3.0), h.percentile(0.0));
+        assert_eq!(h.percentile(7.5), h.max() as f64);
+        assert_eq!(h.percentile(f64::INFINITY), h.max() as f64);
+        assert_eq!(h.percentile(f64::NEG_INFINITY), h.percentile(0.0));
+        assert_eq!(h.quantile_bound(f64::NAN), h.quantile_bound(0.0));
+        assert_eq!(h.quantile_bound(-1.0), h.quantile_bound(0.0));
+        assert_eq!(h.quantile_bound(2.0), h.quantile_bound(1.0));
+        // The empty histogram is 0 for every q, degenerate or not.
+        let empty = Histogram::new();
+        for q in [f64::NAN, -1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(empty.percentile(q), 0.0);
+            assert_eq!(empty.quantile_bound(q), 0);
         }
     }
 

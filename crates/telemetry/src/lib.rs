@@ -39,6 +39,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod alert;
 pub mod clock;
 pub mod event;
 pub mod histogram;

@@ -1,0 +1,213 @@
+//! End-to-end model-health flight recorder: both federation engines emit
+//! `health.round` records, severe channel damage trips the alert engine,
+//! clean runs stay quiet, and the `fhdnn watch` dashboard is a
+//! byte-deterministic function of the recorded stream.
+
+use std::sync::Arc;
+
+use fhdnn::channel::bit_error::BitErrorChannel;
+use fhdnn::channel::NoiselessChannel;
+use fhdnn::datasets::features::FeatureSpec;
+use fhdnn::datasets::image::SynthSpec;
+use fhdnn::datasets::partition::Partition;
+use fhdnn::federated::config::FlConfig;
+use fhdnn::federated::fedavg::{carve_clients, CnnFederation, LocalSgdConfig};
+use fhdnn::federated::fedhd::{HdClientData, HdFederation, HdTransport};
+use fhdnn::hdc::encoder::RandomProjectionEncoder;
+use fhdnn::hdc::model::HdModel;
+use fhdnn::nn::models::small_cnn;
+use fhdnn::telemetry::clock::ManualClock;
+use fhdnn::telemetry::sink::MemorySink;
+use fhdnn::telemetry::{Recorder, Telemetry};
+use fhdnn::tensor::Tensor;
+use fhdnn_cli::Dashboard;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIM: usize = 1024;
+const NUM_CLIENTS: usize = 4;
+const CLASSES: usize = 5;
+
+/// Pre-encoded clients and test set, mirroring the telemetry fixtures.
+fn build_federation(seed: u64, transport: HdTransport) -> (HdFederation, HdClientData) {
+    let spec = FeatureSpec {
+        num_classes: CLASSES,
+        width: 40,
+        noise_std: 0.6,
+        class_seed: 11,
+    };
+    let train = spec.generate(NUM_CLIENTS * 25, seed).unwrap();
+    let test = spec.generate(60, seed + 1).unwrap();
+    let enc = RandomProjectionEncoder::new(DIM, 40, 3).unwrap();
+    let h_train = enc.encode_batch(&train.features).unwrap();
+    let h_test = enc.encode_batch(&test.features).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let parts = Partition::Iid
+        .split(&train.labels, NUM_CLIENTS, &mut rng)
+        .unwrap();
+    let clients: Vec<HdClientData> = parts
+        .iter()
+        .map(|idx| {
+            let mut data = Vec::new();
+            let mut labels = Vec::new();
+            for &i in idx {
+                data.extend_from_slice(h_train.row(i).unwrap());
+                labels.push(train.labels[i]);
+            }
+            HdClientData {
+                hypervectors: Tensor::from_vec(data, &[idx.len(), DIM]).unwrap(),
+                labels,
+            }
+        })
+        .collect();
+    let config = FlConfig {
+        num_clients: NUM_CLIENTS,
+        rounds: 4,
+        local_epochs: 1,
+        batch_size: 10,
+        client_fraction: 1.0,
+        seed: 7,
+    };
+    let global = HdModel::new(CLASSES, DIM).unwrap();
+    let fed = HdFederation::new(global, clients, config, transport).unwrap();
+    let test_data = HdClientData {
+        hypervectors: h_test,
+        labels: test.labels,
+    };
+    (fed, test_data)
+}
+
+/// An enabled recorder over a memory sink with a deterministic clock,
+/// plus a handle to read the captured events back.
+fn memory_recorder() -> (Telemetry, Arc<MemorySink>) {
+    let sink = Arc::new(MemorySink::new());
+    let tel = Recorder::with_sink_and_clock(sink.clone(), Arc::new(ManualClock::new(10)));
+    (tel, sink)
+}
+
+fn stream_of(sink: &MemorySink) -> String {
+    sink.events()
+        .iter()
+        .map(|e| e.to_json())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Trains clean for a few rounds, then hits a severe binary symmetric
+/// channel on the *float* transport — where one flip in an f32 exponent
+/// is catastrophic (the paper's §3.5.2 example). The accuracy collapse
+/// must trip the alert engine, and every round must leave a health
+/// record. (The quantized transport survives even BER 0.5 on this
+/// workload — the paper's robustness claim — so it cannot drive this
+/// test.)
+fn impaired_stream(seed: u64) -> String {
+    let (mut fed, test) = build_federation(seed, HdTransport::Float);
+    let (tel, sink) = memory_recorder();
+    fed.set_telemetry(tel.clone());
+    let clean = NoiselessChannel::new();
+    for _ in 0..4 {
+        fed.run_round(&clean, &test).unwrap();
+    }
+    let severe = BitErrorChannel::new(0.05).unwrap();
+    for _ in 0..4 {
+        fed.run_round(&severe, &test).unwrap();
+    }
+    tel.flush();
+    stream_of(&sink)
+}
+
+#[test]
+fn severe_bit_errors_fire_an_alert() {
+    let stream = impaired_stream(0);
+    let dash = Dashboard::from_jsonl_str(&stream);
+    assert_eq!(dash.records().len(), 8, "one health record per round");
+    assert!(dash.records().iter().all(|r| r.engine == "fedhd"));
+    // The damaged rounds carry channel attribution…
+    let damaged: u64 = dash.records().iter().map(|r| r.bits_flipped).sum();
+    assert!(damaged > 0, "severe BSC must flip bits");
+    assert_eq!(dash.records()[0].bits_flipped, 0, "clean rounds stay clean");
+    // …and the collapse trips the engine: saturation or accuracy-drop.
+    assert!(
+        dash.alerts()
+            .iter()
+            .any(|a| a.rule == "accuracy_drop" || a.rule == "saturation"),
+        "expected a saturation or accuracy-drop alert, got {:?}",
+        dash.alerts()
+    );
+}
+
+#[test]
+fn clean_run_fires_no_alerts() {
+    let (mut fed, test) = build_federation(0, HdTransport::Quantized { bitwidth: 8 });
+    let (tel, sink) = memory_recorder();
+    fed.set_telemetry(tel.clone());
+    fed.run(&NoiselessChannel::new(), &test, "health-clean")
+        .unwrap();
+    tel.flush();
+    let dash = Dashboard::from_jsonl_str(&stream_of(&sink));
+    assert_eq!(dash.records().len(), 4);
+    assert!(
+        dash.alerts().is_empty(),
+        "clean run must stay quiet, got {:?}",
+        dash.alerts()
+    );
+    let last = &dash.records()[3];
+    assert!(last.test_accuracy > 0.5, "accuracy {}", last.test_accuracy);
+    assert!(last.norm_mean > 0.0);
+    assert!(last.cosine_margin > 0.0);
+    assert_eq!(
+        last.bits_flipped + last.dims_erased + last.packets_dropped,
+        0
+    );
+}
+
+#[test]
+fn fedavg_emits_health_records_too() {
+    let spec = SynthSpec::mnist_like();
+    let pool = spec.generate(NUM_CLIENTS * 20, 0).unwrap();
+    let test = spec.generate(60, 1).unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    let parts = Partition::Iid
+        .split(&pool.labels, NUM_CLIENTS, &mut rng)
+        .unwrap();
+    let clients = carve_clients(&pool, &parts).unwrap();
+    let net = small_cnn(1, 16, 10, &mut rng).unwrap();
+    let config = FlConfig {
+        num_clients: NUM_CLIENTS,
+        rounds: 2,
+        local_epochs: 1,
+        batch_size: 10,
+        client_fraction: 0.5,
+        seed: 7,
+    };
+    let mut fed = CnnFederation::new(net, clients, config, LocalSgdConfig::default()).unwrap();
+    let (tel, sink) = memory_recorder();
+    fed.set_telemetry(tel.clone());
+    fed.run(&NoiselessChannel::new(), &test, "health-fedavg")
+        .unwrap();
+    tel.flush();
+    let dash = Dashboard::from_jsonl_str(&stream_of(&sink));
+    assert_eq!(dash.records().len(), 2);
+    assert!(dash.records().iter().all(|r| r.engine == "fedavg"));
+    assert!(dash.records().iter().all(|r| r.participants == 2));
+    assert!(dash.records()[1].norm_mean > 0.0);
+}
+
+#[test]
+fn dashboard_replay_is_byte_deterministic() {
+    // Two independently recorded same-seed runs produce the same stream,
+    // and replaying one stream twice renders the same bytes — the
+    // property `fhdnn watch --from` relies on.
+    let a = impaired_stream(3);
+    let b = impaired_stream(3);
+    assert_eq!(a, b, "same-seed streams diverged");
+    let render_a = Dashboard::from_jsonl_str(&a).render();
+    let render_b = Dashboard::from_jsonl_str(&b).render();
+    assert_eq!(render_a, render_b, "replayed dashboards diverged");
+    assert!(render_a.contains("fhdnn watch — fedhd"));
+    // The Prometheus export is equally deterministic.
+    assert_eq!(
+        Dashboard::from_jsonl_str(&a).prometheus(),
+        Dashboard::from_jsonl_str(&b).prometheus()
+    );
+}
