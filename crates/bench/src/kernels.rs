@@ -14,6 +14,7 @@ use fhdnn::federated::config::FlConfig;
 use fhdnn::federated::fedhd::{HdClientData, HdFederation, HdTransport};
 use fhdnn::hdc::encoder::RandomProjectionEncoder;
 use fhdnn::hdc::model::HdModel;
+use fhdnn::hdc::packed::{pack_signs, pack_signs_i32, reference::ReferenceHdModel, PackedHdModel};
 use fhdnn::hdc::quantizer::quantize;
 use fhdnn::nn::conv::{Conv2d, ConvGeometry};
 use fhdnn::nn::{Layer, Mode};
@@ -55,6 +56,22 @@ pub fn kernel_benches() -> Vec<Bench> {
             run: bench_hdc_quantize,
         },
         Bench {
+            name: "hdc.pack",
+            run: bench_hdc_pack,
+        },
+        Bench {
+            name: "hdc.similarity_i32",
+            run: bench_similarity_i32,
+        },
+        Bench {
+            name: "hdc.similarity_packed",
+            run: bench_similarity_packed,
+        },
+        Bench {
+            name: "hdc.bundle_packed",
+            run: bench_bundle_packed,
+        },
+        Bench {
             name: "channel.transport",
             run: bench_channel_transport,
         },
@@ -79,6 +96,10 @@ pub fn round_benches() -> Vec<Bench> {
         Bench {
             name: "round.fedhd_binary",
             run: bench_round_binary,
+        },
+        Bench {
+            name: "round.fedhd_parallel",
+            run: bench_round_parallel,
         },
     ]
 }
@@ -136,6 +157,68 @@ fn bench_hdc_quantize(cfg: &BenchConfig) -> BenchResult {
     let model = random_model(10, 2048, 20);
     run_bench("hdc.quantize", cfg, 200, (10 * 2048) as f64, || {
         black_box(quantize(&model, 4).expect("quantize"));
+    })
+}
+
+fn bench_hdc_pack(cfg: &BenchConfig) -> BenchResult {
+    let values = random_tensor(&[1, 10_000], 50);
+    run_bench("hdc.pack", cfg, 200, 10_000.0, || {
+        black_box(pack_signs(values.as_slice()));
+    })
+}
+
+/// Shared fixture for the similarity pair: the same seeded prototype
+/// counts and the same ±1 query, once packed and once plain `i32`, so
+/// the two benches measure identical work and their ratio is the packed
+/// speedup the acceptance gate tracks.
+fn similarity_fixture() -> (PackedHdModel, ReferenceHdModel, Vec<u64>, Vec<i32>) {
+    const CLASSES: usize = 10;
+    const DIM: usize = 10_000;
+    let mut rng = StdRng::seed_from_u64(51);
+    let counts: Vec<i32> = (0..CLASSES * DIM).map(|_| rng.gen_range(-50..50)).collect();
+    let query: Vec<i32> = (0..DIM)
+        .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+        .collect();
+    let packed = PackedHdModel::from_counts(counts.clone(), CLASSES, DIM).expect("packed model");
+    let reference = ReferenceHdModel {
+        protos: counts,
+        num_classes: CLASSES,
+        dim: DIM,
+    };
+    let packed_query = pack_signs_i32(&query);
+    (packed, reference, packed_query, query)
+}
+
+fn bench_similarity_i32(cfg: &BenchConfig) -> BenchResult {
+    let (_, reference, _, query) = similarity_fixture();
+    run_bench("hdc.similarity_i32", cfg, 20, (10 * 10_000) as f64, || {
+        black_box(reference.predict(&query));
+    })
+}
+
+fn bench_similarity_packed(cfg: &BenchConfig) -> BenchResult {
+    let (packed, _, packed_query, _) = similarity_fixture();
+    run_bench(
+        "hdc.similarity_packed",
+        cfg,
+        200,
+        (10 * 10_000) as f64,
+        || {
+            black_box(packed.predict_packed(&packed_query));
+        },
+    )
+}
+
+fn bench_bundle_packed(cfg: &BenchConfig) -> BenchResult {
+    let models: Vec<PackedHdModel> = (0..8)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(60 + i);
+            let counts: Vec<i32> = (0..10 * 2048).map(|_| rng.gen_range(-50..50)).collect();
+            PackedHdModel::from_counts(counts, 10, 2048).expect("packed model")
+        })
+        .collect();
+    run_bench("hdc.bundle_packed", cfg, 100, 8.0, || {
+        black_box(PackedHdModel::bundle(&models).expect("bundle"));
     })
 }
 
@@ -238,6 +321,18 @@ fn bench_round_quantized(cfg: &BenchConfig) -> BenchResult {
 
 fn bench_round_binary(cfg: &BenchConfig) -> BenchResult {
     bench_round("round.fedhd_binary", HdTransport::Binary, cfg)
+}
+
+fn bench_round_parallel(cfg: &BenchConfig) -> BenchResult {
+    // The same quantized round on the auto-sized pool: the measured gap
+    // against `round.fedhd_quantized` is the parallel engine's speedup
+    // (results are byte-identical by construction, so only time differs).
+    let (mut fed, test) = build_federation(HdTransport::Quantized { bitwidth: 8 });
+    fed.set_threads(0);
+    let channel = PacketLossChannel::new(0.1, 256).expect("channel");
+    run_bench("round.fedhd_parallel", cfg, 10, 1.0, || {
+        black_box(fed.run_round(&channel, &test).expect("round"));
+    })
 }
 
 #[cfg(test)]

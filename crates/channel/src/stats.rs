@@ -154,6 +154,27 @@ impl ChannelStats {
         }
     }
 
+    /// Folds a snapshot of another accumulator into this one — how the
+    /// parallel round engine merges each worker's private per-task stats
+    /// into the shared accumulator at the round barrier. Merging in
+    /// fixed participant order keeps the (non-associative) f64 noise
+    /// energy sum identical at every thread count.
+    pub fn absorb(&self, snap: &ChannelStatsSnapshot) {
+        self.transmissions
+            .fetch_add(snap.transmissions, Ordering::Relaxed);
+        self.symbols_sent
+            .fetch_add(snap.symbols_sent, Ordering::Relaxed);
+        self.bits_flipped
+            .fetch_add(snap.bits_flipped, Ordering::Relaxed);
+        self.dims_erased
+            .fetch_add(snap.dims_erased, Ordering::Relaxed);
+        self.packets_dropped
+            .fetch_add(snap.packets_dropped, Ordering::Relaxed);
+        self.crc_rejects
+            .fetch_add(snap.crc_rejects, Ordering::Relaxed);
+        self.add_noise_energy(snap.noise_energy);
+    }
+
     /// Resets every counter to zero.
     pub fn reset(&self) {
         self.transmissions.store(0, Ordering::Relaxed);
@@ -345,6 +366,28 @@ mod tests {
         assert_eq!(d.bits_flipped, 0);
         assert_eq!(d.noise_energy, 0.0);
         assert!(d.is_clean());
+    }
+
+    #[test]
+    fn absorb_folds_snapshots_in() {
+        let worker = ChannelStats::new();
+        worker.record_transmission(10);
+        worker.add_bits_flipped(3);
+        worker.add_packets_dropped(1);
+        worker.add_crc_rejects(2);
+        worker.add_dims_erased(4);
+        worker.add_noise_energy(0.5);
+        let shared = ChannelStats::new();
+        shared.add_bits_flipped(1);
+        shared.absorb(&worker.snapshot());
+        let snap = shared.snapshot();
+        assert_eq!(snap.transmissions, 1);
+        assert_eq!(snap.symbols_sent, 10);
+        assert_eq!(snap.bits_flipped, 4);
+        assert_eq!(snap.dims_erased, 4);
+        assert_eq!(snap.packets_dropped, 1);
+        assert_eq!(snap.crc_rejects, 2);
+        assert!((snap.noise_energy - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -68,6 +68,7 @@ fn build_spec(sim: &SimulateArgs) -> ExperimentSpec {
     spec.transport = sim.transport;
     spec.seed = sim.seed;
     spec.fl.seed = sim.seed;
+    spec.threads = sim.threads;
     spec
 }
 

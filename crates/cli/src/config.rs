@@ -107,6 +107,9 @@ pub struct SimulateArgs {
     pub pretrain: bool,
     /// Master seed.
     pub seed: u64,
+    /// Round-pool threads (`0` = auto-detect, `1` = serial). Purely a
+    /// wall-clock knob: results are byte-identical at every value.
+    pub threads: usize,
     /// Optional checkpoint output path for the trained deployment.
     pub save: Option<String>,
     /// Optional JSONL telemetry event-stream output path.
@@ -126,6 +129,7 @@ impl Default for SimulateArgs {
             transport: HdTransport::Float,
             pretrain: true,
             seed: 0,
+            threads: 0,
             save: None,
             telemetry: None,
             verbosity: Verbosity::Normal,
@@ -197,6 +201,9 @@ fn parse_simulate_args(rest: &[&String]) -> Result<SimulateArgs, String> {
     if let Some(s) = get_value("--seed")? {
         sim.seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
     }
+    if let Some(t) = get_value("--threads")? {
+        sim.threads = t.parse().map_err(|e| format!("--threads: {e}"))?;
+    }
     sim.save = get_value("--save")?;
     sim.telemetry = get_value("--telemetry")?;
     sim.non_iid = has_flag("--non-iid");
@@ -230,6 +237,9 @@ commands:
              --transport float|q<bits>|binary (default float)
              --no-pretrain                    use a random extractor
              --seed N                         master seed (default 0)
+             --threads N                      round-pool threads (0 = auto,
+                                              default; results identical at
+                                              every value)
              --save PATH                      write the trained checkpoint
              --telemetry PATH                 stream telemetry events to PATH (JSONL)
              -q, --quiet                      only the final accuracy line
@@ -371,6 +381,7 @@ mod tests {
         assert_eq!(sim.channel, "noiseless");
         assert!(sim.pretrain);
         assert!(!sim.baseline);
+        assert_eq!(sim.threads, 0);
         assert_eq!(sim.telemetry, None);
         assert_eq!(sim.verbosity, Verbosity::Normal);
     }
@@ -379,8 +390,8 @@ mod tests {
     fn simulate_full_flags() {
         let cli = Cli::parse(&args(
             "simulate --workload mnist --channel packet:0.2 --rounds 7 \
-             --non-iid --baseline --transport q8 --no-pretrain --seed 9 --save out.json \
-             --telemetry trace.jsonl -v",
+             --non-iid --baseline --transport q8 --no-pretrain --seed 9 --threads 4 \
+             --save out.json --telemetry trace.jsonl -v",
         ))
         .unwrap();
         let Command::Simulate(sim) = cli.command else {
@@ -392,6 +403,7 @@ mod tests {
         assert!(sim.non_iid && sim.baseline && !sim.pretrain);
         assert_eq!(sim.transport, HdTransport::Quantized { bitwidth: 8 });
         assert_eq!(sim.seed, 9);
+        assert_eq!(sim.threads, 4);
         assert_eq!(sim.save.as_deref(), Some("out.json"));
         assert_eq!(sim.telemetry.as_deref(), Some("trace.jsonl"));
         assert_eq!(sim.verbosity, Verbosity::Verbose);
@@ -504,6 +516,7 @@ mod tests {
     fn errors_are_actionable() {
         assert!(Cli::parse(&args("pretrain --out x.json")).is_err());
         assert!(Cli::parse(&args("simulate --rounds abc")).is_err());
+        assert!(Cli::parse(&args("simulate --threads abc")).is_err());
         assert!(Cli::parse(&args("teleport")).is_err());
         assert!(Cli::parse(&[]).is_err());
         assert!(Cli::parse(&args("simulate --workload")).is_err());

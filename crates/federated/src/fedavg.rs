@@ -6,6 +6,11 @@
 //! batch size `B`; each client's full parameter vector is transmitted
 //! uplink through a (possibly unreliable) [`Channel`]; the server averages
 //! the received vectors weighted by client sample counts.
+//!
+//! Client work fans out over the deterministic pool in [`crate::parallel`]:
+//! every worker trains its own clone of the broadcast network with an RNG
+//! stream split from the round seed, and the barrier reduces in fixed
+//! participant order, so results are byte-identical at any thread count.
 
 use fhdnn_channel::{Channel, ChannelStats, ChannelStatsSnapshot};
 use fhdnn_datasets::batcher::Batcher;
@@ -14,14 +19,16 @@ use fhdnn_nn::loss::{accuracy, cross_entropy};
 use fhdnn_nn::optim::{LrSchedule, Sgd};
 use fhdnn_nn::{Mode, Network};
 use fhdnn_telemetry::alert::{emit_alerts, AlertEngine};
+use fhdnn_telemetry::task::TaskBuffer;
 use fhdnn_telemetry::{Recorder, Telemetry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::config::FlConfig;
 use crate::health::{divergence_summary, elementwise_delta, norm_stats, HealthRecord};
 use crate::metrics::{RoundMetrics, RunHistory};
+use crate::parallel::{resolve_threads, run_tasks, split_seed};
 use crate::sampling::sample_clients;
 use crate::{FedError, Result};
 
@@ -48,9 +55,10 @@ impl Default for LocalSgdConfig {
 
 /// A FedAvg federation over one CNN architecture.
 ///
-/// Holds the global model and per-client datasets. One scratch network is
-/// reused for all clients (clients are stateless between rounds, exactly
-/// as in FedAvg).
+/// Holds the global model and per-client datasets. Each round, every
+/// participant trains its own clone of the broadcast network (clients are
+/// stateless between rounds, exactly as in FedAvg), so client work is
+/// embarrassingly parallel across the round pool.
 #[derive(Debug)]
 pub struct CnnFederation {
     global: Network,
@@ -61,9 +69,33 @@ pub struct CnnFederation {
     round: usize,
     upload_fraction: f32,
     lr_schedule: LrSchedule,
+    threads: usize,
     telemetry: Telemetry,
     channel_stats: ChannelStats,
     alerts: AlertEngine,
+}
+
+/// One participant's unit of round work, shipped to a pool worker.
+struct ClientTask {
+    client: usize,
+    rng: StdRng,
+    buf: TaskBuffer,
+}
+
+/// What comes back from a worker at the round barrier.
+struct ClientOutcome {
+    /// Aggregation weight (the client's sample count).
+    weight: f64,
+    /// The transmitted (possibly channel-corrupted) parameter payload.
+    payload: Vec<f32>,
+    /// `Some(coordinates)` when compressed uploads are on; `None` means
+    /// `payload` is the full parameter vector.
+    indices: Option<Vec<usize>>,
+    /// Running (non-trainable) state after local training, e.g. batch-norm
+    /// statistics. Never transmitted — FedAvg uplinks only parameters.
+    running_state: Vec<f32>,
+    buf: TaskBuffer,
+    stats: ChannelStatsSnapshot,
 }
 
 impl CnnFederation {
@@ -101,6 +133,7 @@ impl CnnFederation {
             round: 0,
             upload_fraction: 1.0,
             lr_schedule: LrSchedule::Constant,
+            threads: 1,
             telemetry: Recorder::disabled(),
             channel_stats: ChannelStats::new(),
             alerts: AlertEngine::default(),
@@ -130,6 +163,21 @@ impl CnnFederation {
     /// rounds).
     pub fn set_lr_schedule(&mut self, schedule: LrSchedule) {
         self.lr_schedule = schedule;
+    }
+
+    /// Sets how many pool threads run per-round client work: `0` means
+    /// auto (the machine's available parallelism), `1` (the default)
+    /// runs inline on the caller's thread. Round results are
+    /// byte-identical at every thread count — per-client RNG streams are
+    /// split from the round seed and the barrier reduces in fixed
+    /// participant order — so this is purely a wall-clock knob.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// The configured thread-count knob (`0` = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Enables compressed uploads: each round, every client transmits only
@@ -169,24 +217,86 @@ impl CnnFederation {
         (full * self.upload_fraction as f64).ceil() as u64
     }
 
-    fn train_client(&mut self, client: usize) -> Result<Vec<f32>> {
-        let data = &self.clients[client];
-        let lr = self.lr_schedule.lr_at(self.round, self.sgd.learning_rate);
-        let mut opt = Sgd::new(lr)
-            .momentum(self.sgd.momentum)
-            .weight_decay(self.sgd.weight_decay);
-        let batcher = Batcher::new(data.len(), self.config.batch_size);
-        for _ in 0..self.config.local_epochs {
-            for batch in batcher.epoch(&mut self.rng) {
-                let subset = data.subset(&batch)?;
-                self.global.zero_grad();
-                let logits = self.global.forward(&subset.images, Mode::Train)?;
-                let out = cross_entropy(&logits, &subset.labels)?;
-                self.global.backward(&out.grad)?;
-                opt.step(&mut self.global)?;
+    /// The full worker: broadcast-clone, local SGD, uplink transmission
+    /// (full or compressed) — everything between client selection and the
+    /// round barrier. Touches no federation state, so the pool can run it
+    /// on any thread.
+    #[allow(clippy::too_many_arguments)]
+    fn run_client_task(
+        mut task: ClientTask,
+        global: &Network,
+        data: &ImageDataset,
+        local_epochs: usize,
+        batch_size: usize,
+        lr: f32,
+        sgd: LocalSgdConfig,
+        upload_fraction: f32,
+        channel: &dyn Channel,
+    ) -> Result<ClientOutcome> {
+        let stats = ChannelStats::new();
+        // Broadcast: the client starts from its own copy of the global
+        // model (the serial engine reused one scratch network; a clone is
+        // the parallel-safe equivalent).
+        let mut net = {
+            let span = task.buf.begin("round.broadcast");
+            let clone = global.clone();
+            task.buf.end(span);
+            clone
+        };
+        let update = {
+            let span = task.buf.begin("round.local_train");
+            let mut opt = Sgd::new(lr)
+                .momentum(sgd.momentum)
+                .weight_decay(sgd.weight_decay);
+            let batcher = Batcher::new(data.len(), batch_size);
+            for _ in 0..local_epochs {
+                for batch in batcher.epoch(&mut task.rng) {
+                    let subset = data.subset(&batch)?;
+                    net.zero_grad();
+                    let logits = net.forward(&subset.images, Mode::Train)?;
+                    let out = cross_entropy(&logits, &subset.labels)?;
+                    net.backward(&out.grad)?;
+                    opt.step(&mut net)?;
+                }
             }
-        }
-        Ok(self.global.flatten_params())
+            task.buf.end(span);
+            net.flatten_params()
+        };
+        let num_params = update.len();
+        let span = task.buf.begin("round.transmit");
+        let (payload, indices) = if upload_fraction >= 1.0 {
+            let mut payload = update;
+            {
+                // Uplink through the unreliable channel.
+                let up = task.buf.begin("chan.uplink");
+                channel.transmit_f32_stats(&mut payload, &mut task.rng, &stats);
+                task.buf.end(up);
+            }
+            (payload, None)
+        } else {
+            // Compressed upload: a fresh random coordinate subset.
+            let keep =
+                ((num_params as f64 * upload_fraction as f64).ceil() as usize).clamp(1, num_params);
+            let mut indices: Vec<usize> = (0..num_params).collect();
+            indices.shuffle(&mut task.rng);
+            indices.truncate(keep);
+            let mut payload: Vec<f32> = indices.iter().map(|&i| update[i]).collect();
+            {
+                let up = task.buf.begin("chan.uplink");
+                channel.transmit_f32_stats(&mut payload, &mut task.rng, &stats);
+                task.buf.end(up);
+            }
+            (payload, Some(indices))
+        };
+        task.buf.end(span);
+        Ok(ClientOutcome {
+            weight: data.len() as f64,
+            payload,
+            indices,
+            running_state: net.running_state(),
+            buf: task.buf,
+            stats: stats.snapshot(),
+        })
     }
 
     /// Runs one communication round with the given uplink channel,
@@ -217,60 +327,81 @@ impl CnnFederation {
         )?;
         // FedAvg broadcasts the full float32 parameter vector downlink.
         let downlink_bytes = broadcast.len() as u64 * 4;
+        // One seed per round, split into one independent stream per
+        // client id: scheduling order cannot change what anyone samples,
+        // and the master RNG advances identically at every thread count.
+        let round_seed: u64 = self.rng.gen();
+        let lr = self.lr_schedule.lr_at(self.round, self.sgd.learning_rate);
+        let tasks: Vec<ClientTask> = participants
+            .iter()
+            .map(|&client| ClientTask {
+                client,
+                rng: StdRng::seed_from_u64(split_seed(round_seed, client as u64)),
+                buf: tel.task_buffer(),
+            })
+            .collect();
+        let threads = resolve_threads(self.threads);
+        let (global, clients) = (&self.global, &self.clients);
+        let (local_epochs, batch_size) = (self.config.local_epochs, self.config.batch_size);
+        let (sgd, upload_fraction) = (self.sgd, self.upload_fraction);
+        let outcomes = run_tasks(tasks, threads, |_, task| {
+            let data = &clients[task.client];
+            Self::run_client_task(
+                task,
+                global,
+                data,
+                local_epochs,
+                batch_size,
+                lr,
+                sgd,
+                upload_fraction,
+                channel,
+            )
+        });
+        // Fixed-order reduction: fold outcomes in participant order so
+        // telemetry replay, channel accounting and the weighted f64 sums
+        // below are thread-count-invariant.
         let mut acc: Vec<f64> = vec![0.0; broadcast.len()];
         let mut weights: Vec<f64> = vec![0.0; broadcast.len()];
+        let mut state_acc: Vec<f64> = vec![0.0; self.global.running_state().len()];
+        let mut state_weight = 0.0f64;
         // Health bookkeeping (per-client deltas vs the broadcast) is pure
         // arithmetic over values the round computes anyway; gated on an
         // enabled recorder so uninstrumented runs pay nothing.
         let mut client_deltas: Vec<Vec<f32>> = Vec::new();
-        for &client in &participants {
-            // Broadcast: client starts from the current global model.
-            self.global.load_params(&broadcast)?;
-            let update = {
-                let _span = tel.span("round.local_train");
-                self.train_client(client)?
-            };
-            let weight = self.clients[client].len() as f64;
-            let _span = tel.span("round.transmit");
-            if self.upload_fraction >= 1.0 {
-                let mut payload = update;
-                {
-                    // Uplink through the unreliable channel.
-                    let _span = tel.span("chan.uplink");
-                    channel.transmit_f32_stats(&mut payload, &mut self.rng, &self.channel_stats);
-                }
-                for (i, &u) in payload.iter().enumerate() {
-                    acc[i] += weight * u as f64;
-                    weights[i] += weight;
-                }
-                if tel.enabled() {
-                    client_deltas.push(elementwise_delta(&payload, &broadcast));
-                }
-            } else {
-                // Compressed upload: a fresh random coordinate subset.
-                let keep = ((broadcast.len() as f64 * self.upload_fraction as f64).ceil() as usize)
-                    .clamp(1, broadcast.len());
-                let mut indices: Vec<usize> = (0..broadcast.len()).collect();
-                indices.shuffle(&mut self.rng);
-                indices.truncate(keep);
-                let mut payload: Vec<f32> = indices.iter().map(|&i| update[i]).collect();
-                {
-                    let _span = tel.span("chan.uplink");
-                    channel.transmit_f32_stats(&mut payload, &mut self.rng, &self.channel_stats);
-                }
-                for (&i, &u) in indices.iter().zip(&payload) {
-                    acc[i] += weight * u as f64;
-                    weights[i] += weight;
-                }
-                if tel.enabled() {
-                    // Unsent coordinates contribute zero delta.
-                    let mut delta = vec![0.0f32; broadcast.len()];
-                    for (&i, &u) in indices.iter().zip(&payload) {
-                        delta[i] = u - broadcast[i];
+        for outcome in outcomes {
+            let outcome = outcome?;
+            tel.absorb_task(outcome.buf);
+            self.channel_stats.absorb(&outcome.stats);
+            match &outcome.indices {
+                None => {
+                    for (i, &u) in outcome.payload.iter().enumerate() {
+                        acc[i] += outcome.weight * u as f64;
+                        weights[i] += outcome.weight;
                     }
-                    client_deltas.push(delta);
+                    if tel.enabled() {
+                        client_deltas.push(elementwise_delta(&outcome.payload, &broadcast));
+                    }
+                }
+                Some(indices) => {
+                    for (&i, &u) in indices.iter().zip(&outcome.payload) {
+                        acc[i] += outcome.weight * u as f64;
+                        weights[i] += outcome.weight;
+                    }
+                    if tel.enabled() {
+                        // Unsent coordinates contribute zero delta.
+                        let mut delta = vec![0.0f32; broadcast.len()];
+                        for (&i, &u) in indices.iter().zip(&outcome.payload) {
+                            delta[i] = u - broadcast[i];
+                        }
+                        client_deltas.push(delta);
+                    }
                 }
             }
+            for (s, &v) in state_acc.iter_mut().zip(&outcome.running_state) {
+                *s += outcome.weight * v as f64;
+            }
+            state_weight += outcome.weight;
         }
         // Coordinates nobody sent keep their previous global value.
         let averaged: Vec<f32> = {
@@ -282,6 +413,16 @@ impl CnnFederation {
                 .map(|((&a, &w), &prev)| if w > 0.0 { (a / w) as f32 } else { prev })
                 .collect();
             self.global.load_params(&averaged)?;
+            // Batch-norm running statistics never ride the (lossy) uplink
+            // model update; the server folds them as the same weighted
+            // mean so evaluation tracks the clients' activation statistics.
+            if state_weight > 0.0 && !state_acc.is_empty() {
+                let mean_state: Vec<f32> = state_acc
+                    .iter()
+                    .map(|&s| (s / state_weight) as f32)
+                    .collect();
+                self.global.load_running_state(&mean_state)?;
+            }
             averaged
         };
 
@@ -513,6 +654,45 @@ mod tests {
         assert!(fed.set_upload_fraction(0.0).is_err());
         assert!(fed.set_upload_fraction(1.5).is_err());
         assert!(fed.set_upload_fraction(0.5).is_ok());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // The tentpole invariant, CNN side: same seed, different pool
+        // widths, identical history and byte-identical final parameters —
+        // with compressed uploads and a noisy channel so both the
+        // coordinate masks and the channel draws ride per-client streams.
+        use fhdnn_channel::BitErrorChannel;
+        let run = |threads: usize| {
+            let (mut fed, test) = tiny_setup(4, 9);
+            fed.set_threads(threads);
+            fed.set_upload_fraction(0.5).unwrap();
+            let channel = BitErrorChannel::new(1e-4).unwrap();
+            let history = fed.run(&channel, &test, "par").unwrap();
+            let params: Vec<u32> = fed
+                .global()
+                .flatten_params()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            (history, params, fed.channel_stats())
+        };
+        let serial = run(1);
+        for threads in [2, 8] {
+            let parallel = run(threads);
+            assert_eq!(
+                serial.0, parallel.0,
+                "history diverged at {threads} threads"
+            );
+            assert_eq!(
+                serial.1, parallel.1,
+                "parameter bits diverged at {threads} threads"
+            );
+            assert_eq!(
+                serial.2, parallel.2,
+                "channel stats diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -16,17 +16,19 @@
 
 use fhdnn_channel::{Channel, ChannelStats, ChannelStatsSnapshot};
 use fhdnn_hdc::model::HdModel;
-use fhdnn_hdc::quantizer::{dequantize, quantize_instrumented};
+use fhdnn_hdc::quantizer::{dequantize, quantize};
 use fhdnn_telemetry::alert::{emit_alerts, AlertEngine};
+use fhdnn_telemetry::task::TaskBuffer;
 use fhdnn_telemetry::{Recorder, Telemetry};
 use fhdnn_tensor::Tensor;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::config::FlConfig;
 use crate::health::{divergence_summary, elementwise_delta, HealthRecord, SATURATION_EPSILON};
 use crate::metrics::{RoundMetrics, RunHistory};
+use crate::parallel::{resolve_threads, run_tasks, split_seed};
 use crate::sampling::sample_clients;
 use crate::{FedError, Result};
 
@@ -118,9 +120,26 @@ pub struct HdFederation {
     round: usize,
     straggler_prob: f64,
     adaptive_lr: Option<f32>,
+    threads: usize,
     telemetry: Telemetry,
     channel_stats: ChannelStats,
     alerts: AlertEngine,
+}
+
+/// One participant's unit of round work, shipped to a pool worker.
+struct ClientTask {
+    client: usize,
+    rng: StdRng,
+    buf: TaskBuffer,
+}
+
+/// What comes back from a worker at the round barrier.
+struct ClientOutcome {
+    client: usize,
+    /// `None` when the client straggled (its update never arrived).
+    update: Option<HdModel>,
+    buf: TaskBuffer,
+    stats: ChannelStatsSnapshot,
 }
 
 impl HdFederation {
@@ -167,6 +186,7 @@ impl HdFederation {
             round: 0,
             straggler_prob: 0.0,
             adaptive_lr: None,
+            threads: 1,
             telemetry: Recorder::disabled(),
             channel_stats: ChannelStats::new(),
             alerts: AlertEngine::default(),
@@ -229,6 +249,21 @@ impl HdFederation {
         Ok(())
     }
 
+    /// Sets how many pool threads run per-round client work: `0` means
+    /// auto (the machine's available parallelism), `1` (the default)
+    /// runs inline on the caller's thread. Round results are
+    /// byte-identical at every thread count — per-client RNG streams are
+    /// split from the round seed and the barrier reduces in fixed
+    /// participant order — so this is purely a wall-clock knob.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// The configured thread-count knob (`0` = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// The global HD model.
     pub fn global(&self) -> &HdModel {
         &self.global
@@ -239,19 +274,23 @@ impl HdFederation {
         self.transport.update_bytes(self.global.num_params())
     }
 
-    /// Local update on `client`, starting from the broadcast copy of the
-    /// global model (cloned by the caller so the broadcast span can time
-    /// it separately).
-    fn train_client(&mut self, client: usize, mut local: HdModel) -> Result<HdModel> {
-        let data = &self.clients[client];
+    /// Local update on one client's data, starting from the broadcast
+    /// copy of the global model. Worker-side: touches no federation
+    /// state, so the pool can run it on any thread.
+    fn train_client(
+        data: &HdClientData,
+        local_epochs: usize,
+        adaptive_lr: Option<f32>,
+        mut local: HdModel,
+    ) -> Result<HdModel> {
         // An untrained (all-zero) model bootstraps by one-shot bundling;
         // afterwards the paper's refinement loop takes over.
         let untrained = local.prototypes().as_slice().iter().all(|&v| v == 0.0);
         if untrained {
             local.one_shot_train(&data.hypervectors, &data.labels)?;
         }
-        for _ in 0..self.config.local_epochs {
-            match self.adaptive_lr {
+        for _ in 0..local_epochs {
+            match adaptive_lr {
                 Some(lr) => {
                     local.refine_epoch_adaptive(&data.hypervectors, &data.labels, lr)?;
                 }
@@ -263,26 +302,40 @@ impl HdFederation {
         Ok(local)
     }
 
-    fn transmit(&mut self, model: &mut HdModel, channel: &dyn Channel) -> Result<()> {
-        match self.transport {
+    /// Sends one client update through the uplink. Worker-side: noise is
+    /// drawn from the client's split RNG stream, damage is accounted to
+    /// the task-local `stats`, and spans/counters go to the task buffer.
+    fn transmit_update(
+        model: &mut HdModel,
+        transport: HdTransport,
+        channel: &dyn Channel,
+        rng: &mut StdRng,
+        stats: &ChannelStats,
+        buf: &mut TaskBuffer,
+    ) -> Result<()> {
+        match transport {
             HdTransport::Float => {
-                let _span = self.telemetry.span("chan.uplink");
-                channel.transmit_f32_stats(
-                    model.prototypes_mut().as_mut_slice(),
-                    &mut self.rng,
-                    &self.channel_stats,
-                );
+                let span = buf.begin("chan.uplink");
+                channel.transmit_f32_stats(model.prototypes_mut().as_mut_slice(), rng, stats);
+                buf.end(span);
             }
             HdTransport::Quantized { bitwidth } => {
-                let mut q = quantize_instrumented(model, bitwidth, &self.telemetry)?;
+                // `quantize_instrumented` rebuilt on the task buffer: the
+                // same `hdc.quantize` span and extreme-word counters.
+                let span = buf.begin("hdc.quantize");
+                let mut q = quantize(model, bitwidth)?;
+                if buf.enabled() {
+                    let max_word = q.max_word();
+                    let saturated = q.words.iter().filter(|w| w.abs() == max_word).count() as u64;
+                    let zeroed = q.words.iter().filter(|&&w| w == 0).count() as u64;
+                    buf.incr("hdc.quant.saturated_words", saturated);
+                    buf.incr("hdc.quant.zeroed_words", zeroed);
+                }
+                buf.end(span);
                 {
-                    let _span = self.telemetry.span("chan.uplink");
-                    channel.transmit_words_stats(
-                        &mut q.words,
-                        bitwidth,
-                        &mut self.rng,
-                        &self.channel_stats,
-                    );
+                    let span = buf.begin("chan.uplink");
+                    channel.transmit_words_stats(&mut q.words, bitwidth, rng, stats);
+                    buf.end(span);
                 }
                 *model = dequantize(&q)?;
             }
@@ -300,12 +353,9 @@ impl HdFederation {
                     .collect::<Result<_>>()?;
                 let mut symbols = model.to_bipolar();
                 {
-                    let _span = self.telemetry.span("chan.uplink");
-                    channel.transmit_bipolar_stats(
-                        &mut symbols,
-                        &mut self.rng,
-                        &self.channel_stats,
-                    );
+                    let span = buf.begin("chan.uplink");
+                    channel.transmit_bipolar_stats(&mut symbols, rng, stats);
+                    buf.end(span);
                 }
                 let mut received =
                     HdModel::from_bipolar(&symbols, model.num_classes(), model.dim())?;
@@ -318,6 +368,58 @@ impl HdFederation {
             }
         }
         Ok(())
+    }
+
+    /// The full worker: broadcast-clone, local training, straggler draw,
+    /// uplink transmission — everything between client selection and the
+    /// round barrier.
+    #[allow(clippy::too_many_arguments)]
+    fn run_client_task(
+        mut task: ClientTask,
+        global: &HdModel,
+        data: &HdClientData,
+        local_epochs: usize,
+        adaptive_lr: Option<f32>,
+        transport: HdTransport,
+        straggler_prob: f64,
+        channel: &dyn Channel,
+    ) -> Result<ClientOutcome> {
+        let stats = ChannelStats::new();
+        let broadcast = {
+            let span = task.buf.begin("round.broadcast");
+            let clone = global.clone();
+            task.buf.end(span);
+            clone
+        };
+        let mut local = {
+            let span = task.buf.begin("round.local_train");
+            let trained = Self::train_client(data, local_epochs, adaptive_lr, broadcast);
+            task.buf.end(span);
+            trained?
+        };
+        let straggled = straggler_prob > 0.0 && task.rng.gen_bool(straggler_prob);
+        let update = if straggled {
+            None // straggler: update never arrives
+        } else {
+            let span = task.buf.begin("round.transmit");
+            let sent = Self::transmit_update(
+                &mut local,
+                transport,
+                channel,
+                &mut task.rng,
+                &stats,
+                &mut task.buf,
+            );
+            task.buf.end(span);
+            sent?;
+            Some(local)
+        };
+        Ok(ClientOutcome {
+            client: task.client,
+            update,
+            buf: task.buf,
+            stats: stats.snapshot(),
+        })
     }
 
     /// Runs one communication round with the given uplink channel,
@@ -354,27 +456,48 @@ impl HdFederation {
         let health_baseline: Option<Vec<f32>> = tel
             .enabled()
             .then(|| self.global.prototypes().as_slice().to_vec());
+        // One seed per round, split into one independent stream per
+        // client id: scheduling order cannot change what anyone samples,
+        // and the master RNG advances identically at every thread count.
+        let round_seed: u64 = self.rng.gen();
+        let tasks: Vec<ClientTask> = participants
+            .iter()
+            .map(|&client| ClientTask {
+                client,
+                rng: StdRng::seed_from_u64(split_seed(round_seed, client as u64)),
+                buf: tel.task_buffer(),
+            })
+            .collect();
+        let threads = resolve_threads(self.threads);
+        let (global, clients) = (&self.global, &self.clients);
+        let (local_epochs, adaptive_lr) = (self.config.local_epochs, self.adaptive_lr);
+        let (transport, straggler_prob) = (self.transport, self.straggler_prob);
+        let outcomes = run_tasks(tasks, threads, |_, task| {
+            let data = &clients[task.client];
+            Self::run_client_task(
+                task,
+                global,
+                data,
+                local_epochs,
+                adaptive_lr,
+                transport,
+                straggler_prob,
+                channel,
+            )
+        });
+        // Fixed-order reduction: fold outcomes in participant order so
+        // telemetry replay, channel accounting (non-associative f64 noise
+        // energy) and the aggregate below are thread-count-invariant.
         let mut received = Vec::with_capacity(participants.len());
         let mut arrived_ids = Vec::with_capacity(participants.len());
-        for &client in &participants {
-            let broadcast = {
-                let _span = tel.span("round.broadcast");
-                self.global.clone()
-            };
-            let mut local = {
-                let _span = tel.span("round.local_train");
-                self.train_client(client, broadcast)?
-            };
-            if self.straggler_prob > 0.0 && rand::Rng::gen_bool(&mut self.rng, self.straggler_prob)
-            {
-                continue; // straggler: update never arrives
+        for outcome in outcomes {
+            let outcome = outcome?;
+            tel.absorb_task(outcome.buf);
+            self.channel_stats.absorb(&outcome.stats);
+            if let Some(update) = outcome.update {
+                received.push(update);
+                arrived_ids.push(outcome.client);
             }
-            {
-                let _span = tel.span("round.transmit");
-                self.transmit(&mut local, channel)?;
-            }
-            received.push(local);
-            arrived_ids.push(client);
         }
         // Bundle then normalize by the participant count: cosine inference
         // is scale-invariant, so mean == the paper's sum, numerically tame.
@@ -735,6 +858,51 @@ mod tests {
             fed.run(&NoiselessChannel::new(), &test, "det").unwrap()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // The tentpole invariant: the parallel engine is a pure wall-clock
+        // knob. Same seed, different pool widths, identical history and
+        // byte-identical final prototypes.
+        let (clients, test, k) = encoded_clients(4, 10);
+        let run = |threads: usize| {
+            let global = HdModel::new(k, DIM).unwrap();
+            let mut fed = HdFederation::new(
+                global,
+                clients.clone(),
+                config(4, 3),
+                HdTransport::Quantized { bitwidth: 8 },
+            )
+            .unwrap();
+            fed.set_straggler_prob(0.3).unwrap();
+            fed.set_threads(threads);
+            let history = fed.run(&NoiselessChannel::new(), &test, "par").unwrap();
+            let protos: Vec<u32> = fed
+                .global()
+                .prototypes()
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            (history, protos, fed.channel_stats())
+        };
+        let serial = run(1);
+        for threads in [2, 8] {
+            let parallel = run(threads);
+            assert_eq!(
+                serial.0, parallel.0,
+                "history diverged at {threads} threads"
+            );
+            assert_eq!(
+                serial.1, parallel.1,
+                "prototype bits diverged at {threads} threads"
+            );
+            assert_eq!(
+                serial.2, parallel.2,
+                "channel stats diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod fedavg;
 pub mod fedhd;
 pub mod health;
 pub mod metrics;
+pub mod parallel;
 pub mod sampling;
 pub mod timeline;
 

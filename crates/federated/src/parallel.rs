@@ -1,0 +1,160 @@
+//! Deterministic parallel execution for the round engine.
+//!
+//! Both federation engines fan per-round client work out over a std-only
+//! scoped thread pool. Three rules make the parallel run **byte-identical
+//! to the serial one at any thread count**:
+//!
+//! 1. **Seed splitting** — the engine draws one `round_seed` from its
+//!    master RNG per round, then derives an independent per-client stream
+//!    with [`split_seed`]`(round_seed, client_id)`. Workers never touch
+//!    the master RNG, so scheduling order cannot change what any client
+//!    samples.
+//! 2. **Fixed-order reduction** — [`run_tasks`] returns results indexed
+//!    by task, not by completion; the engine folds them in participant
+//!    order at the barrier. Float accumulation (aggregation, channel
+//!    noise energy) is therefore ordered identically on 1 or 64 threads.
+//! 3. **Buffered telemetry** — each task records spans/counters into a
+//!    private `TaskBuffer`, absorbed at the barrier in the same fixed
+//!    order (see `fhdnn_telemetry::task`).
+//!
+//! The pool itself is deliberately boring: scoped threads claiming task
+//! indices from an atomic counter. No work stealing, no channels, no
+//! unsafe — worker panics propagate through `std::thread::scope`.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a requested thread count: `0` means "auto" (the machine's
+/// available parallelism, falling back to 1 when it cannot be queried);
+/// any other value is used as-is.
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Derives an independent RNG seed for stream `stream` (a client id)
+/// from a per-round seed — a splitmix64 finalizer over the
+/// golden-ratio-stepped stream index. Consecutive streams decorrelate
+/// fully even when `round_seed` values are consecutive.
+#[must_use]
+pub fn split_seed(round_seed: u64, stream: u64) -> u64 {
+    let mut z = round_seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `f(index, task)` over every task on up to `threads` scoped
+/// worker threads and returns the results **in task order**, regardless
+/// of completion order. With `threads <= 1` (or a single task) the work
+/// runs inline on the caller's thread — the serial path is literally the
+/// same code the CI determinism matrix compares against.
+///
+/// # Panics
+///
+/// A panicking worker propagates its panic to the caller when the scope
+/// joins (no result is silently dropped).
+pub fn run_tasks<T, R, F>(tasks: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = tasks.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = slots[i]
+                    .lock()
+                    .expect("task slot poisoned")
+                    .take()
+                    .expect("task claimed twice");
+                let result = f(i, task);
+                *results[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker finished without a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_is_auto_and_positive() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn split_seed_decorrelates_streams() {
+        let a = split_seed(7, 0);
+        let b = split_seed(7, 1);
+        let c = split_seed(8, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Deterministic function of its inputs.
+        assert_eq!(a, split_seed(7, 0));
+    }
+
+    #[test]
+    fn results_come_back_in_task_order_at_any_thread_count() {
+        let tasks: Vec<usize> = (0..37).collect();
+        let expect: Vec<usize> = tasks.iter().map(|t| t * t).collect();
+        for threads in [1, 2, 8, 64] {
+            let got = run_tasks(tasks.clone(), threads, |i, t| {
+                assert_eq!(i, t);
+                t * t
+            });
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_task_lists_run_inline() {
+        let none: Vec<u32> = run_tasks(Vec::new(), 8, |_, t: u32| t);
+        assert!(none.is_empty());
+        assert_eq!(run_tasks(vec![5u32], 8, |_, t| t + 1), vec![6]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            run_tasks(vec![0u32, 1, 2, 3], 2, |_, t| {
+                assert!(t != 2, "boom");
+                t
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

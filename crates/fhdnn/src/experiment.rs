@@ -92,6 +92,10 @@ pub struct ExperimentSpec {
     pub arch: TrunkArch,
     /// Master seed (data generation, pretraining, federation).
     pub seed: u64,
+    /// Round-pool threads for per-client work (`0` = auto, `1` = inline).
+    /// Purely a wall-clock knob: results are byte-identical at every
+    /// thread count.
+    pub threads: usize,
 }
 
 impl ExperimentSpec {
@@ -123,6 +127,7 @@ impl ExperimentSpec {
             },
             arch: TrunkArch::ResNet,
             seed: 0,
+            threads: 1,
         }
     }
 
@@ -174,6 +179,7 @@ impl ExperimentSpec {
             backbone,
             arch: TrunkArch::ResNet,
             seed: 0,
+            threads: 1,
         }
     }
 
@@ -279,7 +285,7 @@ impl ExperimentSpec {
         telemetry: Telemetry,
     ) -> Result<FhdnnSystem> {
         let (clients, test) = self.materialize_data()?;
-        FhdnnSystem::new_with_telemetry(
+        let mut system = FhdnnSystem::new_with_telemetry(
             extractor,
             &clients,
             &test,
@@ -288,7 +294,9 @@ impl ExperimentSpec {
             self.fl,
             self.transport,
             telemetry,
-        )
+        )?;
+        system.set_threads(self.threads);
+        Ok(system)
     }
 
     /// Runs FHDnn end-to-end over the given channel.
@@ -333,6 +341,7 @@ impl ExperimentSpec {
         let net = resnet_lite(self.backbone, &mut rng)?;
         let mut fed = CnnFederation::new(net, clients, self.fl, LocalSgdConfig::default())?;
         fed.set_telemetry(telemetry);
+        fed.set_threads(self.threads);
         let label = format!("resnet/{}/{}", self.workload, self.partition);
         let update_bytes = fed.update_bytes();
         let history = fed.run(channel, &test, label)?;
@@ -360,6 +369,7 @@ impl ExperimentSpec {
         let net = resnet_lite(self.backbone, &mut rng)?;
         let mut fed = CnnFederation::new(net, clients, self.fl, LocalSgdConfig::default())?;
         fed.set_upload_fraction(upload_fraction)?;
+        fed.set_threads(self.threads);
         let label = format!(
             "resnet-compressed({upload_fraction})/{}/{}",
             self.workload, self.partition

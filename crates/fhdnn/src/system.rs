@@ -127,6 +127,18 @@ impl FhdnnSystem {
         self.federation.set_telemetry(telemetry);
     }
 
+    /// Sets the round-pool thread count (`0` = auto, `1` = inline).
+    /// Results are byte-identical at every thread count; see
+    /// [`HdFederation::set_threads`].
+    pub fn set_threads(&mut self, threads: usize) {
+        self.federation.set_threads(threads);
+    }
+
+    /// The configured thread-count knob (`0` = auto).
+    pub fn threads(&self) -> usize {
+        self.federation.threads()
+    }
+
     /// The attached telemetry recorder.
     pub fn telemetry(&self) -> &Telemetry {
         self.federation.telemetry()

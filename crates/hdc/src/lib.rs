@@ -18,6 +18,9 @@
 //! - [`quantizer`] — the AGC-inspired scale-up/round/scale-down quantizer
 //!   that bounds bit-error damage on integer prototypes (§3.5.2),
 //! - [`masking`] — partial-information dimension removal (Figure 5),
+//! - [`packed`] — bit-packed bipolar hypervectors (1 bit/dim, popcount
+//!   similarity) plus the naive `i32` reference path the differential
+//!   test suite holds them against,
 //! - [`ops`] — the classic HD algebra (bind / permute / majority) and
 //!   [`id_level`] — the record-based encoder family of the paper's
 //!   reference \[10\], for comparison with random projection.
@@ -52,6 +55,7 @@ pub mod id_level;
 pub mod masking;
 pub mod model;
 pub mod ops;
+pub mod packed;
 pub mod quantizer;
 pub mod regen;
 

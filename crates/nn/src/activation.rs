@@ -21,7 +21,7 @@ use crate::{Layer, Mode, NnError, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Relu {
     mask: Option<Vec<bool>>,
 }
@@ -34,6 +34,10 @@ impl Relu {
 }
 
 impl Layer for Relu {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "Relu"
     }
@@ -79,7 +83,7 @@ impl Layer for Relu {
 }
 
 /// Hyperbolic tangent activation, used by the contrastive projection head.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Tanh {
     output: Option<Tensor>,
 }
@@ -92,6 +96,10 @@ impl Tanh {
 }
 
 impl Layer for Tanh {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "Tanh"
     }

@@ -35,7 +35,7 @@ impl ConvGeometry {
 /// Weights are stored `[out_c, in_c * k * k]`; the forward pass lowers the
 /// input to column form (im2col) and performs a single matrix multiply,
 /// which is also how the FLOP count is derived.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Param,
     bias: Param,
@@ -238,6 +238,10 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "Conv2d"
     }

@@ -15,7 +15,7 @@ use crate::{Layer, Mode, NnError, Param, Result};
 /// Combined with a 1×1 [`crate::conv::Conv2d`] (pointwise), this forms the
 /// depthwise-separable block with `k²·C + C·C'` weights instead of
 /// `k²·C·C'`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DepthwiseConv2d {
     weight: Param,
     bias: Param,
@@ -80,6 +80,10 @@ impl DepthwiseConv2d {
 }
 
 impl Layer for DepthwiseConv2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "DepthwiseConv2d"
     }

@@ -5,7 +5,7 @@ use fhdnn_tensor::Tensor;
 use crate::{Layer, Mode, NnError, Result};
 
 /// Flattens `[batch, d1, d2, …]` to `[batch, d1*d2*…]`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Flatten {
     input_dims: Option<Vec<usize>>,
 }
@@ -18,6 +18,10 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "Flatten"
     }

@@ -27,9 +27,17 @@ pub enum Mode {
 ///    respect to the layer input.
 /// 3. `params_mut` exposes trainable parameters in a deterministic order —
 ///    the order defines the flattened federated transport layout.
-pub trait Layer: std::fmt::Debug + Send {
+///
+/// Layers are `Send + Sync` and clonable through [`Layer::clone_box`], so
+/// a [`crate::Network`] can be shared read-only across round workers and
+/// cheaply duplicated per client by the parallel federated engine.
+pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Short human-readable layer name for diagnostics.
     fn name(&self) -> &'static str;
+
+    /// Clones the layer behind the trait object (including parameters,
+    /// running state and any cached activations).
+    fn clone_box(&self) -> Box<dyn Layer>;
 
     /// Runs the layer on `input`.
     ///

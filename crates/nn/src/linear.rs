@@ -25,7 +25,7 @@ use crate::{Layer, Mode, NnError, Param, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     weight: Param,
     bias: Param,
@@ -86,6 +86,10 @@ impl Linear {
 }
 
 impl Layer for Linear {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "Linear"
     }

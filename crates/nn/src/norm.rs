@@ -10,7 +10,7 @@ use crate::{Layer, Mode, NnError, Param, Result};
 /// averages; evaluation mode uses the running averages. Gamma and beta are
 /// trainable and participate in the federated parameter vector, exactly as
 /// BatchNorm parameters do in the paper's ResNet baseline.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BatchNorm2d {
     gamma: Param,
     beta: Param,
@@ -65,6 +65,10 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "BatchNorm2d"
     }

@@ -7,7 +7,7 @@ use crate::{Layer, Mode, NnError, Result};
 /// Non-overlapping max pooling over `[batch, c, h, w]` with a square window.
 ///
 /// `h` and `w` must be divisible by the window size.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     window: usize,
     cache: Option<PoolCache>,
@@ -59,6 +59,10 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "MaxPool2d"
     }
@@ -135,7 +139,7 @@ impl Layer for MaxPool2d {
 ///
 /// This is the ResNet head that feeds the final classifier — and, in FHDnn,
 /// the feature vector handed to the hyperdimensional encoder.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct GlobalAvgPool {
     input_dims: Option<Vec<usize>>,
 }
@@ -148,6 +152,10 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "GlobalAvgPool"
     }

@@ -17,7 +17,7 @@ use crate::{Layer, Mode, NnError, Param, Result};
 ///
 /// When `stride > 1` or the channel count changes, the shortcut is a
 /// strided 1×1 convolution followed by batch norm, as in ResNet-18.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ResidualBlock {
     conv1: Conv2d,
     bn1: BatchNorm2d,
@@ -77,6 +77,10 @@ impl ResidualBlock {
 }
 
 impl Layer for ResidualBlock {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "ResidualBlock"
     }

@@ -46,6 +46,7 @@ pub mod histogram;
 pub mod jsonl;
 pub mod profile;
 pub mod sink;
+pub mod task;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -55,6 +56,7 @@ use clock::{Clock, SystemClock};
 use event::{Event, EventKind, FieldValue};
 use histogram::Histogram;
 use sink::{JsonlSink, NoopSink, Sink};
+use task::{TaskBuffer, TaskEntry};
 
 /// The shared handle everything holds: a cheaply-clonable recorder.
 pub type Telemetry = Arc<Recorder>;
@@ -275,7 +277,14 @@ impl Recorder {
 
     fn close_span(&self, name: &str, path: &str, start: u64) {
         let end = self.clock.now_micros();
-        let micros = end.saturating_sub(start);
+        self.record_span(name, path, end.saturating_sub(start));
+    }
+
+    /// Records one completed span with an externally measured duration:
+    /// updates the flat and per-path aggregates and emits the same span
+    /// event [`Recorder::span`] guards produce. This is how buffered
+    /// worker spans enter the recorder at the round barrier.
+    fn record_span(&self, name: &str, path: &str, micros: u64) {
         {
             let mut spans = self.spans.lock().expect("spans poisoned");
             let stat = spans.entry(name.to_string()).or_default();
@@ -294,6 +303,69 @@ impl Recorder {
             name,
             &[("micros", micros.into()), ("path", path.into())],
         );
+    }
+
+    /// Creates a private span/counter buffer for one unit of parallel
+    /// work (see [`task::TaskBuffer`]). The buffer inherits this
+    /// recorder's enabled flag and clock; replay it with
+    /// [`Recorder::absorb_task`] at the synchronization barrier.
+    pub fn task_buffer(&self) -> TaskBuffer {
+        TaskBuffer::new(self.enabled, self.clock.clone())
+    }
+
+    /// The `;`-joined path of spans currently open on *this* thread
+    /// (empty when none are open). Buffered task spans absorbed here
+    /// are nested under this path.
+    #[must_use]
+    pub fn current_path(&self) -> String {
+        if !self.enabled {
+            return String::new();
+        }
+        SPAN_STACK.with(|stack| {
+            let stack = stack.borrow();
+            let mut path = String::new();
+            for (i, seg) in stack.iter().enumerate() {
+                if i > 0 {
+                    path.push(PATH_SEPARATOR);
+                }
+                path.push_str(seg);
+            }
+            path
+        })
+    }
+
+    /// Replays a task buffer into this recorder: spans are recorded
+    /// under the calling thread's currently-open span path with their
+    /// buffered durations, counters are applied via [`Recorder::incr`].
+    /// Entries replay in the order the task recorded them, so absorbing
+    /// buffers in a fixed order yields a deterministic stream
+    /// regardless of how many threads produced them.
+    pub fn absorb_task(&self, buf: TaskBuffer) {
+        if !self.enabled || !buf.enabled() {
+            return;
+        }
+        let prefix = self.current_path();
+        for entry in buf.drain() {
+            match entry {
+                TaskEntry::Span {
+                    name,
+                    rel_path,
+                    micros,
+                } => {
+                    let path = if prefix.is_empty() {
+                        rel_path
+                    } else {
+                        let mut p = String::with_capacity(prefix.len() + 1 + rel_path.len());
+                        p.push_str(&prefix);
+                        p.push(PATH_SEPARATOR);
+                        p.push_str(&rel_path);
+                        p
+                    };
+                    self.record_span(name, &path, micros);
+                }
+                TaskEntry::Counter { name, delta } => self.incr(name, delta),
+            }
+        }
     }
 
     fn emit(&self, kind: EventKind, name: &str, fields: &[(&str, FieldValue)]) {
@@ -491,6 +563,46 @@ mod tests {
         assert_eq!(tel.span_stat("s"), SpanStat::default());
     }
 
+    /// Cross-thread audit for the parallel round engine: counters,
+    /// histograms, span stats and absorbed task buffers from many
+    /// threads must merge without losing a single observation — the
+    /// per-map mutexes make every read-modify-write atomic.
+    #[test]
+    fn concurrent_recording_merges_without_loss() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 500;
+
+        let sink = Arc::new(MemorySink::new());
+        let tel = Recorder::with_sink_and_clock(sink.clone(), Arc::new(ManualClock::new(1)));
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let tel = tel.clone();
+                scope.spawn(move || {
+                    let mut buf = tel.task_buffer();
+                    for i in 0..PER_THREAD {
+                        tel.incr("direct", 1);
+                        tel.observe("hist", i);
+                        {
+                            let _g = tel.span("work");
+                        }
+                        buf.incr("buffered", 1);
+                        let s = buf.begin("task.step");
+                        buf.end(s);
+                    }
+                    tel.absorb_task(buf);
+                });
+            }
+        });
+        let total = THREADS * PER_THREAD;
+        assert_eq!(tel.counter_value("direct"), total);
+        assert_eq!(tel.counter_value("buffered"), total);
+        assert_eq!(tel.span_stat("work").count, total);
+        assert_eq!(tel.span_stat("task.step").count, total);
+        // Every observation also reached the sink as a whole event.
+        let events = sink.events();
+        assert!(events.len() as u64 >= 3 * total);
+    }
+
     #[test]
     fn counters_accumulate_and_emit() {
         let sink = Arc::new(MemorySink::new());
@@ -631,6 +743,52 @@ mod tests {
     #[test]
     fn empty_summary_explains_itself() {
         assert!(Recorder::in_memory().summary().contains("no data"));
+    }
+
+    #[test]
+    fn task_buffer_replays_under_current_path() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Recorder::with_sink_and_clock(sink.clone(), Arc::new(ManualClock::new(5)));
+        let round = tel.span("round");
+        let mut buf = tel.task_buffer();
+        let outer = buf.begin("round.transmit");
+        let inner = buf.begin("chan.uplink");
+        buf.end(inner);
+        buf.end(outer);
+        buf.incr("chan.bits", 7);
+        buf.incr("chan.zero", 0); // zero-suppressed
+        tel.absorb_task(buf);
+        drop(round);
+        let paths = tel.path_stats();
+        assert_eq!(paths["round;round.transmit"].count, 1);
+        assert_eq!(paths["round;round.transmit;chan.uplink"].count, 1);
+        assert_eq!(tel.counter_value("chan.bits"), 7);
+        assert_eq!(tel.counter_value("chan.zero"), 0);
+        // Child recorded before parent, as RAII guards would have.
+        let events = sink.events();
+        let span_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Span)
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(span_names, vec!["chan.uplink", "round.transmit", "round"]);
+        // Flat per-name totals stay consistent with the path stats.
+        assert_eq!(
+            tel.span_stat("chan.uplink").total_micros,
+            paths["round;round.transmit;chan.uplink"].total_micros
+        );
+    }
+
+    #[test]
+    fn disabled_task_buffer_is_inert() {
+        let tel = Recorder::disabled();
+        let mut buf = tel.task_buffer();
+        let s = buf.begin("work");
+        buf.end(s);
+        buf.incr("c", 3);
+        tel.absorb_task(buf);
+        assert!(tel.path_stats().is_empty());
+        assert_eq!(tel.counter_value("c"), 0);
     }
 
     #[test]

@@ -119,6 +119,62 @@ mod tests {
         assert_eq!(events[2].ts, 2);
     }
 
+    /// Regression test for the parallel round engine: many threads
+    /// recording through one `JsonlSink` must never interleave partial
+    /// lines. The whole line is formatted and written under the sink's
+    /// writer lock, so every line in the file parses on its own and the
+    /// per-thread event counts all survive.
+    #[test]
+    fn concurrent_writers_never_interleave_lines() {
+        use std::sync::Arc;
+
+        const THREADS: usize = 8;
+        const EVENTS_PER_THREAD: usize = 250;
+
+        let path = std::env::temp_dir().join(format!(
+            "fhdnn_telemetry_concurrent_{}.jsonl",
+            std::process::id()
+        ));
+        let sink = Arc::new(JsonlSink::create(&path).unwrap());
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let sink = Arc::clone(&sink);
+                scope.spawn(move || {
+                    for i in 0..EVENTS_PER_THREAD {
+                        // Long names force BufWriter flushes mid-stream,
+                        // the regime where torn writes would show up.
+                        let name = format!("thread{t}.event{i}.{}", "x".repeat(200));
+                        sink.record(&Event::new(
+                            i as u64,
+                            EventKind::Counter,
+                            &name,
+                            &[("delta", 1u64.into())],
+                        ));
+                    }
+                });
+            }
+        });
+        sink.flush();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.ends_with('\n'), "stream must end on a line boundary");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), THREADS * EVENTS_PER_THREAD);
+        let mut per_thread = vec![0usize; THREADS];
+        for line in lines {
+            let v = crate::jsonl::parse(line).expect("torn or interleaved JSONL line");
+            let name = v.get("name").and_then(|n| n.as_str()).unwrap();
+            let t: usize = name
+                .strip_prefix("thread")
+                .and_then(|rest| rest.split('.').next())
+                .and_then(|id| id.parse().ok())
+                .unwrap();
+            per_thread[t] += 1;
+        }
+        assert!(per_thread.iter().all(|&n| n == EVENTS_PER_THREAD));
+    }
+
     #[test]
     fn jsonl_sink_writes_parseable_lines() {
         let path = std::env::temp_dir().join("fhdnn_telemetry_sink_test.jsonl");

@@ -1,0 +1,144 @@
+//! Per-task telemetry buffers for parallel round execution.
+//!
+//! The federated round engine runs client work on a scoped thread pool,
+//! but the [`Recorder`](crate::Recorder)'s span nesting rides on a
+//! thread-local stack — worker threads cannot open spans under the main
+//! thread's `round` root, and letting them emit directly would
+//! interleave events nondeterministically. A [`TaskBuffer`] solves both
+//! problems: each unit of client work records its spans and counters
+//! into a private buffer, and the round barrier replays the buffers
+//! into the recorder **in fixed participant order** via
+//! [`Recorder::absorb_task`](crate::Recorder::absorb_task), prefixing
+//! every span path with the main thread's currently-open path. The
+//! resulting stream is identical whether the round ran on one thread or
+//! eight.
+
+use std::sync::Arc;
+
+use crate::clock::Clock;
+
+/// One buffered observation, replayed in order at the round barrier.
+#[derive(Debug, Clone)]
+pub(crate) enum TaskEntry {
+    /// A completed span: leaf name, path *relative to the task root*,
+    /// and measured duration.
+    Span {
+        /// Span leaf name.
+        name: &'static str,
+        /// `;`-joined path relative to the buffer's own root.
+        rel_path: String,
+        /// Measured duration in microseconds.
+        micros: u64,
+    },
+    /// A buffered counter increment.
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Increment to apply.
+        delta: u64,
+    },
+}
+
+/// An in-flight span on a [`TaskBuffer`]; close it with
+/// [`TaskBuffer::end`]. Mirrors the recorder's RAII guard but without
+/// borrowing the buffer, so workers can nest spans freely.
+#[derive(Debug)]
+#[must_use = "a task span must be closed with TaskBuffer::end"]
+pub struct TaskSpan {
+    name: &'static str,
+    rel_path: String,
+    depth: usize,
+    start: u64,
+}
+
+/// A private span/counter buffer for one unit of parallel work.
+///
+/// Created by [`Recorder::task_buffer`](crate::Recorder::task_buffer);
+/// drained by [`Recorder::absorb_task`](crate::Recorder::absorb_task).
+/// A buffer from a disabled recorder is inert: every call is a branch
+/// and no clock reads happen, preserving the invariant that disabled
+/// telemetry cannot perturb a run.
+#[derive(Debug)]
+pub struct TaskBuffer {
+    enabled: bool,
+    clock: Arc<dyn Clock>,
+    /// Names of currently-open spans, outermost first.
+    stack: Vec<&'static str>,
+    entries: Vec<TaskEntry>,
+}
+
+impl TaskBuffer {
+    pub(crate) fn new(enabled: bool, clock: Arc<dyn Clock>) -> Self {
+        TaskBuffer {
+            enabled,
+            clock,
+            stack: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// `true` when this buffer records observations.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span named `name` nested under any spans already open on
+    /// this buffer.
+    pub fn begin(&mut self, name: &'static str) -> TaskSpan {
+        if !self.enabled {
+            return TaskSpan {
+                name,
+                rel_path: String::new(),
+                depth: 0,
+                start: 0,
+            };
+        }
+        let mut rel_path = String::new();
+        for seg in &self.stack {
+            rel_path.push_str(seg);
+            rel_path.push(crate::PATH_SEPARATOR);
+        }
+        rel_path.push_str(name);
+        self.stack.push(name);
+        TaskSpan {
+            name,
+            rel_path,
+            depth: self.stack.len(),
+            start: self.clock.now_micros(),
+        }
+    }
+
+    /// Closes a span opened with [`TaskBuffer::begin`], recording its
+    /// duration. Closing a parent before its children truncates the
+    /// nesting stack, matching the recorder's self-healing behaviour.
+    pub fn end(&mut self, span: TaskSpan) {
+        if !self.enabled {
+            return;
+        }
+        let micros = self.clock.now_micros().saturating_sub(span.start);
+        if self.stack.len() >= span.depth {
+            self.stack.truncate(span.depth - 1);
+        }
+        self.entries.push(TaskEntry::Span {
+            name: span.name,
+            rel_path: span.rel_path,
+            micros,
+        });
+    }
+
+    /// Buffers a counter increment, applied at the barrier in replay
+    /// order. Zero deltas are dropped, matching the zero-suppression
+    /// convention of the live counter paths.
+    pub fn incr(&mut self, name: &'static str, delta: u64) {
+        if !self.enabled || delta == 0 {
+            return;
+        }
+        self.entries.push(TaskEntry::Counter { name, delta });
+    }
+
+    /// Drains the buffered entries (used by the recorder's absorb).
+    pub(crate) fn drain(self) -> Vec<TaskEntry> {
+        self.entries
+    }
+}

@@ -1,0 +1,256 @@
+//! Property suite over the transmission-facing HD primitives, driven by
+//! the zero-dependency generator in `proptest_util.rs`.
+//!
+//! Three invariant families from the paper are pinned across hundreds of
+//! random cases each:
+//!
+//! - **Quantizer (§3.5.2)** — the AGC gain clips every transmitted word
+//!   into the `B`-bit range, and the round-trip error of each parameter
+//!   is below one quantization step (`max|c_k| / (2^{B-1}-1)`).
+//! - **Bundling (Eq. 1)** — client order is irrelevant: permuted and
+//!   re-associated bundles are bit-identical, for packed `i32` counters
+//!   and for float models with integer-valued prototypes (exact in IEEE
+//!   arithmetic below 2^24). This is the algebra the fixed-order
+//!   parallel reduction in `fhdnn-federated` relies on.
+//! - **Masking (Figure 5)** — partial information removes exactly the
+//!   requested dimensions, consistently across classes, leaves the rest
+//!   untouched, and retains exactly the kept fraction of dot-product
+//!   energy.
+
+#[path = "proptest_util.rs"]
+mod proptest_util;
+
+use fhdnn::hdc::masking::{mask_model_dimensions, similarity_retention};
+use fhdnn::hdc::model::HdModel;
+use fhdnn::hdc::packed::PackedHdModel;
+use fhdnn::hdc::quantizer::{dequantize, quantize};
+use fhdnn::tensor::Tensor;
+use proptest_util::{check, Gen};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_model(g: &mut Gen) -> HdModel {
+    let classes = 1 + g.usize_below(8);
+    let dim = 1 + g.usize_below(300);
+    let scale = g.f32_in(0.1, 100.0);
+    let values: Vec<f32> = (0..classes * dim)
+        .map(|_| {
+            // Exact zeros keep the all-zero-row gain path in play.
+            if g.usize_below(20) == 0 {
+                0.0
+            } else {
+                g.f32_in(-scale, scale)
+            }
+        })
+        .collect();
+    HdModel::from_prototypes(Tensor::from_vec(values, &[classes, dim]).unwrap()).unwrap()
+}
+
+#[test]
+fn quantizer_clips_and_round_trips_within_one_step() {
+    check(0xABC1, 150, |case, g| {
+        let model = random_model(g);
+        let bitwidth = [4u32, 8, 16][g.usize_below(3)];
+        let q = quantize(&model, bitwidth).unwrap();
+        let max_word = q.max_word();
+        assert!(
+            q.words.iter().all(|w| w.abs() <= max_word),
+            "case {case}: word outside the {bitwidth}-bit AGC range"
+        );
+        let back = dequantize(&q).unwrap();
+        for class in 0..model.num_classes() {
+            let row = model.prototypes().row(class).unwrap();
+            let back_row = back.prototypes().row(class).unwrap();
+            let max_abs = row.iter().map(|v| v.abs()).fold(0.0f32, f32::max);
+            if max_abs == 0.0 {
+                assert!(
+                    back_row.iter().all(|&v| v == 0.0),
+                    "case {case}: zero row must survive the round trip as zeros"
+                );
+                continue;
+            }
+            // Truncation loses strictly less than one word, i.e. less
+            // than one quantization step `max|c_k| / max_word` after the
+            // receiver's rescale; the slack covers f32 gain rounding.
+            let step = max_abs / max_word as f32;
+            let bound = step * 1.001 + 1e-6;
+            for (j, (&v, &b)) in row.iter().zip(back_row.iter()).enumerate() {
+                assert!(
+                    (v - b).abs() <= bound,
+                    "case {case}: class {class} dim {j}: |{v} - {b}| > step {step} at B={bitwidth}"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn packed_bundling_is_order_and_association_free() {
+    check(0xABC2, 100, |case, g| {
+        let classes = 1 + g.usize_below(6);
+        let dim = 1 + g.usize_below(200);
+        let k = 2 + g.usize_below(6);
+        let models: Vec<PackedHdModel> = (0..k)
+            .map(|_| {
+                let counts: Vec<i32> = (0..classes * dim).map(|_| g.i32_in(-100, 100)).collect();
+                PackedHdModel::from_counts(counts, classes, dim).unwrap()
+            })
+            .collect();
+        let baseline = PackedHdModel::bundle(&models).unwrap();
+
+        // Commutativity: any client order lands on the same counters.
+        let permuted: Vec<PackedHdModel> = g
+            .permutation(k)
+            .into_iter()
+            .map(|i| models[i].clone())
+            .collect();
+        let shuffled = PackedHdModel::bundle(&permuted).unwrap();
+        assert_eq!(
+            baseline.protos(),
+            shuffled.protos(),
+            "case {case}: order changed the bundle"
+        );
+
+        // Associativity: bundling a prefix first, then the rest, is the
+        // same as one flat bundle.
+        let split = 1 + g.usize_below(k - 1);
+        let prefix = PackedHdModel::bundle(&models[..split]).unwrap();
+        let mut regrouped = vec![prefix];
+        regrouped.extend(models[split..].iter().cloned());
+        let nested = PackedHdModel::bundle(&regrouped).unwrap();
+        assert_eq!(
+            baseline.protos(),
+            nested.protos(),
+            "case {case}: regrouping changed the bundle"
+        );
+    });
+}
+
+#[test]
+fn float_bundling_is_permutation_invariant_on_integer_prototypes() {
+    check(0xABC3, 100, |case, g| {
+        let classes = 1 + g.usize_below(6);
+        let dim = 1 + g.usize_below(200);
+        let k = 2 + g.usize_below(6);
+        // Integer-valued f32 prototypes: sums stay far below 2^24, so
+        // IEEE addition is exact and reordering must be bit-identical —
+        // exactly the regime of the one-shot counters clients upload.
+        let models: Vec<HdModel> = (0..k)
+            .map(|_| {
+                let values: Vec<f32> = (0..classes * dim)
+                    .map(|_| g.i32_in(-64, 64) as f32)
+                    .collect();
+                HdModel::from_prototypes(Tensor::from_vec(values, &[classes, dim]).unwrap())
+                    .unwrap()
+            })
+            .collect();
+        let baseline = HdModel::bundle(&models).unwrap();
+        let permuted: Vec<HdModel> = g
+            .permutation(k)
+            .into_iter()
+            .map(|i| models[i].clone())
+            .collect();
+        let shuffled = HdModel::bundle(&permuted).unwrap();
+        assert_eq!(
+            baseline.prototypes().as_slice(),
+            shuffled.prototypes().as_slice(),
+            "case {case}: client order changed the float bundle"
+        );
+    });
+}
+
+#[test]
+fn masking_removes_exactly_the_requested_dimensions() {
+    check(0xABC4, 100, |case, g| {
+        let classes = 1 + g.usize_below(6);
+        let dim = 2 + g.usize_below(400);
+        // Strictly nonzero prototypes so a zero after masking is
+        // unambiguously a removed dimension.
+        let values: Vec<f32> = (0..classes * dim)
+            .map(|_| {
+                let v = g.f32_in(0.1, 5.0);
+                if g.bool() {
+                    v
+                } else {
+                    -v
+                }
+            })
+            .collect();
+        let model =
+            HdModel::from_prototypes(Tensor::from_vec(values, &[classes, dim]).unwrap()).unwrap();
+        let fraction = g.f32_in(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(g.next_u64());
+        let masked = mask_model_dimensions(&model, fraction, &mut rng).unwrap();
+
+        let expected_removed = (fraction * dim as f32).round() as usize;
+        let removed_dims: Vec<usize> = (0..dim)
+            .filter(|&j| masked.prototypes().row(0).unwrap()[j] == 0.0)
+            .collect();
+        assert_eq!(
+            removed_dims.len(),
+            expected_removed,
+            "case {case}: fraction {fraction} of {dim} dims"
+        );
+        for class in 0..classes {
+            let orig = model.prototypes().row(class).unwrap();
+            let row = masked.prototypes().row(class).unwrap();
+            for j in 0..dim {
+                if removed_dims.binary_search(&j).is_ok() {
+                    // Packet loss hits the same dimensions in every class.
+                    assert_eq!(row[j], 0.0, "case {case}: class {class} dim {j}");
+                } else {
+                    assert_eq!(
+                        row[j], orig[j],
+                        "case {case}: class {class} dim {j} altered"
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn retention_is_the_kept_fraction_of_dot_product_energy() {
+    check(0xABC5, 100, |case, g| {
+        let classes = 1 + g.usize_below(5);
+        let dim = 2 + g.usize_below(300);
+        let values: Vec<f32> = (0..classes * dim).map(|_| g.f32_in(-3.0, 3.0)).collect();
+        let model =
+            HdModel::from_prototypes(Tensor::from_vec(values, &[classes, dim]).unwrap()).unwrap();
+        let fraction = g.f32_in(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(g.next_u64());
+        let masked = mask_model_dimensions(&model, fraction, &mut rng).unwrap();
+        for class in 0..classes {
+            let r = similarity_retention(&model, &masked, class).unwrap();
+            assert!(
+                (-1e-4..=1.0 + 1e-4).contains(&r),
+                "case {case}: retention {r} outside [0, 1]"
+            );
+            // Independent computation: the energy of the surviving dims
+            // over the total — `⟨c_masked, c⟩ / ⟨c, c⟩` with the masked
+            // entries contributing nothing.
+            let orig = model.prototypes().row(class).unwrap();
+            let kept = masked.prototypes().row(class).unwrap();
+            let total: f32 = orig.iter().map(|v| v * v).sum();
+            let surviving: f32 = orig
+                .iter()
+                .zip(kept.iter())
+                .filter(|(_, &m)| m != 0.0)
+                .map(|(&o, _)| o * o)
+                .sum();
+            if total > 0.0 {
+                assert!(
+                    (r - surviving / total).abs() <= 1e-4,
+                    "case {case}: class {class}: retention {r} vs energy ratio {}",
+                    surviving / total
+                );
+            }
+        }
+        // Removing nothing keeps everything.
+        let untouched = mask_model_dimensions(&model, 0.0, &mut rng).unwrap();
+        assert_eq!(
+            untouched, model,
+            "case {case}: fraction 0 must be the identity"
+        );
+    });
+}

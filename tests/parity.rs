@@ -1,0 +1,280 @@
+//! Differential parity: the bit-packed HD kernels must agree *exactly*
+//! — not approximately — with the transparent `i32` reference learner
+//! in `fhdnn::hdc::packed::reference`.
+//!
+//! Every kernel the federated loop leans on is pinned here: sign
+//! encoding (including IEEE `-0.0`), packed dot products, one-shot
+//! bundling sums, mispredict-driven refinement trajectories, argmax
+//! tie-breaking, and model bundling — across word-aligned and odd
+//! dimensions, class counts, and seeds. The last test asserts the
+//! acceptance-gate speedup: packed similarity ≥ 4× faster than the
+//! `i32` path at d = 10 000 (tests compile at `opt-level = 2`).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use fhdnn::hdc::packed::reference::{dot_i32, ReferenceHdModel};
+use fhdnn::hdc::packed::{
+    dot_packed, hamming, pack_signs, pack_signs_i32, PackedBatch, PackedHdModel,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Word-aligned, one-off-word-aligned, and odd dimensionalities; the
+/// pad-bit handling only matters off 64-bit boundaries.
+const DIMS: &[usize] = &[63, 64, 65, 1000, 1001, 2048];
+
+/// Random values spanning negatives, positives, exact zeros and `-0.0`,
+/// since the packed encoding must agree with `sign_i32` on all of them.
+fn random_values(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|_| match rng.gen_range(0..10) {
+            0 => 0.0,
+            1 => -0.0,
+            _ => rng.gen_range(-1.0f32..1.0),
+        })
+        .collect()
+}
+
+/// A random ±1 vector in `i32` form.
+fn random_bipolar(rng: &mut StdRng, n: usize) -> Vec<i32> {
+    (0..n)
+        .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+        .collect()
+}
+
+#[test]
+fn sign_encoding_round_trips_through_packing() {
+    for &dim in DIMS {
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let values = random_values(&mut rng, dim);
+            let batch = PackedBatch::from_rows(&values, 1, dim);
+            let unpacked = batch.unpack_row(0);
+            for (i, (&v, &s)) in values.iter().zip(unpacked.iter()).enumerate() {
+                let expected = if v >= 0.0 { 1 } else { -1 };
+                assert_eq!(s, expected, "dim {dim} seed {seed} index {i} value {v}");
+            }
+            // Free-function packing, batch packing and re-packing the
+            // unpacked signs all land on the same words (pad bits zero).
+            assert_eq!(pack_signs(&values), batch.row(0));
+            assert_eq!(pack_signs_i32(&unpacked), batch.row(0));
+        }
+    }
+}
+
+#[test]
+fn packed_dot_matches_i32_dot() {
+    for &dim in DIMS {
+        for seed in 0..4u64 {
+            let mut rng = StdRng::seed_from_u64(2000 + seed);
+            let a = random_bipolar(&mut rng, dim);
+            let b = random_bipolar(&mut rng, dim);
+            let pa = pack_signs_i32(&a);
+            let pb = pack_signs_i32(&b);
+            assert_eq!(
+                dot_packed(&pa, &pb, dim),
+                dot_i32(&a, &b),
+                "dim {dim} seed {seed}"
+            );
+            // Self-similarity is exactly dim; hamming to self is zero.
+            assert_eq!(dot_packed(&pa, &pa, dim), dim as i64);
+            assert_eq!(hamming(&pa, &pa), 0);
+        }
+    }
+}
+
+/// Builds the same random labelled batch for both learners: a packed
+/// batch plus the identical ±1 rows in `i32` form.
+fn labelled_batch(
+    rng: &mut StdRng,
+    samples: usize,
+    dim: usize,
+    classes: usize,
+) -> (PackedBatch, Vec<Vec<i32>>, Vec<usize>) {
+    let values: Vec<f32> = random_values(rng, samples * dim);
+    let batch = PackedBatch::from_rows(&values, samples, dim);
+    let rows: Vec<Vec<i32>> = (0..samples).map(|r| batch.unpack_row(r)).collect();
+    let labels: Vec<usize> = (0..samples).map(|_| rng.gen_range(0..classes)).collect();
+    (batch, rows, labels)
+}
+
+#[test]
+fn one_shot_bundling_sums_agree() {
+    for &dim in DIMS {
+        for &classes in &[2usize, 5, 10] {
+            let mut rng = StdRng::seed_from_u64(3000 + dim as u64 + classes as u64);
+            let (batch, rows, labels) = labelled_batch(&mut rng, 40, dim, classes);
+
+            let mut packed = PackedHdModel::new(classes, dim).unwrap();
+            packed.one_shot_train(&batch, &labels).unwrap();
+
+            let mut reference = ReferenceHdModel::new(classes, dim).unwrap();
+            reference.one_shot_train(&rows, &labels);
+
+            assert_eq!(
+                packed.protos(),
+                reference.protos.as_slice(),
+                "dim {dim} classes {classes}"
+            );
+        }
+    }
+}
+
+#[test]
+fn refinement_trajectories_agree() {
+    for &dim in &[65usize, 1000] {
+        for &classes in &[2usize, 5, 10] {
+            let mut rng = StdRng::seed_from_u64(4000 + dim as u64 + classes as u64);
+            let (batch, rows, labels) = labelled_batch(&mut rng, 50, dim, classes);
+
+            let mut packed = PackedHdModel::new(classes, dim).unwrap();
+            packed.one_shot_train(&batch, &labels).unwrap();
+            let mut reference = ReferenceHdModel::new(classes, dim).unwrap();
+            reference.one_shot_train(&rows, &labels);
+
+            for epoch in 0..4 {
+                let packed_updates = packed.refine_epoch(&batch, &labels).unwrap();
+                let reference_updates = reference.refine_epoch(&rows, &labels);
+                assert_eq!(
+                    packed_updates, reference_updates,
+                    "dim {dim} classes {classes} epoch {epoch}"
+                );
+                assert_eq!(
+                    packed.protos(),
+                    reference.protos.as_slice(),
+                    "dim {dim} classes {classes} epoch {epoch}"
+                );
+            }
+
+            // Identical counters must produce identical predictions —
+            // both sides break similarity ties on the first maximum.
+            for (r, row) in rows.iter().enumerate() {
+                assert_eq!(
+                    packed.predict_packed(batch.row(r)),
+                    reference.predict(row),
+                    "dim {dim} classes {classes} sample {r}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn similarities_and_argmax_agree_on_arbitrary_counters() {
+    for &dim in DIMS {
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(5000 + seed);
+            let classes = 10;
+            // Arbitrary (not training-reachable) counter states, with
+            // zeros so the sign(0) = +1 convention is exercised.
+            let counts: Vec<i32> = (0..classes * dim)
+                .map(|_| rng.gen_range(-50..=50))
+                .collect();
+            let packed = PackedHdModel::from_counts(counts.clone(), classes, dim).unwrap();
+            let reference = ReferenceHdModel {
+                protos: counts,
+                num_classes: classes,
+                dim,
+            };
+            for _ in 0..20 {
+                let query = random_bipolar(&mut rng, dim);
+                let packed_query = pack_signs_i32(&query);
+                let sims = packed.similarities_packed(&packed_query);
+                for (c, &sim) in sims.iter().enumerate() {
+                    assert_eq!(sim, reference.similarity(c, &query), "dim {dim} class {c}");
+                }
+                assert_eq!(
+                    packed.predict_packed(&packed_query),
+                    reference.predict(&query),
+                    "dim {dim} seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bundle_is_elementwise_counter_sum() {
+    let dim = 129;
+    let classes = 5;
+    let mut rng = StdRng::seed_from_u64(6000);
+    let models: Vec<PackedHdModel> = (0..6)
+        .map(|_| {
+            let counts: Vec<i32> = (0..classes * dim)
+                .map(|_| rng.gen_range(-20..=20))
+                .collect();
+            PackedHdModel::from_counts(counts, classes, dim).unwrap()
+        })
+        .collect();
+    let bundled = PackedHdModel::bundle(&models).unwrap();
+    let expected: Vec<i32> = (0..classes * dim)
+        .map(|i| models.iter().map(|m| m.protos()[i]).sum())
+        .collect();
+    assert_eq!(bundled.protos(), expected.as_slice());
+    // And the bundled model's packed rows reflect the summed signs.
+    for c in 0..classes {
+        assert_eq!(
+            bundled.packed_row(c),
+            &pack_signs_i32(&expected[c * dim..(c + 1) * dim])[..]
+        );
+    }
+}
+
+/// Acceptance gate: at d = 10 000 the popcount path must beat the
+/// `i32` reference by ≥ 4× on prediction. The expected margin is far
+/// larger (~64 dims per word vs one multiply-add per dim), so 4× holds
+/// comfortably even on loaded CI machines.
+#[test]
+fn packed_similarity_is_at_least_4x_faster_at_d10000() {
+    const DIM: usize = 10_000;
+    const CLASSES: usize = 10;
+    const QUERIES: usize = 64;
+    const REPS: usize = 8;
+
+    let mut rng = StdRng::seed_from_u64(7000);
+    let counts: Vec<i32> = (0..CLASSES * DIM)
+        .map(|_| rng.gen_range(-50..=50))
+        .collect();
+    let packed = PackedHdModel::from_counts(counts.clone(), CLASSES, DIM).unwrap();
+    let reference = ReferenceHdModel {
+        protos: counts,
+        num_classes: CLASSES,
+        dim: DIM,
+    };
+    let queries: Vec<Vec<i32>> = (0..QUERIES)
+        .map(|_| random_bipolar(&mut rng, DIM))
+        .collect();
+    let packed_queries: Vec<Vec<u64>> = queries.iter().map(|q| pack_signs_i32(q)).collect();
+
+    // Both paths must agree before being timed.
+    for (q, pq) in queries.iter().zip(packed_queries.iter()) {
+        assert_eq!(packed.predict_packed(pq), reference.predict(q));
+    }
+
+    let timed = |f: &mut dyn FnMut() -> usize| {
+        // Warm-up pass, then best-of-REPS to shrug off scheduler noise.
+        black_box(f());
+        (0..REPS)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+
+    let reference_time = timed(&mut || queries.iter().map(|q| reference.predict(q)).sum::<usize>());
+    let packed_time = timed(&mut || {
+        packed_queries
+            .iter()
+            .map(|pq| packed.predict_packed(pq))
+            .sum::<usize>()
+    });
+
+    assert!(
+        packed_time * 4 <= reference_time,
+        "packed {packed_time:?} vs reference {reference_time:?}: below 4x"
+    );
+}
