@@ -12,8 +12,8 @@ use fhdnn::telemetry::profile::Profile;
 use fhdnn::telemetry::sink::MemorySink;
 use fhdnn::telemetry::{Recorder, Telemetry};
 use fhdnn_cli::{
-    open_telemetry, parse_channel, Cli, Command, Dashboard, ProfileArgs, SimulateArgs, Verbosity,
-    WatchArgs,
+    open_telemetry, parse_channel, Cli, Command, Dashboard, LintArgs, ProfileArgs, SimulateArgs,
+    Verbosity, WatchArgs,
 };
 
 fn main() -> ExitCode {
@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         Command::Profile(args) => profile(args),
         Command::Watch(args) => watch(args),
         Command::Export { from, prom } => export(&from, &prom),
+        Command::Lint(args) => lint(args),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -295,6 +296,31 @@ fn export(from: &str, prom: &str) -> Result<(), String> {
         println!("health snapshot exported to {prom}");
     }
     Ok(())
+}
+
+/// `fhdnn lint`: runs the workspace invariant checker. The report goes
+/// to stdout (text or `--json`); the exit code reflects error-severity
+/// findings so CI can gate on it.
+fn lint(args: LintArgs) -> Result<(), String> {
+    let root = std::path::Path::new(&args.root);
+    if args.fix_baseline {
+        let path = fhdnn_lint::write_baseline(root)?;
+        println!("schema baseline regenerated at {}", path.display());
+    }
+    let report = fhdnn_lint::run(root)?;
+    if args.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.failed() {
+        Err(format!(
+            "lint failed with {} error(s) (see report above)",
+            report.error_count()
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 fn pretrain(workload: Workload, out: &str, seed: u64) -> Result<(), String> {

@@ -49,6 +49,29 @@ pub enum Command {
         /// Prometheus text-exposition output path (`-` for stdout).
         prom: String,
     },
+    /// Run the workspace invariant checker.
+    Lint(LintArgs),
+}
+
+/// Arguments for `lint`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintArgs {
+    /// Emit the machine-readable JSON report instead of text.
+    pub json: bool,
+    /// Regenerate `lint-schema.toml` from the current sources.
+    pub fix_baseline: bool,
+    /// Workspace root to scan (defaults to the current directory).
+    pub root: String,
+}
+
+impl Default for LintArgs {
+    fn default() -> Self {
+        LintArgs {
+            json: false,
+            fix_baseline: false,
+            root: ".".into(),
+        }
+    }
 }
 
 /// Arguments for `watch`.
@@ -258,6 +281,14 @@ commands:
   export     --from PATH --prom PATH          write the latest health snapshot
                                               in Prometheus text exposition
                                               format (PATH '-' for stdout)
+  lint       check workspace invariants (determinism, forbidden APIs,
+             unsafe audit, telemetry registry, serde schema freeze);
+             exits non-zero on any error-severity finding
+             --json                           machine-readable report (stable
+                                              ordering; byte-identical reruns)
+             --fix-baseline                   regenerate lint-schema.toml after
+                                              an intentional schema change
+             --root PATH                      workspace root (default .)
   pretrain   --workload W --out PATH [--seed N]
   evaluate   --ckpt PATH --workload W [--test-size N]
   info       --ckpt PATH";
@@ -317,6 +348,24 @@ impl Cli {
                 let prom = get_value("--prom")?.ok_or("export needs --prom")?;
                 Ok(Cli {
                     command: Command::Export { from, prom },
+                })
+            }
+            "lint" => {
+                let json = rest.iter().any(|a| *a == "--json");
+                let fix_baseline = rest.iter().any(|a| *a == "--fix-baseline");
+                let root_value = get_value("--root")?;
+                if let Some(stray) = rest.iter().find(|a| {
+                    !matches!(a.as_str(), "--json" | "--fix-baseline" | "--root")
+                        && Some(a.as_str()) != root_value.as_deref()
+                }) {
+                    return Err(format!("lint: unexpected argument '{stray}'"));
+                }
+                Ok(Cli {
+                    command: Command::Lint(LintArgs {
+                        json,
+                        fix_baseline,
+                        root: root_value.unwrap_or_else(|| ".".into()),
+                    }),
                 })
             }
             "pretrain" => {
@@ -510,6 +559,25 @@ mod tests {
         );
         assert!(Cli::parse(&args("export --from trace.jsonl")).is_err());
         assert!(Cli::parse(&args("export --prom out.prom")).is_err());
+    }
+
+    #[test]
+    fn lint_parses_flags_and_rejects_strays() {
+        let cli = Cli::parse(&args("lint")).unwrap();
+        assert_eq!(cli.command, Command::Lint(LintArgs::default()));
+
+        let cli = Cli::parse(&args("lint --json --fix-baseline --root sub/dir")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Lint(LintArgs {
+                json: true,
+                fix_baseline: true,
+                root: "sub/dir".into(),
+            })
+        );
+
+        assert!(Cli::parse(&args("lint --jsno")).is_err());
+        assert!(Cli::parse(&args("lint --root")).is_err());
     }
 
     #[test]

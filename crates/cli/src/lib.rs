@@ -7,6 +7,7 @@
 //! ```text
 //! fhdnn simulate --workload cifar --channel packet:0.2 --rounds 10
 //! fhdnn watch --from trace.jsonl
+//! fhdnn lint --json
 //! fhdnn export --from trace.jsonl --prom health.prom
 //! fhdnn pretrain --workload fashion --out extractor.json
 //! fhdnn evaluate --ckpt extractor.json --workload fashion
@@ -25,6 +26,6 @@ pub mod telemetry_out;
 pub mod watch;
 
 pub use channel_spec::parse_channel;
-pub use config::{Cli, Command, ProfileArgs, SimulateArgs, Verbosity, WatchArgs};
+pub use config::{Cli, Command, LintArgs, ProfileArgs, SimulateArgs, Verbosity, WatchArgs};
 pub use telemetry_out::open_telemetry;
 pub use watch::Dashboard;

@@ -11,6 +11,7 @@
 
 use fhdnn::federated::health::HealthRecord;
 use fhdnn::telemetry::jsonl::{self, Value};
+use fhdnn::telemetry::registry::{EVENT_ALERT, EVENT_HEALTH_ROUND};
 use std::fmt::Write as _;
 
 /// How many trailing rounds the per-round table shows; earlier rounds are
@@ -59,12 +60,12 @@ impl Dashboard {
                 continue;
             };
             match v.get("name").and_then(Value::as_str) {
-                Some("health.round") => {
+                Some(EVENT_HEALTH_ROUND) => {
                     if let Some(rec) = HealthRecord::from_event_fields(fields) {
                         dash.records.push(rec);
                     }
                 }
-                Some("alert") => {
+                Some(EVENT_ALERT) => {
                     let s = |k: &str| {
                         fields
                             .get(k)

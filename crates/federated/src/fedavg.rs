@@ -23,7 +23,7 @@ use fhdnn_telemetry::task::TaskBuffer;
 use fhdnn_telemetry::{Recorder, Telemetry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng};
 
 use crate::config::FlConfig;
 use crate::health::{divergence_summary, elementwise_delta, norm_stats, HealthRecord};
@@ -311,8 +311,9 @@ impl CnnFederation {
         test: &ImageDataset,
     ) -> Result<RoundMetrics> {
         let tel = self.telemetry.clone();
+        // Round timing flows through the injectable telemetry clock, so
+        // a ManualClock makes `round_seconds` fully deterministic.
         let tick = tel.now_micros();
-        let wall = std::time::Instant::now();
         let chan_before = self.channel_stats.snapshot();
         // Root span: stage spans nest under `round` for the profiler's tree.
         let round_span = tel.span("round");
@@ -330,7 +331,7 @@ impl CnnFederation {
         // One seed per round, split into one independent stream per
         // client id: scheduling order cannot change what anyone samples,
         // and the master RNG advances identically at every thread count.
-        let round_seed: u64 = self.rng.gen();
+        let round_seed: u64 = self.rng.next_u64();
         let lr = self.lr_schedule.lr_at(self.round, self.sgd.learning_rate);
         let tasks: Vec<ClientTask> = participants
             .iter()
@@ -483,7 +484,7 @@ impl CnnFederation {
             participants: participants.len(),
             bytes_per_client: self.update_bytes(),
             downlink_bytes_per_client: downlink_bytes,
-            round_seconds: wall.elapsed().as_secs_f64(),
+            round_seconds: tel.now_micros().saturating_sub(tick) as f64 / 1e6,
         };
         self.round += 1;
         Ok(metrics)
@@ -662,7 +663,7 @@ mod tests {
         // widths, identical history and byte-identical final parameters —
         // with compressed uploads and a noisy channel so both the
         // coordinate masks and the channel draws ride per-client streams.
-        use fhdnn_channel::BitErrorChannel;
+        use fhdnn_channel::bit_error::BitErrorChannel;
         let run = |threads: usize| {
             let (mut fed, test) = tiny_setup(4, 9);
             fed.set_threads(threads);

@@ -22,7 +22,7 @@ use fhdnn_telemetry::task::TaskBuffer;
 use fhdnn_telemetry::{Recorder, Telemetry};
 use fhdnn_tensor::Tensor;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::config::FlConfig;
@@ -434,8 +434,9 @@ impl HdFederation {
         test: &HdClientData,
     ) -> Result<RoundMetrics> {
         let tel = self.telemetry.clone();
+        // Round timing flows through the injectable telemetry clock, so
+        // a ManualClock makes `round_seconds` fully deterministic.
         let tick = tel.now_micros();
-        let wall = std::time::Instant::now();
         let chan_before = self.channel_stats.snapshot();
         // Root span: every stage span below nests under `round`, which is
         // what lets the profiler rebuild the per-round call tree.
@@ -459,7 +460,7 @@ impl HdFederation {
         // One seed per round, split into one independent stream per
         // client id: scheduling order cannot change what anyone samples,
         // and the master RNG advances identically at every thread count.
-        let round_seed: u64 = self.rng.gen();
+        let round_seed: u64 = self.rng.next_u64();
         let tasks: Vec<ClientTask> = participants
             .iter()
             .map(|&client| ClientTask {
@@ -587,7 +588,7 @@ impl HdFederation {
             participants: participants.len(),
             bytes_per_client: self.update_bytes(),
             downlink_bytes_per_client: downlink_bytes,
-            round_seconds: wall.elapsed().as_secs_f64(),
+            round_seconds: tel.now_micros().saturating_sub(tick) as f64 / 1e6,
         };
         self.round += 1;
         Ok(metrics)

@@ -94,7 +94,7 @@ impl HealthRecord {
             .collect::<Vec<_>>()
             .join(",");
         tel.event(
-            "health.round",
+            fhdnn_telemetry::registry::EVENT_HEALTH_ROUND,
             &[
                 ("round", FieldValue::U64(self.round)),
                 ("engine", FieldValue::Str(self.engine.clone())),

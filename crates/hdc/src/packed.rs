@@ -22,7 +22,7 @@
 //! - [`PackedHdModel`] — the fast path: packed encodings, `i32`
 //!   prototype accumulators updated in chunks, popcount similarity
 //!   against sign-packed prototypes;
-//! - [`reference`] — a naive element-wise `i32` path with no packing
+//! - [`mod@reference`] — a naive element-wise `i32` path with no packing
 //!   and no chunking.
 //!
 //! `tests/parity.rs` holds them to *exact* agreement (sums, argmaxes and
@@ -182,7 +182,7 @@ const CHUNK: usize = 256;
 /// accumulators (`c_k ← c_k ± h`) with popcount similarity against the
 /// sign-packed prototypes. This is the packed counterpart of the dense
 /// [`crate::model::HdModel`] pipeline restricted to bipolar inputs, and
-/// the exact mirror of [`reference`]'s naive path.
+/// the exact mirror of [`mod@reference`]'s naive path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedHdModel {
     /// Integer prototype accumulators, `num_classes × dim` row-major.
@@ -326,7 +326,7 @@ impl PackedHdModel {
     /// Predicts the class of one packed hypervector: the argmax of
     /// `dot(sign(c_k), h) = dim − 2·popcount(packed_k ⊕ h)` with
     /// first-max tie-breaking (the same `>` rule as
-    /// [`crate::model::HdModel::predict_slice`]).
+    /// `HdModel::predict_slice`).
     #[must_use]
     pub fn predict_packed(&self, h: &[u64]) -> usize {
         let mut best = (i64::MIN, 0usize);

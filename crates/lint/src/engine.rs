@@ -1,0 +1,297 @@
+//! File discovery, config loading, rule dispatch, and allowlisting.
+//!
+//! The walk is fully deterministic: directory entries are sorted by
+//! name at every level, paths are root-relative with `/` separators,
+//! and the rule set is fixed, so the same tree always yields the same
+//! report — the property the `--json` determinism test locks down.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::{Config, SchemaBaseline, Severity};
+use crate::report::{Finding, Report};
+use crate::rules::{self, RawFinding};
+use crate::source::SourceFile;
+
+/// Directory names the walk never descends into. `fixtures` holds the
+/// lint's own deliberately-violating test workspaces.
+const SKIP_DIRS: &[&str] = &[".git", "fixtures", "target"];
+
+/// Committed config / baseline file names at the workspace root.
+pub const CONFIG_FILE: &str = "lint.toml";
+pub const SCHEMA_FILE: &str = "lint-schema.toml";
+
+/// Runs the full lint over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Result<Report, String> {
+    let config = load_config(root)?;
+    let baseline = load_baseline(root)?;
+    let files = load_sources(root)?;
+
+    let mut raw: Vec<RawFinding> = Vec::new();
+    rules::determinism::check(&files, &mut raw);
+    rules::forbidden::check(&files, &mut raw);
+    rules::unsafe_audit::check(&files, &mut raw);
+    rules::telemetry_registry::check(&files, &mut raw);
+    rules::schema_freeze::check(&files, baseline.as_ref(), &mut raw);
+
+    let mut report = Report {
+        files_scanned: files.len(),
+        rules_run: rules::RULES.iter().map(|r| r.id.to_string()).collect(),
+        ..Report::default()
+    };
+
+    let mut allow_used = vec![false; config.allows.len()];
+    for f in raw {
+        if config.allow_matches(&mut allow_used, f.rule, &f.path) {
+            continue;
+        }
+        report.findings.push(Finding {
+            severity: effective_severity(&config, f.rule),
+            rule: f.rule.to_string(),
+            path: f.path,
+            line: f.line,
+            message: f.message,
+        });
+    }
+    for (entry, used) in config.allows.iter().zip(&allow_used) {
+        if !used {
+            report.findings.push(Finding {
+                rule: "allowlist/unused".to_string(),
+                severity: effective_severity(&config, "allowlist/unused"),
+                path: CONFIG_FILE.to_string(),
+                line: 0,
+                message: format!(
+                    "[[allow]] entry #{} (rule \"{}\", path \"{}\") matched no \
+                     finding; remove it",
+                    entry.index + 1,
+                    entry.rule,
+                    entry.path
+                ),
+            });
+        }
+    }
+    report.finish();
+    Ok(report)
+}
+
+/// Regenerates `lint-schema.toml` from the current sources; returns the
+/// path written.
+pub fn write_baseline(root: &Path) -> Result<PathBuf, String> {
+    let files = load_sources(root)?;
+    let baseline = SchemaBaseline {
+        structs: rules::schema_freeze::extract(&files),
+    };
+    let path = root.join(SCHEMA_FILE);
+    fs::write(&path, baseline.render())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+fn effective_severity(config: &Config, rule: &str) -> Severity {
+    config
+        .severity
+        .get(rule)
+        .copied()
+        .unwrap_or_else(|| rules::default_severity(rule))
+}
+
+fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join(CONFIG_FILE);
+    match fs::read_to_string(&path) {
+        Ok(text) => Config::parse(&text, CONFIG_FILE),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+fn load_baseline(root: &Path) -> Result<Option<SchemaBaseline>, String> {
+    let path = root.join(SCHEMA_FILE);
+    match fs::read_to_string(&path) {
+        Ok(text) => SchemaBaseline::parse(&text, SCHEMA_FILE).map(Some),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+/// Loads every `.rs` file under `root` (sorted, root-relative paths).
+fn load_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut paths = Vec::new();
+    walk(root, root, &mut paths)?;
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|rel| {
+            let text = fs::read_to_string(root.join(&rel))
+                .map_err(|e| format!("cannot read {rel}: {e}"))?;
+            Ok(SourceFile::new(rel, text))
+        })
+        .collect()
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut entries: Vec<PathBuf> = entries
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("path outside root: {e}"))?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a throwaway workspace in the system temp dir; each test
+    /// gets its own subdirectory so parallel tests never collide.
+    fn scratch(tag: &str, files: &[(&str, &str)]) -> PathBuf {
+        let root = std::env::temp_dir()
+            .join("fhdnn-lint-engine-tests")
+            .join(tag);
+        let _ = fs::remove_dir_all(&root);
+        for (rel, text) in files {
+            let path = root.join(rel);
+            fs::create_dir_all(path.parent().expect("file paths have parents"))
+                .expect("mkdir scratch");
+            fs::write(&path, text).expect("write scratch");
+        }
+        root
+    }
+
+    #[test]
+    fn clean_tree_passes_and_violation_fails() {
+        let root = scratch(
+            "clean-vs-dirty",
+            &[(
+                "crates/hdc/src/lib.rs",
+                "pub fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n",
+            )],
+        );
+        let report = run(&root).expect("lint runs");
+        assert!(
+            !report.failed(),
+            "clean tree must pass: {:?}",
+            report.findings
+        );
+
+        fs::write(
+            root.join("crates/hdc/src/lib.rs"),
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )
+        .expect("inject violation");
+        let report = run(&root).expect("lint runs");
+        assert!(report.failed());
+        assert_eq!(report.findings[0].rule, "forbidden/panic");
+    }
+
+    #[test]
+    fn allowlist_suppresses_and_unused_entries_warn() {
+        let root = scratch(
+            "allowlist",
+            &[(
+                "crates/hdc/src/lib.rs",
+                "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+            )],
+        );
+        fs::write(
+            root.join(CONFIG_FILE),
+            "[[allow]]\n\
+             rule = \"forbidden/panic\"\n\
+             path = \"crates/hdc/src/lib.rs\"\n\
+             reason = \"grandfathered until the Result refactor\"\n\
+             [[allow]]\n\
+             rule = \"forbidden/print\"\n\
+             path = \"crates/hdc/src/gone.rs\"\n\
+             reason = \"stale\"\n",
+        )
+        .expect("write lint.toml");
+        let report = run(&root).expect("lint runs");
+        assert!(!report.failed(), "{:?}", report.findings);
+        assert_eq!(report.warn_count(), 1);
+        assert_eq!(report.findings[0].rule, "allowlist/unused");
+        assert!(report.findings[0].message.contains("entry #2"));
+    }
+
+    #[test]
+    fn severity_override_downgrades_to_warn() {
+        let root = scratch(
+            "severity",
+            &[("crates/hdc/src/lib.rs", "pub fn f() { println!(\"x\"); }\n")],
+        );
+        fs::write(
+            root.join(CONFIG_FILE),
+            "[severity]\n\"forbidden/print\" = \"warn\"\n",
+        )
+        .expect("write lint.toml");
+        let report = run(&root).expect("lint runs");
+        assert!(!report.failed());
+        assert_eq!(report.warn_count(), 1);
+    }
+
+    #[test]
+    fn fixtures_dirs_are_not_scanned() {
+        let root = scratch(
+            "skip-fixtures",
+            &[(
+                "crates/lint/tests/fixtures/bad/src/lib.rs",
+                "fn f() { panic!(\"fixture\"); }\n",
+            )],
+        );
+        let report = run(&root).expect("lint runs");
+        assert_eq!(report.files_scanned, 0);
+        assert!(!report.failed());
+    }
+
+    #[test]
+    fn baseline_roundtrip_via_fix_baseline() {
+        let root = scratch(
+            "baseline",
+            &[(
+                "crates/federated/src/metrics.rs",
+                "pub struct RoundMetrics { pub round: usize, pub accuracy: f64 }\n",
+            )],
+        );
+        // No baseline yet: missing-baseline error.
+        let report = run(&root).expect("lint runs");
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == "schema/missing-baseline"));
+        // Generate it; the tree is now clean.
+        write_baseline(&root).expect("write baseline");
+        let report = run(&root).expect("lint runs");
+        assert!(!report.failed(), "{:?}", report.findings);
+        // Drift: add a field.
+        fs::write(
+            root.join("crates/federated/src/metrics.rs"),
+            "pub struct RoundMetrics { pub round: usize, pub accuracy: f64, pub loss: f64 }\n",
+        )
+        .expect("mutate struct");
+        let report = run(&root).expect("lint runs");
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == "schema/drift" && f.message.contains("added: [loss]")));
+    }
+}

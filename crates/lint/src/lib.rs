@@ -1,0 +1,35 @@
+//! fhdnn-lint — std-only workspace invariant checker.
+//!
+//! Scans the workspace's Rust sources with a purpose-built lexer (no
+//! `syn`, no crates.io) and enforces the invariants the simulation's
+//! correctness rests on:
+//!
+//! | family | what it guards |
+//! |---|---|
+//! | `determinism/*` | no wall clocks or hash-order iteration in the round loop |
+//! | `forbidden/*`   | no `unwrap()`/`panic!` in core libs, no prints outside cli/bench |
+//! | `unsafe/*`      | every `unsafe` carries a `// SAFETY:` comment |
+//! | `telemetry/*`   | metric names round-trip through the compiled registry |
+//! | `schema/*`      | serde-facing structs match the committed baseline |
+//!
+//! Suppression is always explicit and justified: inline
+//! `// lint: allow(rule/id) reason` markers for single lines, or
+//! `[[allow]]` entries in the committed `lint.toml` for whole files.
+//! Unused allow entries are themselves reported, so the allowlist can
+//! only shrink over time.
+//!
+//! Entry points: [`run`] for a full check, [`write_baseline`] for
+//! `--fix-baseline`. Output ordering is deterministic; see
+//! [`report::Report`].
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use config::Severity;
+pub use engine::{run, write_baseline, CONFIG_FILE, SCHEMA_FILE};
+pub use report::{Finding, Report};

@@ -1,0 +1,148 @@
+//! `determinism/*` — the simulation must be a pure function of its
+//! seeds and config.
+//!
+//! * `determinism/wall-clock`: `SystemTime::now` / `Instant::now` are
+//!   forbidden outside the injectable clock (`telemetry::clock`) and
+//!   `crates/bench`, whose whole point is measuring real time. Round
+//!   durations must come from `Recorder::now_micros()` so a
+//!   `ManualClock` makes them reproducible.
+//! * `determinism/hash-iteration`: `HashMap`/`HashSet` are forbidden in
+//!   the core reduction crates. Their iteration order varies per
+//!   process, so any fold over them (aggregation, stats, serialization)
+//!   silently destroys bit-reproducibility; use `BTreeMap`/`Vec`.
+
+use super::{crate_of, emit_token_findings, is_test_collateral, RawFinding, CORE_CRATES};
+use crate::source::SourceFile;
+
+/// Files allowed to read the real clock.
+fn wall_clock_exempt(path: &str) -> bool {
+    path == "crates/telemetry/src/clock.rs" || crate_of(path) == Some("bench")
+}
+
+pub fn check(files: &[SourceFile], out: &mut Vec<RawFinding>) {
+    for file in files {
+        if is_test_collateral(&file.path) {
+            continue;
+        }
+        if !wall_clock_exempt(&file.path) {
+            for token in ["Instant::now", "SystemTime::now"] {
+                emit_token_findings(
+                    file,
+                    "determinism/wall-clock",
+                    &file.token_offsets(token),
+                    &format!(
+                        "{token} breaks reproducibility; route time through the \
+                         injectable telemetry clock (Recorder::now_micros)"
+                    ),
+                    out,
+                );
+            }
+        }
+        let in_core = crate_of(&file.path).is_some_and(|c| CORE_CRATES.contains(&c))
+            && super::is_lib_src(&file.path);
+        if in_core {
+            for token in ["HashMap", "HashSet"] {
+                emit_token_findings(
+                    file,
+                    "determinism/hash-iteration",
+                    &file.token_offsets(token),
+                    &format!(
+                        "{token} has nondeterministic iteration order; use \
+                         BTreeMap/BTreeSet/Vec in reduction-path crates"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(path: &str, src: &str) -> SourceFile {
+        SourceFile::new(path.to_string(), src.to_string())
+    }
+
+    fn run(files: &[SourceFile]) -> Vec<RawFinding> {
+        let mut out = Vec::new();
+        check(files, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_wall_clock_in_core_code() {
+        let f = lex(
+            "crates/federated/src/fedhd.rs",
+            "fn round() { let t = std::time::Instant::now(); }\n",
+        );
+        let out = run(&[f]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "determinism/wall-clock");
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn clock_module_and_bench_are_exempt() {
+        let clock = lex(
+            "crates/telemetry/src/clock.rs",
+            "fn now() -> Instant { Instant::now() }\n",
+        );
+        let bench = lex(
+            "crates/bench/src/lib.rs",
+            "fn time() { let t = Instant::now(); }\n",
+        );
+        assert!(run(&[clock, bench]).is_empty());
+    }
+
+    #[test]
+    fn test_code_and_comments_are_exempt() {
+        let f = lex(
+            "crates/federated/src/fedhd.rs",
+            "// Instant::now is documented here\n\
+             #[cfg(test)]\n\
+             mod tests {\n    fn t() { let x = Instant::now(); }\n}\n",
+        );
+        assert!(run(&[f]).is_empty());
+    }
+
+    #[test]
+    fn inline_allow_suppresses() {
+        let f = lex(
+            "crates/federated/src/fedhd.rs",
+            "// lint: allow(determinism/wall-clock) startup banner only\n\
+             fn t() { let x = Instant::now(); }\n",
+        );
+        assert!(run(&[f]).is_empty());
+    }
+
+    #[test]
+    fn flags_hash_collections_only_in_core_lib_src() {
+        let core = lex(
+            "crates/hdc/src/encode.rs",
+            "use std::collections::HashMap;\n",
+        );
+        let cli = lex(
+            "crates/cli/src/config.rs",
+            "use std::collections::HashMap;\n",
+        );
+        let core_test = lex(
+            "crates/hdc/tests/roundtrip.rs",
+            "use std::collections::HashMap;\n",
+        );
+        let out = run(&[core, cli, core_test]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "determinism/hash-iteration");
+        assert_eq!(out[0].path, "crates/hdc/src/encode.rs");
+    }
+
+    #[test]
+    fn identifier_boundaries_respected() {
+        let f = lex(
+            "crates/hdc/src/lib.rs",
+            "struct MyHashMapLike; fn f(x: MyHashMapLike) {}\n",
+        );
+        assert!(run(&[f]).is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! `forbidden/*` — API bans in library code.
+//!
+//! * `forbidden/panic`: `.unwrap()`, `panic!`, `todo!`,
+//!   `unimplemented!` are banned in the non-test library source of the
+//!   core crates (channel, federated, hdc, telemetry). A client
+//!   dropping out of a round must surface as a `Result` or a saturating
+//!   default, not kill the whole simulation. `.expect("message")` with
+//!   a documented invariant stays legal — the message is the audit
+//!   trail.
+//! * `forbidden/print`: `println!`/`eprintln!`/`print!`/`eprint!`/
+//!   `dbg!` are banned outside `crates/cli` and `crates/bench`. All
+//!   diagnostics must flow through the telemetry `Recorder` so sinks,
+//!   not call sites, decide where output goes.
+
+use super::{
+    crate_of, emit_token_findings, is_lib_src, is_test_collateral, RawFinding, CORE_CRATES,
+};
+use crate::source::SourceFile;
+
+pub fn check(files: &[SourceFile], out: &mut Vec<RawFinding>) {
+    for file in files {
+        if is_test_collateral(&file.path) {
+            continue;
+        }
+        let krate = crate_of(&file.path);
+        let core_lib = krate.is_some_and(|c| CORE_CRATES.contains(&c)) && is_lib_src(&file.path);
+        if core_lib {
+            // `.unwrap()` specifically — `unwrap_or` / `unwrap_or_else`
+            // are fine, so require the empty-call form.
+            let unwraps: Vec<usize> = file
+                .token_offsets(".unwrap")
+                .into_iter()
+                .filter(|&at| {
+                    file.code[at + ".unwrap".len()..]
+                        .trim_start()
+                        .starts_with("()")
+                })
+                .collect();
+            emit_token_findings(
+                file,
+                "forbidden/panic",
+                &unwraps,
+                ".unwrap() in core library code; return a Result, saturate, \
+                 or use .expect(\"documented invariant\")",
+                out,
+            );
+            for token in ["panic!", "todo!", "unimplemented!"] {
+                emit_token_findings(
+                    file,
+                    "forbidden/panic",
+                    &file.token_offsets(token),
+                    &format!("{token} in core library code; return a Result instead"),
+                    out,
+                );
+            }
+        }
+        let print_exempt = matches!(krate, Some("cli") | Some("bench"));
+        if !print_exempt {
+            for token in ["println!", "eprintln!", "print!", "eprint!", "dbg!"] {
+                emit_token_findings(
+                    file,
+                    "forbidden/print",
+                    &file.token_offsets(token),
+                    &format!(
+                        "{token} outside crates/cli and crates/bench; emit through \
+                         the telemetry Recorder so sinks decide where output goes"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(path: &str, src: &str) -> SourceFile {
+        SourceFile::new(path.to_string(), src.to_string())
+    }
+
+    fn run(files: &[SourceFile]) -> Vec<RawFinding> {
+        let mut out = Vec::new();
+        check(files, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_and_panic_in_core_lib() {
+        let f = lex(
+            "crates/channel/src/lib.rs",
+            "fn f(x: Option<u8>) -> u8 { let y = x.unwrap(); panic!(\"no\"); }\n",
+        );
+        let out = run(&[f]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|f| f.rule == "forbidden/panic"));
+    }
+
+    #[test]
+    fn expect_and_unwrap_or_are_legal() {
+        let f = lex(
+            "crates/channel/src/lib.rs",
+            "fn f(x: Option<u8>) -> u8 { x.expect(\"set in new()\"); x.unwrap_or(0) }\n",
+        );
+        assert!(run(&[f]).is_empty());
+    }
+
+    #[test]
+    fn tests_and_non_core_crates_may_unwrap() {
+        let test_mod = lex(
+            "crates/channel/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n",
+        );
+        let cli = lex("crates/cli/src/main.rs", "fn f() { Some(1).unwrap(); }\n");
+        assert!(run(&[test_mod, cli]).is_empty());
+    }
+
+    #[test]
+    fn flags_prints_outside_cli_and_bench() {
+        let f = lex(
+            "crates/federated/src/fedhd.rs",
+            "fn f() { println!(\"round done\"); dbg!(1); }\n",
+        );
+        let out = run(&[f]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|f| f.rule == "forbidden/print"));
+    }
+
+    #[test]
+    fn cli_and_bench_may_print() {
+        let cli = lex("crates/cli/src/report.rs", "fn f() { println!(\"ok\"); }\n");
+        let bench = lex("crates/bench/src/lib.rs", "fn f() { eprintln!(\"t\"); }\n");
+        assert!(run(&[cli, bench]).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip() {
+        let f = lex(
+            "crates/hdc/src/lib.rs",
+            "// println! is banned here\nconst HELP: &str = \"panic! docs\";\n",
+        );
+        assert!(run(&[f]).is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Rule registry and shared scoping helpers.
+//!
+//! Each rule family lives in its own module and exposes
+//! `check(files, out)` (the schema rule additionally takes the
+//! committed baseline). Rules emit [`RawFinding`]s with a stable rule
+//! id; severity defaults live in [`RULES`] and `lint.toml` may
+//! override them per id.
+
+pub mod determinism;
+pub mod forbidden;
+pub mod schema_freeze;
+pub mod telemetry_registry;
+pub mod unsafe_audit;
+
+use crate::config::Severity;
+use crate::source::SourceFile;
+
+/// A finding before severity resolution and allowlisting.
+#[derive(Debug)]
+pub struct RawFinding {
+    pub rule: &'static str,
+    pub path: String,
+    /// 1-based; 0 for file- or workspace-level findings.
+    pub line: usize,
+    pub message: String,
+}
+
+/// One registered rule id with its default severity.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub default_severity: Severity,
+    /// One-line description, surfaced by docs/tests.
+    pub help: &'static str,
+}
+
+/// Every rule id the engine can emit, sorted by id.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "allowlist/unused",
+        default_severity: Severity::Warn,
+        help: "a lint.toml [[allow]] entry matched no finding; remove it",
+    },
+    RuleInfo {
+        id: "determinism/hash-iteration",
+        default_severity: Severity::Error,
+        help: "HashMap/HashSet in reduction-path crates; iteration order is nondeterministic",
+    },
+    RuleInfo {
+        id: "determinism/wall-clock",
+        default_severity: Severity::Error,
+        help: "SystemTime::now/Instant::now outside telemetry::clock and crates/bench",
+    },
+    RuleInfo {
+        id: "forbidden/panic",
+        default_severity: Severity::Error,
+        help: "unwrap()/panic!/todo!/unimplemented! in core-crate library code",
+    },
+    RuleInfo {
+        id: "forbidden/print",
+        default_severity: Severity::Error,
+        help: "println!/eprintln!/dbg! outside crates/cli and crates/bench",
+    },
+    RuleInfo {
+        id: "schema/drift",
+        default_severity: Severity::Error,
+        help: "serde struct fields differ from the committed lint-schema.toml baseline",
+    },
+    RuleInfo {
+        id: "schema/missing-baseline",
+        default_severity: Severity::Error,
+        help: "a frozen struct has no baseline entry; run fhdnn lint --fix-baseline",
+    },
+    RuleInfo {
+        id: "telemetry/orphan",
+        default_severity: Severity::Error,
+        help: "a registry metric name is never referenced by producer or consumer code",
+    },
+    RuleInfo {
+        id: "telemetry/unregistered",
+        default_severity: Severity::Error,
+        help: "a metric name literal passed to the Recorder is not in the telemetry registry",
+    },
+];
+
+/// Looks up a rule's default severity (the id must exist).
+pub fn default_severity(id: &str) -> Severity {
+    RULES
+        .iter()
+        .find(|r| r.id == id)
+        .map(|r| r.default_severity)
+        .unwrap_or(Severity::Error)
+}
+
+/// Crates whose library code carries the strictest invariants: they run
+/// inside the federated round loop, so panics and nondeterminism there
+/// poison every simulation result.
+pub const CORE_CRATES: &[&str] = &["channel", "federated", "hdc", "telemetry"];
+
+/// Crate name for a root-relative path like `crates/hdc/src/encode.rs`.
+pub fn crate_of(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    let end = rest.find('/')?;
+    Some(&rest[..end])
+}
+
+/// Whether the file is library source (`crates/<name>/src/...`), as
+/// opposed to integration tests, benches, or examples.
+pub fn is_lib_src(path: &str) -> bool {
+    crate_of(path).is_some_and(|name| path.starts_with(&format!("crates/{name}/src/")))
+}
+
+/// Whether the whole file is test/bench/example collateral, which the
+/// behaviour rules exempt wholesale.
+pub fn is_test_collateral(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.starts_with("examples/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+}
+
+/// Emits one finding per offset unless an inline allow marker covers
+/// its line; the shared shape of most token rules.
+pub fn emit_token_findings(
+    file: &SourceFile,
+    rule: &'static str,
+    offsets: &[usize],
+    message: &str,
+    out: &mut Vec<RawFinding>,
+) {
+    for &offset in offsets {
+        if file.in_test_range(offset) {
+            continue;
+        }
+        let line = file.line_of(offset);
+        if file.allowed_inline(line, rule) {
+            continue;
+        }
+        out.push(RawFinding {
+            rule,
+            path: file.path.clone(),
+            line,
+            message: message.to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_table_is_sorted_and_unique() {
+        for pair in RULES.windows(2) {
+            assert!(pair[0].id < pair[1].id, "RULES must stay sorted by id");
+        }
+    }
+
+    #[test]
+    fn path_scoping_helpers() {
+        assert_eq!(crate_of("crates/hdc/src/lib.rs"), Some("hdc"));
+        assert_eq!(crate_of("tests/smoke.rs"), None);
+        assert!(is_lib_src("crates/channel/src/stats.rs"));
+        assert!(!is_lib_src("crates/channel/tests/roundtrip.rs"));
+        assert!(is_test_collateral("crates/channel/tests/roundtrip.rs"));
+        assert!(is_test_collateral("tests/e2e.rs"));
+        assert!(!is_test_collateral("crates/channel/src/stats.rs"));
+    }
+}

@@ -1,0 +1,272 @@
+//! `telemetry/*` — metric names must round-trip through the registry.
+//!
+//! The registry (`crates/telemetry/src/registry.rs`) is the single
+//! source of truth for metric names: `fhdnn watch`, the alert engine,
+//! and the Prometheus exporter all key off it. This rule family links
+//! against the *compiled* `fhdnn_telemetry::registry` table rather than
+//! re-parsing the file, so the lint can never drift from what the
+//! binaries actually use.
+//!
+//! * `telemetry/unregistered`: a string literal passed as the first
+//!   argument of a Recorder/TaskBuffer emission method (`incr`,
+//!   `gauge`, `observe`, `event`, `span`, `begin`, `end`) must be a
+//!   registered name, and the method must match the registered kind
+//!   (counters are `incr`-ed, gauges are `gauge`-d, …).
+//! * `telemetry/orphan`: every registered name must be referenced
+//!   somewhere outside the registry itself — as a string literal or
+//!   through its exported constant (`registry::CONSTANTS`). An orphan
+//!   entry is dead weight the dashboards keep polling for. The check
+//!   only runs when the scanned tree contains the registry file, so
+//!   fixture workspaces are not drowned in orphan noise.
+
+use super::{is_test_collateral, RawFinding};
+use crate::source::SourceFile;
+use fhdnn_telemetry::registry::{self, MetricDef, MetricKind};
+
+/// Path of the registry source inside the workspace.
+pub const REGISTRY_PATH: &str = "crates/telemetry/src/registry.rs";
+
+/// Emission methods and the kind each one implies.
+const METHODS: &[(&str, MetricKind)] = &[
+    (".begin", MetricKind::Span),
+    (".end", MetricKind::Span),
+    (".event", MetricKind::Event),
+    (".gauge", MetricKind::Gauge),
+    (".incr", MetricKind::Counter),
+    (".observe", MetricKind::Histogram),
+    (".span", MetricKind::Span),
+];
+
+pub fn check(files: &[SourceFile], out: &mut Vec<RawFinding>) {
+    check_unregistered(files, out);
+    if files.iter().any(|f| f.path == REGISTRY_PATH) {
+        check_orphans(files, registry::REGISTRY, registry::CONSTANTS, out);
+    }
+}
+
+fn check_unregistered(files: &[SourceFile], out: &mut Vec<RawFinding>) {
+    for file in files {
+        if is_test_collateral(&file.path) || file.path == REGISTRY_PATH {
+            continue;
+        }
+        let bytes = file.code.as_bytes();
+        for &(method, kind) in METHODS {
+            for at in file.token_offsets(method) {
+                // The call form: method name immediately (or after
+                // whitespace) followed by an opening parenthesis.
+                let mut j = at + method.len();
+                while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                    j += 1;
+                }
+                if j >= bytes.len() || bytes[j] != b'(' {
+                    continue;
+                }
+                let Some(lit) = file.first_arg_literal(j) else {
+                    continue; // dynamic name; resolved at the orphan layer
+                };
+                if file.in_test_range(at) {
+                    continue;
+                }
+                let line = file.line_of(at);
+                if file.allowed_inline(line, "telemetry/unregistered") {
+                    continue;
+                }
+                match registry::lookup(&lit.content) {
+                    None => out.push(RawFinding {
+                        rule: "telemetry/unregistered",
+                        path: file.path.clone(),
+                        line,
+                        message: format!(
+                            "metric name \"{}\" is not in the telemetry registry; \
+                             add it to {REGISTRY_PATH}",
+                            lit.content
+                        ),
+                    }),
+                    Some(def) if def.kind != kind => out.push(RawFinding {
+                        rule: "telemetry/unregistered",
+                        path: file.path.clone(),
+                        line,
+                        message: format!(
+                            "metric \"{}\" is registered as {} but emitted via {}() \
+                             which implies {}",
+                            lit.content,
+                            def.kind.as_str(),
+                            &method[1..],
+                            kind.as_str()
+                        ),
+                    }),
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+}
+
+/// Orphan detection, parameterised over the registry table so the unit
+/// tests can run it against a miniature one.
+pub(crate) fn check_orphans(
+    files: &[SourceFile],
+    defs: &[MetricDef],
+    constants: &[(&str, &str)],
+    out: &mut Vec<RawFinding>,
+) {
+    for def in defs {
+        let referenced_by_literal = files
+            .iter()
+            .any(|f| f.path != REGISTRY_PATH && f.strings.iter().any(|s| s.content == def.name));
+        let referenced_by_constant =
+            constants
+                .iter()
+                .filter(|&&(_, name)| name == def.name)
+                .any(|&(ident, _)| {
+                    files
+                        .iter()
+                        .any(|f| f.path != REGISTRY_PATH && !f.token_offsets(ident).is_empty())
+                });
+        if referenced_by_literal || referenced_by_constant {
+            continue;
+        }
+        // Anchor the finding at the registry line defining the name.
+        let (line, allowed) = files
+            .iter()
+            .find(|f| f.path == REGISTRY_PATH)
+            .and_then(|f| {
+                f.strings
+                    .iter()
+                    .find(|s| s.content == def.name)
+                    .map(|s| (s.line, f.allowed_inline(s.line, "telemetry/orphan")))
+            })
+            .unwrap_or((0, false));
+        if allowed {
+            continue;
+        }
+        out.push(RawFinding {
+            rule: "telemetry/orphan",
+            path: REGISTRY_PATH.to_string(),
+            line,
+            message: format!(
+                "registered metric \"{}\" is never referenced outside the \
+                 registry; remove it or wire up a producer",
+                def.name
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(path: &str, src: &str) -> SourceFile {
+        SourceFile::new(path.to_string(), src.to_string())
+    }
+
+    fn run(files: &[SourceFile]) -> Vec<RawFinding> {
+        let mut out = Vec::new();
+        check(files, &mut out);
+        out
+    }
+
+    #[test]
+    fn registered_names_with_matching_kinds_pass() {
+        let f = lex(
+            "crates/federated/src/fedhd.rs",
+            "fn f(tel: &Recorder) {\n\
+                 tel.incr(\"fl.rounds\", 1);\n\
+                 tel.gauge(\"fl.test_accuracy\", 0.9);\n\
+                 tel.observe(\"fl.round_micros\", 10.0);\n\
+                 let _s = tel.span(\"round\");\n\
+             }\n",
+        );
+        assert!(run(&[f]).is_empty());
+    }
+
+    #[test]
+    fn unknown_name_is_flagged() {
+        let f = lex(
+            "crates/federated/src/fedhd.rs",
+            "fn f(tel: &Recorder) { tel.incr(\"not.a.metric\", 1); }\n",
+        );
+        let out = run(&[f]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "telemetry/unregistered");
+        assert!(out[0].message.contains("not.a.metric"));
+    }
+
+    #[test]
+    fn kind_mismatch_is_flagged() {
+        let f = lex(
+            "crates/federated/src/fedhd.rs",
+            "fn f(tel: &Recorder) { tel.incr(\"fl.test_accuracy\", 1); }\n",
+        );
+        let out = run(&[f]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("registered as gauge"));
+    }
+
+    #[test]
+    fn dynamic_first_args_and_tests_are_skipped() {
+        let dynamic = lex(
+            "crates/federated/src/lib.rs",
+            "fn f(tel: &Recorder, name: &str) { tel.incr(name, 1); }\n",
+        );
+        let test_code = lex(
+            "crates/federated/src/fedhd.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t(tel: &Recorder) { tel.incr(\"made.up\", 1); }\n}\n",
+        );
+        assert!(run(&[dynamic, test_code]).is_empty());
+    }
+
+    #[test]
+    fn orphan_rule_needs_registry_file_present() {
+        // No registry.rs in the set: the real table is not consulted,
+        // so an otherwise-empty workspace produces no orphan findings.
+        let f = lex("crates/hdc/src/lib.rs", "fn quiet() {}\n");
+        assert!(run(&[f]).is_empty());
+    }
+
+    #[test]
+    fn orphans_detected_against_a_mini_table() {
+        let defs = [
+            MetricDef {
+                name: "used.by_literal",
+                kind: MetricKind::Counter,
+                help: "h",
+            },
+            MetricDef {
+                name: "used.by_constant",
+                kind: MetricKind::Event,
+                help: "h",
+            },
+            MetricDef {
+                name: "never.used",
+                kind: MetricKind::Counter,
+                help: "h",
+            },
+        ];
+        let constants = [("EVENT_USED", "used.by_constant")];
+        let registry_file = lex(
+            REGISTRY_PATH,
+            "pub const EVENT_USED: &str = \"used.by_constant\";\n\
+             // table mentions \"used.by_literal\" and \"never.used\"\n",
+        );
+        let producer = lex(
+            "crates/federated/src/lib.rs",
+            "fn f(tel: &Recorder) { tel.incr(\"used.by_literal\", 1); }\n",
+        );
+        let consumer = lex(
+            "crates/cli/src/watch.rs",
+            "use registry::EVENT_USED;\nfn g(e: &str) { let _ = e == EVENT_USED; }\n",
+        );
+        let mut out = Vec::new();
+        check_orphans(
+            &[registry_file, producer, consumer],
+            &defs,
+            &constants,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("never.used"));
+        assert_eq!(out[0].path, REGISTRY_PATH);
+    }
+}

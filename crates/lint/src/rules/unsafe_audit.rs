@@ -1,0 +1,100 @@
+//! `unsafe/needs-safety-comment` — every `unsafe` keyword must carry a
+//! justification.
+//!
+//! The workspace currently compiles with `#![forbid(unsafe_code)]` in
+//! every crate, so this rule's steady state is zero findings. It exists
+//! as a tripwire: the day someone relaxes the forbid (say, for a SIMD
+//! kernel), each `unsafe` block must be annotated with a `// SAFETY:`
+//! comment on the same line or within the three lines above it — the
+//! convention rustc's own codebase and clippy's
+//! `undocumented_unsafe_blocks` enforce. Unlike the behaviour rules,
+//! this one also applies to tests and benches: an unsound test is still
+//! unsound.
+
+use super::RawFinding;
+use crate::source::SourceFile;
+
+/// Lines above an `unsafe` token in which a `// SAFETY:` comment counts.
+const SAFETY_WINDOW: usize = 3;
+
+pub fn check(files: &[SourceFile], out: &mut Vec<RawFinding>) {
+    for file in files {
+        for at in file.token_offsets("unsafe") {
+            let line = file.line_of(at);
+            if file.has_safety_comment(line, SAFETY_WINDOW) {
+                continue;
+            }
+            if file.allowed_inline(line, "unsafe/needs-safety-comment") {
+                continue;
+            }
+            out.push(RawFinding {
+                rule: "unsafe/needs-safety-comment",
+                path: file.path.clone(),
+                line,
+                message: "unsafe without a `// SAFETY:` comment on the same line \
+                          or within the 3 lines above"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(path: &str, src: &str) -> SourceFile {
+        SourceFile::new(path.to_string(), src.to_string())
+    }
+
+    fn run(files: &[SourceFile]) -> Vec<RawFinding> {
+        let mut out = Vec::new();
+        check(files, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_undocumented_unsafe() {
+        let f = lex(
+            "crates/hdc/src/simd.rs",
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        );
+        let out = run(&[f]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unsafe/needs-safety-comment");
+    }
+
+    #[test]
+    fn safety_comment_within_window_passes() {
+        let f = lex(
+            "crates/hdc/src/simd.rs",
+            "// SAFETY: caller guarantees p is valid for reads.\n\
+             fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        );
+        assert!(run(&[f]).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_too_far_fails() {
+        let mut src = String::from("// SAFETY: too far away.\n");
+        src.push_str(&"\n".repeat(SAFETY_WINDOW + 1));
+        src.push_str("fn f(p: *const u8) -> u8 { unsafe { *p } }\n");
+        let f = lex("crates/hdc/src/simd.rs", &src);
+        assert_eq!(run(&[f]).len(), 1);
+    }
+
+    #[test]
+    fn applies_even_in_test_code() {
+        let f = lex(
+            "crates/hdc/tests/kernels.rs",
+            "#[test]\nfn t() { unsafe { core::hint::unreachable_unchecked() } }\n",
+        );
+        assert_eq!(run(&[f]).len(), 1);
+    }
+
+    #[test]
+    fn forbid_attribute_does_not_trip() {
+        let f = lex("crates/hdc/src/lib.rs", "#![forbid(unsafe_code)]\n");
+        assert!(run(&[f]).is_empty());
+    }
+}

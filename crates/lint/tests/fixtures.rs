@@ -1,0 +1,77 @@
+//! End-to-end runs over the committed fixture workspaces: the dirty
+//! tree must produce exactly the expected findings, the clean tree
+//! none. These are the positive/negative cases for every rule family
+//! at the whole-engine level (unit tests inside each rule module cover
+//! the finer edges).
+
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn dirty_fixture_trips_every_rule_family() {
+    let report = fhdnn_lint::run(&fixture("dirty")).expect("lint runs");
+    assert!(report.failed());
+
+    let got: Vec<(String, String, usize)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.path.clone(), f.line))
+        .collect();
+    let fedhd = "crates/federated/src/fedhd.rs";
+    let expected: Vec<(String, String, usize)> = [
+        ("determinism/hash-iteration", fedhd, 2),
+        // Line 9 mentions HashMap twice; identical findings dedup to one.
+        ("determinism/hash-iteration", fedhd, 9),
+        ("determinism/wall-clock", fedhd, 5),
+        ("forbidden/panic", fedhd, 10),
+        ("forbidden/print", fedhd, 6),
+        ("schema/drift", "crates/federated/src/metrics.rs", 0),
+        ("telemetry/unregistered", fedhd, 7),
+        ("telemetry/unregistered", fedhd, 8),
+        ("unsafe/needs-safety-comment", "crates/hdc/src/simd.rs", 3),
+        ("allowlist/unused", "lint.toml", 0),
+    ]
+    .into_iter()
+    .map(|(r, p, l)| (r.to_string(), p.to_string(), l))
+    .collect();
+    let mut expected = expected;
+    expected.sort();
+    let mut sorted_got = got.clone();
+    sorted_got.sort();
+    assert_eq!(
+        sorted_got,
+        expected,
+        "full report:\n{}",
+        report.render_text()
+    );
+
+    // The kind-mismatch message is distinct from the unknown-name one.
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("registered as gauge")));
+}
+
+#[test]
+fn clean_fixture_passes_with_zero_findings() {
+    let report = fhdnn_lint::run(&fixture("clean")).expect("lint runs");
+    assert!(
+        report.findings.is_empty(),
+        "clean fixture must have no findings:\n{}",
+        report.render_text()
+    );
+    assert!(!report.failed());
+}
+
+#[test]
+fn dirty_fixture_json_is_byte_identical_across_runs() {
+    let a = fhdnn_lint::run(&fixture("dirty")).expect("first run");
+    let b = fhdnn_lint::run(&fixture("dirty")).expect("second run");
+    assert_eq!(a.render_json(), b.render_json());
+    assert_eq!(a.render_text(), b.render_text());
+}

@@ -1,0 +1,14 @@
+//! Fixture: the same behaviours expressed legally.
+use std::collections::BTreeMap;
+
+pub fn run_round(tel: &Recorder, x: Option<u64>) -> u64 {
+    let tick = tel.now_micros();
+    tel.incr("fl.rounds", 1);
+    tel.gauge("fl.test_accuracy", 0.9);
+    let mut seen: BTreeMap<u64, u64> = BTreeMap::new();
+    seen.insert(0, x.unwrap_or(0));
+    let _elapsed = tel.now_micros().saturating_sub(tick);
+    // lint: allow(forbidden/panic) fixture demonstrates inline allows
+    let y = x.unwrap();
+    y
+}

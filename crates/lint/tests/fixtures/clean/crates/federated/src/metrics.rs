@@ -1,0 +1,5 @@
+//! Fixture: frozen struct matching the committed baseline exactly.
+pub struct RoundMetrics {
+    pub round: usize,
+    pub test_accuracy: f64,
+}

@@ -1,0 +1,5 @@
+//! Fixture: documented unsafe.
+pub fn load(p: *const u64) -> u64 {
+    // SAFETY: the caller guarantees p points at a live, aligned u64.
+    unsafe { *p }
+}

@@ -1,0 +1,22 @@
+//! Fixture: one violation of each behaviour rule family in core code.
+use std::collections::HashMap;
+
+pub fn run_round(tel: &Recorder, x: Option<u64>) -> u64 {
+    let wall = std::time::Instant::now();
+    println!("round starting at {wall:?}");
+    tel.incr("not.a.registered.metric", 1);
+    tel.incr("fl.test_accuracy", 1);
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    seen.insert(0, x.unwrap());
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_test_code_may_do_all_of_this() {
+        let _t = std::time::Instant::now();
+        println!("fine in tests");
+        Some(1u64).unwrap();
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: frozen struct that drifted from the committed baseline.
+pub struct RoundMetrics {
+    pub round: usize,
+    pub test_accuracy: f64,
+    pub sneaky_new_field: u32,
+}

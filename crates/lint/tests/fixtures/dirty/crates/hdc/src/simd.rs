@@ -1,0 +1,4 @@
+//! Fixture: undocumented unsafe.
+pub fn load(p: *const u64) -> u64 {
+    unsafe { *p }
+}

@@ -1,0 +1,55 @@
+//! The lint's strongest test: the workspace that ships the lint must
+//! itself be lint-clean, and the machine output must be byte-stable.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = fhdnn_lint::run(&workspace_root()).expect("lint runs");
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must stay lint-clean; fix or explicitly allow:\n{}",
+        report.render_text()
+    );
+    // Sanity: a clean report must still mean real coverage.
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); did the walk break?",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn workspace_json_report_is_byte_identical_across_runs() {
+    let a = fhdnn_lint::run(&workspace_root()).expect("first run");
+    let b = fhdnn_lint::run(&workspace_root()).expect("second run");
+    assert_eq!(
+        a.render_json(),
+        b.render_json(),
+        "--json output must be deterministic"
+    );
+}
+
+#[test]
+fn every_registry_metric_has_a_live_reference() {
+    // Covered by `workspace_is_lint_clean` via telemetry/orphan, but
+    // spelled out so a registry regression names the rule directly.
+    let report = fhdnn_lint::run(&workspace_root()).expect("lint runs");
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule.starts_with("telemetry/")),
+        "telemetry registry drifted:\n{}",
+        report.render_text()
+    );
+}

@@ -45,7 +45,7 @@ pub struct Conv2d {
     cache: Option<ConvCache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ConvCache {
     cols: Tensor,
     input_dims: Vec<usize>,

@@ -22,7 +22,7 @@ pub struct BatchNorm2d {
     cache: Option<BnCache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct BnCache {
     x_hat: Tensor,
     inv_std: Vec<f32>,

@@ -13,7 +13,7 @@ pub struct MaxPool2d {
     cache: Option<PoolCache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PoolCache {
     argmax: Vec<usize>,
     input_dims: Vec<usize>,

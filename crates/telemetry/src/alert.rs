@@ -22,6 +22,7 @@
 //! stream, where the `fhdnn watch` dashboard picks them up.
 
 use crate::event::FieldValue;
+use crate::registry;
 use crate::Recorder;
 
 /// Thresholds for the alert rules. [`AlertConfig::default`] gives
@@ -259,7 +260,7 @@ pub fn emit_alerts(tel: &Recorder, alerts: &[Alert]) {
     }
     for a in alerts {
         tel.event(
-            "alert",
+            registry::EVENT_ALERT,
             &[
                 ("rule", FieldValue::Str(a.rule.to_string())),
                 ("severity", FieldValue::Str(a.severity.as_str().to_string())),

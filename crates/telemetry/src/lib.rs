@@ -45,6 +45,7 @@ pub mod event;
 pub mod histogram;
 pub mod jsonl;
 pub mod profile;
+pub mod registry;
 pub mod sink;
 pub mod task;
 

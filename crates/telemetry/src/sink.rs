@@ -161,7 +161,7 @@ mod tests {
         assert!(text.ends_with('\n'), "stream must end on a line boundary");
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), THREADS * EVENTS_PER_THREAD);
-        let mut per_thread = vec![0usize; THREADS];
+        let mut per_thread = [0usize; THREADS];
         for line in lines {
             let v = crate::jsonl::parse(line).expect("torn or interleaved JSONL line");
             let name = v.get("name").and_then(|n| n.as_str()).unwrap();
