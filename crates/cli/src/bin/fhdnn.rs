@@ -226,6 +226,10 @@ fn profile(args: ProfileArgs) -> Result<(), String> {
 
     println!("\nspan-tree profile:");
     print!("{}", prof.render());
+    if args.mem {
+        println!();
+        print!("{}", prof.render_mem());
+    }
     if let Some(path) = &args.collapsed {
         std::fs::write(path, prof.collapsed())
             .map_err(|e| format!("write collapsed stacks {path}: {e}"))?;

@@ -93,6 +93,9 @@ pub struct ProfileArgs {
     pub from: Option<String>,
     /// Optional collapsed-stack (flamegraph-compatible) output path.
     pub collapsed: Option<String>,
+    /// Also render the allocation tree (span-attributed allocs/bytes)
+    /// next to the time tree.
+    pub mem: bool,
     /// Simulation to profile when `from` is absent (same flags as
     /// `simulate`).
     pub sim: SimulateArgs,
@@ -272,6 +275,8 @@ commands:
                                               stream instead of simulating
              --collapsed PATH                 also write collapsed stacks
                                               (flamegraph.pl / inferno input)
+             --mem                            also render the allocation tree
+                                              (span-attributed allocs/bytes)
              plus any simulate flags when running live
   watch      model-health dashboard of a simulation (or a recorded stream):
              accuracy sparkline, channel damage, saturation gauge, alerts
@@ -328,10 +333,12 @@ impl Cli {
                 let sim = parse_simulate_args(&rest)?;
                 let from = get_value("--from")?;
                 let collapsed = get_value("--collapsed")?;
+                let mem = rest.iter().any(|a| *a == "--mem");
                 Ok(Cli {
                     command: Command::Profile(ProfileArgs {
                         from,
                         collapsed,
+                        mem,
                         sim,
                     }),
                 })
@@ -509,18 +516,23 @@ mod tests {
 
     #[test]
     fn profile_parses_replay_and_live_forms() {
-        let cli = Cli::parse(&args("profile --from trace.jsonl --collapsed out.folded")).unwrap();
+        let cli = Cli::parse(&args(
+            "profile --from trace.jsonl --collapsed out.folded --mem",
+        ))
+        .unwrap();
         let Command::Profile(p) = cli.command else {
             panic!("expected profile");
         };
         assert_eq!(p.from.as_deref(), Some("trace.jsonl"));
         assert_eq!(p.collapsed.as_deref(), Some("out.folded"));
+        assert!(p.mem);
 
         let cli = Cli::parse(&args("profile --workload mnist --rounds 3 -q")).unwrap();
         let Command::Profile(p) = cli.command else {
             panic!("expected profile");
         };
         assert_eq!(p.from, None);
+        assert!(!p.mem);
         assert_eq!(p.sim.workload, Workload::Mnist);
         assert_eq!(p.sim.rounds, 3);
         assert_eq!(p.sim.verbosity, Verbosity::Quiet);

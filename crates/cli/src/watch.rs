@@ -11,6 +11,7 @@
 
 use fhdnn::federated::health::HealthRecord;
 use fhdnn::telemetry::jsonl::{self, Value};
+use fhdnn::telemetry::mem::fmt_bytes;
 use fhdnn::telemetry::registry::{EVENT_ALERT, EVENT_HEALTH_ROUND};
 use std::fmt::Write as _;
 
@@ -154,6 +155,30 @@ impl Dashboard {
             );
         }
         let _ = writeln!(out, "saturation  {}", gauge(last.saturation, 24));
+        // Streams recorded before memory tracking carry no mem fields
+        // (they parse as zero) — the memory rows only appear when the
+        // stream actually has watermarks.
+        if self.records.iter().any(|r| r.mem_peak_bytes > 0) {
+            let mem: Vec<f64> = self
+                .records
+                .iter()
+                .map(|r| r.mem_peak_bytes as f64)
+                .collect();
+            let run_max = mem.iter().copied().fold(0.0, f64::max);
+            let _ = writeln!(
+                out,
+                "mem peak    {}  last {}  {}/client",
+                sparkline(&mem),
+                fmt_bytes(last.mem_peak_bytes),
+                fmt_bytes(last.mem_bytes_per_client)
+            );
+            let _ = writeln!(
+                out,
+                "mem level   {}  of run max {}",
+                gauge(last.mem_peak_bytes as f64 / run_max, 24),
+                fmt_bytes(run_max as u64)
+            );
+        }
         let _ = writeln!(
             out,
             "divergence  mean {:.4}  max |z| {:.2}{}",
@@ -306,6 +331,24 @@ impl Dashboard {
                 "Clients flagged as divergence outliers in the latest round.",
                 &labels,
                 last.outlier_clients.len() as f64,
+            );
+            gauge_metric(
+                "fhdnn_mem_peak_bytes",
+                "Peak heap bytes above the round-start level, latest round.",
+                &labels,
+                last.mem_peak_bytes as f64,
+            );
+            gauge_metric(
+                "fhdnn_mem_allocs",
+                "Heap allocations during the latest round.",
+                &labels,
+                last.mem_allocs as f64,
+            );
+            gauge_metric(
+                "fhdnn_mem_bytes_per_client",
+                "Gross bytes allocated per sampled client, latest round.",
+                &labels,
+                last.mem_bytes_per_client as f64,
             );
             let counters: [(&str, &str, u64); 3] = [
                 (
@@ -478,6 +521,73 @@ mod tests {
         // An empty stream still exposes alert totals.
         let empty = Dashboard::from_jsonl_str("").prometheus();
         assert!(empty.contains("fhdnn_alerts_total{severity=\"warning\"} 0"));
+    }
+
+    /// `health_line` plus the memory-watermark fields added by the
+    /// tracked-allocator release.
+    fn mem_line(round: u64, acc: f64, peak: u64, per_client: u64) -> String {
+        health_line(round, acc, 0).replace(
+            r#""noise_energy":0"#,
+            &format!(
+                r#""noise_energy":0,"mem_peak_bytes":{peak},"mem_allocs":64,"mem_bytes_per_client":{per_client}"#
+            ),
+        )
+    }
+
+    #[test]
+    fn memory_rows_render_and_export() {
+        // Pre-tracking streams (no mem fields) must not grow memory rows.
+        let old = Dashboard::from_jsonl_str(&fixture_stream()).render();
+        assert!(!old.contains("mem peak"), "{old}");
+
+        let mut s = String::new();
+        s.push_str(&mem_line(0, 0.4, 1 << 20, 1 << 18));
+        s.push('\n');
+        s.push_str(&mem_line(1, 0.8, 2 << 20, 1 << 19));
+        s.push('\n');
+        let dash = Dashboard::from_jsonl_str(&s);
+        assert_eq!(dash.records()[1].mem_peak_bytes, 2 << 20);
+        let r = dash.render();
+        assert!(r.contains("mem peak"), "{r}");
+        assert!(r.contains("last 2.0 MiB"), "{r}");
+        assert!(r.contains("512.0 KiB/client"), "{r}");
+        // The latest round IS the run max, so the gauge reads full.
+        assert!(
+            r.contains("mem level   [########################] 100.0%"),
+            "{r}"
+        );
+
+        let text = dash.prometheus();
+        assert!(text.contains("# TYPE fhdnn_mem_peak_bytes gauge"));
+        assert!(text.contains("fhdnn_mem_peak_bytes{engine=\"fedhd\"} 2097152"));
+        assert!(text.contains("fhdnn_mem_allocs{engine=\"fedhd\"} 64"));
+        assert!(text.contains("fhdnn_mem_bytes_per_client{engine=\"fedhd\"} 524288"));
+    }
+
+    #[test]
+    fn prometheus_families_all_have_help_and_type_and_replay_identically() {
+        let mut s = fixture_stream();
+        s.push_str(&mem_line(2, 0.9, 1 << 20, 1 << 16));
+        s.push('\n');
+        let text = Dashboard::from_jsonl_str(&s).prometheus();
+        assert_eq!(
+            text,
+            Dashboard::from_jsonl_str(&s).prometheus(),
+            "replaying the same stream must export the same bytes"
+        );
+        let mut helped = std::collections::HashSet::new();
+        let mut typed = std::collections::HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                helped.insert(rest.split_whitespace().next().unwrap().to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typed.insert(rest.split_whitespace().next().unwrap().to_string());
+            } else {
+                let family = line.split(['{', ' ']).next().unwrap().to_string();
+                assert!(helped.contains(&family), "sample without # HELP: {line}");
+                assert!(typed.contains(&family), "sample without # TYPE: {line}");
+            }
+        }
     }
 
     #[test]

@@ -315,6 +315,10 @@ impl CnnFederation {
         // a ManualClock makes `round_seconds` fully deterministic.
         let tick = tel.now_micros();
         let chan_before = self.channel_stats.snapshot();
+        // Per-round memory watermark. Measured unconditionally: the
+        // tracked allocator's counters are pure atomics, so reading them
+        // cannot perturb the seeded RNG stream or the model bits.
+        let mem = fhdnn_telemetry::mem::watermark();
         // Root span: stage spans nest under `round` for the profiler's tree.
         let round_span = tel.span("round");
         let broadcast = {
@@ -432,6 +436,10 @@ impl CnnFederation {
             self.evaluate(test)?
         };
         drop(round_span);
+        // Close the watermark before the health block below: its delta
+        // covers the round's compute, not the diagnostics about it.
+        let mem_delta = mem.finish();
+        let mem_bytes_per_client = mem_delta.alloc_bytes / participants.len().max(1) as u64;
 
         if tel.enabled() {
             tel.incr("fl.rounds", 1);
@@ -442,6 +450,13 @@ impl CnnFederation {
             );
             tel.incr("fl.bytes_down", downlink_bytes * participants.len() as u64);
             tel.gauge("fl.test_accuracy", test_accuracy as f64);
+            tel.incr("mem.allocs", mem_delta.allocs);
+            tel.incr("mem.alloc_bytes", mem_delta.alloc_bytes);
+            tel.gauge("mem.peak_bytes", mem_delta.peak_bytes as f64);
+            tel.gauge(
+                "mem.live_bytes",
+                fhdnn_telemetry::mem::stats().live_bytes as f64,
+            );
             let chan_delta = self.channel_stats.snapshot().delta(&chan_before);
             crate::emit_channel_delta(&tel, chan_delta);
 
@@ -472,6 +487,9 @@ impl CnnFederation {
                 dims_erased: chan_delta.dims_erased,
                 packets_dropped: chan_delta.packets_dropped,
                 noise_energy: chan_delta.noise_energy,
+                mem_peak_bytes: mem_delta.peak_bytes,
+                mem_allocs: mem_delta.allocs,
+                mem_bytes_per_client,
             };
             record.emit(&tel);
             emit_alerts(&tel, &self.alerts.observe(&record.to_sample()));
@@ -485,6 +503,9 @@ impl CnnFederation {
             bytes_per_client: self.update_bytes(),
             downlink_bytes_per_client: downlink_bytes,
             round_seconds: tel.now_micros().saturating_sub(tick) as f64 / 1e6,
+            mem_peak_bytes: mem_delta.peak_bytes,
+            mem_allocs: mem_delta.allocs,
+            mem_bytes_per_client,
         };
         self.round += 1;
         Ok(metrics)

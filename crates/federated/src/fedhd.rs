@@ -438,6 +438,10 @@ impl HdFederation {
         // a ManualClock makes `round_seconds` fully deterministic.
         let tick = tel.now_micros();
         let chan_before = self.channel_stats.snapshot();
+        // Per-round memory watermark. Measured unconditionally: the
+        // tracked allocator's counters are pure atomics, so reading them
+        // cannot perturb the seeded RNG stream or the model bits.
+        let mem = fhdnn_telemetry::mem::watermark();
         // Root span: every stage span below nests under `round`, which is
         // what lets the profiler rebuild the per-round call tree.
         let round_span = tel.span("round");
@@ -516,6 +520,10 @@ impl HdFederation {
             self.global.accuracy(&test.hypervectors, &test.labels)?
         };
         drop(round_span);
+        // Close the watermark before the health block below: its delta
+        // covers the round's compute, not the diagnostics about it.
+        let mem_delta = mem.finish();
+        let mem_bytes_per_client = mem_delta.alloc_bytes / participants.len().max(1) as u64;
 
         if tel.enabled() {
             tel.incr("fl.rounds", 1);
@@ -530,6 +538,13 @@ impl HdFederation {
             tel.incr("fl.bytes_up", self.update_bytes() * received.len() as u64);
             tel.incr("fl.bytes_down", downlink_bytes * participants.len() as u64);
             tel.gauge("fl.test_accuracy", test_accuracy as f64);
+            tel.incr("mem.allocs", mem_delta.allocs);
+            tel.incr("mem.alloc_bytes", mem_delta.alloc_bytes);
+            tel.gauge("mem.peak_bytes", mem_delta.peak_bytes as f64);
+            tel.gauge(
+                "mem.live_bytes",
+                fhdnn_telemetry::mem::stats().live_bytes as f64,
+            );
             let chan_delta = self.channel_stats.snapshot().delta(&chan_before);
             crate::emit_channel_delta(&tel, chan_delta);
 
@@ -575,6 +590,9 @@ impl HdFederation {
                     dims_erased: chan_delta.dims_erased,
                     packets_dropped: chan_delta.packets_dropped,
                     noise_energy: chan_delta.noise_energy,
+                    mem_peak_bytes: mem_delta.peak_bytes,
+                    mem_allocs: mem_delta.allocs,
+                    mem_bytes_per_client,
                 };
                 record.emit(&tel);
                 emit_alerts(&tel, &self.alerts.observe(&record.to_sample()));
@@ -589,6 +607,9 @@ impl HdFederation {
             bytes_per_client: self.update_bytes(),
             downlink_bytes_per_client: downlink_bytes,
             round_seconds: tel.now_micros().saturating_sub(tick) as f64 / 1e6,
+            mem_peak_bytes: mem_delta.peak_bytes,
+            mem_allocs: mem_delta.allocs,
+            mem_bytes_per_client,
         };
         self.round += 1;
         Ok(metrics)

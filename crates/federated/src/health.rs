@@ -77,6 +77,13 @@ pub struct HealthRecord {
     pub packets_dropped: u64,
     /// Noise energy the channel injected this round.
     pub noise_energy: f64,
+    /// Peak heap bytes above the round-start level (tracked-allocator
+    /// watermark); 0 when memory accounting is unavailable.
+    pub mem_peak_bytes: u64,
+    /// Heap allocations performed during the round (process-wide).
+    pub mem_allocs: u64,
+    /// Gross bytes allocated during the round, divided by participants.
+    pub mem_bytes_per_client: u64,
 }
 
 impl HealthRecord {
@@ -114,6 +121,12 @@ impl HealthRecord {
                 ("dims_erased", FieldValue::U64(self.dims_erased)),
                 ("packets_dropped", FieldValue::U64(self.packets_dropped)),
                 ("noise_energy", FieldValue::F64(self.noise_energy)),
+                ("mem_peak_bytes", FieldValue::U64(self.mem_peak_bytes)),
+                ("mem_allocs", FieldValue::U64(self.mem_allocs)),
+                (
+                    "mem_bytes_per_client",
+                    FieldValue::U64(self.mem_bytes_per_client),
+                ),
             ],
         );
     }
@@ -159,6 +172,9 @@ impl HealthRecord {
             dims_erased: int("dims_erased"),
             packets_dropped: int("packets_dropped"),
             noise_energy: num("noise_energy"),
+            mem_peak_bytes: int("mem_peak_bytes"),
+            mem_allocs: int("mem_allocs"),
+            mem_bytes_per_client: int("mem_bytes_per_client"),
         })
     }
 
@@ -170,6 +186,7 @@ impl HealthRecord {
             saturation: self.saturation,
             max_client_abs_z: self.max_abs_z,
             dims_erased: self.dims_erased,
+            mem_peak_bytes: self.mem_peak_bytes,
         }
     }
 }
@@ -295,6 +312,9 @@ mod tests {
             dims_erased: 3,
             packets_dropped: 1,
             noise_energy: 0.5,
+            mem_peak_bytes: 2048,
+            mem_allocs: 64,
+            mem_bytes_per_client: 256,
         }
     }
 
@@ -362,6 +382,7 @@ mod tests {
         assert_eq!(s.accuracy, 0.91);
         assert_eq!(s.dims_erased, 3);
         assert_eq!(s.max_client_abs_z, 1.2);
+        assert_eq!(s.mem_peak_bytes, 2048);
     }
 
     #[test]

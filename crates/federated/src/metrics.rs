@@ -23,10 +23,21 @@ pub struct RoundMetrics {
     /// Wall-clock duration of the round in seconds.
     #[serde(default)]
     pub round_seconds: f64,
+    /// Peak heap bytes above the round-start level (tracked-allocator
+    /// watermark); 0 when the build has no memory accounting.
+    #[serde(default)]
+    pub mem_peak_bytes: u64,
+    /// Heap allocations performed during the round (process-wide).
+    #[serde(default)]
+    pub mem_allocs: u64,
+    /// Gross bytes allocated during the round, divided by participants.
+    #[serde(default)]
+    pub mem_bytes_per_client: u64,
 }
 
-/// Equality ignores `round_seconds`: two otherwise identical seeded runs
-/// must compare equal even though their wall-clock timings differ (the
+/// Equality ignores `round_seconds` and the `mem_*` watermarks: two
+/// otherwise identical seeded runs must compare equal even though their
+/// wall-clock timings and ambient allocator activity differ (the
 /// reproducibility suite relies on this).
 impl PartialEq for RoundMetrics {
     fn eq(&self, other: &Self) -> bool {
@@ -124,6 +135,9 @@ mod tests {
                 bytes_per_client: 100,
                 downlink_bytes_per_client: 40,
                 round_seconds: 0.5,
+                mem_peak_bytes: 4096,
+                mem_allocs: 32,
+                mem_bytes_per_client: 1024,
             });
         }
         h
@@ -152,6 +166,11 @@ mod tests {
         let mut a = history();
         let b = history();
         a.rounds[0].round_seconds = 999.0;
+        assert_eq!(a, b);
+        // Memory watermarks are environment noise, not run identity.
+        a.rounds[0].mem_peak_bytes = u64::MAX;
+        a.rounds[0].mem_allocs += 7;
+        a.rounds[0].mem_bytes_per_client += 7;
         assert_eq!(a, b);
         a.rounds[0].downlink_bytes_per_client += 1;
         assert_ne!(a, b);
@@ -225,6 +244,9 @@ mod tests {
             dims_erased: 5,
             packets_dropped: 2,
             noise_energy: 1.5,
+            mem_peak_bytes: 1 << 20,
+            mem_allocs: 512,
+            mem_bytes_per_client: 4096,
         };
         let json = serde_json::to_string(&rec).unwrap();
         let back: HealthRecord = serde_json::from_str(&json).unwrap();

@@ -58,6 +58,20 @@ pub fn pack_signs(values: &[f32]) -> Vec<u64> {
     words
 }
 
+/// [`pack_signs`] into a caller-provided buffer of exactly
+/// `words_for(values.len())` words — the zero-allocation variant the
+/// hot paths and the allocation-regression suite lean on. Clears `out`
+/// first, so pad bits stay zero.
+pub fn pack_signs_into(values: &[f32], out: &mut [u64]) {
+    debug_assert_eq!(out.len(), words_for(values.len()));
+    out.fill(0);
+    for (i, &v) in values.iter().enumerate() {
+        if v >= 0.0 {
+            out[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+        }
+    }
+}
+
 /// [`pack_signs`] for integer inputs (`bit = 1 ⇔ value ≥ 0`).
 #[must_use]
 pub fn pack_signs_i32(values: &[i32]) -> Vec<u64> {
@@ -316,9 +330,10 @@ impl PackedHdModel {
     pub fn one_shot_train(&mut self, batch: &PackedBatch, labels: &[usize]) -> Result<()> {
         self.check_batch(batch, labels)?;
         for (r, &label) in labels.iter().enumerate() {
-            // Borrow dance: copy the row words out so we can mutate self.
-            let h: Vec<u64> = batch.row(r).to_vec();
-            self.accumulate(label, &h, 1);
+            // `batch` is a distinct object, so its rows can be borrowed
+            // straight into the accumulator: the whole loop is
+            // allocation-free (pinned by `tests/alloc.rs`).
+            self.accumulate(label, batch.row(r), 1);
         }
         Ok(())
     }
@@ -343,9 +358,19 @@ impl PackedHdModel {
     /// hypervector against every class.
     #[must_use]
     pub fn similarities_packed(&self, h: &[u64]) -> Vec<i64> {
-        (0..self.num_classes)
-            .map(|c| dot_packed(self.packed_row(c), h, self.dim))
-            .collect()
+        let mut out = vec![0i64; self.num_classes];
+        self.similarities_into(h, &mut out);
+        out
+    }
+
+    /// [`PackedHdModel::similarities_packed`] into a caller-provided
+    /// buffer of exactly `num_classes` scores — the zero-allocation
+    /// variant for callers scoring many vectors against a fixed model.
+    pub fn similarities_into(&self, h: &[u64], out: &mut [i64]) {
+        debug_assert_eq!(out.len(), self.num_classes);
+        for (c, slot) in out.iter_mut().enumerate() {
+            *slot = dot_packed(self.packed_row(c), h, self.dim);
+        }
     }
 
     /// One epoch of mispredict-driven refinement (§3.3, step 3): for
@@ -361,11 +386,10 @@ impl PackedHdModel {
         self.check_batch(batch, labels)?;
         let mut updates = 0;
         for (r, &label) in labels.iter().enumerate() {
-            let h: Vec<u64> = batch.row(r).to_vec();
-            let pred = self.predict_packed(&h);
+            let pred = self.predict_packed(batch.row(r));
             if pred != label {
-                self.accumulate(pred, &h, -1);
-                self.accumulate(label, &h, 1);
+                self.accumulate(pred, batch.row(r), -1);
+                self.accumulate(label, batch.row(r), 1);
                 updates += 1;
             }
         }
@@ -621,6 +645,28 @@ mod tests {
         assert_eq!(model.predict_packed(batch.row(0)), 0);
         assert_eq!(model.predict_packed(batch.row(1)), 1);
         assert_eq!(model.accuracy(&batch, &[0, 1]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels() {
+        let dim = 130;
+        let values: Vec<f32> = (0..dim)
+            .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let mut out = vec![u64::MAX; words_for(dim)];
+        pack_signs_into(&values, &mut out);
+        assert_eq!(out, pack_signs(&values), "stale bits must be cleared");
+
+        let mut data = vec![-1.0f32; 2 * dim];
+        for v in data.iter_mut().take(dim) {
+            *v = 1.0;
+        }
+        let batch = PackedBatch::from_rows(&data, 2, dim);
+        let mut model = PackedHdModel::new(2, dim).unwrap();
+        model.one_shot_train(&batch, &[0, 1]).unwrap();
+        let mut sims = vec![0i64; 2];
+        model.similarities_into(batch.row(0), &mut sims);
+        assert_eq!(sims, model.similarities_packed(batch.row(0)));
     }
 
     #[test]

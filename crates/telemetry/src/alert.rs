@@ -14,6 +14,9 @@
 //!    above [`AlertConfig::client_z`] (warning).
 //! 4. **Erasure spike** — dims erased this round exceed both an absolute
 //!    floor and a multiple of the trailing mean (warning).
+//! 5. **Memory growth** — per-round peak heap bytes exceed both an
+//!    absolute floor and a multiple of the trailing-window mean peak,
+//!    the flight-recorder shape of a server-side leak (warning).
 //!
 //! The engine is pure state-machine logic: [`AlertEngine::observe`]
 //! returns the alerts that fired and never touches a recorder, so rules
@@ -47,6 +50,15 @@ pub struct AlertConfig {
     pub dims_erased_factor: f64,
     /// …and this absolute floor, so noisy near-zero rounds never fire.
     pub dims_erased_min: u64,
+    /// A memory-growth round must peak above `mem_growth_factor ×` the
+    /// mean peak of the trailing [`AlertConfig::mem_growth_window`]
+    /// rounds…
+    pub mem_growth_factor: f64,
+    /// Trailing window, in rounds, over which the mean peak is taken.
+    pub mem_growth_window: usize,
+    /// …and above this absolute floor, so small-fixture runs (tests,
+    /// smoke campaigns) whose peaks jitter by a few KiB never fire.
+    pub mem_growth_min_bytes: u64,
 }
 
 impl Default for AlertConfig {
@@ -58,6 +70,9 @@ impl Default for AlertConfig {
             client_z: 3.0,
             dims_erased_factor: 4.0,
             dims_erased_min: 64,
+            mem_growth_factor: 1.25,
+            mem_growth_window: 4,
+            mem_growth_min_bytes: 32 * 1024 * 1024,
         }
     }
 }
@@ -98,13 +113,16 @@ pub struct HealthSample {
     pub max_client_abs_z: f64,
     /// Hypervector dimensions erased by the channel this round.
     pub dims_erased: u64,
+    /// Peak heap bytes above the round-start level (tracked-allocator
+    /// watermark); `0` when memory accounting is unavailable.
+    pub mem_peak_bytes: u64,
 }
 
 /// A fired alert: which rule, how bad, and the numbers behind it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Alert {
     /// Rule identifier: `accuracy_drop`, `saturation`, `client_outlier`,
-    /// or `erasure_spike`.
+    /// `erasure_spike`, or `mem_growth`.
     pub rule: &'static str,
     /// Escalation level.
     pub severity: Severity,
@@ -129,6 +147,9 @@ pub struct AlertEngine {
     erased_sum: u64,
     /// Number of rounds observed so far.
     rounds_seen: u64,
+    /// Trailing per-round peak heap bytes, most recent last (bounded by
+    /// the memory-growth window).
+    mem_peaks: Vec<u64>,
 }
 
 impl AlertEngine {
@@ -139,6 +160,7 @@ impl AlertEngine {
             accuracy: Vec::new(),
             erased_sum: 0,
             rounds_seen: 0,
+            mem_peaks: Vec::new(),
         }
     }
 
@@ -234,6 +256,30 @@ impl AlertEngine {
             }
         }
 
+        // Memory growth vs the trailing mean peak. A leak shows up as
+        // each round peaking higher than the ones before it; a one-off
+        // large round against a calm history also trips, which is the
+        // desired flight-recorder behaviour (something held memory it
+        // normally would not).
+        if !self.mem_peaks.is_empty() && sample.mem_peak_bytes >= cfg.mem_growth_min_bytes {
+            let mean = self.mem_peaks.iter().sum::<u64>() as f64 / self.mem_peaks.len() as f64;
+            let floor = cfg.mem_growth_factor * mean;
+            if sample.mem_peak_bytes as f64 > floor {
+                fired.push(Alert {
+                    rule: "mem_growth",
+                    severity: Severity::Warning,
+                    round: sample.round,
+                    value: sample.mem_peak_bytes as f64,
+                    threshold: floor.max(cfg.mem_growth_min_bytes as f64),
+                    message: format!(
+                        "round peaked at {} vs trailing mean {}/round",
+                        crate::mem::fmt_bytes(sample.mem_peak_bytes),
+                        crate::mem::fmt_bytes(mean as u64)
+                    ),
+                });
+            }
+        }
+
         // Roll the trailing state forward.
         self.accuracy.push(sample.accuracy);
         if self.accuracy.len() > self.config.accuracy_window {
@@ -241,6 +287,10 @@ impl AlertEngine {
         }
         self.erased_sum = self.erased_sum.saturating_add(sample.dims_erased);
         self.rounds_seen += 1;
+        self.mem_peaks.push(sample.mem_peak_bytes);
+        if self.mem_peaks.len() > self.config.mem_growth_window {
+            self.mem_peaks.remove(0);
+        }
         fired
     }
 }
@@ -423,9 +473,64 @@ mod tests {
             saturation: 0.9,
             max_client_abs_z: 5.0,
             dims_erased: 0,
+            mem_peak_bytes: 0,
         });
         let rules: Vec<&str> = fired.iter().map(|a| a.rule).collect();
         assert_eq!(rules, ["accuracy_drop", "saturation", "client_outlier"]);
+    }
+
+    #[test]
+    fn mem_growth_fires_above_trailing_mean() {
+        let mut eng = AlertEngine::default();
+        let mib = 1024 * 1024;
+        // A flat history of 64 MiB peaks stays quiet.
+        for r in 0..4 {
+            assert!(eng
+                .observe(&HealthSample {
+                    round: r,
+                    mem_peak_bytes: 64 * mib,
+                    ..HealthSample::default()
+                })
+                .is_empty());
+        }
+        // A round peaking well above factor × mean fires the rule.
+        let fired = eng.observe(&HealthSample {
+            round: 4,
+            mem_peak_bytes: 128 * mib,
+            ..HealthSample::default()
+        });
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "mem_growth");
+        assert_eq!(fired[0].severity, Severity::Warning);
+        assert!(fired[0].message.contains("MiB"), "{}", fired[0].message);
+    }
+
+    #[test]
+    fn mem_growth_respects_absolute_floor_and_history() {
+        // Round 0 has no trailing history: even a huge peak cannot fire.
+        let mut eng = AlertEngine::default();
+        assert!(eng
+            .observe(&HealthSample {
+                mem_peak_bytes: 1 << 40,
+                ..HealthSample::default()
+            })
+            .is_empty());
+        // Tiny test-scale peaks jitter far below the 32 MiB floor and
+        // must never fire, no matter how sharp the relative growth.
+        let mut tiny = AlertEngine::default();
+        assert!(tiny
+            .observe(&HealthSample {
+                mem_peak_bytes: 1024,
+                ..HealthSample::default()
+            })
+            .is_empty());
+        assert!(tiny
+            .observe(&HealthSample {
+                round: 1,
+                mem_peak_bytes: 512 * 1024,
+                ..HealthSample::default()
+            })
+            .is_empty());
     }
 
     #[test]

@@ -37,13 +37,17 @@
 //! ```
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `mem` module's GlobalAlloc wrapper is
+// the one sanctioned unsafe island (SAFETY-audited by `fhdnn lint`);
+// everything else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod alert;
 pub mod clock;
 pub mod event;
 pub mod histogram;
 pub mod jsonl;
+pub mod mem;
 pub mod profile;
 pub mod registry;
 pub mod sink;
@@ -86,6 +90,13 @@ pub struct PathStat {
     pub total_micros: u64,
     /// Distribution of individual span durations, microseconds.
     pub durations: Histogram,
+    /// Allocations attributed to this path: performed by the owning
+    /// thread while the span was open — inclusive of children, exactly
+    /// like `total_micros` (the profiler derives self-allocations by
+    /// subtracting child totals).
+    pub allocs: u64,
+    /// Bytes allocated on this path (gross, same inclusive attribution).
+    pub alloc_bytes: u64,
 }
 
 /// Separator between span names in a recorded path — the same character
@@ -252,6 +263,7 @@ impl Recorder {
                 path: String::new(),
                 depth: 0,
                 start: 0,
+                mark: mem::ThreadMark::default(),
             };
         }
         let (path, depth) = SPAN_STACK.with(|stack| {
@@ -272,20 +284,35 @@ impl Recorder {
             name,
             path,
             depth,
+            // The mark is taken after the path string is built, so the
+            // guard's own bookkeeping allocation never charges the span
+            // — keeping same-seed runs byte-identical.
+            mark: mem::thread_mark(),
             start: self.clock.now_micros(),
         }
     }
 
-    fn close_span(&self, name: &str, path: &str, start: u64) {
+    fn close_span(&self, name: &str, path: &str, start: u64, mark: mem::ThreadMark) {
+        // Delta first: the map insertions and event emission below
+        // allocate, and those allocations belong to the *enclosing*
+        // span, not this one.
+        let alloc = mark.delta();
         let end = self.clock.now_micros();
-        self.record_span(name, path, end.saturating_sub(start));
+        self.record_span(
+            name,
+            path,
+            end.saturating_sub(start),
+            alloc.allocs,
+            alloc.alloc_bytes,
+        );
     }
 
-    /// Records one completed span with an externally measured duration:
-    /// updates the flat and per-path aggregates and emits the same span
-    /// event [`Recorder::span`] guards produce. This is how buffered
-    /// worker spans enter the recorder at the round barrier.
-    fn record_span(&self, name: &str, path: &str, micros: u64) {
+    /// Records one completed span with externally measured duration and
+    /// allocation activity: updates the flat and per-path aggregates and
+    /// emits the same span event [`Recorder::span`] guards produce. This
+    /// is how buffered worker spans enter the recorder at the round
+    /// barrier.
+    fn record_span(&self, name: &str, path: &str, micros: u64, allocs: u64, alloc_bytes: u64) {
         {
             let mut spans = self.spans.lock().expect("spans poisoned");
             let stat = spans.entry(name.to_string()).or_default();
@@ -298,11 +325,18 @@ impl Recorder {
             stat.count += 1;
             stat.total_micros += micros;
             stat.durations.observe(micros);
+            stat.allocs += allocs;
+            stat.alloc_bytes += alloc_bytes;
         }
         self.emit(
             EventKind::Span,
             name,
-            &[("micros", micros.into()), ("path", path.into())],
+            &[
+                ("micros", micros.into()),
+                ("path", path.into()),
+                ("allocs", allocs.into()),
+                ("alloc_bytes", alloc_bytes.into()),
+            ],
         );
     }
 
@@ -352,6 +386,8 @@ impl Recorder {
                     name,
                     rel_path,
                     micros,
+                    allocs,
+                    alloc_bytes,
                 } => {
                     let path = if prefix.is_empty() {
                         rel_path
@@ -362,7 +398,7 @@ impl Recorder {
                         p.push_str(&rel_path);
                         p
                     };
-                    self.record_span(name, &path, micros);
+                    self.record_span(name, &path, micros, allocs, alloc_bytes);
                 }
                 TaskEntry::Counter { name, delta } => self.incr(name, delta),
             }
@@ -524,6 +560,9 @@ pub struct SpanGuard<'a> {
     /// Stack depth just after pushing `name` (1-based).
     depth: usize,
     start: u64,
+    /// This thread's allocation counters at open; the close delta is the
+    /// span's attributed allocation activity.
+    mark: mem::ThreadMark,
 }
 
 impl Drop for SpanGuard<'_> {
@@ -538,7 +577,7 @@ impl Drop for SpanGuard<'_> {
                     stack.truncate(self.depth - 1);
                 }
             });
-            rec.close_span(self.name, &self.path, self.start);
+            rec.close_span(self.name, &self.path, self.start, self.mark);
         }
     }
 }
@@ -668,6 +707,56 @@ mod tests {
             })
             .collect();
         assert!(span_paths.contains(&"round;round.transmit;hdc.quantize".to_string()));
+    }
+
+    #[test]
+    fn spans_attribute_allocation_deltas() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Recorder::with_sink_and_clock(sink.clone(), Arc::new(ManualClock::new(1)));
+        {
+            let _s = tel.span("work");
+            let v: Vec<u8> = Vec::with_capacity(100_000);
+            drop(v);
+        }
+        let paths = tel.path_stats();
+        assert!(paths["work"].allocs >= 1, "the vec counts");
+        assert!(paths["work"].alloc_bytes >= 100_000);
+        // The emitted span event carries the attribution fields.
+        let span = sink
+            .events()
+            .into_iter()
+            .find(|e| e.kind == EventKind::Span)
+            .expect("one span event");
+        match span.fields["alloc_bytes"] {
+            FieldValue::U64(b) => assert!(b >= 100_000, "alloc_bytes {b}"),
+            ref other => panic!("alloc_bytes should be u64, got {other:?}"),
+        }
+        assert!(span.fields.contains_key("allocs"));
+    }
+
+    #[test]
+    fn task_buffers_attribute_worker_allocations() {
+        let tel = Recorder::in_memory();
+        let buf = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let mut buf = tel.task_buffer();
+                    let s = buf.begin("round.local_train");
+                    let v: Vec<u8> = Vec::with_capacity(65_536);
+                    drop(v);
+                    buf.end(s);
+                    buf
+                })
+                .join()
+                .expect("worker joins")
+        });
+        tel.absorb_task(buf);
+        let paths = tel.path_stats();
+        assert!(
+            paths["round.local_train"].alloc_bytes >= 65_536,
+            "worker-side allocation replayed through the barrier: {:?}",
+            paths["round.local_train"]
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ use std::collections::BTreeMap;
 
 use crate::histogram::Histogram;
 use crate::jsonl;
+use crate::mem::fmt_bytes;
 use crate::{fmt_micros, PathStat, Recorder, SpanStat, PATH_SEPARATOR};
 
 /// One node of the span call tree.
@@ -44,6 +45,10 @@ pub struct ProfileNode {
     pub total_micros: u64,
     /// Distribution of individual span durations, microseconds.
     pub durations: Histogram,
+    /// Total (inclusive) allocations attributed to this path.
+    pub allocs: u64,
+    /// Total (inclusive) bytes allocated on this path (gross).
+    pub alloc_bytes: u64,
     /// Children, keyed by leaf name.
     pub children: BTreeMap<String, ProfileNode>,
 }
@@ -55,6 +60,22 @@ impl ProfileNode {
     pub fn self_micros(&self) -> u64 {
         let children: u64 = self.children.values().map(|c| c.total_micros).sum();
         self.total_micros.saturating_sub(children)
+    }
+
+    /// Self allocations: total minus the children's totals (saturating —
+    /// a child span replayed from a worker buffer measures the worker's
+    /// counters while the parent measures the barrier thread's, so the
+    /// nesting is advisory, not arithmetic).
+    pub fn self_allocs(&self) -> u64 {
+        let children: u64 = self.children.values().map(|c| c.allocs).sum();
+        self.allocs.saturating_sub(children)
+    }
+
+    /// Self allocated bytes: total minus the children's totals
+    /// (saturating, same caveat as [`ProfileNode::self_allocs`]).
+    pub fn self_alloc_bytes(&self) -> u64 {
+        let children: u64 = self.children.values().map(|c| c.alloc_bytes).sum();
+        self.alloc_bytes.saturating_sub(children)
     }
 
     /// p50 of individual span durations at this path, microseconds.
@@ -91,6 +112,8 @@ impl Profile {
                 node.count += stat.count;
                 node.total_micros += stat.total_micros;
                 node.durations.merge(&stat.durations);
+                node.allocs += stat.allocs;
+                node.alloc_bytes += stat.alloc_bytes;
             } else {
                 insert(&mut node.children, rest, stat);
             }
@@ -148,10 +171,23 @@ impl Profile {
                 .get("path")
                 .and_then(jsonl::Value::as_str)
                 .unwrap_or(name);
+            // Allocation fields absent on pre-mem recordings default 0.
+            let allocs = fields
+                .get("allocs")
+                .and_then(jsonl::Value::as_f64)
+                .unwrap_or(0.0)
+                .max(0.0) as u64;
+            let alloc_bytes = fields
+                .get("alloc_bytes")
+                .and_then(jsonl::Value::as_f64)
+                .unwrap_or(0.0)
+                .max(0.0) as u64;
             let stat = stats.entry(path.to_string()).or_default();
             stat.count += 1;
             stat.total_micros += micros;
             stat.durations.observe(micros);
+            stat.allocs += allocs;
+            stat.alloc_bytes += alloc_bytes;
             spans += 1;
         }
         if spans == 0 {
@@ -250,6 +286,59 @@ impl Profile {
                 fmt_micros(node.self_micros() as f64),
                 fmt_micros(node.p50_micros()),
                 fmt_micros(node.p99_micros()),
+            ));
+        }
+        out
+    }
+
+    /// Renders the allocation tree: the same span hierarchy as
+    /// [`Profile::render`], but with allocation columns — call count,
+    /// total/self allocation counts and total/self allocated bytes —
+    /// sorted by total allocated bytes (descending). `fhdnn profile
+    /// --mem` prints this next to the time tree.
+    pub fn render_mem(&self) -> String {
+        if self.is_empty() {
+            return "profile: no spans recorded\n".into();
+        }
+        let mut rows: Vec<(usize, &ProfileNode)> = Vec::new();
+        fn walk<'a>(
+            nodes: &'a BTreeMap<String, ProfileNode>,
+            depth: usize,
+            out: &mut Vec<(usize, &'a ProfileNode)>,
+        ) {
+            let mut ordered: Vec<&ProfileNode> = nodes.values().collect();
+            ordered.sort_by(|a, b| {
+                b.alloc_bytes
+                    .cmp(&a.alloc_bytes)
+                    .then_with(|| a.name.cmp(&b.name))
+            });
+            for n in ordered {
+                out.push((depth, n));
+                walk(&n.children, depth + 1, out);
+            }
+        }
+        walk(&self.roots, 0, &mut rows);
+        let name_width = rows
+            .iter()
+            .map(|(d, n)| 2 * d + n.name.len())
+            .max()
+            .unwrap_or(4)
+            .max("allocation tree".len());
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<name_width$}  {:>8}  {:>10}  {:>10}  {:>11}  {:>11}\n",
+            "allocation tree", "count", "allocs", "self", "bytes", "self"
+        ));
+        for (depth, node) in rows {
+            out.push_str(&format!(
+                "{:<name_width$}  {:>8}  {:>10}  {:>10}  {:>11}  {:>11}\n",
+                format!("{}{}", "  ".repeat(depth), node.name),
+                node.count,
+                node.allocs,
+                node.self_allocs(),
+                fmt_bytes(node.alloc_bytes),
+                fmt_bytes(node.self_alloc_bytes()),
             ));
         }
         out
@@ -374,6 +463,35 @@ mod tests {
         assert_eq!(replayed.flat_totals(), live.flat_totals());
         assert_eq!(replayed.total_micros(), live.total_micros());
         assert_eq!(replayed.render(), live.render());
+        // The allocation columns survive the JSONL round trip too.
+        assert_eq!(replayed.render_mem(), live.render_mem());
+    }
+
+    #[test]
+    fn mem_tree_renders_allocation_columns() {
+        let tel = Recorder::in_memory();
+        {
+            let _outer = tel.span("round");
+            let _inner = tel.span("round.local_train");
+            let v: Vec<u8> = Vec::with_capacity(50_000);
+            drop(v);
+        }
+        let p = Profile::from_recorder(&tel);
+        let report = p.render_mem();
+        assert!(report.contains("allocation tree"), "{report}");
+        assert!(report.contains("bytes"), "{report}");
+        assert!(report.contains("\n  round.local_train"), "{report}");
+        assert!(report.contains("KiB"), "the 50 KB vec shows up: {report}");
+        // Inclusive nesting: the parent's bytes cover the child's.
+        let round = p.roots().next().unwrap();
+        let child = &round.children["round.local_train"];
+        assert!(child.alloc_bytes >= 50_000);
+        assert!(round.alloc_bytes >= child.alloc_bytes);
+        assert_eq!(
+            round.self_alloc_bytes(),
+            round.alloc_bytes - child.alloc_bytes
+        );
+        assert!(Profile::default().render_mem().contains("no spans"));
     }
 
     #[test]

@@ -184,6 +184,26 @@ pub const REGISTRY: &[MetricDef] = &[
         help: "Per-round model-health flight record.",
     },
     MetricDef {
+        name: "mem.alloc_bytes",
+        kind: MetricKind::Counter,
+        help: "Bytes allocated during federated rounds (gross).",
+    },
+    MetricDef {
+        name: "mem.allocs",
+        kind: MetricKind::Counter,
+        help: "Heap allocations performed during federated rounds.",
+    },
+    MetricDef {
+        name: "mem.live_bytes",
+        kind: MetricKind::Gauge,
+        help: "Live heap bytes at the end of the latest round.",
+    },
+    MetricDef {
+        name: "mem.peak_bytes",
+        kind: MetricKind::Gauge,
+        help: "Peak heap bytes above the round-start level, latest round.",
+    },
+    MetricDef {
         name: "round",
         kind: MetricKind::Span,
         help: "One full communication round.",

@@ -21,7 +21,8 @@ use crate::clock::Clock;
 #[derive(Debug, Clone)]
 pub(crate) enum TaskEntry {
     /// A completed span: leaf name, path *relative to the task root*,
-    /// and measured duration.
+    /// measured duration, and the worker thread's allocation activity
+    /// while the span was open.
     Span {
         /// Span leaf name.
         name: &'static str,
@@ -29,6 +30,10 @@ pub(crate) enum TaskEntry {
         rel_path: String,
         /// Measured duration in microseconds.
         micros: u64,
+        /// Allocations attributed to the span (worker thread-local).
+        allocs: u64,
+        /// Bytes allocated during the span (gross, worker thread-local).
+        alloc_bytes: u64,
     },
     /// A buffered counter increment.
     Counter {
@@ -49,6 +54,9 @@ pub struct TaskSpan {
     rel_path: String,
     depth: usize,
     start: u64,
+    /// The worker thread's allocation counters at open (see
+    /// [`crate::mem::thread_mark`]).
+    mark: crate::mem::ThreadMark,
 }
 
 /// A private span/counter buffer for one unit of parallel work.
@@ -92,6 +100,7 @@ impl TaskBuffer {
                 rel_path: String::new(),
                 depth: 0,
                 start: 0,
+                mark: crate::mem::ThreadMark::default(),
             };
         }
         let mut rel_path = String::new();
@@ -105,6 +114,9 @@ impl TaskBuffer {
             name,
             rel_path,
             depth: self.stack.len(),
+            // Marked after the path build so the buffer's own
+            // bookkeeping never charges the span.
+            mark: crate::mem::thread_mark(),
             start: self.clock.now_micros(),
         }
     }
@@ -116,6 +128,9 @@ impl TaskBuffer {
         if !self.enabled {
             return;
         }
+        // Delta before the entry push below: the buffer's own growth
+        // belongs to the enclosing span, not this one.
+        let alloc = span.mark.delta();
         let micros = self.clock.now_micros().saturating_sub(span.start);
         if self.stack.len() >= span.depth {
             self.stack.truncate(span.depth - 1);
@@ -124,6 +139,8 @@ impl TaskBuffer {
             name: span.name,
             rel_path: span.rel_path,
             micros,
+            allocs: alloc.allocs,
+            alloc_bytes: alloc.alloc_bytes,
         });
     }
 

@@ -1,0 +1,163 @@
+//! Allocation-behaviour lockdown for the tracked global allocator.
+//!
+//! Two properties ride on `fhdnn::telemetry::mem`:
+//!
+//! 1. The bit-packed HD kernels' hot loops are **allocation-free** —
+//!    train/refine/predict touch only caller-owned buffers, which is
+//!    what makes the packed path viable on allocator-poor AIoT targets.
+//!    Pinned with *thread-local* counters, so concurrently running
+//!    tests cannot pollute the measurement.
+//! 2. Per-round peak memory **scales with the client count** — the
+//!    aggregation path materializes every arrived update, which is the
+//!    O(clients) wall that ROADMAP item 2's streaming aggregation is
+//!    aimed at. Measured with the process-global watermark; since
+//!    unrelated traffic can only inflate a peak, each count takes the
+//!    minimum of three runs.
+
+use fhdnn::channel::NoiselessChannel;
+use fhdnn::datasets::features::FeatureSpec;
+use fhdnn::datasets::partition::Partition;
+use fhdnn::federated::config::FlConfig;
+use fhdnn::federated::fedhd::{HdClientData, HdFederation, HdTransport};
+use fhdnn::hdc::encoder::RandomProjectionEncoder;
+use fhdnn::hdc::model::HdModel;
+use fhdnn::hdc::packed::{pack_signs, pack_signs_into, words_for, PackedBatch, PackedHdModel};
+use fhdnn::telemetry::mem;
+use fhdnn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 2048;
+const CLASSES: usize = 6;
+
+fn sample_batch(rows: usize, seed: u64) -> (PackedBatch, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f32> = (0..rows * DIM)
+        .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+        .collect();
+    let labels: Vec<usize> = (0..rows).map(|r| r % CLASSES).collect();
+    (PackedBatch::from_rows(&data, rows, DIM), labels)
+}
+
+#[test]
+fn packed_kernel_hot_paths_are_allocation_free() {
+    let (batch, labels) = sample_batch(48, 11);
+    let mut model = PackedHdModel::new(CLASSES, DIM).unwrap();
+    let values: Vec<f32> = (0..DIM)
+        .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    let mut packed = vec![0u64; words_for(DIM)];
+    let mut sims = vec![0i64; CLASSES];
+
+    // Warm-up: absorb any one-time lazy allocations so the measured
+    // window sees only the kernels' own behaviour.
+    model.one_shot_train(&batch, &labels).unwrap();
+    model.refine_epoch(&batch, &labels).unwrap();
+    pack_signs_into(&values, &mut packed);
+    model.similarities_into(&packed, &mut sims);
+
+    let mark = mem::thread_mark();
+    model.one_shot_train(&batch, &labels).unwrap();
+    let updates = model.refine_epoch(&batch, &labels).unwrap();
+    pack_signs_into(&values, &mut packed);
+    model.similarities_into(&packed, &mut sims);
+    let mut pred = 0usize;
+    for r in 0..batch.rows() {
+        pred = pred.wrapping_add(model.predict_packed(batch.row(r)));
+    }
+    let delta = mark.delta();
+    assert_eq!(
+        delta.allocs, 0,
+        "packed hot path allocated {} times ({} bytes); updates={updates} pred={pred}",
+        delta.allocs, delta.alloc_bytes
+    );
+
+    // Sanity: the allocating conveniences do register on the counters,
+    // so a zero above means "no allocations", not "broken tracking".
+    let mark = mem::thread_mark();
+    let heap_packed = pack_signs(&values);
+    assert!(mark.delta().allocs >= 1, "tracking is live");
+    assert_eq!(heap_packed, packed);
+}
+
+/// Builds a one-round fedhd federation over `num_clients` clients with
+/// identical per-client data volume and full participation.
+fn run_one_round(num_clients: usize, seed: u64) -> u64 {
+    const FDIM: usize = 1024;
+    let spec = FeatureSpec {
+        num_classes: 5,
+        width: 40,
+        noise_std: 0.6,
+        class_seed: 11,
+    };
+    let per_client = 25;
+    let train = spec.generate(num_clients * per_client, seed).unwrap();
+    let test = spec.generate(40, seed + 1).unwrap();
+    let enc = RandomProjectionEncoder::new(FDIM, 40, 3).unwrap();
+    let h_train = enc.encode_batch(&train.features).unwrap();
+    let h_test = enc.encode_batch(&test.features).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let parts = Partition::Iid
+        .split(&train.labels, num_clients, &mut rng)
+        .unwrap();
+    let clients: Vec<HdClientData> = parts
+        .iter()
+        .map(|idx| {
+            let mut data = Vec::new();
+            let mut labels = Vec::new();
+            for &i in idx {
+                data.extend_from_slice(h_train.row(i).unwrap());
+                labels.push(train.labels[i]);
+            }
+            HdClientData {
+                hypervectors: Tensor::from_vec(data, &[idx.len(), FDIM]).unwrap(),
+                labels,
+            }
+        })
+        .collect();
+    let config = FlConfig {
+        num_clients,
+        rounds: 1,
+        local_epochs: 1,
+        batch_size: 10,
+        client_fraction: 1.0,
+        seed: 7,
+    };
+    let global = HdModel::new(5, FDIM).unwrap();
+    let mut fed = HdFederation::new(global, clients, config, HdTransport::Float).unwrap();
+    let test_data = HdClientData {
+        hypervectors: h_test,
+        labels: test.labels,
+    };
+    let history = fed
+        .run(&NoiselessChannel::new(), &test_data, "alloc")
+        .unwrap();
+    history.rounds[0].mem_peak_bytes
+}
+
+#[test]
+fn round_peak_memory_scales_with_client_count() {
+    // Minimum of three runs per count: concurrent allocation traffic
+    // can only push a peak up, never down, so the min is the cleanest
+    // observation of the engine's own footprint.
+    let min_peak = |n: usize| {
+        (0..3)
+            .map(|i| run_one_round(n, 100 + i))
+            .min()
+            .expect("three runs")
+    };
+    let small = min_peak(2);
+    let large = min_peak(16);
+    assert!(small > 0, "2-client round recorded no peak");
+    assert!(
+        large > small,
+        "peak did not grow with clients: 2 -> {small}, 16 -> {large}"
+    );
+    assert!(
+        large as f64 >= 2.0 * small as f64,
+        "aggregation is expected to hold O(clients) update state \
+         (2 clients peaked at {small} B, 16 at {large} B); if this now \
+         scales sublinearly, ROADMAP item 2's streaming aggregation \
+         landed — update this lockdown and EXPERIMENTS.md"
+    );
+}

@@ -11,7 +11,11 @@
 //!
 //! Span *durations* are the one telemetry field that legitimately varies
 //! with scheduling (workers interleave their clock reads), so the event
-//! comparison excludes `kind == span` and nothing else.
+//! comparison excludes `kind == span`. Memory watermarks (`mem.*` events
+//! and the `mem_*` fields of round metrics and health records) measure
+//! the process's real heap, which depends on thread count and on what
+//! else the test harness has allocated — the comparison zeroes them, and
+//! a dedicated test pins that they are live (nonzero) instead.
 //!
 //! The CI matrix additionally exports `FHDNN_TEST_THREADS`; when set, the
 //! value joins the compared thread counts.
@@ -30,7 +34,7 @@ use fhdnn::hdc::encoder::RandomProjectionEncoder;
 use fhdnn::hdc::model::HdModel;
 use fhdnn::nn::models::small_cnn;
 use fhdnn::telemetry::clock::ManualClock;
-use fhdnn::telemetry::event::{Event, EventKind};
+use fhdnn::telemetry::event::{Event, EventKind, FieldValue};
 use fhdnn::telemetry::sink::MemorySink;
 use fhdnn::telemetry::{Recorder, Telemetry};
 use fhdnn::tensor::Tensor;
@@ -62,21 +66,36 @@ fn memory_recorder() -> (Telemetry, Arc<MemorySink>) {
 }
 
 /// Every captured event except spans, whose durations depend on how
-/// workers interleave clock reads. Everything else — counters, gauges,
-/// histograms, `health.round` records, and all timestamps — must be
-/// deterministic.
+/// workers interleave clock reads. Raw memory watermarks are likewise
+/// environment-dependent (see the module docs), so `mem.*` events drop
+/// and the `mem_*` fields of `health.round` events zero. Everything
+/// else — counters, gauges, histograms, `health.round` records, and all
+/// timestamps — must be deterministic.
 fn non_span_events(sink: &MemorySink) -> Vec<Event> {
     sink.events()
         .into_iter()
-        .filter(|e| e.kind != EventKind::Span)
+        .filter(|e| e.kind != EventKind::Span && !e.name.starts_with("mem."))
+        .map(|mut e| {
+            if e.name == "health.round" {
+                for key in ["mem_peak_bytes", "mem_allocs", "mem_bytes_per_client"] {
+                    if let Some(v) = e.fields.get_mut(key) {
+                        *v = FieldValue::U64(0);
+                    }
+                }
+            }
+            e
+        })
         .collect()
 }
 
-/// The run history as the bytes `--save` would write, with the one
-/// legitimately wall-clock-dependent field zeroed.
+/// The run history as the bytes `--save` would write, with the
+/// legitimately wall-clock- and heap-state-dependent fields zeroed.
 fn canonical_history_json(mut history: RunHistory) -> String {
     for r in &mut history.rounds {
         r.round_seconds = 0.0;
+        r.mem_peak_bytes = 0;
+        r.mem_allocs = 0;
+        r.mem_bytes_per_client = 0;
     }
     serde_json::to_string(&history).unwrap()
 }
@@ -257,6 +276,39 @@ fn fedavg_outputs_identical_at_every_thread_count() {
             "model bytes diverged at {threads} threads"
         );
     }
+}
+
+/// The watermarks the comparison above zeroes out are actually live: an
+/// instrumented run attributes a nonzero allocation volume to every
+/// round, and the stream carries `mem.*` events.
+#[test]
+fn rounds_carry_nonzero_memory_watermarks() {
+    let (mut fed, test) = build_hd_federation(0);
+    fed.set_threads(2);
+    let (tel, sink) = memory_recorder();
+    fed.set_telemetry(tel.clone());
+    let channel = PacketLossChannel::new(0.2, 256).unwrap();
+    let history = fed.run(&channel, &test, "det").unwrap();
+    tel.flush();
+    for r in &history.rounds {
+        assert!(
+            r.mem_allocs > 0,
+            "round {} recorded no allocations",
+            r.round
+        );
+        assert!(r.mem_peak_bytes > 0, "round {} has no peak", r.round);
+        assert!(
+            r.mem_bytes_per_client > 0,
+            "round {} has no per-client volume",
+            r.round
+        );
+    }
+    let mem_events = sink
+        .events()
+        .iter()
+        .filter(|e| e.name.starts_with("mem."))
+        .count();
+    assert!(mem_events > 0, "no mem.* events in an instrumented stream");
 }
 
 /// The uninstrumented path must agree with the instrumented one at any

@@ -1,7 +1,8 @@
 //! End-to-end model-health flight recorder: both federation engines emit
 //! `health.round` records, severe channel damage trips the alert engine,
 //! clean runs stay quiet, and the `fhdnn watch` dashboard is a
-//! byte-deterministic function of the recorded stream.
+//! byte-deterministic function of the recorded stream (modulo the raw
+//! memory watermarks, which measure the process's real heap).
 
 use std::sync::Arc;
 
@@ -193,21 +194,77 @@ fn fedavg_emits_health_records_too() {
     assert!(dash.records()[1].norm_mean > 0.0);
 }
 
+/// Zeroes one `"key":<digits>` field in a hand-rolled JSON line.
+fn zero_field(line: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":");
+    match line.find(&pat) {
+        Some(i) => {
+            let start = i + pat.len();
+            let end = line[start..]
+                .find(|c: char| !c.is_ascii_digit())
+                .map(|o| start + o)
+                .unwrap_or(line.len());
+            format!("{}0{}", &line[..start], &line[end..])
+        }
+        None => line.to_string(),
+    }
+}
+
+/// Raw memory watermarks measure the process's real heap, which depends
+/// on what earlier runs and concurrent tests left live (see
+/// tests/telemetry.rs), so cross-recording comparison drops `mem.*`
+/// lines and zeroes the watermark fields of health records. The event
+/// serializer emits sorted keys, so plain text surgery is exact.
+fn canonical(stream: &str) -> String {
+    stream
+        .lines()
+        .filter(|l| !l.contains("\"name\":\"mem."))
+        .map(|l| {
+            let mut l = l.to_string();
+            for key in ["mem_peak_bytes", "mem_allocs", "mem_bytes_per_client"] {
+                l = zero_field(&l, key);
+            }
+            l
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 #[test]
 fn dashboard_replay_is_byte_deterministic() {
-    // Two independently recorded same-seed runs produce the same stream,
-    // and replaying one stream twice renders the same bytes — the
-    // property `fhdnn watch --from` relies on.
+    // Two independently recorded same-seed runs produce the same stream
+    // (modulo the raw memory watermarks), and replaying one stream twice
+    // renders the same bytes — the property `fhdnn watch --from` relies
+    // on.
     let a = impaired_stream(3);
     let b = impaired_stream(3);
-    assert_eq!(a, b, "same-seed streams diverged");
+    let (ca, cb) = (canonical(&a), canonical(&b));
+    assert_eq!(ca, cb, "same-seed streams diverged");
+    // Replaying one recording twice is byte-deterministic, memory rows
+    // and all.
     let render_a = Dashboard::from_jsonl_str(&a).render();
-    let render_b = Dashboard::from_jsonl_str(&b).render();
-    assert_eq!(render_a, render_b, "replayed dashboards diverged");
+    assert_eq!(
+        render_a,
+        Dashboard::from_jsonl_str(&a).render(),
+        "replayed dashboards diverged"
+    );
     assert!(render_a.contains("fhdnn watch — fedhd"));
+    assert!(
+        render_a.contains("mem peak"),
+        "instrumented replay renders the memory rows"
+    );
+    // Across recordings, the canonicalized dashboards agree.
+    assert_eq!(
+        Dashboard::from_jsonl_str(&ca).render(),
+        Dashboard::from_jsonl_str(&cb).render()
+    );
     // The Prometheus export is equally deterministic.
     assert_eq!(
         Dashboard::from_jsonl_str(&a).prometheus(),
-        Dashboard::from_jsonl_str(&b).prometheus()
+        Dashboard::from_jsonl_str(&a).prometheus()
+    );
+    assert_eq!(
+        Dashboard::from_jsonl_str(&ca).prometheus(),
+        Dashboard::from_jsonl_str(&cb).prometheus()
     );
 }

@@ -1,7 +1,8 @@
 //! End-to-end telemetry: a seeded federated run streams a JSONL event log
 //! that is parseable line-by-line, names every expected span and counter,
 //! agrees with the run's byte accounting, and is byte-identical across
-//! same-seed runs under an injected manual clock.
+//! same-seed runs under an injected manual clock (modulo the raw memory
+//! watermarks, which measure the process's real heap).
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -142,6 +143,19 @@ fn jsonl_stream_is_parseable_and_names_every_stage() {
     }
     assert!(seen.contains(&("gauge".into(), "fl.test_accuracy".into())));
     assert!(seen.contains(&("hist".into(), "fl.round_micros".into())));
+    // The tracked allocator's per-round watermarks ride the same stream.
+    for mem in ["mem.allocs", "mem.alloc_bytes"] {
+        assert!(
+            seen.contains(&("counter".into(), mem.into())),
+            "missing counter {mem}"
+        );
+    }
+    for mem in ["mem.peak_bytes", "mem.live_bytes"] {
+        assert!(
+            seen.contains(&("gauge".into(), mem.into())),
+            "missing gauge {mem}"
+        );
+    }
     // The lossy channel must surface as realized impairments.
     assert!(seen.contains(&("counter".into(), "chan.dims_erased".into())));
     assert!(tel.counter_value("chan.dims_erased") > 0);
@@ -160,6 +174,32 @@ fn jsonl_stream_is_parseable_and_names_every_stage() {
     assert_eq!(tel.counter_value("fl.rounds"), history.rounds.len() as u64);
 }
 
+/// Canonicalizes a stream for cross-run comparison: raw memory
+/// watermarks measure the process's real heap, which depends on what
+/// earlier runs and concurrent tests left live, so `mem.*` lines drop
+/// and the `mem_*` fields of `health.round` lines zero. Everything else
+/// — including the span-attributed allocation fields, which are
+/// thread-local deltas — must be byte-identical.
+fn canonical_stream(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        let mut v: serde_json::Value = serde_json::from_str(line).unwrap();
+        let name = v["name"].as_str().unwrap_or_default().to_string();
+        if name.starts_with("mem.") {
+            continue;
+        }
+        if name == "health.round" {
+            let fields = v["fields"].as_object_mut().unwrap();
+            for key in ["mem_peak_bytes", "mem_allocs", "mem_bytes_per_client"] {
+                fields.insert(key.to_string(), 0u64.into());
+            }
+        }
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    out
+}
+
 #[test]
 fn same_seed_streams_are_byte_identical() {
     let pa = temp_path("identical-a");
@@ -167,8 +207,8 @@ fn same_seed_streams_are_byte_identical() {
     let channel = PacketLossChannel::new(0.3, 256).unwrap();
     let (ha, _) = run_with_jsonl(&pa, &channel);
     let (hb, _) = run_with_jsonl(&pb, &channel);
-    let a = std::fs::read(&pa).unwrap();
-    let b = std::fs::read(&pb).unwrap();
+    let a = canonical_stream(&std::fs::read_to_string(&pa).unwrap());
+    let b = canonical_stream(&std::fs::read_to_string(&pb).unwrap());
     std::fs::remove_file(&pa).ok();
     std::fs::remove_file(&pb).ok();
     assert_eq!(ha, hb, "histories diverged under one seed");
