@@ -18,6 +18,7 @@ use fhdnn::hdc::packed::{pack_signs, pack_signs_i32, reference::ReferenceHdModel
 use fhdnn::hdc::quantizer::quantize;
 use fhdnn::nn::conv::{Conv2d, ConvGeometry};
 use fhdnn::nn::{Layer, Mode};
+use fhdnn::telemetry::Recorder;
 use fhdnn::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -100,6 +101,10 @@ pub fn round_benches() -> Vec<Bench> {
         Bench {
             name: "round.fedhd_parallel",
             run: bench_round_parallel,
+        },
+        Bench {
+            name: "round.fedhd_traced",
+            run: bench_round_traced,
         },
     ]
 }
@@ -331,6 +336,20 @@ fn bench_round_parallel(cfg: &BenchConfig) -> BenchResult {
     fed.set_threads(0);
     let channel = PacketLossChannel::new(0.1, 256).expect("channel");
     run_bench("round.fedhd_parallel", cfg, 10, 1.0, || {
+        black_box(fed.run_round(&channel, &test).expect("round"));
+    })
+}
+
+fn bench_round_traced(cfg: &BenchConfig) -> BenchResult {
+    // The same quantized round with an enabled recorder, so every task
+    // pays the execution tracer (clock stamps, trace.task events, the
+    // critical-path summary): the measured gap against
+    // `round.fedhd_quantized` is the tracing-overhead budget the
+    // baseline check enforces.
+    let (mut fed, test) = build_federation(HdTransport::Quantized { bitwidth: 8 });
+    fed.set_telemetry(Recorder::in_memory());
+    let channel = PacketLossChannel::new(0.1, 256).expect("channel");
+    run_bench("round.fedhd_traced", cfg, 10, 1.0, || {
         black_box(fed.run_round(&channel, &test).expect("round"));
     })
 }

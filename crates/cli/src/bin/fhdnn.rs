@@ -12,8 +12,8 @@ use fhdnn::telemetry::profile::Profile;
 use fhdnn::telemetry::sink::MemorySink;
 use fhdnn::telemetry::{Recorder, Telemetry};
 use fhdnn_cli::{
-    open_telemetry, parse_channel, Cli, Command, Dashboard, LintArgs, ProfileArgs, SimulateArgs,
-    Verbosity, WatchArgs,
+    open_telemetry, parse_channel, trace_view, Cli, Command, Dashboard, LintArgs, ProfileArgs,
+    SimulateArgs, TraceArgs, Verbosity, WatchArgs,
 };
 
 fn main() -> ExitCode {
@@ -43,6 +43,7 @@ fn main() -> ExitCode {
         Command::Info { ckpt } => info(&ckpt),
         Command::Profile(args) => profile(args),
         Command::Watch(args) => watch(args),
+        Command::Trace(args) => trace(args),
         Command::Export { from, prom } => export(&from, &prom),
         Command::Lint(args) => lint(args),
     };
@@ -285,6 +286,58 @@ fn watch(args: WatchArgs) -> Result<(), String> {
         }
     };
     print!("{}", dash.render());
+    Ok(())
+}
+
+/// `fhdnn trace`: renders the round-anatomy execution trace either by
+/// replaying a recorded `--telemetry` JSONL stream (`--from`, a pure and
+/// therefore byte-deterministic function of the stream) or by running a
+/// fresh simulation with an enabled recorder and reading its trace ring.
+/// `--chrome` additionally writes the dual-lane timeline as Chrome
+/// trace-event JSON (loadable in Perfetto / chrome://tracing).
+fn trace(args: TraceArgs) -> Result<(), String> {
+    let rows = match &args.from {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            trace_view::rows_from_jsonl_str(&text)
+        }
+        None => {
+            let sim = &args.sim;
+            let channel = parse_channel(&sim.channel)?;
+            let spec = build_spec(sim);
+            // Tracing needs an enabled recorder even under --quiet; the
+            // stream still goes to --telemetry when requested.
+            let tel = match &sim.telemetry {
+                Some(path) => open_telemetry(path)?,
+                None => Recorder::in_memory(),
+            };
+            if sim.verbosity != Verbosity::Quiet {
+                println!(
+                    "fhdnn trace: workload={} channel={} rounds={} transport={:?}",
+                    sim.workload, sim.channel, spec.fl.rounds, sim.transport
+                );
+            }
+            let mut extractor = spec.build_extractor().map_err(|e| e.to_string())?;
+            let mut system = spec
+                .build_fhdnn_with_telemetry(&mut extractor, tel.clone())
+                .map_err(|e| e.to_string())?;
+            system
+                .run(channel.as_ref(), "trace")
+                .map_err(|e| e.to_string())?;
+            tel.flush();
+            tel.trace_snapshot()
+        }
+    };
+    print!("{}", trace_view::render_summaries(&rows));
+    if let Some(path) = &args.chrome {
+        let json = fhdnn::telemetry::trace::chrome_trace(&rows);
+        if path == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+            println!("chrome trace written to {path} (load in Perfetto / chrome://tracing)");
+        }
+    }
     Ok(())
 }
 

@@ -42,6 +42,9 @@ pub enum Command {
     Profile(ProfileArgs),
     /// Render the model-health dashboard, live or from a recorded stream.
     Watch(WatchArgs),
+    /// Render the round-anatomy execution trace (per-worker timelines,
+    /// critical path), live or from a recorded stream.
+    Trace(TraceArgs),
     /// Export the latest health snapshot from a recorded stream.
     Export {
         /// Recorded `--telemetry` JSONL stream to read.
@@ -81,6 +84,20 @@ pub struct WatchArgs {
     /// fresh simulation.
     pub from: Option<String>,
     /// Simulation to watch when `from` is absent (same flags as
+    /// `simulate`).
+    pub sim: SimulateArgs,
+}
+
+/// Arguments for `trace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceArgs {
+    /// Replay a recorded `--telemetry` JSONL stream instead of running a
+    /// fresh simulation.
+    pub from: Option<String>,
+    /// Optional Chrome trace-event JSON output path (`-` for stdout),
+    /// loadable in Perfetto / chrome://tracing.
+    pub chrome: Option<String>,
+    /// Simulation to trace when `from` is absent (same flags as
     /// `simulate`).
     pub sim: SimulateArgs,
 }
@@ -283,6 +300,14 @@ commands:
              --from PATH                      replay a recorded --telemetry JSONL
                                               stream (deterministic render)
              plus any simulate flags when running live
+  trace      round-anatomy execution trace of a simulation (or a recorded
+             stream): per-round critical path, worker utilization, queue
+             depth, dual-lane (measured + simulated AIoT) timelines
+             --from PATH                      replay a recorded --telemetry JSONL
+                                              stream (deterministic render)
+             --chrome PATH                    also write Chrome trace-event JSON
+                                              (Perfetto-loadable; '-' for stdout)
+             plus any simulate flags when running live
   export     --from PATH --prom PATH          write the latest health snapshot
                                               in Prometheus text exposition
                                               format (PATH '-' for stdout)
@@ -348,6 +373,14 @@ impl Cli {
                 let from = get_value("--from")?;
                 Ok(Cli {
                     command: Command::Watch(WatchArgs { from, sim }),
+                })
+            }
+            "trace" => {
+                let sim = parse_simulate_args(&rest)?;
+                let from = get_value("--from")?;
+                let chrome = get_value("--chrome")?;
+                Ok(Cli {
+                    command: Command::Trace(TraceArgs { from, chrome, sim }),
                 })
             }
             "export" => {
@@ -557,6 +590,27 @@ mod tests {
         assert_eq!(w.sim.workload, Workload::Mnist);
         assert_eq!(w.sim.channel, "ber:1e-3");
         assert_eq!(w.sim.rounds, 4);
+    }
+
+    #[test]
+    fn trace_parses_replay_and_live_forms() {
+        let cli = Cli::parse(&args("trace --from run.jsonl --chrome out.json")).unwrap();
+        let Command::Trace(t) = cli.command else {
+            panic!("expected trace");
+        };
+        assert_eq!(t.from.as_deref(), Some("run.jsonl"));
+        assert_eq!(t.chrome.as_deref(), Some("out.json"));
+
+        let cli = Cli::parse(&args("trace --workload mnist --rounds 2 --threads 4")).unwrap();
+        let Command::Trace(t) = cli.command else {
+            panic!("expected trace");
+        };
+        assert_eq!(t.from, None);
+        assert_eq!(t.chrome, None);
+        assert_eq!(t.sim.workload, Workload::Mnist);
+        assert_eq!(t.sim.rounds, 2);
+        assert_eq!(t.sim.threads, 4);
+        assert!(Cli::parse(&args("trace --chrome")).is_err());
     }
 
     #[test]

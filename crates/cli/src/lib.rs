@@ -7,6 +7,7 @@
 //! ```text
 //! fhdnn simulate --workload cifar --channel packet:0.2 --rounds 10
 //! fhdnn watch --from trace.jsonl
+//! fhdnn trace --from trace.jsonl --chrome out.json
 //! fhdnn lint --json
 //! fhdnn export --from trace.jsonl --prom health.prom
 //! fhdnn pretrain --workload fashion --out extractor.json
@@ -23,9 +24,12 @@
 pub mod channel_spec;
 pub mod config;
 pub mod telemetry_out;
+pub mod trace_view;
 pub mod watch;
 
 pub use channel_spec::parse_channel;
-pub use config::{Cli, Command, LintArgs, ProfileArgs, SimulateArgs, Verbosity, WatchArgs};
+pub use config::{
+    Cli, Command, LintArgs, ProfileArgs, SimulateArgs, TraceArgs, Verbosity, WatchArgs,
+};
 pub use telemetry_out::open_telemetry;
 pub use watch::Dashboard;

@@ -12,7 +12,7 @@
 use fhdnn::federated::health::HealthRecord;
 use fhdnn::telemetry::jsonl::{self, Value};
 use fhdnn::telemetry::mem::fmt_bytes;
-use fhdnn::telemetry::registry::{EVENT_ALERT, EVENT_HEALTH_ROUND};
+use fhdnn::telemetry::registry::{EVENT_ALERT, EVENT_HEALTH_ROUND, EVENT_TRACE_ROUND};
 use std::fmt::Write as _;
 
 /// How many trailing rounds the per-round table shows; earlier rounds are
@@ -32,11 +32,53 @@ pub struct AlertRow {
     pub message: String,
 }
 
+/// One per-round execution-trace summary recovered from the stream
+/// (the `trace.round` event the round engines emit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRow {
+    /// Round index.
+    pub round: u64,
+    /// Engine tag (`fedhd` / `fedavg`).
+    pub engine: String,
+    /// Traced tasks (sampled participants).
+    pub tasks: u64,
+    /// Distinct pool workers that executed tasks.
+    pub workers: u64,
+    /// Measured fraction of worker capacity spent executing.
+    pub worker_utilization: f64,
+    /// Peak count of tasks enqueued but not yet started.
+    pub queue_depth_max: u64,
+    /// Client whose simulated cost bounded the barrier.
+    pub critical_client: u64,
+    /// The critical client's simulated cost, microseconds.
+    pub sim_critical_micros: u64,
+    /// Simulated AIoT wall time of the whole round, microseconds.
+    pub sim_round_micros: u64,
+}
+
+impl TraceRow {
+    fn from_event_fields(fields: &Value) -> Option<TraceRow> {
+        let get_u64 = |key: &str| -> Option<u64> { Some(fields.get(key)?.as_f64()? as u64) };
+        Some(TraceRow {
+            round: get_u64("round")?,
+            engine: fields.get("engine")?.as_str()?.to_string(),
+            tasks: get_u64("tasks")?,
+            workers: get_u64("workers")?,
+            worker_utilization: fields.get("worker_utilization")?.as_f64()?,
+            queue_depth_max: get_u64("queue_depth_max")?,
+            critical_client: get_u64("critical_client")?,
+            sim_critical_micros: get_u64("sim_critical_micros")?,
+            sim_round_micros: get_u64("sim_round_micros")?,
+        })
+    }
+}
+
 /// A replayable model-health dashboard.
 #[derive(Debug, Clone, Default)]
 pub struct Dashboard {
     records: Vec<HealthRecord>,
     alerts: Vec<AlertRow>,
+    traces: Vec<TraceRow>,
 }
 
 impl Dashboard {
@@ -64,6 +106,11 @@ impl Dashboard {
                 Some(EVENT_HEALTH_ROUND) => {
                     if let Some(rec) = HealthRecord::from_event_fields(fields) {
                         dash.records.push(rec);
+                    }
+                }
+                Some(EVENT_TRACE_ROUND) => {
+                    if let Some(row) = TraceRow::from_event_fields(fields) {
+                        dash.traces.push(row);
                     }
                 }
                 Some(EVENT_ALERT) => {
@@ -99,6 +146,12 @@ impl Dashboard {
     /// Parsed `alert` events, in stream order.
     pub fn alerts(&self) -> &[AlertRow] {
         &self.alerts
+    }
+
+    /// Parsed `trace.round` summaries, in stream order. Empty for
+    /// streams recorded before execution tracing existed.
+    pub fn traces(&self) -> &[TraceRow] {
+        &self.traces
     }
 
     /// Renders the dashboard. The output is a pure function of the
@@ -179,6 +232,17 @@ impl Dashboard {
                 fmt_bytes(run_max as u64)
             );
         }
+        // Streams recorded before execution tracing carry no trace.round
+        // events — the worker row only appears when the stream has them.
+        if let Some(t) = self.traces.last() {
+            let _ = writeln!(
+                out,
+                "workers     {}  util of {} worker(s), max queue {}",
+                gauge(t.worker_utilization, 24),
+                t.workers,
+                t.queue_depth_max
+            );
+        }
         let _ = writeln!(
             out,
             "divergence  mean {:.4}  max |z| {:.2}{}",
@@ -203,9 +267,20 @@ impl Dashboard {
         if skip > 0 {
             let _ = writeln!(out, "(… {skip} earlier rounds elided …)");
         }
-        out.push_str(
-            "round  accuracy  sat%   margin  flip%  div     max|z|  bits  erased  drops  outliers\n",
-        );
+        // Traced streams gain a critical-path column (which client's
+        // simulated cost bounded the barrier); untraced streams render
+        // the pre-trace table byte-for-byte.
+        let has_traces = !self.traces.is_empty();
+        let trace_of: std::collections::BTreeMap<(&str, u64), &TraceRow> = self
+            .traces
+            .iter()
+            .map(|t| ((t.engine.as_str(), t.round), t))
+            .collect();
+        out.push_str(if has_traces {
+            "round  accuracy  sat%   margin  flip%  div     max|z|  bits  erased  drops  crit  outliers\n"
+        } else {
+            "round  accuracy  sat%   margin  flip%  div     max|z|  bits  erased  drops  outliers\n"
+        });
         for r in &self.records[skip..] {
             let outliers = if r.outlier_clients.is_empty() {
                 "-".to_string()
@@ -216,9 +291,9 @@ impl Dashboard {
                     .collect::<Vec<_>>()
                     .join(",")
             };
-            let _ = writeln!(
+            let _ = write!(
                 out,
-                "{:>5}  {:.4}    {:>5.1}  {:.4}  {:>5.1}  {:.4}  {:>6.2}  {:>4}  {:>6}  {:>5}  {}",
+                "{:>5}  {:.4}    {:>5.1}  {:.4}  {:>5.1}  {:.4}  {:>6.2}  {:>4}  {:>6}  {:>5}",
                 r.round,
                 r.test_accuracy,
                 r.saturation * 100.0,
@@ -229,8 +304,15 @@ impl Dashboard {
                 r.bits_flipped,
                 r.dims_erased,
                 r.packets_dropped,
-                outliers
             );
+            if has_traces {
+                let crit = trace_of
+                    .get(&(r.engine.as_str(), r.round))
+                    .map(|t| t.critical_client.to_string())
+                    .unwrap_or_else(|| "-".to_string());
+                let _ = write!(out, "  {crit:>4}");
+            }
+            let _ = writeln!(out, "  {outliers}");
         }
         out.push('\n');
         self.render_alerts(&mut out);
@@ -257,94 +339,108 @@ impl Dashboard {
     /// latest-round values and counters for run totals. Empty streams
     /// produce only the alert totals (both zero).
     pub fn prometheus(&self) -> String {
-        let mut out = String::new();
-        let mut gauge_metric = |name: &str, help: &str, labels: &str, value: f64| {
+        fn gauge_metric(out: &mut String, name: &str, help: &str, labels: &str, value: f64) {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} gauge");
             let v = if value.is_finite() { value } else { 0.0 };
             let _ = writeln!(out, "{name}{labels} {v}");
-        };
+        }
+        let mut out = String::new();
         if let Some(last) = self.records.last() {
             let labels = format!("{{engine=\"{}\"}}", last.engine.replace('"', ""));
             gauge_metric(
+                &mut out,
                 "fhdnn_health_round",
                 "Latest federated round index.",
                 &labels,
                 last.round as f64,
             );
             gauge_metric(
+                &mut out,
                 "fhdnn_health_test_accuracy",
                 "Global-model test accuracy after aggregation.",
                 &labels,
                 last.test_accuracy,
             );
             gauge_metric(
+                &mut out,
                 "fhdnn_health_participants",
                 "Clients sampled in the latest round.",
                 &labels,
                 last.participants as f64,
             );
             gauge_metric(
+                &mut out,
                 "fhdnn_health_arrived",
                 "Client updates that arrived in the latest round.",
                 &labels,
                 last.arrived as f64,
             );
             gauge_metric(
+                &mut out,
                 "fhdnn_health_norm_mean",
                 "Mean per-class prototype L2 norm.",
                 &labels,
                 last.norm_mean,
             );
             gauge_metric(
+                &mut out,
                 "fhdnn_health_saturation",
                 "Counter-saturation fraction of the quantized global model.",
                 &labels,
                 last.saturation,
             );
             gauge_metric(
+                &mut out,
                 "fhdnn_health_cosine_margin",
                 "Minimum pairwise inter-class cosine separation.",
                 &labels,
                 last.cosine_margin,
             );
             gauge_metric(
+                &mut out,
                 "fhdnn_health_sign_flip_rate",
                 "Fraction of model entries that flipped sign last round.",
                 &labels,
                 last.sign_flip_rate,
             );
             gauge_metric(
+                &mut out,
                 "fhdnn_health_mean_divergence",
                 "Mean cosine distance of client deltas from the aggregate.",
                 &labels,
                 last.mean_divergence,
             );
             gauge_metric(
+                &mut out,
                 "fhdnn_health_max_abs_z",
                 "Largest client divergence |z-score| in the latest round.",
                 &labels,
                 last.max_abs_z,
             );
             gauge_metric(
+                &mut out,
                 "fhdnn_health_outlier_clients",
                 "Clients flagged as divergence outliers in the latest round.",
                 &labels,
                 last.outlier_clients.len() as f64,
             );
             gauge_metric(
+                &mut out,
                 "fhdnn_mem_peak_bytes",
                 "Peak heap bytes above the round-start level, latest round.",
                 &labels,
                 last.mem_peak_bytes as f64,
             );
             gauge_metric(
+                &mut out,
                 "fhdnn_mem_allocs",
                 "Heap allocations during the latest round.",
                 &labels,
                 last.mem_allocs as f64,
             );
             gauge_metric(
+                &mut out,
                 "fhdnn_mem_bytes_per_client",
                 "Gross bytes allocated per sampled client, latest round.",
                 &labels,
@@ -372,6 +468,37 @@ impl Dashboard {
                 let _ = writeln!(out, "# TYPE {name} counter");
                 let _ = writeln!(out, "{name}{labels} {value}");
             }
+        }
+        if let Some(t) = self.traces.last() {
+            let labels = format!("{{engine=\"{}\"}}", t.engine.replace('"', ""));
+            gauge_metric(
+                &mut out,
+                "fhdnn_trace_worker_utilization",
+                "Fraction of pool-worker capacity spent executing, latest round.",
+                &labels,
+                t.worker_utilization,
+            );
+            gauge_metric(
+                &mut out,
+                "fhdnn_trace_queue_depth_max",
+                "Peak count of tasks enqueued but not yet started, latest round.",
+                &labels,
+                t.queue_depth_max as f64,
+            );
+            gauge_metric(
+                &mut out,
+                "fhdnn_trace_critical_client",
+                "Client whose simulated cost bounded the latest round's barrier.",
+                &labels,
+                t.critical_client as f64,
+            );
+            gauge_metric(
+                &mut out,
+                "fhdnn_trace_sim_round_micros",
+                "Simulated AIoT wall time of the latest round, microseconds.",
+                &labels,
+                t.sim_round_micros as f64,
+            );
         }
         let warnings = self
             .alerts
@@ -564,10 +691,75 @@ mod tests {
         assert!(text.contains("fhdnn_mem_bytes_per_client{engine=\"fedhd\"} 524288"));
     }
 
+    /// A `trace.round` execution-trace summary event, as the round
+    /// engines emit since round-anatomy tracing landed.
+    fn trace_line(round: u64, critical: u64, util: f64) -> String {
+        format!(
+            concat!(
+                r#"{{"ts":{ts},"kind":"event","name":"trace.round","fields":{{"#,
+                r#""critical_client":{critical},"engine":"fedhd","queue_depth_max":3,"#,
+                r#""round":{round},"sim_critical_micros":210000,"sim_round_micros":320000,"#,
+                r#""tasks":4,"worker_utilization":{util},"workers":2}}}}"#
+            ),
+            ts = round * 10 + 7,
+            round = round,
+            critical = critical,
+            util = util,
+        )
+    }
+
+    #[test]
+    fn trace_rows_render_worker_gauge_and_critical_column() {
+        // Pre-trace streams must keep the pre-trace dashboard exactly.
+        let old = Dashboard::from_jsonl_str(&fixture_stream());
+        assert!(old.traces().is_empty());
+        let old_render = old.render();
+        assert!(!old_render.contains("workers"), "{old_render}");
+        assert!(!old_render.contains("crit"), "{old_render}");
+
+        let mut s = fixture_stream();
+        s.push_str(&trace_line(1, 3, 0.75));
+        s.push('\n');
+        let dash = Dashboard::from_jsonl_str(&s);
+        assert_eq!(dash.traces().len(), 1);
+        assert_eq!(dash.traces()[0].critical_client, 3);
+        assert_eq!(dash.traces()[0].sim_round_micros, 320_000);
+        let r = dash.render();
+        assert!(r.contains("workers"), "{r}");
+        assert!(r.contains("util of 2 worker(s), max queue 3"), "{r}");
+        assert!(r.contains("75.0%"), "{r}");
+        assert!(r.contains("crit"), "{r}");
+        // Round 1 names client 3 on the critical path; round 0 predates
+        // the trace and renders '-'.
+        let row1 = r.lines().find(|l| l.starts_with("    1")).unwrap();
+        assert!(row1.contains('3'), "{row1}");
+        let row0 = r.lines().find(|l| l.starts_with("    0")).unwrap();
+        assert!(row0.contains('-'), "{row0}");
+        assert_eq!(r, Dashboard::from_jsonl_str(&s).render());
+    }
+
+    #[test]
+    fn trace_gauges_export_to_prometheus() {
+        let mut s = fixture_stream();
+        s.push_str(&trace_line(1, 3, 0.75));
+        s.push('\n');
+        let text = Dashboard::from_jsonl_str(&s).prometheus();
+        assert!(text.contains("# TYPE fhdnn_trace_worker_utilization gauge"));
+        assert!(text.contains("fhdnn_trace_worker_utilization{engine=\"fedhd\"} 0.75"));
+        assert!(text.contains("fhdnn_trace_critical_client{engine=\"fedhd\"} 3"));
+        assert!(text.contains("fhdnn_trace_sim_round_micros{engine=\"fedhd\"} 320000"));
+        assert!(text.contains("fhdnn_trace_queue_depth_max{engine=\"fedhd\"} 3"));
+        // Pre-trace streams export no trace families at all.
+        let old = Dashboard::from_jsonl_str(&fixture_stream()).prometheus();
+        assert!(!old.contains("fhdnn_trace_"), "{old}");
+    }
+
     #[test]
     fn prometheus_families_all_have_help_and_type_and_replay_identically() {
         let mut s = fixture_stream();
         s.push_str(&mem_line(2, 0.9, 1 << 20, 1 << 16));
+        s.push('\n');
+        s.push_str(&trace_line(2, 1, 0.5));
         s.push('\n');
         let text = Dashboard::from_jsonl_str(&s).prometheus();
         assert_eq!(

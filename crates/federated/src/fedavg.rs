@@ -12,6 +12,7 @@
 //! stream split from the round seed, and the barrier reduces in fixed
 //! participant order, so results are byte-identical at any thread count.
 
+use fhdnn_channel::lte::LteLink;
 use fhdnn_channel::{Channel, ChannelStats, ChannelStatsSnapshot};
 use fhdnn_datasets::batcher::Batcher;
 use fhdnn_datasets::image::ImageDataset;
@@ -19,16 +20,19 @@ use fhdnn_nn::loss::{accuracy, cross_entropy};
 use fhdnn_nn::optim::{LrSchedule, Sgd};
 use fhdnn_nn::{Mode, Network};
 use fhdnn_telemetry::alert::{emit_alerts, AlertEngine};
+use fhdnn_telemetry::registry::EVENT_TRACE_ROUND;
 use fhdnn_telemetry::task::TaskBuffer;
+use fhdnn_telemetry::trace::TaskTrace;
 use fhdnn_telemetry::{Recorder, Telemetry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngCore, SeedableRng};
 
 use crate::config::FlConfig;
+use crate::cost::DeviceProfile;
 use crate::health::{divergence_summary, elementwise_delta, norm_stats, HealthRecord};
 use crate::metrics::{RoundMetrics, RunHistory};
-use crate::parallel::{resolve_threads, run_tasks, split_seed};
+use crate::parallel::{resolve_threads, run_tasks_traced, split_seed};
 use crate::sampling::sample_clients;
 use crate::{FedError, Result};
 
@@ -70,6 +74,8 @@ pub struct CnnFederation {
     upload_fraction: f32,
     lr_schedule: LrSchedule,
     threads: usize,
+    device: DeviceProfile,
+    link: LteLink,
     telemetry: Telemetry,
     channel_stats: ChannelStats,
     alerts: AlertEngine,
@@ -134,6 +140,8 @@ impl CnnFederation {
             upload_fraction: 1.0,
             lr_schedule: LrSchedule::Constant,
             threads: 1,
+            device: DeviceProfile::raspberry_pi_3b(),
+            link: LteLink::error_free(),
             telemetry: Recorder::disabled(),
             channel_stats: ChannelStats::new(),
             alerts: AlertEngine::default(),
@@ -178,6 +186,30 @@ impl CnnFederation {
     /// The configured thread-count knob (`0` = auto).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Sets the simulated AIoT device whose throughput costs each
+    /// client's local-training FLOPs on the trace's simulated lane.
+    /// Defaults to the paper's Raspberry Pi 3b profile.
+    pub fn set_device_profile(&mut self, device: DeviceProfile) {
+        self.device = device;
+    }
+
+    /// The simulated AIoT device profile.
+    pub fn device_profile(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// Sets the simulated LTE uplink whose airtime costs each update on
+    /// the trace's simulated lane. Defaults to the paper's error-free
+    /// (1.6 Mbit/s) link — conventional FL must transmit coded.
+    pub fn set_lte_link(&mut self, link: LteLink) {
+        self.link = link;
+    }
+
+    /// The simulated LTE uplink.
+    pub fn lte_link(&self) -> LteLink {
+        self.link
     }
 
     /// Enables compressed uploads: each round, every client transmits only
@@ -346,10 +378,21 @@ impl CnnFederation {
             })
             .collect();
         let threads = resolve_threads(self.threads);
+        // Simulated-lane inputs, fixed before the pool borrows the
+        // model: one SGD step on a single sample costs `per_sample_flops`
+        // on the configured device; the LTE link costs one (full-vector
+        // or compressed) update's uplink airtime.
+        let per_sample_flops = {
+            let mut dims = self.clients[0].images.dims().to_vec();
+            dims[0] = 1;
+            fhdnn_nn::flops::training_flops(&self.global, &dims)?
+        };
+        let sim_uplink_micros =
+            (self.link.airtime_seconds(self.update_bytes()) * 1e6).round() as u64;
         let (global, clients) = (&self.global, &self.clients);
         let (local_epochs, batch_size) = (self.config.local_epochs, self.config.batch_size);
         let (sgd, upload_fraction) = (self.sgd, self.upload_fraction);
-        let outcomes = run_tasks(tasks, threads, |_, task| {
+        let outcomes = run_tasks_traced(tasks, threads, &tel, |_, task| {
             let data = &clients[task.client];
             Self::run_client_task(
                 task,
@@ -374,10 +417,29 @@ impl CnnFederation {
         // arithmetic over values the round computes anyway; gated on an
         // enabled recorder so uninstrumented runs pay nothing.
         let mut client_deltas: Vec<Vec<f32>> = Vec::new();
-        for outcome in outcomes {
+        let mut rows: Vec<TaskTrace> = Vec::with_capacity(participants.len());
+        // Outcomes come back in task order == participant order, so the
+        // zip recovers each client id without widening ClientOutcome.
+        for ((outcome, timing), &client) in outcomes.into_iter().zip(&participants) {
             let outcome = outcome?;
             tel.absorb_task(outcome.buf);
             self.channel_stats.absorb(&outcome.stats);
+            // Simulated device cost is pure arithmetic over already-drawn
+            // state, so rows (and the RoundMetrics trace fields below)
+            // are identical with or without a recorder attached.
+            let flops = per_sample_flops * outcome.weight as u64 * local_epochs as u64;
+            rows.push(TaskTrace {
+                round: self.round as u64,
+                client: client as u64,
+                engine: "fedavg".into(),
+                // FedAvg as configured has no stragglers: every sampled
+                // client's update reaches the server.
+                arrived: true,
+                timing,
+                sim_compute_micros: (self.device.estimate(flops as f64)?.seconds * 1e6).round()
+                    as u64,
+                sim_uplink_micros,
+            });
             match &outcome.indices {
                 None => {
                     for (i, &u) in outcome.payload.iter().enumerate() {
@@ -440,6 +502,9 @@ impl CnnFederation {
         // covers the round's compute, not the diagnostics about it.
         let mem_delta = mem.finish();
         let mem_bytes_per_client = mem_delta.alloc_bytes / participants.len().max(1) as u64;
+        // Round anatomy: simulated critical path is deterministic at any
+        // thread count; the measured half is zero without a recorder.
+        let trace_summary = fhdnn_telemetry::trace::summarize_round(&rows);
 
         if tel.enabled() {
             tel.incr("fl.rounds", 1);
@@ -459,6 +524,35 @@ impl CnnFederation {
             );
             let chan_delta = self.channel_stats.snapshot().delta(&chan_before);
             crate::emit_channel_delta(&tel, chan_delta);
+
+            // Execution trace: one event per task (dual-lane timing) plus
+            // the round's critical-path summary, all on the main thread
+            // in participant order so replays are thread-count-stable.
+            for row in &rows {
+                tel.record_task_trace(row.clone());
+            }
+            tel.incr("trace.tasks", rows.len() as u64);
+            tel.gauge("trace.worker_utilization", trace_summary.worker_utilization);
+            tel.event(
+                EVENT_TRACE_ROUND,
+                &[
+                    ("critical_client", trace_summary.critical_client.into()),
+                    ("engine", trace_summary.engine.as_str().into()),
+                    ("queue_depth_max", trace_summary.queue_depth_max.into()),
+                    ("round", trace_summary.round.into()),
+                    (
+                        "sim_critical_micros",
+                        trace_summary.sim_critical_micros.into(),
+                    ),
+                    ("sim_round_micros", trace_summary.sim_round_micros.into()),
+                    ("tasks", trace_summary.tasks.into()),
+                    (
+                        "worker_utilization",
+                        trace_summary.worker_utilization.into(),
+                    ),
+                    ("workers", trace_summary.workers.into()),
+                ],
+            );
 
             // Flight record: the CNN has no class prototypes, so the HD
             // diagnostics degrade to whole-vector statistics (single norm,
@@ -506,6 +600,9 @@ impl CnnFederation {
             mem_peak_bytes: mem_delta.peak_bytes,
             mem_allocs: mem_delta.allocs,
             mem_bytes_per_client,
+            trace_critical_client: trace_summary.critical_client,
+            trace_sim_round_micros: trace_summary.sim_round_micros,
+            trace_worker_utilization: trace_summary.worker_utilization,
         };
         self.round += 1;
         Ok(metrics)

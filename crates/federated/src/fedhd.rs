@@ -14,11 +14,14 @@
 //!    sum (Eq. 1) while keeping float magnitudes bounded over hundreds of
 //!    rounds.
 
+use fhdnn_channel::lte::LteLink;
 use fhdnn_channel::{Channel, ChannelStats, ChannelStatsSnapshot};
 use fhdnn_hdc::model::HdModel;
 use fhdnn_hdc::quantizer::{dequantize, quantize};
 use fhdnn_telemetry::alert::{emit_alerts, AlertEngine};
+use fhdnn_telemetry::registry::EVENT_TRACE_ROUND;
 use fhdnn_telemetry::task::TaskBuffer;
+use fhdnn_telemetry::trace::TaskTrace;
 use fhdnn_telemetry::{Recorder, Telemetry};
 use fhdnn_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -26,9 +29,10 @@ use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::config::FlConfig;
+use crate::cost::{hd_refine_flops, DeviceProfile};
 use crate::health::{divergence_summary, elementwise_delta, HealthRecord, SATURATION_EPSILON};
 use crate::metrics::{RoundMetrics, RunHistory};
-use crate::parallel::{resolve_threads, run_tasks, split_seed};
+use crate::parallel::{resolve_threads, run_tasks_traced, split_seed};
 use crate::sampling::sample_clients;
 use crate::{FedError, Result};
 
@@ -121,6 +125,8 @@ pub struct HdFederation {
     straggler_prob: f64,
     adaptive_lr: Option<f32>,
     threads: usize,
+    device: DeviceProfile,
+    link: LteLink,
     telemetry: Telemetry,
     channel_stats: ChannelStats,
     alerts: AlertEngine,
@@ -187,6 +193,8 @@ impl HdFederation {
             straggler_prob: 0.0,
             adaptive_lr: None,
             threads: 1,
+            device: DeviceProfile::raspberry_pi_3b(),
+            link: LteLink::error_admitting(),
             telemetry: Recorder::disabled(),
             channel_stats: ChannelStats::new(),
             alerts: AlertEngine::default(),
@@ -262,6 +270,30 @@ impl HdFederation {
     /// The configured thread-count knob (`0` = auto).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Sets the simulated AIoT device whose throughput costs each
+    /// client's local-training FLOPs on the trace's simulated lane.
+    /// Defaults to the paper's Raspberry Pi 3b profile.
+    pub fn set_device_profile(&mut self, device: DeviceProfile) {
+        self.device = device;
+    }
+
+    /// The simulated AIoT device profile.
+    pub fn device_profile(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// Sets the simulated LTE uplink whose airtime costs each arrived
+    /// update on the trace's simulated lane. Defaults to the paper's
+    /// error-admitting (5.0 Mbit/s) link — FHDnn transmits uncoded.
+    pub fn set_lte_link(&mut self, link: LteLink) {
+        self.link = link;
+    }
+
+    /// The simulated LTE uplink.
+    pub fn lte_link(&self) -> LteLink {
+        self.link
     }
 
     /// The global HD model.
@@ -474,10 +506,16 @@ impl HdFederation {
             })
             .collect();
         let threads = resolve_threads(self.threads);
+        // Simulated-lane inputs, fixed before the pool borrows the
+        // model: the device profile costs each client's refinement
+        // FLOPs, the LTE link costs one update's uplink airtime.
+        let (classes, dim) = (self.global.num_classes() as u64, self.global.dim() as u64);
+        let sim_uplink_micros =
+            (self.link.airtime_seconds(self.update_bytes()) * 1e6).round() as u64;
         let (global, clients) = (&self.global, &self.clients);
         let (local_epochs, adaptive_lr) = (self.config.local_epochs, self.adaptive_lr);
         let (transport, straggler_prob) = (self.transport, self.straggler_prob);
-        let outcomes = run_tasks(tasks, threads, |_, task| {
+        let outcomes = run_tasks_traced(tasks, threads, &tel, |_, task| {
             let data = &clients[task.client];
             Self::run_client_task(
                 task,
@@ -495,10 +533,27 @@ impl HdFederation {
         // energy) and the aggregate below are thread-count-invariant.
         let mut received = Vec::with_capacity(participants.len());
         let mut arrived_ids = Vec::with_capacity(participants.len());
-        for outcome in outcomes {
+        let mut rows: Vec<TaskTrace> = Vec::with_capacity(participants.len());
+        for (outcome, timing) in outcomes {
             let outcome = outcome?;
             tel.absorb_task(outcome.buf);
             self.channel_stats.absorb(&outcome.stats);
+            // Simulated device cost is pure arithmetic over already-drawn
+            // state, so rows (and the RoundMetrics trace fields below)
+            // are identical with or without a recorder attached.
+            let samples = self.clients[outcome.client].len() as u64;
+            let flops = hd_refine_flops(samples, classes, dim) * local_epochs as u64;
+            let sim_compute_micros =
+                (self.device.estimate(flops as f64)?.seconds * 1e6).round() as u64;
+            rows.push(TaskTrace {
+                round: self.round as u64,
+                client: outcome.client as u64,
+                engine: "fedhd".into(),
+                arrived: outcome.update.is_some(),
+                timing,
+                sim_compute_micros,
+                sim_uplink_micros,
+            });
             if let Some(update) = outcome.update {
                 received.push(update);
                 arrived_ids.push(outcome.client);
@@ -524,6 +579,9 @@ impl HdFederation {
         // covers the round's compute, not the diagnostics about it.
         let mem_delta = mem.finish();
         let mem_bytes_per_client = mem_delta.alloc_bytes / participants.len().max(1) as u64;
+        // Round anatomy: simulated critical path is deterministic at any
+        // thread count; the measured half is zero without a recorder.
+        let trace_summary = fhdnn_telemetry::trace::summarize_round(&rows);
 
         if tel.enabled() {
             tel.incr("fl.rounds", 1);
@@ -547,6 +605,35 @@ impl HdFederation {
             );
             let chan_delta = self.channel_stats.snapshot().delta(&chan_before);
             crate::emit_channel_delta(&tel, chan_delta);
+
+            // Execution trace: one event per task (dual-lane timing) plus
+            // the round's critical-path summary, all on the main thread
+            // in participant order so replays are thread-count-stable.
+            for row in &rows {
+                tel.record_task_trace(row.clone());
+            }
+            tel.incr("trace.tasks", rows.len() as u64);
+            tel.gauge("trace.worker_utilization", trace_summary.worker_utilization);
+            tel.event(
+                EVENT_TRACE_ROUND,
+                &[
+                    ("critical_client", trace_summary.critical_client.into()),
+                    ("engine", trace_summary.engine.as_str().into()),
+                    ("queue_depth_max", trace_summary.queue_depth_max.into()),
+                    ("round", trace_summary.round.into()),
+                    (
+                        "sim_critical_micros",
+                        trace_summary.sim_critical_micros.into(),
+                    ),
+                    ("sim_round_micros", trace_summary.sim_round_micros.into()),
+                    ("tasks", trace_summary.tasks.into()),
+                    (
+                        "worker_utilization",
+                        trace_summary.worker_utilization.into(),
+                    ),
+                    ("workers", trace_summary.workers.into()),
+                ],
+            );
 
             // Flight record: HD diagnostics on the new global model,
             // client-divergence outliers, channel-damage attribution.
@@ -610,6 +697,9 @@ impl HdFederation {
             mem_peak_bytes: mem_delta.peak_bytes,
             mem_allocs: mem_delta.allocs,
             mem_bytes_per_client,
+            trace_critical_client: trace_summary.critical_client,
+            trace_sim_round_micros: trace_summary.sim_round_micros,
+            trace_worker_utilization: trace_summary.worker_utilization,
         };
         self.round += 1;
         Ok(metrics)

@@ -33,12 +33,29 @@ pub struct RoundMetrics {
     /// Gross bytes allocated during the round, divided by participants.
     #[serde(default)]
     pub mem_bytes_per_client: u64,
+    /// The client whose *simulated* AIoT cost (device compute + uplink
+    /// airtime, see `cost`) bounded the round barrier. A pure function
+    /// of the sampled participants, so part of run identity.
+    #[serde(default)]
+    pub trace_critical_client: u64,
+    /// Simulated wall time of the round in microseconds: slowest device
+    /// compute, then arriving updates serialized over the shared link.
+    #[serde(default)]
+    pub trace_sim_round_micros: u64,
+    /// Measured pool-worker utilization for the round (Σ exec time /
+    /// workers × busy span). Scheduling-dependent like `round_seconds`,
+    /// and 0 when telemetry is disabled — excluded from equality.
+    #[serde(default)]
+    pub trace_worker_utilization: f64,
 }
 
-/// Equality ignores `round_seconds` and the `mem_*` watermarks: two
-/// otherwise identical seeded runs must compare equal even though their
-/// wall-clock timings and ambient allocator activity differ (the
-/// reproducibility suite relies on this).
+/// Equality ignores `round_seconds`, the `mem_*` watermarks, and the
+/// measured `trace_worker_utilization`: two otherwise identical seeded
+/// runs must compare equal even though their wall-clock timings and
+/// ambient allocator activity differ (the reproducibility suite relies
+/// on this). The *simulated* trace fields (`trace_critical_client`,
+/// `trace_sim_round_micros`) are deterministic functions of the round's
+/// sampled participants and DO participate in equality.
 impl PartialEq for RoundMetrics {
     fn eq(&self, other: &Self) -> bool {
         self.round == other.round
@@ -46,6 +63,8 @@ impl PartialEq for RoundMetrics {
             && self.participants == other.participants
             && self.bytes_per_client == other.bytes_per_client
             && self.downlink_bytes_per_client == other.downlink_bytes_per_client
+            && self.trace_critical_client == other.trace_critical_client
+            && self.trace_sim_round_micros == other.trace_sim_round_micros
     }
 }
 
@@ -138,6 +157,9 @@ mod tests {
                 mem_peak_bytes: 4096,
                 mem_allocs: 32,
                 mem_bytes_per_client: 1024,
+                trace_critical_client: 2,
+                trace_sim_round_micros: 1_000_000,
+                trace_worker_utilization: 0.75,
             });
         }
         h
@@ -171,7 +193,16 @@ mod tests {
         a.rounds[0].mem_peak_bytes = u64::MAX;
         a.rounds[0].mem_allocs += 7;
         a.rounds[0].mem_bytes_per_client += 7;
+        // Measured worker utilization is scheduling noise too.
+        a.rounds[0].trace_worker_utilization = 0.0;
         assert_eq!(a, b);
+        // The simulated trace fields are run identity.
+        a.rounds[0].trace_sim_round_micros += 1;
+        assert_ne!(a, b);
+        a.rounds[0].trace_sim_round_micros -= 1;
+        a.rounds[0].trace_critical_client += 1;
+        assert_ne!(a, b);
+        a.rounds[0].trace_critical_client -= 1;
         a.rounds[0].downlink_bytes_per_client += 1;
         assert_ne!(a, b);
     }
@@ -187,6 +218,21 @@ mod tests {
         assert_eq!(h.rounds[0].downlink_bytes_per_client, 0);
         assert_eq!(h.rounds[0].round_seconds, 0.0);
         assert_eq!(h.total_bytes(), 2 * 64);
+    }
+
+    #[test]
+    fn pre_trace_shape_still_deserializes() {
+        // Histories saved before PR 7's execution tracing: all trace_*
+        // fields default to zero.
+        let old = r#"{"label":"pre-trace","rounds":[
+            {"round":0,"test_accuracy":0.5,"participants":2,"bytes_per_client":64,
+             "downlink_bytes_per_client":32,"round_seconds":0.1,
+             "mem_peak_bytes":1,"mem_allocs":2,"mem_bytes_per_client":3}
+        ]}"#;
+        let h: RunHistory = serde_json::from_str(old).unwrap();
+        assert_eq!(h.rounds[0].trace_critical_client, 0);
+        assert_eq!(h.rounds[0].trace_sim_round_micros, 0);
+        assert_eq!(h.rounds[0].trace_worker_utilization, 0.0);
     }
 
     #[test]

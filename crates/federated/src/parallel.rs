@@ -25,6 +25,9 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use fhdnn_telemetry::trace::TaskTiming;
+use fhdnn_telemetry::Recorder;
+
 /// Resolves a requested thread count: `0` means "auto" (the machine's
 /// available parallelism, falling back to 1 when it cannot be queried);
 /// any other value is used as-is.
@@ -67,21 +70,81 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    run_tasks_traced(tasks, threads, &Recorder::disabled(), f)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect()
+}
+
+/// [`run_tasks`] with per-task execution timing: each result comes back
+/// with a [`TaskTiming`] recording which worker ran the task and its
+/// enqueue/start/end stamps on the recorder's clock.
+///
+/// The timing discipline preserves the thread-count invariance theorem
+/// under an injected `ManualClock` (whose every read advances the
+/// stamp): an enabled recorder reads the clock **exactly three times
+/// per task on every path** — inline: enqueue/start/end sequentially
+/// per task; parallel: all enqueue stamps on the caller's thread before
+/// the pool spawns, then start/end on the worker. The total read count
+/// is `3 × tasks` either way, so everything the main thread stamps
+/// after the barrier lands on the same timestamps at any thread count.
+/// Individual stamps at `threads > 1` still depend on how workers
+/// interleave (like span durations) and must be canonicalized in
+/// cross-thread comparisons. A disabled recorder performs no clock
+/// reads and yields all-zero timings.
+///
+/// # Panics
+///
+/// A panicking worker propagates its panic to the caller when the scope
+/// joins (no result is silently dropped).
+pub fn run_tasks_traced<T, R, F>(
+    tasks: Vec<T>,
+    threads: usize,
+    tel: &Recorder,
+    f: F,
+) -> Vec<(R, TaskTiming)>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let timed = tel.enabled();
     let n = tasks.len();
     let threads = threads.max(1).min(n.max(1));
     if threads <= 1 || n <= 1 {
         return tasks
             .into_iter()
             .enumerate()
-            .map(|(i, t)| f(i, t))
+            .map(|(i, t)| {
+                let enqueue = if timed { tel.now_micros() } else { 0 };
+                let start = if timed { tel.now_micros() } else { 0 };
+                let result = f(i, t);
+                let end = if timed { tel.now_micros() } else { 0 };
+                (
+                    result,
+                    TaskTiming {
+                        worker: 0,
+                        enqueue_micros: enqueue,
+                        start_micros: start,
+                        end_micros: end,
+                    },
+                )
+            })
             .collect();
     }
+    // Enqueue stamps are taken on the caller's thread before any worker
+    // spawns, keeping the per-task clock-read count path-independent.
+    let enqueued: Vec<u64> = (0..n)
+        .map(|_| if timed { tel.now_micros() } else { 0 })
+        .collect();
     let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<(R, TaskTiming)>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
+        for w in 0..threads {
+            let (slots, results, enqueued, next, f, tel) =
+                (&slots, &results, &enqueued, &next, &f, tel);
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -91,8 +154,16 @@ where
                     .expect("task slot poisoned")
                     .take()
                     .expect("task claimed twice");
+                let start = if timed { tel.now_micros() } else { 0 };
                 let result = f(i, task);
-                *results[i].lock().expect("result slot poisoned") = Some(result);
+                let end = if timed { tel.now_micros() } else { 0 };
+                let timing = TaskTiming {
+                    worker: w as u64,
+                    enqueue_micros: enqueued[i],
+                    start_micros: start,
+                    end_micros: end,
+                };
+                *results[i].lock().expect("result slot poisoned") = Some((result, timing));
             });
         }
     });
@@ -145,6 +216,45 @@ mod tests {
         let none: Vec<u32> = run_tasks(Vec::new(), 8, |_, t: u32| t);
         assert!(none.is_empty());
         assert_eq!(run_tasks(vec![5u32], 8, |_, t| t + 1), vec![6]);
+    }
+
+    #[test]
+    fn traced_run_reads_clock_three_times_per_task_on_every_path() {
+        use std::sync::Arc;
+
+        use fhdnn_telemetry::clock::ManualClock;
+        use fhdnn_telemetry::sink::MemorySink;
+
+        for threads in [1, 2, 8] {
+            let tel = fhdnn_telemetry::Recorder::with_sink_and_clock(
+                Arc::new(MemorySink::new()),
+                Arc::new(ManualClock::new(1)),
+            );
+            let out = run_tasks_traced((0..6u64).collect(), threads, &tel, |_, t| t * 2);
+            let values: Vec<u64> = out.iter().map(|(r, _)| *r).collect();
+            assert_eq!(values, vec![0, 2, 4, 6, 8, 10]);
+            for (_, timing) in &out {
+                assert!(timing.enqueue_micros <= timing.start_micros);
+                assert!(timing.start_micros <= timing.end_micros);
+            }
+            // Exactly 3 reads per task on every path: the first
+            // main-thread read after the barrier lands on 18 whether
+            // the pool ran inline or on 8 workers.
+            assert_eq!(tel.now_micros(), 18, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_yields_zero_timings() {
+        let out = run_tasks_traced(
+            (0..5u32).collect(),
+            4,
+            &fhdnn_telemetry::Recorder::disabled(),
+            |_, t| t,
+        );
+        for (_, timing) in &out {
+            assert_eq!(*timing, fhdnn_telemetry::trace::TaskTiming::default());
+        }
     }
 
     #[test]

@@ -94,7 +94,7 @@ impl FieldValue {
 }
 
 /// Appends `s` as a JSON string literal (quoted, escaped) to `out`.
-fn write_json_string(out: &mut String, s: &str) {
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -52,6 +52,7 @@ pub mod profile;
 pub mod registry;
 pub mod sink;
 pub mod task;
+pub mod trace;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -127,6 +128,7 @@ pub struct Recorder {
     spans: Mutex<BTreeMap<String, SpanStat>>,
     paths: Mutex<BTreeMap<String, PathStat>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    traces: Mutex<trace::TraceRing>,
 }
 
 impl Recorder {
@@ -140,6 +142,7 @@ impl Recorder {
             spans: Mutex::new(BTreeMap::new()),
             paths: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            traces: Mutex::new(trace::TraceRing::default()),
         })
     }
 
@@ -403,6 +406,42 @@ impl Recorder {
                 TaskEntry::Counter { name, delta } => self.incr(name, delta),
             }
         }
+    }
+
+    /// Records one task execution trace: the trace is retained in the
+    /// bounded in-memory ring (read back with
+    /// [`Recorder::trace_snapshot`]) and emitted as a `trace.task`
+    /// event, so JSONL streams replay into the identical timeline.
+    /// Ring evictions are counted on the `trace.dropped` counter. On a
+    /// disabled recorder this is a no-op behind one branch.
+    pub fn record_task_trace(&self, t: trace::TaskTrace) {
+        if !self.enabled {
+            return;
+        }
+        let engine = t.engine.clone();
+        let fields: [(&str, FieldValue); 10] = [
+            ("arrived", u64::from(t.arrived).into()),
+            ("client", t.client.into()),
+            ("end_micros", t.timing.end_micros.into()),
+            ("engine", engine.as_str().into()),
+            ("enqueue_micros", t.timing.enqueue_micros.into()),
+            ("round", t.round.into()),
+            ("sim_compute_micros", t.sim_compute_micros.into()),
+            ("sim_uplink_micros", t.sim_uplink_micros.into()),
+            ("start_micros", t.timing.start_micros.into()),
+            ("worker", t.timing.worker.into()),
+        ];
+        self.emit(EventKind::Event, registry::EVENT_TRACE_TASK, &fields);
+        let evicted = self.traces.lock().expect("traces poisoned").push(t);
+        if evicted {
+            self.incr("trace.dropped", 1);
+        }
+    }
+
+    /// The task traces currently retained in the ring, oldest first.
+    #[must_use]
+    pub fn trace_snapshot(&self) -> Vec<trace::TaskTrace> {
+        self.traces.lock().expect("traces poisoned").snapshot()
     }
 
     fn emit(&self, kind: EventKind, name: &str, fields: &[(&str, FieldValue)]) {

@@ -61,6 +61,14 @@ pub const EVENT_HEALTH_ROUND: &str = "health.round";
 /// [`crate::alert`] machinery emits and the dashboard replays.
 pub const EVENT_ALERT: &str = "alert";
 
+/// Name of the per-round execution-trace summary event (critical path,
+/// worker utilization, queue depth) consumed by `fhdnn watch`/`trace`.
+pub const EVENT_TRACE_ROUND: &str = "trace.round";
+
+/// Name of the per-task execution-trace event carrying one
+/// [`crate::trace::TaskTrace`] (replayed by `fhdnn trace --from`).
+pub const EVENT_TRACE_TASK: &str = "trace.task";
+
 /// Every name the workspace is allowed to emit, sorted by name.
 pub const REGISTRY: &[MetricDef] = &[
     MetricDef {
@@ -233,6 +241,31 @@ pub const REGISTRY: &[MetricDef] = &[
         kind: MetricKind::Span,
         help: "One client's update leaving for the server.",
     },
+    MetricDef {
+        name: "trace.dropped",
+        kind: MetricKind::Counter,
+        help: "Task traces evicted from the bounded trace ring.",
+    },
+    MetricDef {
+        name: "trace.round",
+        kind: MetricKind::Event,
+        help: "Per-round execution-trace summary: critical path, worker utilization, queue depth.",
+    },
+    MetricDef {
+        name: "trace.task",
+        kind: MetricKind::Event,
+        help: "One traced unit of client work: measured worker timing + simulated AIoT cost.",
+    },
+    MetricDef {
+        name: "trace.tasks",
+        kind: MetricKind::Counter,
+        help: "Client tasks traced by the round engine.",
+    },
+    MetricDef {
+        name: "trace.worker_utilization",
+        kind: MetricKind::Gauge,
+        help: "Fraction of pool-worker capacity spent executing, latest round.",
+    },
 ];
 
 /// Identifier → metric-name map for the named constants above.
@@ -245,6 +278,8 @@ pub const REGISTRY: &[MetricDef] = &[
 pub const CONSTANTS: &[(&str, &str)] = &[
     ("EVENT_ALERT", EVENT_ALERT),
     ("EVENT_HEALTH_ROUND", EVENT_HEALTH_ROUND),
+    ("EVENT_TRACE_ROUND", EVENT_TRACE_ROUND),
+    ("EVENT_TRACE_TASK", EVENT_TRACE_TASK),
 ];
 
 /// Looks up a name in [`REGISTRY`].
@@ -289,7 +324,12 @@ mod tests {
 
     #[test]
     fn consumer_constants_are_registered_events() {
-        for name in [EVENT_HEALTH_ROUND, EVENT_ALERT] {
+        for name in [
+            EVENT_HEALTH_ROUND,
+            EVENT_ALERT,
+            EVENT_TRACE_ROUND,
+            EVENT_TRACE_TASK,
+        ] {
             let def = lookup(name).expect("constant must be registered");
             assert_eq!(def.kind, MetricKind::Event);
         }

@@ -1,0 +1,106 @@
+//! Regeneration harness for EXPERIMENTS.md "Round anatomy": a skewed
+//! federation (client 3 holds 4x the samples) with stragglers, traced
+//! through the execution tracer. Prints every task's simulated costs and
+//! each round's critical-path summary; the tables in the case study are
+//! copied from this output.
+//!
+//! ```text
+//! cargo run --release --example trace_case_study
+//! ```
+
+use std::sync::Arc;
+
+use fhdnn::channel::packet::PacketLossChannel;
+use fhdnn::datasets::features::FeatureSpec;
+use fhdnn::federated::config::FlConfig;
+use fhdnn::federated::fedhd::{HdClientData, HdFederation, HdTransport};
+use fhdnn::hdc::encoder::RandomProjectionEncoder;
+use fhdnn::hdc::model::HdModel;
+use fhdnn::telemetry::clock::ManualClock;
+use fhdnn::telemetry::sink::MemorySink;
+use fhdnn::telemetry::trace::summarize;
+use fhdnn::telemetry::Recorder;
+use fhdnn::tensor::Tensor;
+
+const DIM: usize = 1024;
+
+fn main() {
+    // 4 clients with skewed shards: client 3 holds 4x the samples.
+    let sizes = [25usize, 25, 25, 100];
+    let spec = FeatureSpec {
+        num_classes: 5,
+        width: 40,
+        noise_std: 0.6,
+        class_seed: 11,
+    };
+    let total: usize = sizes.iter().sum();
+    let train = spec.generate(total, 0).unwrap();
+    let test = spec.generate(60, 1).unwrap();
+    let enc = RandomProjectionEncoder::new(DIM, 40, 3).unwrap();
+    let h_train = enc.encode_batch(&train.features).unwrap();
+    let h_test = enc.encode_batch(&test.features).unwrap();
+    let mut cursor = 0usize;
+    let clients: Vec<HdClientData> = sizes
+        .iter()
+        .map(|&n| {
+            let mut data = Vec::new();
+            let mut labels = Vec::new();
+            for i in cursor..cursor + n {
+                data.extend_from_slice(h_train.row(i).unwrap());
+                labels.push(train.labels[i]);
+            }
+            cursor += n;
+            HdClientData {
+                hypervectors: Tensor::from_vec(data, &[n, DIM]).unwrap(),
+                labels,
+            }
+        })
+        .collect();
+    let config = FlConfig {
+        num_clients: 4,
+        rounds: 6,
+        local_epochs: 2,
+        batch_size: 10,
+        client_fraction: 0.75,
+        seed: 7,
+    };
+    let global = HdModel::new(5, DIM).unwrap();
+    let mut fed = HdFederation::new(
+        global,
+        clients,
+        config,
+        HdTransport::Quantized { bitwidth: 8 },
+    )
+    .unwrap();
+    fed.set_threads(4);
+    fed.set_straggler_prob(0.3).unwrap();
+    let tel =
+        Recorder::with_sink_and_clock(Arc::new(MemorySink::new()), Arc::new(ManualClock::new(10)));
+    fed.set_telemetry(tel.clone());
+    let channel = PacketLossChannel::new(0.1, 256).unwrap();
+    let test_data = HdClientData {
+        hypervectors: h_test,
+        labels: test.labels,
+    };
+    let _ = fed.run(&channel, &test_data, "case").unwrap();
+    tel.flush();
+    let rows = tel.trace_snapshot();
+    println!(
+        "device {:?} link {:?}",
+        fed.device_profile(),
+        fed.lte_link()
+    );
+    println!("update bytes {}", fed.update_bytes());
+    for r in &rows {
+        println!(
+            "round {} client {} arrived {} compute_us {} uplink_us {}",
+            r.round, r.client, r.arrived, r.sim_compute_micros, r.sim_uplink_micros
+        );
+    }
+    for s in summarize(&rows) {
+        println!(
+            "round {} tasks {} crit {} sim_crit_us {} sim_round_us {}",
+            s.round, s.tasks, s.critical_client, s.sim_critical_micros, s.sim_round_micros
+        );
+    }
+}

@@ -15,7 +15,14 @@
 //! and the `mem_*` fields of round metrics and health records) measure
 //! the process's real heap, which depends on thread count and on what
 //! else the test harness has allocated — the comparison zeroes them, and
-//! a dedicated test pins that they are live (nonzero) instead.
+//! a dedicated test pins that they are live (nonzero) instead. The
+//! execution trace's *measured* lane is in the same class: per-task
+//! worker indices and queue/execute stamps, per-round worker counts,
+//! utilization and queue depth all depend on how many workers raced the
+//! claim counter, so the comparison zeroes those fields (and drops the
+//! `trace.worker_utilization` gauge) while holding the *simulated* lane
+//! — client identity, device-compute and uplink-airtime micros, and the
+//! critical-path attribution built from them — bit-exact.
 //!
 //! The CI matrix additionally exports `FHDNN_TEST_THREADS`; when set, the
 //! value joins the compared thread counts.
@@ -74,13 +81,37 @@ fn memory_recorder() -> (Telemetry, Arc<MemorySink>) {
 fn non_span_events(sink: &MemorySink) -> Vec<Event> {
     sink.events()
         .into_iter()
-        .filter(|e| e.kind != EventKind::Span && !e.name.starts_with("mem."))
+        .filter(|e| {
+            e.kind != EventKind::Span
+                && !e.name.starts_with("mem.")
+                && e.name != "trace.worker_utilization"
+        })
         .map(|mut e| {
             if e.name == "health.round" {
                 for key in ["mem_peak_bytes", "mem_allocs", "mem_bytes_per_client"] {
                     if let Some(v) = e.fields.get_mut(key) {
                         *v = FieldValue::U64(0);
                     }
+                }
+            }
+            // The measured lane of the execution trace is scheduling-
+            // dependent by construction; the simulated lane (client,
+            // sim_* micros, critical-path fields) must not move.
+            if e.name == "trace.task" {
+                for key in ["worker", "enqueue_micros", "start_micros", "end_micros"] {
+                    if let Some(v) = e.fields.get_mut(key) {
+                        *v = FieldValue::U64(0);
+                    }
+                }
+            }
+            if e.name == "trace.round" {
+                for key in ["workers", "queue_depth_max"] {
+                    if let Some(v) = e.fields.get_mut(key) {
+                        *v = FieldValue::U64(0);
+                    }
+                }
+                if let Some(v) = e.fields.get_mut("worker_utilization") {
+                    *v = FieldValue::F64(0.0);
                 }
             }
             e
@@ -96,6 +127,7 @@ fn canonical_history_json(mut history: RunHistory) -> String {
         r.mem_peak_bytes = 0;
         r.mem_allocs = 0;
         r.mem_bytes_per_client = 0;
+        r.trace_worker_utilization = 0.0;
     }
     serde_json::to_string(&history).unwrap()
 }

@@ -1,0 +1,286 @@
+//! Execution-trace layer, end to end.
+//!
+//! The round-anatomy tracer records one `TaskTrace` per client task with
+//! two lanes: a *measured* lane (worker index, queue-wait and execute
+//! stamps from the injectable clock) that legitimately depends on
+//! scheduling, and a *simulated* lane (device-compute and uplink-airtime
+//! micros from `cost::DeviceProfile` and `LteLink`) that must be a pure
+//! function of the seed. This suite pins the contract at the campaign
+//! level: the Chrome trace export is byte-identical across thread counts
+//! once the measured lane is canonicalized, critical-path attribution
+//! agrees between the event stream, the round metrics and a by-hand
+//! recomputation from the simulated costs, both engines tag their tasks,
+//! and the attribution stays live (and identical) when telemetry is
+//! disabled entirely.
+
+use std::sync::Arc;
+
+use fhdnn::channel::lte::LteLink;
+use fhdnn::channel::packet::PacketLossChannel;
+use fhdnn::datasets::features::FeatureSpec;
+use fhdnn::datasets::image::SynthSpec;
+use fhdnn::datasets::partition::Partition;
+use fhdnn::federated::config::FlConfig;
+use fhdnn::federated::cost::DeviceProfile;
+use fhdnn::federated::fedavg::{carve_clients, CnnFederation, LocalSgdConfig};
+use fhdnn::federated::fedhd::{HdClientData, HdFederation, HdTransport};
+use fhdnn::federated::metrics::RunHistory;
+use fhdnn::hdc::encoder::RandomProjectionEncoder;
+use fhdnn::hdc::model::HdModel;
+use fhdnn::nn::models::small_cnn;
+use fhdnn::telemetry::clock::ManualClock;
+use fhdnn::telemetry::sink::MemorySink;
+use fhdnn::telemetry::trace::{chrome_trace, summarize, TaskTrace};
+use fhdnn::telemetry::{Recorder, Telemetry};
+use fhdnn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIM: usize = 1024;
+const NUM_CLIENTS: usize = 4;
+
+fn memory_recorder() -> Telemetry {
+    Recorder::with_sink_and_clock(Arc::new(MemorySink::new()), Arc::new(ManualClock::new(10)))
+}
+
+/// Same fixture family as the determinism suite: pre-encoded clients
+/// over the synthetic feature workload, quantized uploads, stragglers
+/// and packet loss in the mix so arrival-dependent uplink costs are
+/// exercised.
+fn build_hd_federation(seed: u64) -> (HdFederation, HdClientData) {
+    let spec = FeatureSpec {
+        num_classes: 5,
+        width: 40,
+        noise_std: 0.6,
+        class_seed: 11,
+    };
+    let train = spec.generate(NUM_CLIENTS * 25, seed).unwrap();
+    let test = spec.generate(60, seed + 1).unwrap();
+    let enc = RandomProjectionEncoder::new(DIM, 40, 3).unwrap();
+    let h_train = enc.encode_batch(&train.features).unwrap();
+    let h_test = enc.encode_batch(&test.features).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let parts = Partition::Iid
+        .split(&train.labels, NUM_CLIENTS, &mut rng)
+        .unwrap();
+    let clients: Vec<HdClientData> = parts
+        .iter()
+        .map(|idx| {
+            let mut data = Vec::new();
+            let mut labels = Vec::new();
+            for &i in idx {
+                data.extend_from_slice(h_train.row(i).unwrap());
+                labels.push(train.labels[i]);
+            }
+            HdClientData {
+                hypervectors: Tensor::from_vec(data, &[idx.len(), DIM]).unwrap(),
+                labels,
+            }
+        })
+        .collect();
+    let config = FlConfig {
+        num_clients: NUM_CLIENTS,
+        rounds: 3,
+        local_epochs: 2,
+        batch_size: 10,
+        client_fraction: 0.5,
+        seed: 7,
+    };
+    let global = HdModel::new(5, DIM).unwrap();
+    let fed = HdFederation::new(
+        global,
+        clients,
+        config,
+        HdTransport::Quantized { bitwidth: 8 },
+    )
+    .unwrap();
+    let test_data = HdClientData {
+        hypervectors: h_test,
+        labels: test.labels,
+    };
+    (fed, test_data)
+}
+
+/// One instrumented fedhd campaign at the given thread count; returns
+/// the history, the recorded task traces, and the configured link so
+/// tests can recompute the uplink airtime.
+fn traced_fedhd_run(threads: usize) -> (RunHistory, Vec<TaskTrace>, LteLink, u64) {
+    let (mut fed, test) = build_hd_federation(0);
+    fed.set_threads(threads);
+    fed.set_straggler_prob(0.25).unwrap();
+    let tel = memory_recorder();
+    fed.set_telemetry(tel.clone());
+    let channel = PacketLossChannel::new(0.2, 256).unwrap();
+    let history = fed.run(&channel, &test, "trace").unwrap();
+    tel.flush();
+    let link = fed.lte_link();
+    let bytes = fed.update_bytes();
+    (history, tel.trace_snapshot(), link, bytes)
+}
+
+/// Canonicalized Chrome export: the measured lane (worker index and
+/// clock stamps) is scheduling-dependent, so it zeroes; everything else
+/// — slice order, client identity, simulated durations, straggler tags —
+/// must yield the same bytes.
+fn canonical_chrome(rows: &[TaskTrace]) -> String {
+    let rows: Vec<TaskTrace> = rows.iter().map(TaskTrace::canonical).collect();
+    chrome_trace(&rows)
+}
+
+#[test]
+fn chrome_export_is_byte_identical_across_thread_counts() {
+    let (_, rows, _, _) = traced_fedhd_run(1);
+    assert!(!rows.is_empty(), "instrumented run recorded no task traces");
+    let baseline = canonical_chrome(&rows);
+    assert!(baseline.starts_with("{\"traceEvents\":["));
+    assert!(baseline.contains("fedhd"));
+    assert!(baseline.contains("simulated: AIoT devices"));
+    for threads in [2usize, 8] {
+        let (_, rows, _, _) = traced_fedhd_run(threads);
+        assert_eq!(
+            baseline,
+            canonical_chrome(&rows),
+            "chrome trace diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn critical_path_attribution_matches_the_simulated_costs() {
+    let (history, rows, link, bytes) = traced_fedhd_run(4);
+    let expected_uplink = (link.airtime_seconds(bytes) * 1e6).round() as u64;
+    assert!(expected_uplink > 0);
+    for r in &rows {
+        assert_eq!(r.engine, "fedhd");
+        assert_eq!(r.sim_uplink_micros, expected_uplink);
+        assert!(
+            r.sim_compute_micros > 0,
+            "client {} has no compute",
+            r.client
+        );
+    }
+    let summaries = summarize(&rows);
+    assert_eq!(summaries.len(), history.rounds.len());
+    for (s, m) in summaries.iter().zip(&history.rounds) {
+        assert_eq!(s.critical_client, m.trace_critical_client);
+        assert_eq!(s.sim_round_micros, m.trace_sim_round_micros);
+        // Recompute the attribution by hand from the simulated lane:
+        // the critical client is the first one whose compute plus
+        // (if it arrived) uplink airtime is maximal.
+        let round_rows: Vec<&TaskTrace> = rows.iter().filter(|r| r.round == s.round).collect();
+        assert_eq!(round_rows.len() as u64, s.tasks);
+        let mut crit = round_rows[0];
+        for r in &round_rows[1..] {
+            if r.sim_cost_micros() > crit.sim_cost_micros() {
+                crit = r;
+            }
+        }
+        assert_eq!(s.critical_client, crit.client);
+        assert_eq!(s.sim_critical_micros, crit.sim_cost_micros());
+        let max_compute = round_rows
+            .iter()
+            .map(|r| r.sim_compute_micros)
+            .max()
+            .unwrap();
+        let uplinks: u64 = round_rows
+            .iter()
+            .filter(|r| r.arrived)
+            .map(|r| r.sim_uplink_micros)
+            .sum();
+        assert_eq!(s.sim_round_micros, max_compute + uplinks);
+    }
+}
+
+/// The attribution is pure arithmetic over the cost model, so it stays
+/// live — and identical — when no recorder is attached at all.
+#[test]
+fn disabled_telemetry_still_attributes_the_critical_path() {
+    let (instrumented, _, _, _) = traced_fedhd_run(2);
+    let (mut fed, test) = build_hd_federation(0);
+    fed.set_threads(2);
+    fed.set_straggler_prob(0.25).unwrap();
+    let channel = PacketLossChannel::new(0.2, 256).unwrap();
+    let plain = fed.run(&channel, &test, "trace").unwrap();
+    for (a, b) in plain.rounds.iter().zip(&instrumented.rounds) {
+        assert!(a.trace_sim_round_micros > 0);
+        assert_eq!(a.trace_critical_client, b.trace_critical_client);
+        assert_eq!(a.trace_sim_round_micros, b.trace_sim_round_micros);
+    }
+}
+
+/// Swapping the device or link model moves the simulated round time the
+/// way the AIoT cost model says it should: a Raspberry Pi 3B computes
+/// slower than a Jetson, and the 1.6 Mbit/s error-free link holds the
+/// uplink longer than the 5 Mbit/s error-admitting one.
+#[test]
+fn slower_devices_and_links_stretch_the_simulated_round() {
+    let sim_total = |device: DeviceProfile, link: LteLink| -> u64 {
+        let (mut fed, test) = build_hd_federation(0);
+        fed.set_threads(2);
+        fed.set_device_profile(device);
+        fed.set_lte_link(link);
+        let channel = PacketLossChannel::new(0.2, 256).unwrap();
+        let history = fed.run(&channel, &test, "trace").unwrap();
+        history
+            .rounds
+            .iter()
+            .map(|r| r.trace_sim_round_micros)
+            .sum()
+    };
+    let jetson = sim_total(DeviceProfile::jetson(), LteLink::error_admitting());
+    assert!(jetson > 0);
+    let pi = sim_total(DeviceProfile::raspberry_pi_3b(), LteLink::error_admitting());
+    assert!(
+        pi > jetson,
+        "rpi3b ({pi} us) should be slower than jetson ({jetson} us)"
+    );
+    let slow_link = sim_total(DeviceProfile::jetson(), LteLink::error_free());
+    assert!(
+        slow_link > jetson,
+        "error-free link ({slow_link} us) should stretch the uplink past ({jetson} us)"
+    );
+}
+
+#[test]
+fn fedavg_rounds_carry_traces_too() {
+    let spec = SynthSpec::mnist_like();
+    let pool = spec.generate(NUM_CLIENTS * 20, 3).unwrap();
+    let test = spec.generate(60, 4).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let parts = Partition::Iid
+        .split(&pool.labels, NUM_CLIENTS, &mut rng)
+        .unwrap();
+    let clients = carve_clients(&pool, &parts).unwrap();
+    let net = small_cnn(1, 16, 10, &mut rng).unwrap();
+    let config = FlConfig {
+        num_clients: NUM_CLIENTS,
+        rounds: 2,
+        local_epochs: 1,
+        batch_size: 10,
+        client_fraction: 0.5,
+        seed: 3,
+    };
+    let mut fed = CnnFederation::new(net, clients, config, LocalSgdConfig::default()).unwrap();
+    fed.set_threads(2);
+    let tel = memory_recorder();
+    fed.set_telemetry(tel.clone());
+    let channel = PacketLossChannel::new(0.1, 256).unwrap();
+    let history = fed.run(&channel, &test, "trace").unwrap();
+    tel.flush();
+    let rows = tel.trace_snapshot();
+    assert!(!rows.is_empty(), "fedavg recorded no task traces");
+    for r in &rows {
+        assert_eq!(r.engine, "fedavg");
+        assert!(r.arrived, "fedavg as configured has no stragglers");
+        assert!(r.sim_compute_micros > 0);
+        assert!(r.sim_uplink_micros > 0);
+    }
+    let summaries = summarize(&rows);
+    assert_eq!(summaries.len(), history.rounds.len());
+    for (s, m) in summaries.iter().zip(&history.rounds) {
+        assert_eq!(s.engine, "fedavg");
+        assert_eq!(s.critical_client, m.trace_critical_client);
+        assert_eq!(s.sim_round_micros, m.trace_sim_round_micros);
+    }
+    assert!(chrome_trace(&rows).contains("fedavg"));
+}
