@@ -106,6 +106,10 @@ pub fn round_benches() -> Vec<Bench> {
             name: "round.fedhd_traced",
             run: bench_round_traced,
         },
+        Bench {
+            name: "round.fedhd_fleet",
+            run: bench_round_fleet,
+        },
     ]
 }
 
@@ -350,6 +354,21 @@ fn bench_round_traced(cfg: &BenchConfig) -> BenchResult {
     fed.set_telemetry(Recorder::in_memory());
     let channel = PacketLossChannel::new(0.1, 256).expect("channel");
     run_bench("round.fedhd_traced", cfg, 10, 1.0, || {
+        black_box(fed.run_round(&channel, &test).expect("round"));
+    })
+}
+
+fn bench_round_fleet(cfg: &BenchConfig) -> BenchResult {
+    // The traced round in fleet-telemetry mode: per-client emission is
+    // suppressed and every client is instead absorbed into the round
+    // sketches (quantile buckets, distinct registers, top-k exemplars).
+    // The measured gap against `round.fedhd_traced` is the sketch-absorb
+    // overhead budget the baseline check enforces.
+    let (mut fed, test) = build_federation(HdTransport::Quantized { bitwidth: 8 });
+    fed.set_telemetry(Recorder::in_memory());
+    fed.set_fleet_telemetry(true);
+    let channel = PacketLossChannel::new(0.1, 256).expect("channel");
+    run_bench("round.fedhd_fleet", cfg, 10, 1.0, || {
         black_box(fed.run_round(&channel, &test).expect("round"));
     })
 }

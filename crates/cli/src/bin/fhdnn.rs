@@ -12,8 +12,8 @@ use fhdnn::telemetry::profile::Profile;
 use fhdnn::telemetry::sink::MemorySink;
 use fhdnn::telemetry::{Recorder, Telemetry};
 use fhdnn_cli::{
-    open_telemetry, parse_channel, trace_view, Cli, Command, Dashboard, LintArgs, ProfileArgs,
-    SimulateArgs, TraceArgs, Verbosity, WatchArgs,
+    open_telemetry, parse_channel, read_jsonl_lenient, trace_view, Cli, Command, Dashboard,
+    LintArgs, ProfileArgs, SimulateArgs, TraceArgs, Verbosity, WatchArgs,
 };
 
 fn main() -> ExitCode {
@@ -67,6 +67,13 @@ fn build_spec(sim: &SimulateArgs) -> ExperimentSpec {
     if sim.rounds > 0 {
         spec.fl.rounds = sim.rounds;
     }
+    if sim.clients > 0 {
+        spec.fl.num_clients = sim.clients;
+        // Keep at least a couple of samples per client so partitioning
+        // never produces an empty shard at fleet scale.
+        spec.train_size = spec.train_size.max(sim.clients * 2);
+    }
+    spec.fleet_telemetry = sim.fleet_telemetry;
     spec.transport = sim.transport;
     spec.seed = sim.seed;
     spec.fl.seed = sim.seed;
@@ -191,7 +198,7 @@ fn simulate(sim: SimulateArgs) -> Result<(), String> {
 /// simulation with an enabled recorder.
 fn profile(args: ProfileArgs) -> Result<(), String> {
     let prof = match &args.from {
-        Some(path) => Profile::from_jsonl_path(path)?,
+        Some(path) => Profile::from_jsonl_str(&read_jsonl_lenient(path)?)?,
         None => {
             let sim = &args.sim;
             let channel = parse_channel(&sim.channel)?;
@@ -245,10 +252,7 @@ fn profile(args: ProfileArgs) -> Result<(), String> {
 /// simulation against an in-memory sink and folding its events.
 fn watch(args: WatchArgs) -> Result<(), String> {
     let dash = match &args.from {
-        Some(path) => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-            Dashboard::from_jsonl_str(&text)
-        }
+        Some(path) => Dashboard::from_jsonl_str(&read_jsonl_lenient(path)?),
         None => {
             let sim = &args.sim;
             let channel = parse_channel(&sim.channel)?;
@@ -297,10 +301,7 @@ fn watch(args: WatchArgs) -> Result<(), String> {
 /// trace-event JSON (loadable in Perfetto / chrome://tracing).
 fn trace(args: TraceArgs) -> Result<(), String> {
     let rows = match &args.from {
-        Some(path) => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-            trace_view::rows_from_jsonl_str(&text)
-        }
+        Some(path) => trace_view::rows_from_jsonl_str(&read_jsonl_lenient(path)?),
         None => {
             let sim = &args.sim;
             let channel = parse_channel(&sim.channel)?;
@@ -344,8 +345,7 @@ fn trace(args: TraceArgs) -> Result<(), String> {
 /// `fhdnn export`: folds a recorded stream and writes the latest health
 /// snapshot in the Prometheus text exposition format.
 fn export(from: &str, prom: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(from).map_err(|e| format!("read {from}: {e}"))?;
-    let exposition = Dashboard::from_jsonl_str(&text).prometheus();
+    let exposition = Dashboard::from_jsonl_str(&read_jsonl_lenient(from)?).prometheus();
     if prom == "-" {
         print!("{exposition}");
     } else {

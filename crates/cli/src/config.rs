@@ -140,6 +140,14 @@ pub struct SimulateArgs {
     pub channel: String,
     /// Rounds to run (0 keeps the scale preset's default).
     pub rounds: usize,
+    /// Clients in the federation (0 keeps the scale preset's default).
+    /// The training pool grows with the cohort so every client keeps at
+    /// least a couple of samples.
+    pub clients: usize,
+    /// Fleet-telemetry mode: per-client event emission is replaced by
+    /// mergeable sketch summaries, keeping telemetry cost per round O(1)
+    /// in the cohort size. Results are unchanged.
+    pub fleet_telemetry: bool,
     /// Run non-IID (2-shard) partitioning.
     pub non_iid: bool,
     /// Also run the ResNet FedAvg baseline for comparison.
@@ -167,6 +175,8 @@ impl Default for SimulateArgs {
             workload: Workload::Cifar,
             channel: "noiseless".into(),
             rounds: 0,
+            clients: 0,
+            fleet_telemetry: false,
             non_iid: false,
             baseline: false,
             transport: HdTransport::Float,
@@ -238,6 +248,9 @@ fn parse_simulate_args(rest: &[&String]) -> Result<SimulateArgs, String> {
     if let Some(r) = get_value("--rounds")? {
         sim.rounds = r.parse().map_err(|e| format!("--rounds: {e}"))?;
     }
+    if let Some(c) = get_value("--clients")? {
+        sim.clients = c.parse().map_err(|e| format!("--clients: {e}"))?;
+    }
     if let Some(t) = get_value("--transport")? {
         sim.transport = parse_transport(&t)?;
     }
@@ -250,6 +263,7 @@ fn parse_simulate_args(rest: &[&String]) -> Result<SimulateArgs, String> {
     sim.save = get_value("--save")?;
     sim.telemetry = get_value("--telemetry")?;
     sim.non_iid = has_flag("--non-iid");
+    sim.fleet_telemetry = has_flag("--fleet-telemetry");
     sim.baseline = has_flag("--baseline");
     if has_flag("--no-pretrain") {
         sim.pretrain = false;
@@ -275,6 +289,12 @@ commands:
              --channel SPEC                   noiseless | packet:0.2 | awgn:10 |
                                               ber:1e-3 | burst:g,b,g2b,b2g
              --rounds N                       override round count
+             --clients N                      override client count (the training
+                                              pool scales with the cohort)
+             --fleet-telemetry                O(1)-per-round telemetry: sketch
+                                              summaries + exemplars instead of
+                                              per-client events (results are
+                                              unchanged)
              --non-iid                        2-shard pathological split
              --baseline                       also run the ResNet baseline
              --transport float|q<bits>|binary (default float)
@@ -470,6 +490,8 @@ mod tests {
         assert_eq!(sim.channel, "noiseless");
         assert!(sim.pretrain);
         assert!(!sim.baseline);
+        assert_eq!(sim.clients, 0);
+        assert!(!sim.fleet_telemetry);
         assert_eq!(sim.threads, 0);
         assert_eq!(sim.telemetry, None);
         assert_eq!(sim.verbosity, Verbosity::Normal);
@@ -478,9 +500,9 @@ mod tests {
     #[test]
     fn simulate_full_flags() {
         let cli = Cli::parse(&args(
-            "simulate --workload mnist --channel packet:0.2 --rounds 7 \
+            "simulate --workload mnist --channel packet:0.2 --rounds 7 --clients 100 \
              --non-iid --baseline --transport q8 --no-pretrain --seed 9 --threads 4 \
-             --save out.json --telemetry trace.jsonl -v",
+             --fleet-telemetry --save out.json --telemetry trace.jsonl -v",
         ))
         .unwrap();
         let Command::Simulate(sim) = cli.command else {
@@ -489,6 +511,8 @@ mod tests {
         assert_eq!(sim.workload, Workload::Mnist);
         assert_eq!(sim.channel, "packet:0.2");
         assert_eq!(sim.rounds, 7);
+        assert_eq!(sim.clients, 100);
+        assert!(sim.fleet_telemetry);
         assert!(sim.non_iid && sim.baseline && !sim.pretrain);
         assert_eq!(sim.transport, HdTransport::Quantized { bitwidth: 8 });
         assert_eq!(sim.seed, 9);
@@ -650,6 +674,7 @@ mod tests {
     fn errors_are_actionable() {
         assert!(Cli::parse(&args("pretrain --out x.json")).is_err());
         assert!(Cli::parse(&args("simulate --rounds abc")).is_err());
+        assert!(Cli::parse(&args("simulate --clients abc")).is_err());
         assert!(Cli::parse(&args("simulate --threads abc")).is_err());
         assert!(Cli::parse(&args("teleport")).is_err());
         assert!(Cli::parse(&[]).is_err());

@@ -31,5 +31,5 @@ pub use channel_spec::parse_channel;
 pub use config::{
     Cli, Command, LintArgs, ProfileArgs, SimulateArgs, TraceArgs, Verbosity, WatchArgs,
 };
-pub use telemetry_out::open_telemetry;
+pub use telemetry_out::{open_telemetry, read_jsonl_lenient};
 pub use watch::Dashboard;

@@ -1,5 +1,7 @@
-//! Opening `--telemetry` output streams with friendly failure modes.
+//! Opening `--telemetry` output streams — and reading them back — with
+//! friendly failure modes.
 
+use fhdnn::telemetry::jsonl;
 use fhdnn::telemetry::{Recorder, Telemetry};
 
 /// Opens a JSONL telemetry stream at `path`, creating missing parent
@@ -26,6 +28,34 @@ pub fn open_telemetry(path: &str) -> Result<Telemetry, String> {
     Recorder::to_jsonl(path).map_err(|e| format!("--telemetry {path}: cannot open: {e}"))
 }
 
+/// Reads a recorded `--from` JSONL stream, tolerating a truncated tail:
+/// a recording cut off mid-line (crashed run, partial copy, filled disk)
+/// still replays all of its complete lines. Unparseable lines — invalid
+/// UTF-8 is replaced, partial JSON is counted — produce one stderr
+/// warning naming the path and the skipped-line count; the replay views
+/// themselves skip those lines anyway, so the rendered output stays a
+/// pure function of the parseable prefix.
+///
+/// # Errors
+///
+/// Returns a printable message only when the file cannot be read at all.
+pub fn read_jsonl_lenient(path: &str) -> Result<String, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let text = String::from_utf8_lossy(&bytes).into_owned();
+    let skipped = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && jsonl::parse(l).is_err())
+        .count();
+    if skipped > 0 {
+        eprintln!(
+            "warning: {path}: skipped {skipped} unparseable JSONL line(s) \
+             (truncated or corrupt recording?)"
+        );
+    }
+    Ok(text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,6 +74,24 @@ mod tests {
         tel.incr("x", 1);
         tel.flush();
         assert!(path.exists(), "stream file should exist");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lenient_reader_tolerates_truncated_tail() {
+        let dir = temp_dir("truncated");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        // A healthy line followed by a recording cut off mid-line.
+        let healthy = r#"{"ts":1,"kind":"counter","name":"x","fields":{"delta":1}}"#;
+        std::fs::write(&path, format!("{healthy}\n{{\"ts\":2,\"kind\":\"cou")).unwrap();
+        let text = read_jsonl_lenient(path.to_str().unwrap()).unwrap();
+        assert!(text.starts_with(healthy));
+        assert!(text.contains("cou"), "partial tail is preserved: {text}");
+
+        let missing = dir.join("absent.jsonl");
+        let err = read_jsonl_lenient(missing.to_str().unwrap()).unwrap_err();
+        assert!(err.starts_with("read "), "diagnostic names the op: {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -261,6 +261,38 @@ impl Dashboard {
                 )
             }
         );
+        // Fleet-telemetry streams carry sketch quantiles and a bounded
+        // exemplar table instead of per-client events; streams recorded
+        // before fleet telemetry parse a zero cohort estimate and render
+        // the pre-fleet dashboard byte-for-byte.
+        if last.cohort_clients > 0 {
+            let _ = writeln!(
+                out,
+                "fleet       ~{} client(s)  div p50 {:.4}  p95 {:.4}  p99 {:.4}",
+                last.cohort_clients, last.div_p50, last.div_p95, last.div_p99
+            );
+            let _ = writeln!(
+                out,
+                "fleet p99   uplink {} B  damage {}  sim compute {} us",
+                last.uplink_p99_bytes, last.damage_p99, last.sim_compute_p99_micros
+            );
+            let exemplars = parse_exemplars(&last.exemplars);
+            if !exemplars.is_empty() {
+                out.push_str("exemplars   kind  client  score\n");
+                for (kind, id, score) in exemplars {
+                    let _ = writeln!(out, "            {kind:<4}  {id:>6}  {score}");
+                }
+            }
+        }
+        // Any evicted task traces mean the replay views are incomplete;
+        // drop-free streams (all pre-trace streams included) stay silent.
+        let trace_dropped: u64 = self.records.iter().map(|r| r.trace_dropped).sum();
+        if trace_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "trace drops {trace_dropped} task trace(s) evicted from the bounded ring — raise its capacity or the replay is incomplete"
+            );
+        }
         out.push('\n');
 
         let skip = self.records.len().saturating_sub(TABLE_ROUNDS);
@@ -378,10 +410,31 @@ impl Dashboard {
             );
             gauge_metric(
                 &mut out,
+                "fhdnn_health_norm_min",
+                "Smallest per-class prototype L2 norm.",
+                &labels,
+                last.norm_min,
+            );
+            gauge_metric(
+                &mut out,
+                "fhdnn_health_norm_max",
+                "Largest per-class prototype L2 norm.",
+                &labels,
+                last.norm_max,
+            );
+            gauge_metric(
+                &mut out,
                 "fhdnn_health_norm_mean",
                 "Mean per-class prototype L2 norm.",
                 &labels,
                 last.norm_mean,
+            );
+            gauge_metric(
+                &mut out,
+                "fhdnn_health_noise_energy",
+                "Channel noise energy injected in the latest round.",
+                &labels,
+                last.noise_energy,
             );
             gauge_metric(
                 &mut out,
@@ -446,6 +499,64 @@ impl Dashboard {
                 &labels,
                 last.mem_bytes_per_client as f64,
             );
+            // Sketch-derived families only exist on fleet-capable
+            // streams; a zero cohort estimate marks a pre-fleet stream,
+            // whose exposition stays exactly what it was.
+            if last.cohort_clients > 0 {
+                let name = "fhdnn_health_divergence_quantile";
+                let _ = writeln!(
+                    out,
+                    "# HELP {name} Client divergence quantiles from the mergeable round sketch."
+                );
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let engine = last.engine.replace('"', "");
+                for (q, v) in [
+                    ("0.5", last.div_p50),
+                    ("0.95", last.div_p95),
+                    ("0.99", last.div_p99),
+                ] {
+                    let v = if v.is_finite() { v } else { 0.0 };
+                    let _ = writeln!(out, "{name}{{engine=\"{engine}\",quantile=\"{q}\"}} {v}");
+                }
+                gauge_metric(
+                    &mut out,
+                    "fhdnn_health_uplink_p99_bytes",
+                    "p99 of per-client uplink bytes in the latest round.",
+                    &labels,
+                    last.uplink_p99_bytes as f64,
+                );
+                gauge_metric(
+                    &mut out,
+                    "fhdnn_health_damage_p99",
+                    "p99 of per-client channel damage events in the latest round.",
+                    &labels,
+                    last.damage_p99 as f64,
+                );
+                gauge_metric(
+                    &mut out,
+                    "fhdnn_health_sim_compute_p99_micros",
+                    "p99 of per-client simulated compute in the latest round, microseconds.",
+                    &labels,
+                    last.sim_compute_p99_micros as f64,
+                );
+                gauge_metric(
+                    &mut out,
+                    "fhdnn_health_cohort_clients",
+                    "Estimated distinct clients seen across the run so far.",
+                    &labels,
+                    last.cohort_clients as f64,
+                );
+            }
+            let trace_dropped: u64 = self.records.iter().map(|r| r.trace_dropped).sum();
+            if trace_dropped > 0 {
+                let name = "fhdnn_trace_dropped_total";
+                let _ = writeln!(
+                    out,
+                    "# HELP {name} Task traces evicted from the bounded ring across the run."
+                );
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name}{labels} {trace_dropped}");
+            }
             let counters: [(&str, &str, u64); 3] = [
                 (
                     "fhdnn_channel_bits_flipped_total",
@@ -519,6 +630,24 @@ impl Dashboard {
         );
         out
     }
+}
+
+/// Splits the deterministic `kind:client:score|…` exemplar string the
+/// round engines emit into `(kind, client, score)` rows; malformed
+/// segments are skipped. Scores stay strings — the engines already
+/// formatted them deterministically.
+fn parse_exemplars(s: &str) -> Vec<(&str, &str, &str)> {
+    s.split('|')
+        .filter_map(|seg| {
+            let mut it = seg.splitn(3, ':');
+            match (it.next(), it.next(), it.next()) {
+                (Some(kind), Some(client), Some(score)) if !kind.is_empty() => {
+                    Some((kind, client, score))
+                }
+                _ => None,
+            }
+        })
+        .collect()
 }
 
 /// Renders `values` as a unicode sparkline, scaled to the series' own
@@ -691,6 +820,102 @@ mod tests {
         assert!(text.contains("fhdnn_mem_bytes_per_client{engine=\"fedhd\"} 524288"));
     }
 
+    /// `mem_line` plus the fleet-telemetry sketch fields (divergence
+    /// quantiles, p99s, cohort estimate, exemplars, trace drops).
+    fn fleet_line(round: u64, acc: f64, cohort: u64, dropped: u64) -> String {
+        mem_line(round, acc, 1 << 20, 1 << 18).replace(
+            r#""mem_allocs":64"#,
+            &format!(
+                r#""mem_allocs":64,"div_p50":0.11,"div_p95":0.28,"div_p99":0.33,"uplink_p99_bytes":4096,"damage_p99":17,"sim_compute_p99_micros":90000,"cohort_clients":{cohort},"exemplars":"div:2:3.1000|dmg:7:17|crit:1:91000","trace_dropped":{dropped}"#
+            ),
+        )
+    }
+
+    #[test]
+    fn fleet_rows_gate_on_cohort_and_render_deterministically() {
+        // Pre-fleet streams parse a zero cohort estimate and must keep
+        // the pre-fleet dashboard byte-for-byte.
+        let old = Dashboard::from_jsonl_str(&fixture_stream()).render();
+        assert!(!old.contains("fleet"), "{old}");
+        assert!(!old.contains("exemplars"), "{old}");
+        assert!(!old.contains("trace drops"), "{old}");
+
+        let mut s = String::new();
+        s.push_str(&fleet_line(0, 0.4, 9, 0));
+        s.push('\n');
+        s.push_str(&fleet_line(1, 0.8, 12, 5));
+        s.push('\n');
+        let dash = Dashboard::from_jsonl_str(&s);
+        assert_eq!(dash.records()[1].cohort_clients, 12);
+        assert_eq!(dash.records()[1].trace_dropped, 5);
+        let r = dash.render();
+        assert!(
+            r.contains("fleet       ~12 client(s)  div p50 0.1100  p95 0.2800  p99 0.3300"),
+            "{r}"
+        );
+        assert!(
+            r.contains("fleet p99   uplink 4096 B  damage 17  sim compute 90000 us"),
+            "{r}"
+        );
+        assert!(r.contains("exemplars   kind  client  score"), "{r}");
+        assert!(r.contains("div        2  3.1000"), "{r}");
+        assert!(r.contains("dmg        7  17"), "{r}");
+        assert!(r.contains("crit       1  91000"), "{r}");
+        assert!(r.contains("trace drops 5 task trace(s) evicted"), "{r}");
+        assert_eq!(r, Dashboard::from_jsonl_str(&s).render());
+
+        // A drop-free fleet stream keeps the fleet rows but stays silent
+        // about the (empty) trace ring.
+        let quiet = Dashboard::from_jsonl_str(&fleet_line(0, 0.4, 9, 0)).render();
+        assert!(quiet.contains("fleet"), "{quiet}");
+        assert!(!quiet.contains("trace drops"), "{quiet}");
+    }
+
+    #[test]
+    fn fleet_gauges_export_to_prometheus() {
+        let mut s = String::new();
+        s.push_str(&fleet_line(0, 0.4, 9, 2));
+        s.push('\n');
+        s.push_str(&fleet_line(1, 0.8, 12, 3));
+        s.push('\n');
+        let text = Dashboard::from_jsonl_str(&s).prometheus();
+        assert!(text.contains("# TYPE fhdnn_health_divergence_quantile gauge"));
+        assert!(text
+            .contains("fhdnn_health_divergence_quantile{engine=\"fedhd\",quantile=\"0.5\"} 0.11"));
+        assert!(text
+            .contains("fhdnn_health_divergence_quantile{engine=\"fedhd\",quantile=\"0.99\"} 0.33"));
+        assert!(text.contains("fhdnn_health_uplink_p99_bytes{engine=\"fedhd\"} 4096"));
+        assert!(text.contains("fhdnn_health_damage_p99{engine=\"fedhd\"} 17"));
+        assert!(text.contains("fhdnn_health_sim_compute_p99_micros{engine=\"fedhd\"} 90000"));
+        assert!(text.contains("fhdnn_health_cohort_clients{engine=\"fedhd\"} 12"));
+        // Drops accumulate across the run.
+        assert!(text.contains("fhdnn_trace_dropped_total{engine=\"fedhd\"} 5"));
+        assert!(text.contains("fhdnn_health_norm_min{engine=\"fedhd\"} 1"));
+        assert!(text.contains("fhdnn_health_norm_max{engine=\"fedhd\"} 2"));
+        assert!(text.contains("# TYPE fhdnn_health_noise_energy gauge"));
+        // Pre-fleet streams export none of the sketch families.
+        let old = Dashboard::from_jsonl_str(&fixture_stream()).prometheus();
+        assert!(!old.contains("fhdnn_health_divergence_quantile"), "{old}");
+        assert!(!old.contains("fhdnn_trace_dropped_total"), "{old}");
+    }
+
+    #[test]
+    fn exemplar_strings_parse_and_skip_malformed_segments() {
+        assert_eq!(
+            parse_exemplars("div:2:3.1000|dmg:7:17|crit:1:91000"),
+            vec![
+                ("div", "2", "3.1000"),
+                ("dmg", "7", "17"),
+                ("crit", "1", "91000"),
+            ]
+        );
+        assert!(parse_exemplars("").is_empty());
+        assert_eq!(
+            parse_exemplars("div:2:1.0|junk|:x:y"),
+            vec![("div", "2", "1.0")]
+        );
+    }
+
     /// A `trace.round` execution-trace summary event, as the round
     /// engines emit since round-anatomy tracing landed.
     fn trace_line(round: u64, critical: u64, util: f64) -> String {
@@ -759,7 +984,9 @@ mod tests {
         let mut s = fixture_stream();
         s.push_str(&mem_line(2, 0.9, 1 << 20, 1 << 16));
         s.push('\n');
-        s.push_str(&trace_line(2, 1, 0.5));
+        s.push_str(&fleet_line(3, 0.91, 15, 4));
+        s.push('\n');
+        s.push_str(&trace_line(3, 1, 0.5));
         s.push('\n');
         let text = Dashboard::from_jsonl_str(&s).prometheus();
         assert_eq!(

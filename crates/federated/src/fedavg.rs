@@ -28,9 +28,14 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngCore, SeedableRng};
 
+use fhdnn_telemetry::sketch::{DistinctEstimator, Reservoir, Sample};
+
 use crate::config::FlConfig;
 use crate::cost::DeviceProfile;
-use crate::health::{divergence_summary, elementwise_delta, norm_stats, HealthRecord};
+use crate::health::{
+    divergence_summary, elementwise_delta, norm_stats, HealthRecord, RoundSketches,
+    FLEET_DIVERGENCE_SAMPLE, FLEET_MAX_OUTLIERS,
+};
 use crate::metrics::{RoundMetrics, RunHistory};
 use crate::parallel::{resolve_threads, run_tasks_traced, split_seed};
 use crate::sampling::sample_clients;
@@ -79,6 +84,8 @@ pub struct CnnFederation {
     telemetry: Telemetry,
     channel_stats: ChannelStats,
     alerts: AlertEngine,
+    fleet_telemetry: bool,
+    cohort: DistinctEstimator,
 }
 
 /// One participant's unit of round work, shipped to a pool worker.
@@ -145,6 +152,8 @@ impl CnnFederation {
             telemetry: Recorder::disabled(),
             channel_stats: ChannelStats::new(),
             alerts: AlertEngine::default(),
+            fleet_telemetry: false,
+            cohort: DistinctEstimator::new(),
         })
     }
 
@@ -186,6 +195,21 @@ impl CnnFederation {
     /// The configured thread-count knob (`0` = auto).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Switches telemetry to fleet mode: per-client emission (per-task
+    /// spans/counters, `trace.task` rows, unbounded outlier lists) is
+    /// suppressed and the per-client divergence deltas are bounded by a
+    /// seeded reservoir sample, so events per round and health-record
+    /// size are O(1) in the cohort size. Sketch percentiles, exemplars,
+    /// and round-level counters are unaffected.
+    pub fn set_fleet_telemetry(&mut self, fleet: bool) {
+        self.fleet_telemetry = fleet;
+    }
+
+    /// Whether fleet-mode telemetry suppression is active.
+    pub fn fleet_telemetry(&self) -> bool {
+        self.fleet_telemetry
     }
 
     /// Sets the simulated AIoT device whose throughput costs each
@@ -346,6 +370,11 @@ impl CnnFederation {
         // Round timing flows through the injectable telemetry clock, so
         // a ManualClock makes `round_seconds` fully deterministic.
         let tick = tel.now_micros();
+        // Self-metering baselines: the deltas emitted at round end prove
+        // (or disprove) that events/round is O(1) in the cohort size.
+        let events_before = tel.events_emitted();
+        let sink_bytes_before = tel.sink_bytes_written();
+        let trace_dropped_before = tel.counter_value("trace.dropped");
         let chan_before = self.channel_stats.snapshot();
         // Per-round memory watermark. Measured unconditionally: the
         // tracked allocator's counters are pure atomics, so reading them
@@ -369,12 +398,20 @@ impl CnnFederation {
         // and the master RNG advances identically at every thread count.
         let round_seed: u64 = self.rng.next_u64();
         let lr = self.lr_schedule.lr_at(self.round, self.sgd.learning_rate);
+        // Fleet mode hands every task an inert buffer: per-client spans
+        // and counters cost one branch and are never emitted, while the
+        // round-level channel accounting below survives through the
+        // task-local `ChannelStats` snapshots.
         let tasks: Vec<ClientTask> = participants
             .iter()
             .map(|&client| ClientTask {
                 client,
                 rng: StdRng::seed_from_u64(split_seed(round_seed, client as u64)),
-                buf: tel.task_buffer(),
+                buf: if self.fleet_telemetry {
+                    Recorder::disabled().task_buffer()
+                } else {
+                    tel.task_buffer()
+                },
             })
             .collect();
         let threads = resolve_threads(self.threads);
@@ -415,8 +452,18 @@ impl CnnFederation {
         let mut state_weight = 0.0f64;
         // Health bookkeeping (per-client deltas vs the broadcast) is pure
         // arithmetic over values the round computes anyway; gated on an
-        // enabled recorder so uninstrumented runs pay nothing.
+        // enabled recorder so uninstrumented runs pay nothing. Fleet mode
+        // bounds the materialized deltas — each one is a full model-sized
+        // vector — with a seeded reservoir, so memory stays O(sample ×
+        // model) however many clients participate.
         let mut client_deltas: Vec<Vec<f32>> = Vec::new();
+        let mut delta_ids: Vec<usize> = Vec::new();
+        let mut reservoir =
+            Reservoir::new(FLEET_DIVERGENCE_SAMPLE, split_seed(round_seed, u64::MAX));
+        // Fleet aggregation state: one constant-size sketch set absorbs a
+        // per-client observation at each fold step, in the same fixed
+        // participant order as everything else at this barrier.
+        let mut sketches = RoundSketches::new();
         let mut rows: Vec<TaskTrace> = Vec::with_capacity(participants.len());
         // Outcomes come back in task order == participant order, so the
         // zip recovers each client id without widening ClientOutcome.
@@ -428,6 +475,21 @@ impl CnnFederation {
             // state, so rows (and the RoundMetrics trace fields below)
             // are identical with or without a recorder attached.
             let flops = per_sample_flops * outcome.weight as u64 * local_epochs as u64;
+            let sim_compute_micros =
+                (self.device.estimate(flops as f64)?.seconds * 1e6).round() as u64;
+            if tel.enabled() {
+                let damage = outcome.stats.bits_flipped
+                    + outcome.stats.dims_erased
+                    + outcome.stats.packets_dropped;
+                sketches.absorb_client(
+                    client as u64,
+                    self.update_bytes(),
+                    damage,
+                    sim_compute_micros,
+                    sim_compute_micros + sim_uplink_micros,
+                );
+                self.cohort.insert(client as u64);
+            }
             rows.push(TaskTrace {
                 round: self.round as u64,
                 client: client as u64,
@@ -436,18 +498,32 @@ impl CnnFederation {
                 // client's update reaches the server.
                 arrived: true,
                 timing,
-                sim_compute_micros: (self.device.estimate(flops as f64)?.seconds * 1e6).round()
-                    as u64,
+                sim_compute_micros,
                 sim_uplink_micros,
             });
+            // Which reservoir slot (if any) this client's delta lands in:
+            // every slot in non-fleet mode, a bounded seeded sample under
+            // fleet mode. Decided before computing the delta so skipped
+            // clients never materialize one.
+            let slot = if !tel.enabled() {
+                None
+            } else if self.fleet_telemetry {
+                match reservoir.offer() {
+                    Sample::Keep(slot) => Some(slot),
+                    Sample::Skip => None,
+                }
+            } else {
+                Some(client_deltas.len())
+            };
             match &outcome.indices {
                 None => {
                     for (i, &u) in outcome.payload.iter().enumerate() {
                         acc[i] += outcome.weight * u as f64;
                         weights[i] += outcome.weight;
                     }
-                    if tel.enabled() {
-                        client_deltas.push(elementwise_delta(&outcome.payload, &broadcast));
+                    if let Some(slot) = slot {
+                        let delta = elementwise_delta(&outcome.payload, &broadcast);
+                        place_delta(&mut client_deltas, &mut delta_ids, slot, delta, client);
                     }
                 }
                 Some(indices) => {
@@ -455,13 +531,13 @@ impl CnnFederation {
                         acc[i] += outcome.weight * u as f64;
                         weights[i] += outcome.weight;
                     }
-                    if tel.enabled() {
+                    if let Some(slot) = slot {
                         // Unsent coordinates contribute zero delta.
                         let mut delta = vec![0.0f32; broadcast.len()];
                         for (&i, &u) in indices.iter().zip(&outcome.payload) {
                             delta[i] = u - broadcast[i];
                         }
-                        client_deltas.push(delta);
+                        place_delta(&mut client_deltas, &mut delta_ids, slot, delta, client);
                     }
                 }
             }
@@ -528,8 +604,13 @@ impl CnnFederation {
             // Execution trace: one event per task (dual-lane timing) plus
             // the round's critical-path summary, all on the main thread
             // in participant order so replays are thread-count-stable.
-            for row in &rows {
-                tel.record_task_trace(row.clone());
+            // Fleet mode keeps only the O(1) summary — the per-task rows
+            // are exactly the O(clients) emission being suppressed; their
+            // worst offenders survive in the exemplar samplers.
+            if !self.fleet_telemetry {
+                for row in &rows {
+                    tel.record_task_trace(row.clone());
+                }
             }
             tel.incr("trace.tasks", rows.len() as u64);
             tel.gauge("trace.worker_utilization", trace_summary.worker_utilization);
@@ -558,10 +639,14 @@ impl CnnFederation {
             // diagnostics degrade to whole-vector statistics (single norm,
             // sign flips over all parameters, no saturation/margin).
             let aggregate_delta = elementwise_delta(&averaged, &broadcast);
-            let div = divergence_summary(&client_deltas, &aggregate_delta, &participants);
+            let mut div = divergence_summary(&client_deltas, &aggregate_delta, &delta_ids);
+            sketches.absorb_divergence(&div);
+            if self.fleet_telemetry {
+                div.outliers.truncate(FLEET_MAX_OUTLIERS);
+            }
             let (norm_min, norm_max, norm_mean) =
                 norm_stats(&[fhdnn_hdc::health::l2_norm(&averaged)]);
-            let record = HealthRecord {
+            let mut record = HealthRecord {
                 round: self.round as u64,
                 engine: "fedavg".into(),
                 test_accuracy: test_accuracy as f64,
@@ -584,10 +669,27 @@ impl CnnFederation {
                 mem_peak_bytes: mem_delta.peak_bytes,
                 mem_allocs: mem_delta.allocs,
                 mem_bytes_per_client,
+                cohort_clients: self.cohort.estimate_rounded(),
+                trace_dropped: tel
+                    .counter_value("trace.dropped")
+                    .saturating_sub(trace_dropped_before),
+                ..HealthRecord::default()
             };
+            sketches.apply(&mut record);
             record.emit(&tel);
             emit_alerts(&tel, &self.alerts.observe(&record.to_sample()));
             tel.observe("fl.round_micros", tel.now_micros().saturating_sub(tick));
+            // The observability layer meters itself: everything emitted
+            // this round, as seen by the sink. The two `incr`s below are a
+            // constant under-count (they cannot observe themselves).
+            tel.incr(
+                "telemetry.overhead.events",
+                tel.events_emitted().saturating_sub(events_before),
+            );
+            tel.incr(
+                "telemetry.overhead.jsonl_bytes",
+                tel.sink_bytes_written().saturating_sub(sink_bytes_before),
+            );
         }
 
         let metrics = RoundMetrics {
@@ -652,6 +754,25 @@ impl CnnFederation {
         } else {
             correct_weighted / seen as f32
         })
+    }
+}
+
+/// Writes a reservoir-kept divergence delta into its slot: slots arrive
+/// in fill order first (append), then replace existing entries — exactly
+/// the contract of [`Reservoir::offer`].
+fn place_delta(
+    deltas: &mut Vec<Vec<f32>>,
+    ids: &mut Vec<usize>,
+    slot: usize,
+    delta: Vec<f32>,
+    client: usize,
+) {
+    if slot == deltas.len() {
+        deltas.push(delta);
+        ids.push(client);
+    } else {
+        deltas[slot] = delta;
+        ids[slot] = client;
     }
 }
 
@@ -812,6 +933,40 @@ mod tests {
                 "channel stats diverged at {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn fleet_mode_preserves_results_and_bounds_emission() {
+        use fhdnn_telemetry::sink::MemorySink;
+        use std::sync::Arc;
+        let run = |fleet: bool| {
+            let (mut fed, test) = tiny_setup(4, 6);
+            let sink = Arc::new(MemorySink::new());
+            fed.set_telemetry(Recorder::with_sink(sink.clone()));
+            fed.set_fleet_telemetry(fleet);
+            let history = fed.run(&NoiselessChannel::new(), &test, "fleet").unwrap();
+            let params: Vec<u32> = fed
+                .global()
+                .flatten_params()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            (history, params, sink.events())
+        };
+        let (vh, vp, verbose) = run(false);
+        let (fh, fp, fleet) = run(true);
+        // The reservoir and inert buffers must not perturb training.
+        assert_eq!(vh, fh);
+        assert_eq!(vp, fp);
+        assert!(fleet.len() < verbose.len());
+        assert!(fleet.iter().all(|e| e.name != "trace.task"));
+        let health = fleet.iter().find(|e| e.name == "health.round").unwrap();
+        let parsed = fhdnn_telemetry::jsonl::parse(&health.to_json()).unwrap();
+        let rec =
+            crate::health::HealthRecord::from_event_fields(parsed.get("fields").unwrap()).unwrap();
+        assert!(rec.uplink_p99_bytes > 0, "{rec:?}");
+        assert!(rec.cohort_clients >= 2, "{rec:?}");
+        assert!(!rec.exemplars.is_empty(), "{rec:?}");
     }
 
     #[test]

@@ -28,9 +28,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use fhdnn_telemetry::sketch::DistinctEstimator;
+
 use crate::config::FlConfig;
 use crate::cost::{hd_refine_flops, DeviceProfile};
-use crate::health::{divergence_summary, elementwise_delta, HealthRecord, SATURATION_EPSILON};
+use crate::health::{
+    divergence_summary, elementwise_delta, HealthRecord, RoundSketches, FLEET_MAX_OUTLIERS,
+    SATURATION_EPSILON,
+};
 use crate::metrics::{RoundMetrics, RunHistory};
 use crate::parallel::{resolve_threads, run_tasks_traced, split_seed};
 use crate::sampling::sample_clients;
@@ -130,6 +135,8 @@ pub struct HdFederation {
     telemetry: Telemetry,
     channel_stats: ChannelStats,
     alerts: AlertEngine,
+    fleet_telemetry: bool,
+    cohort: DistinctEstimator,
 }
 
 /// One participant's unit of round work, shipped to a pool worker.
@@ -198,6 +205,8 @@ impl HdFederation {
             telemetry: Recorder::disabled(),
             channel_stats: ChannelStats::new(),
             alerts: AlertEngine::default(),
+            fleet_telemetry: false,
+            cohort: DistinctEstimator::new(),
         })
     }
 
@@ -270,6 +279,21 @@ impl HdFederation {
     /// The configured thread-count knob (`0` = auto).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Switches telemetry to fleet mode: per-client emission (per-task
+    /// spans/counters, `trace.task` rows, unbounded outlier lists) is
+    /// suppressed in favor of the constant-size sketch summaries already
+    /// folded into every [`HealthRecord`], so events per round are O(1)
+    /// in the cohort size. Sketch percentiles, exemplars, and round-level
+    /// counters are unaffected.
+    pub fn set_fleet_telemetry(&mut self, fleet: bool) {
+        self.fleet_telemetry = fleet;
+    }
+
+    /// Whether fleet-mode telemetry suppression is active.
+    pub fn fleet_telemetry(&self) -> bool {
+        self.fleet_telemetry
     }
 
     /// Sets the simulated AIoT device whose throughput costs each
@@ -469,6 +493,11 @@ impl HdFederation {
         // Round timing flows through the injectable telemetry clock, so
         // a ManualClock makes `round_seconds` fully deterministic.
         let tick = tel.now_micros();
+        // Self-metering baselines: the deltas emitted at round end prove
+        // (or disprove) that events/round is O(1) in the cohort size.
+        let events_before = tel.events_emitted();
+        let sink_bytes_before = tel.sink_bytes_written();
+        let trace_dropped_before = tel.counter_value("trace.dropped");
         let chan_before = self.channel_stats.snapshot();
         // Per-round memory watermark. Measured unconditionally: the
         // tracked allocator's counters are pure atomics, so reading them
@@ -497,12 +526,20 @@ impl HdFederation {
         // client id: scheduling order cannot change what anyone samples,
         // and the master RNG advances identically at every thread count.
         let round_seed: u64 = self.rng.next_u64();
+        // Fleet mode hands every task an inert buffer: per-client spans
+        // and counters cost one branch and are never emitted, while the
+        // round-level channel accounting below survives through the
+        // task-local `ChannelStats` snapshots.
         let tasks: Vec<ClientTask> = participants
             .iter()
             .map(|&client| ClientTask {
                 client,
                 rng: StdRng::seed_from_u64(split_seed(round_seed, client as u64)),
-                buf: tel.task_buffer(),
+                buf: if self.fleet_telemetry {
+                    Recorder::disabled().task_buffer()
+                } else {
+                    tel.task_buffer()
+                },
             })
             .collect();
         let threads = resolve_threads(self.threads);
@@ -534,6 +571,10 @@ impl HdFederation {
         let mut received = Vec::with_capacity(participants.len());
         let mut arrived_ids = Vec::with_capacity(participants.len());
         let mut rows: Vec<TaskTrace> = Vec::with_capacity(participants.len());
+        // Fleet aggregation state: one constant-size sketch set absorbs a
+        // per-client observation at each fold step, in the same fixed
+        // participant order as everything else at this barrier.
+        let mut sketches = RoundSketches::new();
         for (outcome, timing) in outcomes {
             let outcome = outcome?;
             tel.absorb_task(outcome.buf);
@@ -545,6 +586,22 @@ impl HdFederation {
             let flops = hd_refine_flops(samples, classes, dim) * local_epochs as u64;
             let sim_compute_micros =
                 (self.device.estimate(flops as f64)?.seconds * 1e6).round() as u64;
+            if tel.enabled() {
+                let arrived = outcome.update.is_some();
+                let uplink = if arrived { self.update_bytes() } else { 0 };
+                let damage = outcome.stats.bits_flipped
+                    + outcome.stats.dims_erased
+                    + outcome.stats.packets_dropped;
+                let sim_cost = sim_compute_micros + if arrived { sim_uplink_micros } else { 0 };
+                sketches.absorb_client(
+                    outcome.client as u64,
+                    uplink,
+                    damage,
+                    sim_compute_micros,
+                    sim_cost,
+                );
+                self.cohort.insert(outcome.client as u64);
+            }
             rows.push(TaskTrace {
                 round: self.round as u64,
                 client: outcome.client as u64,
@@ -609,8 +666,13 @@ impl HdFederation {
             // Execution trace: one event per task (dual-lane timing) plus
             // the round's critical-path summary, all on the main thread
             // in participant order so replays are thread-count-stable.
-            for row in &rows {
-                tel.record_task_trace(row.clone());
+            // Fleet mode keeps only the O(1) summary — the per-task rows
+            // are exactly the O(clients) emission being suppressed; their
+            // worst offenders survive in the exemplar samplers.
+            if !self.fleet_telemetry {
+                for row in &rows {
+                    tel.record_task_trace(row.clone());
+                }
             }
             tel.incr("trace.tasks", rows.len() as u64);
             tel.gauge("trace.worker_utilization", trace_summary.worker_utilization);
@@ -644,7 +706,11 @@ impl HdFederation {
                     .iter()
                     .map(|m| elementwise_delta(m.prototypes().as_slice(), baseline))
                     .collect();
-                let div = divergence_summary(&deltas, &aggregate_delta, &arrived_ids);
+                let mut div = divergence_summary(&deltas, &aggregate_delta, &arrived_ids);
+                sketches.absorb_divergence(&div);
+                if self.fleet_telemetry {
+                    div.outliers.truncate(FLEET_MAX_OUTLIERS);
+                }
                 let norms = fhdnn_hdc::health::row_norms(&self.global)?;
                 let (norm_min, norm_max, norm_mean) = crate::health::norm_stats(&norms);
                 let saturation = match self.transport {
@@ -657,7 +723,7 @@ impl HdFederation {
                     // are ±1 by construction (saturation is meaningless).
                     HdTransport::Float | HdTransport::Binary => 0.0,
                 };
-                let record = HealthRecord {
+                let mut record = HealthRecord {
                     round: self.round as u64,
                     engine: "fedhd".into(),
                     test_accuracy: test_accuracy as f64,
@@ -680,11 +746,28 @@ impl HdFederation {
                     mem_peak_bytes: mem_delta.peak_bytes,
                     mem_allocs: mem_delta.allocs,
                     mem_bytes_per_client,
+                    cohort_clients: self.cohort.estimate_rounded(),
+                    trace_dropped: tel
+                        .counter_value("trace.dropped")
+                        .saturating_sub(trace_dropped_before),
+                    ..HealthRecord::default()
                 };
+                sketches.apply(&mut record);
                 record.emit(&tel);
                 emit_alerts(&tel, &self.alerts.observe(&record.to_sample()));
             }
             tel.observe("fl.round_micros", tel.now_micros().saturating_sub(tick));
+            // The observability layer meters itself: everything emitted
+            // this round, as seen by the sink. The two `incr`s below are a
+            // constant under-count (they cannot observe themselves).
+            tel.incr(
+                "telemetry.overhead.events",
+                tel.events_emitted().saturating_sub(events_before),
+            );
+            tel.incr(
+                "telemetry.overhead.jsonl_bytes",
+                tel.sink_bytes_written().saturating_sub(sink_bytes_before),
+            );
         }
 
         let metrics = RoundMetrics {
@@ -947,6 +1030,65 @@ mod tests {
         assert_eq!(rec.bits_flipped, 0);
         assert_eq!(rec.dims_erased, 0);
         assert!((rec.noise_energy - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleet_mode_bounds_emission_and_keeps_sketches() {
+        use fhdnn_telemetry::sink::MemorySink;
+        use std::sync::Arc;
+        let (clients, test, k) = encoded_clients(4, 8);
+        let run = |fleet: bool| {
+            let global = HdModel::new(k, DIM).unwrap();
+            let mut fed = HdFederation::new(
+                global,
+                clients.clone(),
+                config(4, 2),
+                HdTransport::Quantized { bitwidth: 8 },
+            )
+            .unwrap();
+            let sink = Arc::new(MemorySink::new());
+            fed.set_telemetry(Recorder::with_sink(sink.clone()));
+            fed.set_fleet_telemetry(fleet);
+            assert_eq!(fed.fleet_telemetry(), fleet);
+            let history = fed.run(&NoiselessChannel::new(), &test, "fleet").unwrap();
+            (history, sink.events())
+        };
+        let (verbose_history, verbose) = run(false);
+        let (fleet_history, fleet) = run(true);
+        // Suppression is observability-only: the model results match.
+        assert_eq!(verbose_history, fleet_history);
+        // Fleet mode emits strictly fewer events and no per-task rows.
+        assert!(
+            fleet.len() < verbose.len(),
+            "{} vs {}",
+            fleet.len(),
+            verbose.len()
+        );
+        assert!(verbose.iter().any(|e| e.name == "trace.task"));
+        assert!(fleet.iter().all(|e| e.name != "trace.task"));
+        // The sketch summaries survive in the health record.
+        let health = fleet.iter().find(|e| e.name == "health.round").unwrap();
+        let parsed = fhdnn_telemetry::jsonl::parse(&health.to_json()).unwrap();
+        let rec =
+            crate::health::HealthRecord::from_event_fields(parsed.get("fields").unwrap()).unwrap();
+        assert!(rec.uplink_p99_bytes > 0, "{rec:?}");
+        assert!(rec.sim_compute_p99_micros > 0, "{rec:?}");
+        assert!(rec.div_p99 >= rec.div_p50, "{rec:?}");
+        assert!(rec.cohort_clients >= 2, "{rec:?}");
+        assert!(!rec.exemplars.is_empty(), "{rec:?}");
+        // The self-metering counters accounted this round's emission.
+        let overhead: u64 = fleet
+            .iter()
+            .filter(|e| e.name == "telemetry.overhead.events")
+            .map(|e| {
+                let v = fhdnn_telemetry::jsonl::parse(&e.to_json()).unwrap();
+                v.get("fields")
+                    .and_then(|f| f.get("delta"))
+                    .and_then(fhdnn_telemetry::jsonl::Value::as_f64)
+                    .unwrap() as u64
+            })
+            .sum();
+        assert!(overhead > 0, "overhead counter must meter emission");
     }
 
     #[test]

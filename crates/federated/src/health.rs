@@ -16,6 +16,7 @@
 
 use fhdnn_telemetry::event::FieldValue;
 use fhdnn_telemetry::jsonl::Value;
+use fhdnn_telemetry::sketch::{QuantileSketch, TopK};
 use fhdnn_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 
@@ -84,6 +85,31 @@ pub struct HealthRecord {
     pub mem_allocs: u64,
     /// Gross bytes allocated during the round, divided by participants.
     pub mem_bytes_per_client: u64,
+    /// Median per-client cosine divergence from the aggregate delta
+    /// (quantile-sketch estimate, ≤ [`QuantileSketch::MAX_RELATIVE_ERROR`]
+    /// relative error).
+    pub div_p50: f64,
+    /// 95th-percentile per-client divergence (sketch estimate).
+    pub div_p95: f64,
+    /// 99th-percentile per-client divergence (sketch estimate).
+    pub div_p99: f64,
+    /// 99th-percentile per-client uplink bytes this round (sketch
+    /// estimate; stragglers count as 0).
+    pub uplink_p99_bytes: u64,
+    /// 99th-percentile per-client channel damage — bits flipped plus dims
+    /// erased plus packets dropped (sketch estimate).
+    pub damage_p99: u64,
+    /// 99th-percentile simulated on-device compute micros (sketch
+    /// estimate).
+    pub sim_compute_p99_micros: u64,
+    /// Distinct clients that have participated in any round so far
+    /// (splitmix64-hash cardinality estimate, cumulative).
+    pub cohort_clients: u64,
+    /// Bounded worst-offender exemplars, `cat:client:score` entries
+    /// joined by `|` ([`format_exemplars`]); empty when no sketches ran.
+    pub exemplars: String,
+    /// Task traces evicted from the bounded trace ring this round.
+    pub trace_dropped: u64,
 }
 
 impl HealthRecord {
@@ -127,6 +153,18 @@ impl HealthRecord {
                     "mem_bytes_per_client",
                     FieldValue::U64(self.mem_bytes_per_client),
                 ),
+                ("div_p50", FieldValue::F64(self.div_p50)),
+                ("div_p95", FieldValue::F64(self.div_p95)),
+                ("div_p99", FieldValue::F64(self.div_p99)),
+                ("uplink_p99_bytes", FieldValue::U64(self.uplink_p99_bytes)),
+                ("damage_p99", FieldValue::U64(self.damage_p99)),
+                (
+                    "sim_compute_p99_micros",
+                    FieldValue::U64(self.sim_compute_p99_micros),
+                ),
+                ("cohort_clients", FieldValue::U64(self.cohort_clients)),
+                ("exemplars", FieldValue::Str(self.exemplars.clone())),
+                ("trace_dropped", FieldValue::U64(self.trace_dropped)),
             ],
         );
     }
@@ -175,6 +213,19 @@ impl HealthRecord {
             mem_peak_bytes: int("mem_peak_bytes"),
             mem_allocs: int("mem_allocs"),
             mem_bytes_per_client: int("mem_bytes_per_client"),
+            div_p50: num("div_p50"),
+            div_p95: num("div_p95"),
+            div_p99: num("div_p99"),
+            uplink_p99_bytes: int("uplink_p99_bytes"),
+            damage_p99: int("damage_p99"),
+            sim_compute_p99_micros: int("sim_compute_p99_micros"),
+            cohort_clients: int("cohort_clients"),
+            exemplars: obj
+                .get("exemplars")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            trace_dropped: int("trace_dropped"),
         })
     }
 
@@ -187,6 +238,7 @@ impl HealthRecord {
             max_client_abs_z: self.max_abs_z,
             dims_erased: self.dims_erased,
             mem_peak_bytes: self.mem_peak_bytes,
+            trace_drops: self.trace_dropped,
         }
     }
 }
@@ -227,6 +279,13 @@ pub struct DivergenceSummary {
     pub max_abs_z: f64,
     /// Client ids whose |z| reached [`OUTLIER_Z`].
     pub outliers: Vec<u64>,
+    /// Per-client `(id, cosine distance)` pairs in input order — fuel for
+    /// the fleet divergence sketch. Bounded by the caller's delta list
+    /// (the full cohort normally, a seeded reservoir under fleet mode).
+    pub distances: Vec<(u64, f64)>,
+    /// Per-client `(id, |z|)` pairs in input order; empty with fewer than
+    /// two clients (no population to score against).
+    pub scores: Vec<(u64, f64)>,
 }
 
 /// Scores each arrived client's update against the aggregate: cosine
@@ -246,10 +305,17 @@ pub fn divergence_summary(
     if distances.is_empty() {
         return DivergenceSummary::default();
     }
+    let id_of = |i: usize| client_ids.get(i).copied().unwrap_or(i) as u64;
+    let labeled: Vec<(u64, f64)> = distances
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (id_of(i), d as f64))
+        .collect();
     let mean = distances.iter().map(|&d| d as f64).sum::<f64>() / distances.len() as f64;
     if distances.len() < 2 {
         return DivergenceSummary {
             mean,
+            distances: labeled,
             ..DivergenceSummary::default()
         };
     }
@@ -259,13 +325,155 @@ pub fn divergence_summary(
         .iter()
         .enumerate()
         .filter(|(_, v)| v.abs() >= OUTLIER_Z)
-        .map(|(i, _)| client_ids.get(i).copied().unwrap_or(i) as u64)
+        .map(|(i, _)| id_of(i))
+        .collect();
+    let scores = z
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (id_of(i), v.abs() as f64))
         .collect();
     DivergenceSummary {
         mean,
         max_abs_z,
         outliers,
+        distances: labeled,
+        scores,
     }
+}
+
+/// Worst-offender exemplars kept per category per round.
+pub const EXEMPLAR_K: usize = 3;
+
+/// Most outlier client ids a fleet-mode [`HealthRecord`] lists; the full
+/// set is unbounded in the cohort size, which is exactly what
+/// `--fleet-telemetry` forbids.
+pub const FLEET_MAX_OUTLIERS: usize = 8;
+
+/// Seeded-reservoir sample size bounding the per-client divergence deltas
+/// the fedavg engine materializes under fleet mode (each delta is a full
+/// model-sized vector, the O(clients × model) memory ROADMAP item 2
+/// forbids). Divergence percentiles then estimate over this sample.
+pub const FLEET_DIVERGENCE_SAMPLE: usize = 32;
+
+/// Constant-size per-round fleet aggregation state: quantile sketches over
+/// per-client observations plus bounded top-k worst-offender samplers.
+///
+/// Both round engines absorb one entry per client at the barrier fold, in
+/// fixed participant order; because [`QuantileSketch::merge`] and
+/// [`TopK::merge`] are order-invariant, the resulting
+/// [`HealthRecord`] percentile fields are byte-identical at any
+/// `--threads` and their size never grows with the cohort.
+#[derive(Debug, Clone)]
+pub struct RoundSketches {
+    /// Per-client uplink bytes (stragglers observe 0).
+    pub uplink_bytes: QuantileSketch,
+    /// Per-client channel damage: bits flipped + dims erased + packets
+    /// dropped.
+    pub damage: QuantileSketch,
+    /// Per-client simulated on-device compute micros.
+    pub sim_compute: QuantileSketch,
+    /// Per-client cosine divergence from the aggregate delta.
+    pub divergence: QuantileSketch,
+    /// Highest-|z| divergence offenders.
+    pub top_divergence: TopK,
+    /// Worst channel-damage offenders.
+    pub top_damage: TopK,
+    /// Critical-path stragglers by simulated cost (compute + uplink).
+    pub top_sim_cost: TopK,
+}
+
+impl RoundSketches {
+    /// Empty sketches with [`EXEMPLAR_K`]-bounded samplers.
+    pub fn new() -> Self {
+        RoundSketches {
+            uplink_bytes: QuantileSketch::new(),
+            damage: QuantileSketch::new(),
+            sim_compute: QuantileSketch::new(),
+            divergence: QuantileSketch::new(),
+            top_divergence: TopK::new(EXEMPLAR_K),
+            top_damage: TopK::new(EXEMPLAR_K),
+            top_sim_cost: TopK::new(EXEMPLAR_K),
+        }
+    }
+
+    /// Absorbs one client's barrier-fold observations. `uplink_bytes` is 0
+    /// for stragglers; `damage` is the client's bits flipped plus dims
+    /// erased plus packets dropped; `sim_cost_micros` is the simulated
+    /// critical-path cost (compute plus uplink serialization).
+    pub fn absorb_client(
+        &mut self,
+        client: u64,
+        uplink_bytes: u64,
+        damage: u64,
+        sim_compute_micros: u64,
+        sim_cost_micros: u64,
+    ) {
+        self.uplink_bytes.observe(uplink_bytes as f64);
+        self.damage.observe(damage as f64);
+        self.sim_compute.observe(sim_compute_micros as f64);
+        self.top_damage.offer(client, damage as f64);
+        self.top_sim_cost.offer(client, sim_cost_micros as f64);
+    }
+
+    /// Absorbs the round's divergence summary: distances feed the
+    /// quantile sketch, |z| scores feed the exemplar sampler.
+    pub fn absorb_divergence(&mut self, summary: &DivergenceSummary) {
+        for &(_, d) in &summary.distances {
+            self.divergence.observe(d);
+        }
+        for &(id, z) in &summary.scores {
+            self.top_divergence.offer(id, z);
+        }
+    }
+
+    /// Merges another partial aggregate (e.g. a per-thread shard) into
+    /// this one. Order-invariant, like the underlying sketches.
+    pub fn merge(&mut self, other: &RoundSketches) {
+        self.uplink_bytes.merge(&other.uplink_bytes);
+        self.damage.merge(&other.damage);
+        self.sim_compute.merge(&other.sim_compute);
+        self.divergence.merge(&other.divergence);
+        self.top_divergence.merge(&other.top_divergence);
+        self.top_damage.merge(&other.top_damage);
+        self.top_sim_cost.merge(&other.top_sim_cost);
+    }
+
+    /// Writes the sketch summaries into a record's fleet fields
+    /// (percentiles + exemplar string); leaves every other field alone.
+    pub fn apply(&self, rec: &mut HealthRecord) {
+        rec.div_p50 = self.divergence.quantile(0.50);
+        rec.div_p95 = self.divergence.quantile(0.95);
+        rec.div_p99 = self.divergence.quantile(0.99);
+        rec.uplink_p99_bytes = self.uplink_bytes.quantile(0.99).round() as u64;
+        rec.damage_p99 = self.damage.quantile(0.99).round() as u64;
+        rec.sim_compute_p99_micros = self.sim_compute.quantile(0.99).round() as u64;
+        rec.exemplars =
+            format_exemplars(&self.top_divergence, &self.top_damage, &self.top_sim_cost);
+    }
+}
+
+impl Default for RoundSketches {
+    fn default() -> Self {
+        RoundSketches::new()
+    }
+}
+
+/// Renders the three exemplar samplers as a deterministic flat string:
+/// `cat:client:score` entries joined by `|`, categories in fixed order
+/// `div` (|z|, 4 decimals), `dmg` (integer damage), `crit` (integer sim
+/// cost micros). Empty categories contribute nothing.
+pub fn format_exemplars(div: &TopK, dmg: &TopK, crit: &TopK) -> String {
+    let mut parts = Vec::new();
+    for e in div.entries() {
+        parts.push(format!("div:{}:{:.4}", e.id, e.score));
+    }
+    for e in dmg.entries() {
+        parts.push(format!("dmg:{}:{}", e.id, e.score as u64));
+    }
+    for e in crit.entries() {
+        parts.push(format!("crit:{}:{}", e.id, e.score as u64));
+    }
+    parts.join("|")
 }
 
 /// Element-wise `a − b` into a fresh vector (the client/aggregate delta
@@ -315,6 +523,15 @@ mod tests {
             mem_peak_bytes: 2048,
             mem_allocs: 64,
             mem_bytes_per_client: 256,
+            div_p50: 0.11,
+            div_p95: 0.28,
+            div_p99: 0.33,
+            uplink_p99_bytes: 4096,
+            damage_p99: 17,
+            sim_compute_p99_micros: 90_000,
+            cohort_clients: 4,
+            exemplars: "div:2:3.1000|dmg:7:17|crit:1:91000".into(),
+            trace_dropped: 5,
         }
     }
 
@@ -383,6 +600,79 @@ mod tests {
         assert_eq!(s.dims_erased, 3);
         assert_eq!(s.max_client_abs_z, 1.2);
         assert_eq!(s.mem_peak_bytes, 2048);
+        assert_eq!(s.trace_drops, 5);
+    }
+
+    #[test]
+    fn round_sketches_summarize_into_record() {
+        let mut sk = RoundSketches::new();
+        for c in 0..10u64 {
+            let uplink = if c == 9 { 0 } else { 1024 };
+            sk.absorb_client(c, uplink, c, 50 + 10 * c, 80 + 10 * c);
+        }
+        let div = DivergenceSummary {
+            distances: (0..10).map(|c| (c, 0.1 + 0.01 * c as f64)).collect(),
+            scores: (0..10).map(|c| (c, c as f64 / 3.0)).collect(),
+            ..DivergenceSummary::default()
+        };
+        sk.absorb_divergence(&div);
+        let mut rec = HealthRecord::default();
+        sk.apply(&mut rec);
+        // Median divergence of 0.10..0.19 is 0.15 (nearest rank) within
+        // the sketch's relative-error bound.
+        assert!((rec.div_p50 - 0.15).abs() < 0.15 * 0.04, "{}", rec.div_p50);
+        assert!(rec.div_p99 >= rec.div_p50);
+        assert!(rec.uplink_p99_bytes >= 1000, "{}", rec.uplink_p99_bytes);
+        assert!(rec.damage_p99 >= 8);
+        assert!(rec.sim_compute_p99_micros >= 130);
+        // Worst offenders by category, highest score first.
+        assert!(
+            rec.exemplars.starts_with("div:9:3.0000|div:8:"),
+            "{}",
+            rec.exemplars
+        );
+        assert!(
+            rec.exemplars.contains("|dmg:9:9|dmg:8:8|dmg:7:7|"),
+            "{}",
+            rec.exemplars
+        );
+        assert!(
+            rec.exemplars.ends_with("crit:9:170|crit:8:160|crit:7:150"),
+            "{}",
+            rec.exemplars
+        );
+    }
+
+    #[test]
+    fn round_sketches_merge_is_order_invariant() {
+        let observe = |sk: &mut RoundSketches, c: u64| {
+            sk.absorb_client(c, 100 * c, c % 5, 10 + c, 20 + c);
+        };
+        let mut serial = RoundSketches::new();
+        for c in 0..40 {
+            observe(&mut serial, c);
+        }
+        let mut shards: Vec<RoundSketches> = (0..4).map(|_| RoundSketches::new()).collect();
+        for c in 0..40u64 {
+            observe(&mut shards[(c % 4) as usize], c);
+        }
+        let mut forward = RoundSketches::new();
+        for s in &shards {
+            forward.merge(s);
+        }
+        let mut backward = RoundSketches::new();
+        for s in shards.iter().rev() {
+            backward.merge(s);
+        }
+        let mut a = HealthRecord::default();
+        let mut b = HealthRecord::default();
+        let mut c = HealthRecord::default();
+        serial.apply(&mut a);
+        forward.apply(&mut b);
+        backward.apply(&mut c);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(serial.uplink_bytes.encode(), forward.uplink_bytes.encode());
     }
 
     #[test]

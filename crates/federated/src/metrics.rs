@@ -293,6 +293,15 @@ mod tests {
             mem_peak_bytes: 1 << 20,
             mem_allocs: 512,
             mem_bytes_per_client: 4096,
+            div_p50: 0.18,
+            div_p95: 0.31,
+            div_p99: 0.42,
+            uplink_p99_bytes: 8192,
+            damage_p99: 33,
+            sim_compute_p99_micros: 120_000,
+            cohort_clients: 64,
+            exemplars: "div:3:2.1000|dmg:5:33|crit:2:130000".into(),
+            trace_dropped: 1,
         };
         let json = serde_json::to_string(&rec).unwrap();
         let back: HealthRecord = serde_json::from_str(&json).unwrap();

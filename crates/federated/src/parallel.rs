@@ -16,6 +16,14 @@
 //! 3. **Buffered telemetry** — each task records spans/counters into a
 //!    private `TaskBuffer`, absorbed at the barrier in the same fixed
 //!    order (see `fhdnn_telemetry::task`).
+//! 4. **Main-thread sketch absorption** — the fleet-telemetry sketches
+//!    (`fhdnn_telemetry::sketch`, folded into `health.round` via
+//!    `crate::health::RoundSketches`) are never touched by workers:
+//!    the engine observes every client into them during the same
+//!    fixed-order fold as rule 2. Their merge is order-invariant by
+//!    construction (log-bucketed counts, register maxima, total-ordered
+//!    top-k), so sketch-derived health fields are byte-identical at any
+//!    thread count — and would stay so even under sharded absorption.
 //!
 //! The pool itself is deliberately boring: scoped threads claiming task
 //! indices from an atomic counter. No work stealing, no channels, no
@@ -254,6 +262,39 @@ mod tests {
         );
         for (_, timing) in &out {
             assert_eq!(*timing, fhdnn_telemetry::trace::TaskTiming::default());
+        }
+    }
+
+    #[test]
+    fn sharded_sketch_absorption_matches_serial_at_any_thread_count() {
+        use crate::health::RoundSketches;
+
+        // Rule 4: sketches absorbed per-shard on workers and merged in
+        // task order at the barrier equal the serial single-sketch fold
+        // — at every thread count.
+        let mut serial = RoundSketches::new();
+        for c in 0..40u64 {
+            serial.absorb_client(c, 1000 + 13 * c, c % 5, 50 * c + 7, 60 * c + 7);
+        }
+        let mut serial_rec = crate::health::HealthRecord::default();
+        serial.apply(&mut serial_rec);
+
+        for threads in [1, 2, 8] {
+            let shards: Vec<Vec<u64>> = (0..4).map(|s| (10 * s..10 * (s + 1)).collect()).collect();
+            let partials = run_tasks(shards, threads, |_, shard| {
+                let mut sk = RoundSketches::new();
+                for c in shard {
+                    sk.absorb_client(c, 1000 + 13 * c, c % 5, 50 * c + 7, 60 * c + 7);
+                }
+                sk
+            });
+            let mut merged = RoundSketches::new();
+            for p in &partials {
+                merged.merge(p);
+            }
+            let mut rec = crate::health::HealthRecord::default();
+            merged.apply(&mut rec);
+            assert_eq!(rec, serial_rec, "threads={threads}");
         }
     }
 

@@ -96,6 +96,11 @@ pub struct ExperimentSpec {
     /// Purely a wall-clock knob: results are byte-identical at every
     /// thread count.
     pub threads: usize,
+    /// Fleet-telemetry mode: replace per-client event emission with
+    /// mergeable sketch summaries so telemetry cost per round is O(1) in
+    /// the cohort size. Results are unchanged; only observability volume
+    /// differs.
+    pub fleet_telemetry: bool,
 }
 
 impl ExperimentSpec {
@@ -128,6 +133,7 @@ impl ExperimentSpec {
             arch: TrunkArch::ResNet,
             seed: 0,
             threads: 1,
+            fleet_telemetry: false,
         }
     }
 
@@ -180,6 +186,7 @@ impl ExperimentSpec {
             arch: TrunkArch::ResNet,
             seed: 0,
             threads: 1,
+            fleet_telemetry: false,
         }
     }
 
@@ -285,6 +292,15 @@ impl ExperimentSpec {
         telemetry: Telemetry,
     ) -> Result<FhdnnSystem> {
         let (clients, test) = self.materialize_data()?;
+        // Fleet mode keeps the whole stream O(1) in the cohort size: the
+        // one-time setup encoding is per-client (4 `hdc.*` events each),
+        // so it runs uninstrumented and the recorder attaches for the
+        // rounds only.
+        let setup_telemetry = if self.fleet_telemetry {
+            Recorder::disabled()
+        } else {
+            telemetry.clone()
+        };
         let mut system = FhdnnSystem::new_with_telemetry(
             extractor,
             &clients,
@@ -293,9 +309,13 @@ impl ExperimentSpec {
             self.seed ^ SEED_ENCODER,
             self.fl,
             self.transport,
-            telemetry,
+            setup_telemetry,
         )?;
+        if self.fleet_telemetry {
+            system.set_telemetry(telemetry);
+        }
         system.set_threads(self.threads);
+        system.set_fleet_telemetry(self.fleet_telemetry);
         Ok(system)
     }
 
@@ -342,6 +362,7 @@ impl ExperimentSpec {
         let mut fed = CnnFederation::new(net, clients, self.fl, LocalSgdConfig::default())?;
         fed.set_telemetry(telemetry);
         fed.set_threads(self.threads);
+        fed.set_fleet_telemetry(self.fleet_telemetry);
         let label = format!("resnet/{}/{}", self.workload, self.partition);
         let update_bytes = fed.update_bytes();
         let history = fed.run(channel, &test, label)?;

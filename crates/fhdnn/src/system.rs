@@ -139,6 +139,19 @@ impl FhdnnSystem {
         self.federation.threads()
     }
 
+    /// Switches fleet-telemetry mode on or off (see
+    /// [`HdFederation::set_fleet_telemetry`]): per-client event emission
+    /// is replaced by mergeable sketch summaries so the telemetry cost
+    /// per round is O(1) in the cohort size. Results are unchanged.
+    pub fn set_fleet_telemetry(&mut self, fleet: bool) {
+        self.federation.set_fleet_telemetry(fleet);
+    }
+
+    /// Whether fleet-telemetry mode is enabled.
+    pub fn fleet_telemetry(&self) -> bool {
+        self.federation.fleet_telemetry()
+    }
+
     /// The attached telemetry recorder.
     pub fn telemetry(&self) -> &Telemetry {
         self.federation.telemetry()

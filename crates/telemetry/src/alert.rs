@@ -2,7 +2,7 @@
 //!
 //! The flight-recorder layers (hdc/federated) compute *signals*; this
 //! module decides when a signal is *bad*. An [`AlertEngine`] is fed one
-//! [`HealthSample`] per round and applies four rules:
+//! [`HealthSample`] per round and applies six rules:
 //!
 //! 1. **Accuracy drop** — test accuracy fell by at least
 //!    [`AlertConfig::accuracy_drop`] below the best accuracy seen within
@@ -17,6 +17,9 @@
 //! 5. **Memory growth** — per-round peak heap bytes exceed both an
 //!    absolute floor and a multiple of the trailing-window mean peak,
 //!    the flight-recorder shape of a server-side leak (warning).
+//! 6. **Trace drops** — the bounded trace ring evicted task rows this
+//!    round; bounded buffers must degrade loudly, because a silent
+//!    eviction means the replay view lies about what ran (warning).
 //!
 //! The engine is pure state-machine logic: [`AlertEngine::observe`]
 //! returns the alerts that fired and never touches a recorder, so rules
@@ -116,13 +119,15 @@ pub struct HealthSample {
     /// Peak heap bytes above the round-start level (tracked-allocator
     /// watermark); `0` when memory accounting is unavailable.
     pub mem_peak_bytes: u64,
+    /// Task traces evicted from the bounded trace ring this round.
+    pub trace_drops: u64,
 }
 
 /// A fired alert: which rule, how bad, and the numbers behind it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Alert {
     /// Rule identifier: `accuracy_drop`, `saturation`, `client_outlier`,
-    /// `erasure_spike`, or `mem_growth`.
+    /// `erasure_spike`, `mem_growth`, or `trace_drops`.
     pub rule: &'static str,
     /// Escalation level.
     pub severity: Severity,
@@ -278,6 +283,23 @@ impl AlertEngine {
                     ),
                 });
             }
+        }
+
+        // Trace-ring evictions: any eviction fires. There is no tunable
+        // threshold — a bounded buffer that overflowed has already lost
+        // data, and the only healthy count is zero.
+        if sample.trace_drops > 0 {
+            fired.push(Alert {
+                rule: "trace_drops",
+                severity: Severity::Warning,
+                round: sample.round,
+                value: sample.trace_drops as f64,
+                threshold: 0.0,
+                message: format!(
+                    "{} task traces evicted from the bounded trace ring; raise its capacity or the replay view is incomplete",
+                    sample.trace_drops
+                ),
+            });
         }
 
         // Roll the trailing state forward.
@@ -474,9 +496,33 @@ mod tests {
             max_client_abs_z: 5.0,
             dims_erased: 0,
             mem_peak_bytes: 0,
+            trace_drops: 7,
         });
         let rules: Vec<&str> = fired.iter().map(|a| a.rule).collect();
-        assert_eq!(rules, ["accuracy_drop", "saturation", "client_outlier"]);
+        assert_eq!(
+            rules,
+            [
+                "accuracy_drop",
+                "saturation",
+                "client_outlier",
+                "trace_drops"
+            ]
+        );
+    }
+
+    #[test]
+    fn trace_drops_fires_on_any_eviction() {
+        let mut eng = AlertEngine::default();
+        assert!(eng.observe(&HealthSample::default()).is_empty());
+        let fired = eng.observe(&HealthSample {
+            round: 1,
+            trace_drops: 1,
+            ..HealthSample::default()
+        });
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "trace_drops");
+        assert_eq!(fired[0].severity, Severity::Warning);
+        assert_eq!(fired[0].value, 1.0);
     }
 
     #[test]

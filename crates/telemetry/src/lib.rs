@@ -51,11 +51,13 @@ pub mod mem;
 pub mod profile;
 pub mod registry;
 pub mod sink;
+pub mod sketch;
 pub mod task;
 pub mod trace;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use clock::{Clock, SystemClock};
@@ -129,6 +131,9 @@ pub struct Recorder {
     paths: Mutex<BTreeMap<String, PathStat>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
     traces: Mutex<trace::TraceRing>,
+    /// Events that reached the sink — the recorder metering itself, so
+    /// fleet mode can *prove* events-per-round is O(1) in client count.
+    events_emitted: AtomicU64,
 }
 
 impl Recorder {
@@ -143,6 +148,7 @@ impl Recorder {
             paths: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
             traces: Mutex::new(trace::TraceRing::default()),
+            events_emitted: AtomicU64::new(0),
         })
     }
 
@@ -447,6 +453,24 @@ impl Recorder {
     fn emit(&self, kind: EventKind, name: &str, fields: &[(&str, FieldValue)]) {
         let event = Event::new(self.clock.now_micros(), kind, name, fields);
         self.sink.record(&event);
+        self.events_emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total events this recorder has pushed to its sink — the raw
+    /// material of the `telemetry.overhead.events` self-metering
+    /// counter. Snapshot it around a round to measure the round's
+    /// emission cost.
+    #[must_use]
+    pub fn events_emitted(&self) -> u64 {
+        self.events_emitted.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes the sink has serialized (0 for sinks that do not
+    /// write bytes) — the raw material of the
+    /// `telemetry.overhead.jsonl_bytes` self-metering counter.
+    #[must_use]
+    pub fn sink_bytes_written(&self) -> u64 {
+        self.sink.bytes_written()
     }
 
     /// Current value of a counter (0 if never incremented).

@@ -242,6 +242,16 @@ pub const REGISTRY: &[MetricDef] = &[
         help: "One client's update leaving for the server.",
     },
     MetricDef {
+        name: "telemetry.overhead.events",
+        kind: MetricKind::Counter,
+        help: "Telemetry events emitted per round — the observability layer metering itself.",
+    },
+    MetricDef {
+        name: "telemetry.overhead.jsonl_bytes",
+        kind: MetricKind::Counter,
+        help: "JSONL bytes serialized per round by the telemetry sink.",
+    },
+    MetricDef {
         name: "trace.dropped",
         kind: MetricKind::Counter,
         help: "Task traces evicted from the bounded trace ring.",

@@ -12,6 +12,7 @@ use std::fmt::Debug;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::event::Event;
@@ -23,6 +24,13 @@ pub trait Sink: Debug + Send + Sync {
 
     /// Flushes any buffered output (no-op by default).
     fn flush(&self) {}
+
+    /// Total bytes this sink has serialized, newlines included (0 for
+    /// sinks that do not write bytes). Feeds the
+    /// `telemetry.overhead.jsonl_bytes` self-metering counter.
+    fn bytes_written(&self) -> u64 {
+        0
+    }
 }
 
 /// Discards every event.
@@ -37,6 +45,7 @@ impl Sink for NoopSink {
 #[derive(Debug, Default)]
 pub struct MemorySink {
     events: Mutex<Vec<Event>>,
+    bytes: AtomicU64,
 }
 
 impl MemorySink {
@@ -63,10 +72,18 @@ impl MemorySink {
 
 impl Sink for MemorySink {
     fn record(&self, event: &Event) {
+        // Account the bytes the JSONL form *would* occupy, so in-memory
+        // tests exercise the same overhead metering as file-backed runs.
+        self.bytes
+            .fetch_add(event.to_json().len() as u64 + 1, Ordering::Relaxed);
         self.events
             .lock()
             .expect("memory sink poisoned")
             .push(event.clone());
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -74,6 +91,7 @@ impl Sink for MemorySink {
 #[derive(Debug)]
 pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
+    bytes: AtomicU64,
 }
 
 impl JsonlSink {
@@ -86,19 +104,27 @@ impl JsonlSink {
         let file = File::create(path)?;
         Ok(JsonlSink {
             writer: Mutex::new(BufWriter::new(file)),
+            bytes: AtomicU64::new(0),
         })
     }
 }
 
 impl Sink for JsonlSink {
     fn record(&self, event: &Event) {
+        let line = event.to_json();
         let mut w = self.writer.lock().expect("jsonl sink poisoned");
         // Telemetry must never take the run down: I/O errors are dropped.
-        let _ = writeln!(w, "{}", event.to_json());
+        let _ = writeln!(w, "{line}");
+        self.bytes
+            .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
     }
 
     fn flush(&self) {
         let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
     }
 }
 

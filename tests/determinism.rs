@@ -85,6 +85,10 @@ fn non_span_events(sink: &MemorySink) -> Vec<Event> {
             e.kind != EventKind::Span
                 && !e.name.starts_with("mem.")
                 && e.name != "trace.worker_utilization"
+                // The jsonl_bytes self-meter counts serialized bytes,
+                // whose digit widths include the heap watermarks — as
+                // environment-dependent as the watermarks themselves.
+                && e.name != "telemetry.overhead.jsonl_bytes"
         })
         .map(|mut e| {
             if e.name == "health.round" {

@@ -1,0 +1,421 @@
+//! Fleet-scale telemetry invariants: the sketch algebra the round
+//! engines fold client observations through (merge associativity and
+//! order-invariance, bounded quantile error), the O(1)-per-round event
+//! volume `--fleet-telemetry` promises, and byte-identity of the
+//! sketch-derived health records — and the `fhdnn watch` dashboard
+//! rendered from them — across thread counts.
+
+#[path = "proptest_util.rs"]
+mod proptest_util;
+
+use std::sync::Arc;
+
+use fhdnn::channel::NoiselessChannel;
+use fhdnn::federated::config::FlConfig;
+use fhdnn::federated::fedhd::{HdClientData, HdFederation, HdTransport};
+use fhdnn::federated::health::{HealthRecord, EXEMPLAR_K, FLEET_MAX_OUTLIERS};
+use fhdnn::hdc::model::HdModel;
+use fhdnn::telemetry::clock::ManualClock;
+use fhdnn::telemetry::jsonl;
+use fhdnn::telemetry::sink::MemorySink;
+use fhdnn::telemetry::sketch::{DistinctEstimator, QuantileSketch, TopK};
+use fhdnn::telemetry::Recorder;
+use fhdnn::tensor::Tensor;
+use fhdnn_cli::Dashboard;
+use proptest_util::{check, Gen};
+
+// ---------------------------------------------------------------------
+// Sketch algebra
+// ---------------------------------------------------------------------
+
+#[test]
+fn quantile_sketch_merge_is_associative_and_order_invariant() {
+    check(0xf1ee_7001, 60, |case, g| {
+        let n = 1 + g.usize_below(150);
+        let values: Vec<f64> = (0..n).map(|_| f64::from(g.f32_in(1e-3, 1e6))).collect();
+        let mut serial = QuantileSketch::new();
+        for v in &values {
+            serial.observe(*v);
+        }
+        // Shard the stream, then merge the shards in a random order.
+        let shards = 1 + g.usize_below(5);
+        let mut parts: Vec<QuantileSketch> = (0..shards).map(|_| QuantileSketch::new()).collect();
+        for (i, v) in values.iter().enumerate() {
+            parts[i % shards].observe(*v);
+        }
+        let mut merged = QuantileSketch::new();
+        for &p in &g.permutation(shards) {
+            merged.merge(&parts[p]);
+        }
+        assert_eq!(
+            merged.encode(),
+            serial.encode(),
+            "case {case}: sharded merge must be byte-identical to serial"
+        );
+        // Associativity: ((a ⊔ b) ⊔ c) == (a ⊔ (b ⊔ c)).
+        if shards >= 3 {
+            let mut left = QuantileSketch::new();
+            left.merge(&parts[0]);
+            left.merge(&parts[1]);
+            left.merge(&parts[2]);
+            let mut bc = QuantileSketch::new();
+            bc.merge(&parts[1]);
+            bc.merge(&parts[2]);
+            let mut right = QuantileSketch::new();
+            right.merge(&parts[0]);
+            right.merge(&bc);
+            assert_eq!(left.encode(), right.encode(), "case {case}: associativity");
+        }
+    });
+}
+
+#[test]
+fn quantile_sketch_respects_relative_error_bound() {
+    check(0xf1ee_7002, 60, |case, g| {
+        let n = 1 + g.usize_below(250);
+        let mut values: Vec<f64> = (0..n).map(|_| f64::from(g.f32_in(1e-3, 1e4))).collect();
+        let mut sk = QuantileSketch::new();
+        for v in &values {
+            sk.observe(*v);
+        }
+        values.sort_by(f64::total_cmp);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * (n - 1) as f64).round() as usize).min(n - 1);
+            let exact = values[rank];
+            let got = sk.quantile(q);
+            assert!(
+                (got - exact).abs() <= QuantileSketch::MAX_RELATIVE_ERROR * exact + 1e-9,
+                "case {case}: q={q} got={got} exact={exact} (n={n})"
+            );
+        }
+    });
+}
+
+#[test]
+fn distinct_estimator_merge_equals_union() {
+    check(0xf1ee_7003, 40, |case, g| {
+        let mut a = DistinctEstimator::new();
+        let mut b = DistinctEstimator::new();
+        let mut union = DistinctEstimator::new();
+        for _ in 0..g.usize_below(400) {
+            let id = g.next_u64() % 500;
+            a.insert(id);
+            union.insert(id);
+        }
+        for _ in 0..g.usize_below(400) {
+            let id = g.next_u64() % 500;
+            b.insert(id);
+            union.insert(id);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, union, "case {case}: merge is the register union");
+        assert_eq!(ab, ba, "case {case}: merge commutes");
+        // Idempotence: merging a sketch into itself changes nothing.
+        let mut aa = a.clone();
+        aa.merge(&a);
+        assert_eq!(aa, a, "case {case}: merge is idempotent");
+    });
+}
+
+#[test]
+fn topk_sampler_is_insertion_order_invariant() {
+    check(0xf1ee_7004, 40, |case, g| {
+        let n = 1 + g.usize_below(60);
+        let offers: Vec<(u64, f64)> = (0..n)
+            .map(|i| (i as u64, f64::from(g.f32_in(0.0, 100.0))))
+            .collect();
+        let mut serial = TopK::new(EXEMPLAR_K);
+        for (id, s) in &offers {
+            serial.offer(*id, *s);
+        }
+        // Permuted insertion.
+        let mut permuted = TopK::new(EXEMPLAR_K);
+        for &p in &g.permutation(n) {
+            permuted.offer(offers[p].0, offers[p].1);
+        }
+        assert_eq!(permuted.entries(), serial.entries(), "case {case}");
+        // Sharded insertion + merge in permuted shard order.
+        let shards = 1 + g.usize_below(4);
+        let mut parts: Vec<TopK> = (0..shards).map(|_| TopK::new(EXEMPLAR_K)).collect();
+        for (i, (id, s)) in offers.iter().enumerate() {
+            parts[i % shards].offer(*id, *s);
+        }
+        let mut merged = TopK::new(EXEMPLAR_K);
+        for &p in &g.permutation(shards) {
+            merged.merge(&parts[p]);
+        }
+        assert_eq!(merged.entries(), serial.entries(), "case {case}: sharded");
+    });
+}
+
+// ---------------------------------------------------------------------
+// Engine-level invariants
+// ---------------------------------------------------------------------
+
+const DIM: usize = 256;
+const CLASSES: usize = 4;
+
+/// Pre-encoded, well-separated clients: each sample is a class prototype
+/// in `{-1,1}^DIM` with 10% sign noise, so accuracy is high and stable
+/// at every cohort size (no alert-rule flapping between runs).
+fn clustered_clients(
+    num: usize,
+    per_client: usize,
+    seed: u64,
+) -> (Vec<HdClientData>, HdClientData) {
+    let mut g = Gen::new(seed);
+    let protos: Vec<Vec<f32>> = (0..CLASSES)
+        .map(|_| {
+            (0..DIM)
+                .map(|_| if g.bool() { 1.0 } else { -1.0 })
+                .collect()
+        })
+        .collect();
+    let mut make = |count: usize| {
+        let mut data = Vec::with_capacity(count * DIM);
+        let mut labels = Vec::with_capacity(count);
+        for i in 0..count {
+            let c = i % CLASSES;
+            for &p in &protos[c] {
+                let flip = g.usize_below(10) == 0;
+                data.push(if flip { -p } else { p });
+            }
+            labels.push(c);
+        }
+        HdClientData {
+            hypervectors: Tensor::from_vec(data, &[count, DIM]).unwrap(),
+            labels,
+        }
+    };
+    let clients = (0..num).map(|_| make(per_client)).collect();
+    let test = make(40);
+    (clients, test)
+}
+
+/// Runs `rounds` fleet-telemetry rounds and returns the serialized
+/// event stream, one JSON line per event.
+fn fleet_run(num_clients: usize, threads: usize, rounds: usize) -> Vec<String> {
+    let (clients, test) = clustered_clients(num_clients, 4, 0xf1ee7);
+    let config = FlConfig {
+        num_clients,
+        rounds,
+        local_epochs: 1,
+        batch_size: 4,
+        client_fraction: 1.0,
+        seed: 7,
+    };
+    let global = HdModel::new(CLASSES, DIM).unwrap();
+    let mut fed = HdFederation::new(
+        global,
+        clients,
+        config,
+        HdTransport::Quantized { bitwidth: 8 },
+    )
+    .unwrap();
+    let sink = Arc::new(MemorySink::new());
+    let tel = Recorder::with_sink_and_clock(sink.clone(), Arc::new(ManualClock::new(10)));
+    fed.set_telemetry(tel.clone());
+    fed.set_threads(threads);
+    fed.set_fleet_telemetry(true);
+    let clean = NoiselessChannel::new();
+    for _ in 0..rounds {
+        fed.run_round(&clean, &test).unwrap();
+    }
+    tel.flush();
+    sink.events().iter().map(|e| e.to_json()).collect()
+}
+
+fn health_records(lines: &[String]) -> Vec<HealthRecord> {
+    lines
+        .iter()
+        .filter(|l| l.contains("\"name\":\"health.round\""))
+        .map(|l| {
+            let v = jsonl::parse(l).unwrap();
+            HealthRecord::from_event_fields(v.get("fields").unwrap()).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn fleet_event_volume_is_o1_in_cohort_size() {
+    let rounds = 2;
+    let small = fleet_run(100, 1, rounds);
+    let large = fleet_run(1000, 1, rounds);
+    // Alert events are already O(1) (bounded by the rule count) but may
+    // legitimately differ between cohorts; everything else must be
+    // EXACTLY as many events at 1000 clients as at 100.
+    let volume = |lines: &[String]| {
+        lines
+            .iter()
+            .filter(|l| !l.contains("\"name\":\"alert\""))
+            .count()
+    };
+    assert_eq!(
+        volume(&small),
+        volume(&large),
+        "fleet mode must emit the same event count per round at any cohort size"
+    );
+    // No per-client task rows survive in fleet mode.
+    assert!(large.iter().all(|l| !l.contains("\"name\":\"trace.task\"")));
+
+    // The health record itself stays O(1): same key count, bounded
+    // outlier list, bounded exemplar string.
+    let (rs, rl) = (health_records(&small), health_records(&large));
+    assert_eq!(rs.len(), rounds);
+    assert_eq!(rl.len(), rounds);
+    let keys = |l: &str| l.matches("\":").count();
+    let small_health: Vec<&String> = small
+        .iter()
+        .filter(|l| l.contains("\"name\":\"health.round\""))
+        .collect();
+    let large_health: Vec<&String> = large
+        .iter()
+        .filter(|l| l.contains("\"name\":\"health.round\""))
+        .collect();
+    for (s, l) in small_health.iter().zip(&large_health) {
+        assert_eq!(
+            keys(s),
+            keys(l),
+            "health records must have equal key counts"
+        );
+        assert!(l.len() < 2000, "health record blew up: {} bytes", l.len());
+    }
+    for r in rl.iter().chain(&rs) {
+        assert!(r.outlier_clients.len() <= FLEET_MAX_OUTLIERS);
+        assert!(r.exemplars.split('|').count() <= 3 * EXEMPLAR_K);
+        assert!(r.cohort_clients > 0, "cohort estimate missing");
+    }
+    // The cohort estimator actually tracks the fleet size (HLL with 256
+    // registers: ~6.5% standard error, allow 3 sigma).
+    let est = rl.last().unwrap().cohort_clients as f64;
+    assert!(
+        (est - 1000.0).abs() < 0.2 * 1000.0,
+        "cohort estimate {est} too far from 1000"
+    );
+    let est_small = rs.last().unwrap().cohort_clients as f64;
+    assert!(
+        (est_small - 100.0).abs() < 0.2 * 100.0,
+        "cohort estimate {est_small} too far from 100"
+    );
+    // Self-metering counters are present in the stream.
+    assert!(small
+        .iter()
+        .any(|l| l.contains("\"name\":\"telemetry.overhead.events\"")));
+    assert!(small
+        .iter()
+        .any(|l| l.contains("\"name\":\"telemetry.overhead.jsonl_bytes\"")));
+}
+
+/// Zeroes one `"key":<digits>` field in a hand-rolled JSON line (the
+/// raw memory watermarks measure the process's real heap — see
+/// tests/telemetry.rs).
+fn zero_field(line: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":");
+    match line.find(&pat) {
+        Some(i) => {
+            let start = i + pat.len();
+            let end = line[start..]
+                .find(|c: char| !c.is_ascii_digit())
+                .map(|o| start + o)
+                .unwrap_or(line.len());
+            format!("{}0{}", &line[..start], &line[end..])
+        }
+        None => line.to_string(),
+    }
+}
+
+/// The stream's `health.round` lines with the watermark fields zeroed —
+/// everything else in them (sketch quantiles, exemplars, cohort
+/// estimate included) must be byte-stable.
+fn canonical_health_lines(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .filter(|l| l.contains("\"name\":\"health.round\""))
+        .map(|l| {
+            let mut l = l.clone();
+            for key in ["mem_peak_bytes", "mem_allocs", "mem_bytes_per_client"] {
+                l = zero_field(&l, key);
+            }
+            l
+        })
+        .collect()
+}
+
+#[test]
+fn sketch_derived_health_is_byte_identical_across_thread_counts() {
+    let baseline = canonical_health_lines(&fleet_run(24, 1, 3));
+    assert_eq!(baseline.len(), 3);
+    assert!(baseline[0].contains("\"div_p50\""), "{}", baseline[0]);
+    for threads in [2, 8] {
+        let other = canonical_health_lines(&fleet_run(24, threads, 3));
+        assert_eq!(
+            baseline, other,
+            "sketch-derived health records moved at threads={threads}"
+        );
+    }
+    // The watch dashboard rendered from those records — percentile
+    // bands, exemplar table and all — is equally thread-invariant.
+    let render = |lines: &[String]| Dashboard::from_jsonl_str(&lines.join("\n")).render();
+    let reference = render(&baseline);
+    assert!(reference.contains("fleet"), "{reference}");
+    assert!(reference.contains("exemplars"), "{reference}");
+    for threads in [2, 8] {
+        let other = canonical_health_lines(&fleet_run(24, threads, 3));
+        assert_eq!(
+            reference,
+            render(&other),
+            "watch render moved at threads={threads}"
+        );
+    }
+    // And so is the Prometheus exposition.
+    let prom = Dashboard::from_jsonl_str(&baseline.join("\n")).prometheus();
+    assert!(prom.contains("fhdnn_health_divergence_quantile"), "{prom}");
+    assert_eq!(
+        prom,
+        Dashboard::from_jsonl_str(&canonical_health_lines(&fleet_run(24, 2, 3)).join("\n"))
+            .prometheus()
+    );
+}
+
+#[test]
+fn fleet_mode_changes_no_results() {
+    let run = |fleet: bool| {
+        let (clients, test) = clustered_clients(12, 4, 0xf1ee7);
+        let config = FlConfig {
+            num_clients: 12,
+            rounds: 3,
+            local_epochs: 1,
+            batch_size: 4,
+            client_fraction: 1.0,
+            seed: 7,
+        };
+        let global = HdModel::new(CLASSES, DIM).unwrap();
+        let mut fed = HdFederation::new(
+            global,
+            clients,
+            config,
+            HdTransport::Quantized { bitwidth: 8 },
+        )
+        .unwrap();
+        let sink = Arc::new(MemorySink::new());
+        let tel = Recorder::with_sink_and_clock(sink.clone(), Arc::new(ManualClock::new(10)));
+        fed.set_telemetry(tel);
+        fed.set_fleet_telemetry(fleet);
+        let clean = NoiselessChannel::new();
+        let mut accs = Vec::new();
+        for _ in 0..3 {
+            accs.push(fed.run_round(&clean, &test).unwrap().test_accuracy);
+        }
+        (accs, sink.events().len())
+    };
+    let (verbose_accs, verbose_events) = run(false);
+    let (fleet_accs, fleet_events) = run(true);
+    assert_eq!(verbose_accs, fleet_accs, "fleet telemetry changed results");
+    assert!(
+        fleet_events < verbose_events,
+        "fleet mode must emit fewer events ({fleet_events} vs {verbose_events})"
+    );
+}

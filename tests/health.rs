@@ -213,12 +213,15 @@ fn zero_field(line: &str, key: &str) -> String {
 /// Raw memory watermarks measure the process's real heap, which depends
 /// on what earlier runs and concurrent tests left live (see
 /// tests/telemetry.rs), so cross-recording comparison drops `mem.*`
-/// lines and zeroes the watermark fields of health records. The event
-/// serializer emits sorted keys, so plain text surgery is exact.
+/// lines and zeroes the watermark fields of health records. The
+/// `telemetry.overhead.jsonl_bytes` self-meter counts serialized bytes —
+/// whose digit widths include those watermarks — so it drops too. The
+/// event serializer emits sorted keys, so plain text surgery is exact.
 fn canonical(stream: &str) -> String {
     stream
         .lines()
         .filter(|l| !l.contains("\"name\":\"mem."))
+        .filter(|l| !l.contains("\"name\":\"telemetry.overhead.jsonl_bytes\""))
         .map(|l| {
             let mut l = l.to_string();
             for key in ["mem_peak_bytes", "mem_allocs", "mem_bytes_per_client"] {
