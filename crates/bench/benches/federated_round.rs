@@ -19,6 +19,7 @@ fn quick_fl(num_clients: usize) -> FlConfig {
         batch_size: 10,
         client_fraction: 0.5,
         seed: 0,
+        ..FlConfig::default()
     }
 }
 

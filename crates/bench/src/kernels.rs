@@ -10,7 +10,7 @@ use fhdnn::channel::packet::PacketLossChannel;
 use fhdnn::channel::packetizer::{transport_through, Packetizer};
 use fhdnn::datasets::features::FeatureSpec;
 use fhdnn::datasets::partition::Partition;
-use fhdnn::federated::config::FlConfig;
+use fhdnn::federated::config::{FlConfig, HdExecution};
 use fhdnn::federated::fedhd::{HdClientData, HdFederation, HdTransport};
 use fhdnn::hdc::encoder::RandomProjectionEncoder;
 use fhdnn::hdc::model::HdModel;
@@ -97,6 +97,10 @@ pub fn round_benches() -> Vec<Bench> {
         Bench {
             name: "round.fedhd_binary",
             run: bench_round_binary,
+        },
+        Bench {
+            name: "round.fedhd_binary_reference",
+            run: bench_round_binary_reference,
         },
         Bench {
             name: "round.fedhd_parallel",
@@ -259,6 +263,16 @@ fn bench_federated_aggregate(cfg: &BenchConfig) -> BenchResult {
 /// Small seeded federation shared by the round benches (mirrors the
 /// telemetry integration fixture).
 fn build_federation(transport: HdTransport) -> (HdFederation, HdClientData) {
+    build_federation_exec(transport, HdExecution::Packed)
+}
+
+/// [`build_federation`] with an explicit binary-engine selection, so the
+/// round benches can pit the packed hot path against the reference
+/// oracle on identical data.
+fn build_federation_exec(
+    transport: HdTransport,
+    execution: HdExecution,
+) -> (HdFederation, HdClientData) {
     const DIM: usize = 1024;
     const NUM_CLIENTS: usize = 4;
     let spec = FeatureSpec {
@@ -298,6 +312,7 @@ fn build_federation(transport: HdTransport) -> (HdFederation, HdClientData) {
         batch_size: 10,
         client_fraction: 0.5,
         seed: 7,
+        execution,
     };
     let global = HdModel::new(5, DIM).expect("global model");
     let fed = HdFederation::new(global, clients, config, transport).expect("federation");
@@ -330,6 +345,16 @@ fn bench_round_quantized(cfg: &BenchConfig) -> BenchResult {
 
 fn bench_round_binary(cfg: &BenchConfig) -> BenchResult {
     bench_round("round.fedhd_binary", HdTransport::Binary, cfg)
+}
+
+fn bench_round_binary_reference(cfg: &BenchConfig) -> BenchResult {
+    // The differential oracle on the same data and seeds: the measured
+    // gap against `round.fedhd_binary` is the packed + SIMD speedup.
+    let (mut fed, test) = build_federation_exec(HdTransport::Binary, HdExecution::Reference);
+    let channel = PacketLossChannel::new(0.1, 256).expect("channel");
+    run_bench("round.fedhd_binary_reference", cfg, 10, 1.0, || {
+        black_box(fed.run_round(&channel, &test).expect("round"));
+    })
 }
 
 fn bench_round_parallel(cfg: &BenchConfig) -> BenchResult {

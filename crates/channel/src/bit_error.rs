@@ -120,6 +120,36 @@ impl Channel for BitErrorChannel {
             *s = -*s;
         }
     }
+
+    // Packed hot path: toggle sign bits in the words directly — no
+    // unpacking. Erased dimensions carry no sign, so flips landing on
+    // them are skipped (the bipolar path's `-0 == 0` behaviour).
+    // Accounting diffs before/after words so a double flip on the same
+    // position cancels out exactly as it does for `i8` symbols.
+    fn transmit_packed_stats(
+        &self,
+        words: &mut [u64],
+        erased: &mut [u64],
+        live_bits: usize,
+        rng: &mut dyn RngCore,
+        stats: &crate::ChannelStats,
+    ) {
+        stats.record_transmission(live_bits as u64);
+        let before = words.to_vec();
+        for pos in self.flip_positions(live_bits as u64, rng) {
+            let (w, b) = ((pos / 64) as usize, (pos % 64) as u32);
+            if erased[w] >> b & 1 == 1 {
+                continue;
+            }
+            words[w] ^= 1u64 << b;
+        }
+        let realized: u64 = words
+            .iter()
+            .zip(&before)
+            .map(|(&a, &b)| u64::from((a ^ b).count_ones()))
+            .sum();
+        stats.add_bits_flipped(realized);
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +285,44 @@ mod tests {
         let flipped = syms.iter().filter(|&&s| s == -1).count() as u64;
         assert_eq!(stats.snapshot().bits_flipped, flipped);
         assert!(flipped > 0);
+    }
+
+    #[test]
+    fn packed_flip_rate_matches_ber_and_stats_are_exact() {
+        use crate::{Channel, ChannelStats};
+        let ch = BitErrorChannel::new(0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let live_bits = 20_000;
+        let mut words = vec![u64::MAX; live_bits / 64];
+        let mut erased = vec![0u64; live_bits / 64];
+        let before = words.clone();
+        let stats = ChannelStats::new();
+        ch.transmit_packed_stats(&mut words, &mut erased, live_bits, &mut rng, &stats);
+        let flipped: u64 = words
+            .iter()
+            .zip(&before)
+            .map(|(&a, &b)| (a ^ b).count_ones() as u64)
+            .sum();
+        assert!((800..1200).contains(&flipped), "{flipped} flips");
+        let snap = stats.snapshot();
+        assert_eq!(snap.bits_flipped, flipped);
+        assert_eq!(snap.symbols_sent, live_bits as u64);
+        assert_eq!(snap.dims_erased, 0);
+        assert_eq!(erased, vec![0u64; live_bits / 64], "BSC never erases");
+    }
+
+    #[test]
+    fn packed_flips_skip_erased_dims() {
+        use crate::{Channel, ChannelStats};
+        let ch = BitErrorChannel::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        // Every dimension erased: even BER 1.0 must not touch a bit.
+        let mut words = vec![0u64; 4];
+        let mut erased = vec![u64::MAX; 4];
+        let stats = ChannelStats::new();
+        ch.transmit_packed_stats(&mut words, &mut erased, 256, &mut rng, &stats);
+        assert_eq!(words, vec![0u64; 4]);
+        assert_eq!(stats.snapshot().bits_flipped, 0);
     }
 
     #[test]

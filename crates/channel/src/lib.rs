@@ -62,6 +62,10 @@ use rand::RngCore;
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ChannelError>;
 
+/// Bits per word of a bit-packed bipolar payload (mirrors
+/// `fhdnn_hdc::packed::WORD_BITS`; this crate stays HDC-independent).
+const PACKED_WORD_BITS: usize = 64;
+
 /// An unreliable uplink: corrupts payloads in place.
 ///
 /// Two payload encodings are supported, matching the paper's two model
@@ -129,6 +133,58 @@ pub trait Channel: std::fmt::Debug + Send + Sync {
         stats.record_transmission(symbols.len() as u64);
         stats.account_bipolar(&before, symbols);
     }
+
+    /// Corrupts a **bit-packed** bipolar payload in place, accounting
+    /// realized impairments into `stats` — the wire format of the packed
+    /// binary-HD uplink, where the packed sign words *are* the payload.
+    ///
+    /// `words` carries `live_bits` sign bits (`bit = 1 ⇔ +1`) packed
+    /// 64 per word; `erased` is a parallel bitmask of
+    /// dimensions already lost in transit (packet framing tells the
+    /// receiver which spans never arrived). Channels may flip sign bits
+    /// or set erasure bits but never resurrect an erased dimension, and
+    /// a newly erased dimension has its sign bit cleared. Pad bits
+    /// beyond `live_bits` stay zero in both masks.
+    ///
+    /// The default implementation round-trips through a scratch `i8`
+    /// buffer and [`Channel::transmit_bipolar_stats`], so every channel
+    /// inherits the exact semantics and accounting of its bipolar path;
+    /// channels on the packed hot path override it to operate on the
+    /// words directly.
+    fn transmit_packed_stats(
+        &self,
+        words: &mut [u64],
+        erased: &mut [u64],
+        live_bits: usize,
+        rng: &mut dyn RngCore,
+        stats: &ChannelStats,
+    ) {
+        debug_assert_eq!(words.len(), erased.len());
+        debug_assert!(words.len() * PACKED_WORD_BITS >= live_bits);
+        let mut symbols = vec![0i8; live_bits];
+        for (i, s) in symbols.iter_mut().enumerate() {
+            let (w, b) = (i / PACKED_WORD_BITS, i % PACKED_WORD_BITS);
+            *s = if erased[w] >> b & 1 == 1 {
+                0
+            } else if words[w] >> b & 1 == 1 {
+                1
+            } else {
+                -1
+            };
+        }
+        self.transmit_bipolar_stats(&mut symbols, rng, stats);
+        for (i, &s) in symbols.iter().enumerate() {
+            let (w, b) = (i / PACKED_WORD_BITS, i % PACKED_WORD_BITS);
+            if s == 0 {
+                erased[w] |= 1u64 << b;
+                words[w] &= !(1u64 << b);
+            } else if s > 0 {
+                words[w] |= 1u64 << b;
+            } else {
+                words[w] &= !(1u64 << b);
+            }
+        }
+    }
 }
 
 /// The identity channel: reliable, error-free transmission (the baseline
@@ -182,6 +238,18 @@ impl Channel for NoiselessChannel {
     ) {
         stats.record_transmission(symbols.len() as u64);
     }
+
+    // Zero-copy packed path: record the traffic, touch nothing.
+    fn transmit_packed_stats(
+        &self,
+        _words: &mut [u64],
+        _erased: &mut [u64],
+        live_bits: usize,
+        _rng: &mut dyn RngCore,
+        stats: &ChannelStats,
+    ) {
+        stats.record_transmission(live_bits as u64);
+    }
 }
 
 #[cfg(test)]
@@ -209,5 +277,47 @@ mod tests {
     fn channel_trait_is_object_safe() {
         let ch: Box<dyn Channel> = Box::new(NoiselessChannel::new());
         assert_eq!(ch.name(), "noiseless");
+    }
+
+    #[test]
+    fn noiseless_packed_is_identity_and_counts_symbols() {
+        let ch = NoiselessChannel::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let stats = ChannelStats::new();
+        let mut words = vec![0xdead_beef_u64, 0x1234];
+        let mut erased = vec![0u64; 2];
+        ch.transmit_packed_stats(&mut words, &mut erased, 100, &mut rng, &stats);
+        assert_eq!(words, vec![0xdead_beef, 0x1234]);
+        assert_eq!(erased, vec![0, 0]);
+        let snap = stats.snapshot();
+        assert!(snap.is_clean());
+        assert_eq!(snap.transmissions, 1);
+        assert_eq!(snap.symbols_sent, 100);
+    }
+
+    #[test]
+    fn default_packed_route_matches_bipolar_semantics() {
+        // AWGN has no packed override, so it exercises the default
+        // scratch-buffer route: erased dims must stay erased (and their
+        // sign bits cleared), live dims come back ±1, and the stats see
+        // one transmission of `live_bits` symbols.
+        let ch = awgn::AwgnChannel::new(0.0).expect("snr");
+        let mut rng = StdRng::seed_from_u64(3);
+        let stats = ChannelStats::new();
+        let live_bits = 514;
+        let mut words = vec![u64::MAX; 9];
+        words[8] = 0b11;
+        let mut erased = vec![0u64; 9];
+        erased[0] = 0b1010;
+        ch.transmit_packed_stats(&mut words, &mut erased, live_bits, &mut rng, &stats);
+        assert_eq!(erased[0] & 0b1010, 0b1010, "erasures never resurrect");
+        assert_eq!(words[0] & 0b1010, 0, "erased dims carry no sign");
+        // Pad bits above live_bits stay zero.
+        assert_eq!(words[8] >> 2, 0);
+        assert_eq!(erased[8] >> 2, 0);
+        let snap = stats.snapshot();
+        assert_eq!(snap.transmissions, 1);
+        assert_eq!(snap.symbols_sent, live_bits as u64);
+        assert!(snap.bits_flipped > 0, "0 dB AWGN flips some signs");
     }
 }

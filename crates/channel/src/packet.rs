@@ -151,6 +151,48 @@ impl Channel for PacketLossChannel {
         stats.record_transmission(symbols.len() as u64);
         stats.account_span_erasures(&before, symbols, self.symbols_per_packet(1));
     }
+
+    // Packed hot path: erase whole packet spans straight into the
+    // erasure bitmask. One gen_bool draw per span, lost or not — the
+    // same RNG consumption as `erase_spans` on unpacked symbols. A
+    // span counts as a dropped packet only if it still carried live
+    // (not previously erased) dimensions, mirroring
+    // `account_span_erasures`'s had-data rule.
+    fn transmit_packed_stats(
+        &self,
+        words: &mut [u64],
+        erased: &mut [u64],
+        live_bits: usize,
+        rng: &mut dyn RngCore,
+        stats: &crate::ChannelStats,
+    ) {
+        stats.record_transmission(live_bits as u64);
+        let span = self.symbols_per_packet(1);
+        let mut dropped = 0u64;
+        let mut dims = 0u64;
+        let mut start = 0usize;
+        while start < live_bits {
+            let end = (start + span).min(live_bits);
+            if rng.gen_bool(self.loss_prob) {
+                let mut live = 0u64;
+                for i in start..end {
+                    let (w, b) = (i / 64, i % 64);
+                    if erased[w] >> b & 1 == 0 {
+                        live += 1;
+                    }
+                    erased[w] |= 1u64 << b;
+                    words[w] &= !(1u64 << b);
+                }
+                if live > 0 {
+                    dropped += 1;
+                    dims += live;
+                }
+            }
+            start = end;
+        }
+        stats.add_packets_dropped(dropped);
+        stats.add_dims_erased(dims);
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +293,52 @@ mod tests {
         assert_eq!(snap.bits_flipped, 0, "erasure channel flips no bits");
         assert_eq!(snap.transmissions, 1);
         assert_eq!(snap.symbols_sent, payload.len() as u64);
+    }
+
+    #[test]
+    fn packed_spans_erase_into_bitmask() {
+        use crate::{Channel, ChannelStats};
+        let ch = PacketLossChannel::new(0.5, 64).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let live_bits = 2560;
+        let mut words = vec![u64::MAX; 40];
+        let mut erased = vec![0u64; 40];
+        let stats = ChannelStats::new();
+        ch.transmit_packed_stats(&mut words, &mut erased, live_bits, &mut rng, &stats);
+        // 64-bit packets of 1-bit symbols: each word is one span, fully
+        // erased (sign bits cleared, erasure bits set) or untouched.
+        let mut dropped = 0u64;
+        for (w, e) in words.iter().zip(&erased) {
+            assert!(
+                (*w == u64::MAX && *e == 0) || (*w == 0 && *e == u64::MAX),
+                "word {w:#x} erased {e:#x}"
+            );
+            if *e == u64::MAX {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0, "loss_prob 0.5 dropped nothing");
+        let snap = stats.snapshot();
+        assert_eq!(snap.packets_dropped, dropped);
+        assert_eq!(snap.dims_erased, dropped * 64);
+        assert_eq!(snap.bits_flipped, 0);
+        assert_eq!(snap.symbols_sent, live_bits as u64);
+    }
+
+    #[test]
+    fn packed_redrop_of_erased_span_counts_nothing() {
+        use crate::{Channel, ChannelStats};
+        let ch = PacketLossChannel::new(1.0, 64).unwrap();
+        let mut rng = StdRng::seed_from_u64(32);
+        // All dims already erased: re-dropping the span is not a new
+        // packet loss (mirrors account_span_erasures' had-data rule).
+        let mut words = vec![0u64; 2];
+        let mut erased = vec![u64::MAX; 2];
+        let stats = ChannelStats::new();
+        ch.transmit_packed_stats(&mut words, &mut erased, 128, &mut rng, &stats);
+        let snap = stats.snapshot();
+        assert_eq!(snap.packets_dropped, 0);
+        assert_eq!(snap.dims_erased, 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Command-line argument parsing (hand-rolled, dependency-free).
 
 use fhdnn::experiment::Workload;
+use fhdnn::federated::config::HdExecution;
 use fhdnn::federated::fedhd::HdTransport;
 
 /// A parsed invocation.
@@ -154,6 +155,10 @@ pub struct SimulateArgs {
     pub baseline: bool,
     /// HD transport.
     pub transport: HdTransport,
+    /// Binary-HD engine (`--execution`): the bit-packed SIMD hot path
+    /// or the element-wise reference oracle. Only consulted by
+    /// `--transport binary` runs.
+    pub execution: HdExecution,
     /// Enable contrastive pretraining of the extractor.
     pub pretrain: bool,
     /// Master seed.
@@ -180,6 +185,7 @@ impl Default for SimulateArgs {
             non_iid: false,
             baseline: false,
             transport: HdTransport::Float,
+            execution: HdExecution::Packed,
             pretrain: true,
             seed: 0,
             threads: 0,
@@ -197,6 +203,16 @@ fn parse_workload(s: &str) -> Result<Workload, String> {
         "cifar" => Ok(Workload::Cifar),
         other => Err(format!(
             "unknown workload '{other}' (expected mnist, fashion, cifar)"
+        )),
+    }
+}
+
+fn parse_execution(s: &str) -> Result<HdExecution, String> {
+    match s {
+        "packed" => Ok(HdExecution::Packed),
+        "reference" => Ok(HdExecution::Reference),
+        other => Err(format!(
+            "unknown execution '{other}' (expected packed, reference)"
         )),
     }
 }
@@ -254,6 +270,9 @@ fn parse_simulate_args(rest: &[&String]) -> Result<SimulateArgs, String> {
     if let Some(t) = get_value("--transport")? {
         sim.transport = parse_transport(&t)?;
     }
+    if let Some(e) = get_value("--execution")? {
+        sim.execution = parse_execution(&e)?;
+    }
     if let Some(s) = get_value("--seed")? {
         sim.seed = s.parse().map_err(|e| format!("--seed: {e}"))?;
     }
@@ -298,6 +317,9 @@ commands:
              --non-iid                        2-shard pathological split
              --baseline                       also run the ResNet baseline
              --transport float|q<bits>|binary (default float)
+             --execution packed|reference     binary-HD engine: SIMD bit-packed
+                                              hot path or the element-wise
+                                              oracle (default packed)
              --no-pretrain                    use a random extractor
              --seed N                         master seed (default 0)
              --threads N                      round-pool threads (0 = auto,
@@ -501,7 +523,8 @@ mod tests {
     fn simulate_full_flags() {
         let cli = Cli::parse(&args(
             "simulate --workload mnist --channel packet:0.2 --rounds 7 --clients 100 \
-             --non-iid --baseline --transport q8 --no-pretrain --seed 9 --threads 4 \
+             --non-iid --baseline --transport q8 --execution reference --no-pretrain \
+             --seed 9 --threads 4 \
              --fleet-telemetry --save out.json --telemetry trace.jsonl -v",
         ))
         .unwrap();
@@ -515,6 +538,7 @@ mod tests {
         assert!(sim.fleet_telemetry);
         assert!(sim.non_iid && sim.baseline && !sim.pretrain);
         assert_eq!(sim.transport, HdTransport::Quantized { bitwidth: 8 });
+        assert_eq!(sim.execution, HdExecution::Reference);
         assert_eq!(sim.seed, 9);
         assert_eq!(sim.threads, 4);
         assert_eq!(sim.save.as_deref(), Some("out.json"));
@@ -549,6 +573,18 @@ mod tests {
         );
         assert!(parse_transport("q").is_err());
         assert!(parse_transport("int8").is_err());
+    }
+
+    #[test]
+    fn execution_parsing() {
+        assert_eq!(parse_execution("packed").unwrap(), HdExecution::Packed);
+        assert_eq!(
+            parse_execution("reference").unwrap(),
+            HdExecution::Reference
+        );
+        assert!(parse_execution("simd").is_err());
+        let sim = parse_simulate_args(&[]).unwrap();
+        assert_eq!(sim.execution, HdExecution::Packed, "packed is the default");
     }
 
     #[test]

@@ -118,6 +118,23 @@ mod tests {
         assert!((factor - 66.0).abs() < 1e-9, "reduction {factor}");
     }
 
+    /// Regression: the binary transport's accounting follows the packed
+    /// wire format — each class row is padded to whole bytes on its own,
+    /// so a non-aligned dimensionality costs `classes × ceil(dim/8)`,
+    /// not `ceil(classes·dim/8)` of a contiguous bit stream.
+    #[test]
+    fn binary_transport_accounting_counts_packed_rows() {
+        use crate::fedhd::HdTransport;
+        let update = HdTransport::Binary.update_bytes(5, 2049);
+        assert_eq!(update, 5 * 257, "per-row padding at dim 2049");
+        assert_eq!(HdTransport::Binary.update_bytes(10, 2048), 10 * 256);
+        let h = history("hd-binary", update, &[0.5, 0.82]);
+        let r = CommReport::from_history(&h, 0.8, &LteLink::error_free());
+        assert_eq!(r.update_bytes, 5 * 257);
+        assert_eq!(r.rounds_to_target, Some(2));
+        assert_eq!(r.bytes_per_client, 2 * 5 * 257);
+    }
+
     #[test]
     fn uplink_time_uses_link_rate() {
         let h = history("hd", 125_000, &[0.9]); // 1 Mbit

@@ -4,6 +4,39 @@ use serde::{Deserialize, Serialize};
 
 use crate::{FedError, Result};
 
+/// Which implementation of the binary-HD learner drives
+/// `HdTransport::Binary` rounds.
+///
+/// Both variants run the *same* integer algorithm — `i32` prototype
+/// accumulators, sign-of-prototype similarity, identical tie-breaking —
+/// and a campaign under either must be bit-identical to the other
+/// (`tests/parity.rs` enforces this at several thread counts). The
+/// float (`Float`/`Quantized`) transports are unaffected by this
+/// switch: they always use the dense `f32` engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HdExecution {
+    /// The naive element-wise `i32` oracle
+    /// (`fhdnn_hdc::packed::reference`): no packing, no SIMD — slow on
+    /// purpose, kept as the differential baseline.
+    Reference,
+    /// The bit-packed hot path (`fhdnn_hdc::packed::PackedHdModel`):
+    /// 1 bit/dim sign rows, popcount similarity, SIMD kernels, and the
+    /// packed words serialized directly onto the wire.
+    #[default]
+    Packed,
+}
+
+impl HdExecution {
+    /// Short name for experiment logs and CLI round-tripping.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            HdExecution::Reference => "reference",
+            HdExecution::Packed => "packed",
+        }
+    }
+}
+
 /// The federated-learning run configuration.
 ///
 /// Field names follow the paper: `E` local epochs, `B` local batch size,
@@ -22,6 +55,11 @@ pub struct FlConfig {
     pub client_fraction: f32,
     /// Master seed for client sampling and local shuffling.
     pub seed: u64,
+    /// Binary-HD engine selection (see [`HdExecution`]); only consulted
+    /// by `HdTransport::Binary` rounds. `#[serde(default)]` keeps
+    /// configurations saved before this field existed loadable.
+    #[serde(default)]
+    pub execution: HdExecution,
 }
 
 impl Default for FlConfig {
@@ -35,6 +73,7 @@ impl Default for FlConfig {
             batch_size: 10,
             client_fraction: 0.2,
             seed: 0,
+            execution: HdExecution::default(),
         }
     }
 }

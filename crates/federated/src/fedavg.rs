@@ -824,6 +824,7 @@ mod tests {
             batch_size: 10,
             client_fraction: 0.5,
             seed,
+            ..FlConfig::default()
         };
         let fed = CnnFederation::new(net, clients, config, LocalSgdConfig::default()).unwrap();
         (fed, test)

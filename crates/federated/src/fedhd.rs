@@ -13,10 +13,20 @@
 //!    similarity inference is scale-invariant, so this matches the paper's
 //!    sum (Eq. 1) while keeping float magnitudes bounded over hundreds of
 //!    rounds.
+//!
+//! [`HdTransport::Binary`] rounds run a separate *integer* engine: clients
+//! refine `i32` sign-counter prototypes, the wire carries the bit-packed
+//! sign words directly (no float detour), and the server folds a
+//! majority vote per dimension. [`HdExecution`] selects between the
+//! SIMD-backed packed learner and the element-wise reference oracle —
+//! both produce bit-identical campaigns (`tests/parity.rs`).
 
 use fhdnn_channel::lte::LteLink;
 use fhdnn_channel::{Channel, ChannelStats, ChannelStatsSnapshot};
 use fhdnn_hdc::model::HdModel;
+use fhdnn_hdc::packed::{
+    pack_signs_i32, reference::ReferenceHdModel, words_for, PackedBatch, PackedHdModel, WORD_BITS,
+};
 use fhdnn_hdc::quantizer::{dequantize, quantize};
 use fhdnn_telemetry::alert::{emit_alerts, AlertEngine};
 use fhdnn_telemetry::registry::EVENT_TRACE_ROUND;
@@ -30,7 +40,7 @@ use serde::{Deserialize, Serialize};
 
 use fhdnn_telemetry::sketch::DistinctEstimator;
 
-use crate::config::FlConfig;
+use crate::config::{FlConfig, HdExecution};
 use crate::cost::{hd_refine_flops, DeviceProfile};
 use crate::health::{
     divergence_summary, elementwise_delta, HealthRecord, RoundSketches, FLEET_MAX_OUTLIERS,
@@ -53,28 +63,28 @@ pub enum HdTransport {
         /// Word bit width `B`.
         bitwidth: u32,
     },
-    /// Binarized prototypes: one bit per hypervector dimension plus one
-    /// gain scalar per class — the extreme point of HD communication
-    /// efficiency (a 1-bit AGC quantizer). The per-class gain restores the
-    /// prototype magnitude at the receiver so that subsequent local
-    /// refinement steps (±1 per dimension) stay small relative to the
-    /// accumulated consensus.
+    /// Binarized prototypes: one sign bit per hypervector dimension —
+    /// the extreme point of HD communication efficiency. The wire
+    /// format *is* the packed in-memory representation
+    /// (`fhdnn_hdc::packed`): each class row travels as its `u64` sign
+    /// words, and the server aggregates by per-dimension majority vote.
     Binary,
 }
 
 impl HdTransport {
-    /// Upload size in bytes for a model of `num_params` scalars.
+    /// Upload size in bytes for a `num_classes × dim` model.
     ///
     /// Quantized transports also carry one float gain per class; at HD
     /// scales (`dim` in the thousands) the gains are negligible and are
-    /// not itemized here.
-    pub fn update_bytes(&self, num_params: usize) -> u64 {
+    /// not itemized here. Binary counts the packed sign payload: one bit
+    /// per dimension, each class row padded to whole bytes — exactly
+    /// what `run_round` serializes onto the uplink.
+    pub fn update_bytes(&self, num_classes: usize, dim: usize) -> u64 {
+        let num_params = (num_classes * dim) as u64;
         match self {
-            HdTransport::Float => num_params as u64 * 4,
-            HdTransport::Quantized { bitwidth } => {
-                (num_params as u64 * *bitwidth as u64).div_ceil(8)
-            }
-            HdTransport::Binary => (num_params as u64).div_ceil(8),
+            HdTransport::Float => num_params * 4,
+            HdTransport::Quantized { bitwidth } => (num_params * *bitwidth as u64).div_ceil(8),
+            HdTransport::Binary => num_classes as u64 * (dim as u64).div_ceil(8),
         }
     }
 }
@@ -137,6 +147,9 @@ pub struct HdFederation {
     alerts: AlertEngine,
     fleet_telemetry: bool,
     cohort: DistinctEstimator,
+    /// `Some` iff the transport is `Binary`: per-client encodings for
+    /// the integer engine selected by `config.execution`.
+    binary: Option<BinaryData>,
 }
 
 /// One participant's unit of round work, shipped to a pool worker.
@@ -146,13 +159,35 @@ struct ClientTask {
     buf: TaskBuffer,
 }
 
+/// What one arrived client update looks like at the round barrier.
+enum ClientUpdate {
+    /// Dense float prototypes (`Float`/`Quantized` transports).
+    Dense(HdModel),
+    /// Packed sign words straight off the wire (`Binary` transport):
+    /// `num_classes` rows of `words_for(dim)` words each, plus a
+    /// parallel erasure bitmask (set bit = dimension lost in transit,
+    /// contributes nothing to the majority vote).
+    Bits { words: Vec<u64>, erased: Vec<u64> },
+}
+
 /// What comes back from a worker at the round barrier.
 struct ClientOutcome {
     client: usize,
     /// `None` when the client straggled (its update never arrived).
-    update: Option<HdModel>,
+    update: Option<ClientUpdate>,
     buf: TaskBuffer,
     stats: ChannelStatsSnapshot,
+}
+
+/// Pre-encoded per-client training data for the binary engine, built
+/// once at construction when the transport is [`HdTransport::Binary`] —
+/// encoding happens once per client, never per round.
+#[derive(Debug)]
+enum BinaryData {
+    /// Bit-packed hypervectors per client (the SIMD hot path).
+    Packed(Vec<PackedBatch>),
+    /// ±1 integer hypervectors per client (the differential oracle).
+    Reference(Vec<Vec<Vec<i32>>>),
 }
 
 impl HdFederation {
@@ -189,6 +224,47 @@ impl HdFederation {
                 )));
             }
         }
+        let binary = match transport {
+            HdTransport::Binary => {
+                // The integer engine indexes prototypes by label
+                // directly, so range-check up front (the dense path
+                // defers this to `HdModel::one_shot_train`).
+                for (i, c) in clients.iter().enumerate() {
+                    if let Some(&bad) = c.labels.iter().find(|&&l| l >= global.num_classes()) {
+                        return Err(FedError::InvalidArgument(format!(
+                            "client {i}: label {bad} out of range for {} classes",
+                            global.num_classes()
+                        )));
+                    }
+                }
+                Some(match config.execution {
+                    HdExecution::Packed => BinaryData::Packed(
+                        clients
+                            .iter()
+                            .map(|c| PackedBatch::from_tensor(&c.hypervectors))
+                            .collect::<fhdnn_hdc::Result<_>>()?,
+                    ),
+                    HdExecution::Reference => {
+                        let mut per_client = Vec::with_capacity(clients.len());
+                        for c in &clients {
+                            let mut vectors = Vec::with_capacity(c.len());
+                            for r in 0..c.len() {
+                                vectors.push(
+                                    c.hypervectors
+                                        .row(r)?
+                                        .iter()
+                                        .map(|&v| if v >= 0.0 { 1 } else { -1 })
+                                        .collect::<Vec<i32>>(),
+                                );
+                            }
+                            per_client.push(vectors);
+                        }
+                        BinaryData::Reference(per_client)
+                    }
+                })
+            }
+            _ => None,
+        };
         let rng = StdRng::seed_from_u64(config.seed);
         Ok(HdFederation {
             global,
@@ -207,6 +283,7 @@ impl HdFederation {
             alerts: AlertEngine::default(),
             fleet_telemetry: false,
             cohort: DistinctEstimator::new(),
+            binary,
         })
     }
 
@@ -327,7 +404,8 @@ impl HdFederation {
 
     /// Upload size of one client update in bytes.
     pub fn update_bytes(&self) -> u64 {
-        self.transport.update_bytes(self.global.num_params())
+        self.transport
+            .update_bytes(self.global.num_classes(), self.global.dim())
     }
 
     /// Local update on one client's data, starting from the broadcast
@@ -396,31 +474,11 @@ impl HdFederation {
                 *model = dequantize(&q)?;
             }
             HdTransport::Binary => {
-                // Per-class gain (mean |c|): restores magnitude at the
-                // receiver so ±1 refinement steps stay proportionate.
-                // Gains travel as K protected floats, negligible in size.
-                let gains: Vec<f32> = (0..model.num_classes())
-                    .map(|k| {
-                        let row = model.prototypes().row(k)?;
-                        let mean_abs =
-                            row.iter().map(|v| v.abs()).sum::<f32>() / row.len().max(1) as f32;
-                        Ok(if mean_abs > 0.0 { mean_abs } else { 1.0 })
-                    })
-                    .collect::<Result<_>>()?;
-                let mut symbols = model.to_bipolar();
-                {
-                    let span = buf.begin("chan.uplink");
-                    channel.transmit_bipolar_stats(&mut symbols, rng, stats);
-                    buf.end(span);
-                }
-                let mut received =
-                    HdModel::from_bipolar(&symbols, model.num_classes(), model.dim())?;
-                for (k, &g) in gains.iter().enumerate() {
-                    for v in received.prototypes_mut().row_mut(k)? {
-                        *v *= g;
-                    }
-                }
-                *model = received;
+                // Binary rounds never reach the dense worker: `run_round`
+                // dispatches them to `run_binary_client_task`.
+                return Err(FedError::InvalidArgument(
+                    "binary transport uses the packed worker".into(),
+                ));
             }
         }
         Ok(())
@@ -468,7 +526,122 @@ impl HdFederation {
             );
             task.buf.end(span);
             sent?;
-            Some(local)
+            Some(ClientUpdate::Dense(local))
+        };
+        Ok(ClientOutcome {
+            client: task.client,
+            update,
+            buf: task.buf,
+            stats: stats.snapshot(),
+        })
+    }
+
+    /// The binary-engine worker: rebuild the broadcast counters as an
+    /// integer model, train (one-shot bootstrap on the first contact,
+    /// then the paper's refinement), serialize the per-class sign rows
+    /// as packed words, and push those words — the wire format *is* the
+    /// in-memory representation — through the channel's packed route.
+    ///
+    /// The `Packed` and `Reference` executions run the same integer
+    /// algorithm and serialize identical wire words; `tests/parity.rs`
+    /// pins that bit-for-bit.
+    #[allow(clippy::too_many_arguments)]
+    fn run_binary_client_task(
+        mut task: ClientTask,
+        counts: &[i32],
+        bootstrap: bool,
+        num_classes: usize,
+        dim: usize,
+        data: &BinaryData,
+        labels: &[usize],
+        local_epochs: usize,
+        straggler_prob: f64,
+        channel: &dyn Channel,
+    ) -> Result<ClientOutcome> {
+        let stats = ChannelStats::new();
+        let stride = words_for(dim);
+        let words = match data {
+            BinaryData::Packed(batches) => {
+                let batch = &batches[task.client];
+                let mut local = {
+                    let span = task.buf.begin("round.broadcast");
+                    let model = PackedHdModel::from_counts(counts.to_vec(), num_classes, dim);
+                    task.buf.end(span);
+                    model?
+                };
+                {
+                    let span = task.buf.begin("round.local_train");
+                    let trained = (|| -> Result<()> {
+                        if bootstrap {
+                            local.one_shot_train(batch, labels)?;
+                        }
+                        for _ in 0..local_epochs {
+                            local.refine_epoch(batch, labels)?;
+                        }
+                        Ok(())
+                    })();
+                    task.buf.end(span);
+                    trained?;
+                }
+                // The packed rows are already the wire payload — one
+                // memcpy per class, no re-encoding.
+                let mut words = Vec::with_capacity(num_classes * stride);
+                for c in 0..num_classes {
+                    words.extend_from_slice(local.packed_row(c));
+                }
+                words
+            }
+            BinaryData::Reference(clients) => {
+                let vectors = &clients[task.client];
+                let mut local = {
+                    let span = task.buf.begin("round.broadcast");
+                    let model = ReferenceHdModel {
+                        protos: counts.to_vec(),
+                        num_classes,
+                        dim,
+                    };
+                    task.buf.end(span);
+                    model
+                };
+                {
+                    let span = task.buf.begin("round.local_train");
+                    if bootstrap {
+                        local.one_shot_train(vectors, labels);
+                    }
+                    for _ in 0..local_epochs {
+                        local.refine_epoch(vectors, labels);
+                    }
+                    task.buf.end(span);
+                }
+                let mut words = Vec::with_capacity(num_classes * stride);
+                for c in 0..num_classes {
+                    words.extend_from_slice(&pack_signs_i32(&local.protos[c * dim..(c + 1) * dim]));
+                }
+                words
+            }
+        };
+        let straggled = straggler_prob > 0.0 && task.rng.gen_bool(straggler_prob);
+        let update = if straggled {
+            None // straggler: update never arrives
+        } else {
+            let span = task.buf.begin("round.transmit");
+            let mut words = words;
+            let mut erased = vec![0u64; num_classes * stride];
+            {
+                let inner = task.buf.begin("chan.uplink");
+                for c in 0..num_classes {
+                    channel.transmit_packed_stats(
+                        &mut words[c * stride..(c + 1) * stride],
+                        &mut erased[c * stride..(c + 1) * stride],
+                        dim,
+                        &mut task.rng,
+                        &stats,
+                    );
+                }
+                task.buf.end(inner);
+            }
+            task.buf.end(span);
+            Some(ClientUpdate::Bits { words, erased })
         };
         Ok(ClientOutcome {
             client: task.client,
@@ -546,29 +719,60 @@ impl HdFederation {
         // Simulated-lane inputs, fixed before the pool borrows the
         // model: the device profile costs each client's refinement
         // FLOPs, the LTE link costs one update's uplink airtime.
-        let (classes, dim) = (self.global.num_classes() as u64, self.global.dim() as u64);
+        let (num_classes, dim) = (self.global.num_classes(), self.global.dim());
+        let (classes, dim_u64) = (num_classes as u64, dim as u64);
         let sim_uplink_micros =
             (self.link.airtime_seconds(self.update_bytes()) * 1e6).round() as u64;
         let (global, clients) = (&self.global, &self.clients);
         let (local_epochs, adaptive_lr) = (self.config.local_epochs, self.adaptive_lr);
         let (transport, straggler_prob) = (self.transport, self.straggler_prob);
+        // Binary rounds broadcast the global model as integer counters —
+        // the float prototypes are exactly integer-valued (they only
+        // ever hold majority-vote counts), so the conversion is lossless.
+        let binary = self.binary.as_ref();
+        let global_counts: Option<Vec<i32>> = binary.map(|_| {
+            self.global
+                .prototypes()
+                .as_slice()
+                .iter()
+                .map(|&v| v as i32)
+                .collect()
+        });
+        let bootstrap = global_counts
+            .as_ref()
+            .is_some_and(|c| c.iter().all(|&v| v == 0));
         let outcomes = run_tasks_traced(tasks, threads, &tel, |_, task| {
             let data = &clients[task.client];
-            Self::run_client_task(
-                task,
-                global,
-                data,
-                local_epochs,
-                adaptive_lr,
-                transport,
-                straggler_prob,
-                channel,
-            )
+            match (binary, &global_counts) {
+                (Some(bin), Some(counts)) => Self::run_binary_client_task(
+                    task,
+                    counts,
+                    bootstrap,
+                    num_classes,
+                    dim,
+                    bin,
+                    &data.labels,
+                    local_epochs,
+                    straggler_prob,
+                    channel,
+                ),
+                _ => Self::run_client_task(
+                    task,
+                    global,
+                    data,
+                    local_epochs,
+                    adaptive_lr,
+                    transport,
+                    straggler_prob,
+                    channel,
+                ),
+            }
         });
         // Fixed-order reduction: fold outcomes in participant order so
         // telemetry replay, channel accounting (non-associative f64 noise
         // energy) and the aggregate below are thread-count-invariant.
-        let mut received = Vec::with_capacity(participants.len());
+        let mut received: Vec<HdModel> = Vec::with_capacity(participants.len());
+        let mut received_bits: Vec<(Vec<u64>, Vec<u64>)> = Vec::with_capacity(participants.len());
         let mut arrived_ids = Vec::with_capacity(participants.len());
         let mut rows: Vec<TaskTrace> = Vec::with_capacity(participants.len());
         // Fleet aggregation state: one constant-size sketch set absorbs a
@@ -583,7 +787,7 @@ impl HdFederation {
             // state, so rows (and the RoundMetrics trace fields below)
             // are identical with or without a recorder attached.
             let samples = self.clients[outcome.client].len() as u64;
-            let flops = hd_refine_flops(samples, classes, dim) * local_epochs as u64;
+            let flops = hd_refine_flops(samples, classes, dim_u64) * local_epochs as u64;
             let sim_compute_micros =
                 (self.device.estimate(flops as f64)?.seconds * 1e6).round() as u64;
             if tel.enabled() {
@@ -612,8 +816,11 @@ impl HdFederation {
                 sim_uplink_micros,
             });
             if let Some(update) = outcome.update {
-                received.push(update);
                 arrived_ids.push(outcome.client);
+                match update {
+                    ClientUpdate::Dense(m) => received.push(m),
+                    ClientUpdate::Bits { words, erased } => received_bits.push((words, erased)),
+                }
             }
         }
         // Bundle then normalize by the participant count: cosine inference
@@ -626,10 +833,100 @@ impl HdFederation {
             bundled.scale(1.0 / n);
             self.global = bundled;
         }
+        // Binary aggregation: per-dimension majority vote over the
+        // arrived sign rows, folded in fixed participant order. Erased
+        // dimensions abstain. The vote counts become the new global
+        // verbatim — sign-dot inference is scale-invariant, so the
+        // 1/n normalization of the dense path is unnecessary and
+        // would destroy integer exactness.
+        if !received_bits.is_empty() {
+            let _span = tel.span("round.aggregate");
+            let stride = words_for(dim);
+            let votes: Vec<i32> = match self.config.execution {
+                HdExecution::Packed => {
+                    let mut agg = PackedHdModel::new(num_classes, dim)?;
+                    for (words, erased) in &received_bits {
+                        for c in 0..num_classes {
+                            agg.vote_row(
+                                c,
+                                &words[c * stride..(c + 1) * stride],
+                                &erased[c * stride..(c + 1) * stride],
+                            );
+                        }
+                    }
+                    agg.repack_all();
+                    agg.protos().to_vec()
+                }
+                HdExecution::Reference => {
+                    let mut votes = vec![0i32; num_classes * dim];
+                    for (words, erased) in &received_bits {
+                        for c in 0..num_classes {
+                            fhdnn_hdc::simd::scalar::vote_pm1_masked(
+                                &mut votes[c * dim..(c + 1) * dim],
+                                &words[c * stride..(c + 1) * stride],
+                                &erased[c * stride..(c + 1) * stride],
+                            );
+                        }
+                    }
+                    votes
+                }
+            };
+            for (dst, &v) in self
+                .global
+                .prototypes_mut()
+                .as_mut_slice()
+                .iter_mut()
+                .zip(votes.iter())
+            {
+                *dst = v as f32;
+            }
+        }
 
         let test_accuracy = {
             let _span = tel.span("round.eval");
-            self.global.accuracy(&test.hypervectors, &test.labels)?
+            match &self.binary {
+                None => self.global.accuracy(&test.hypervectors, &test.labels)?,
+                Some(_) => {
+                    let counts: Vec<i32> = self
+                        .global
+                        .prototypes()
+                        .as_slice()
+                        .iter()
+                        .map(|&v| v as i32)
+                        .collect();
+                    match self.config.execution {
+                        HdExecution::Packed => {
+                            let model = PackedHdModel::from_counts(counts, num_classes, dim)?;
+                            let batch = PackedBatch::from_tensor(&test.hypervectors)?;
+                            model.accuracy(&batch, &test.labels)? as f32
+                        }
+                        HdExecution::Reference => {
+                            let model = ReferenceHdModel {
+                                protos: counts,
+                                num_classes,
+                                dim,
+                            };
+                            if test.labels.is_empty() {
+                                0.0
+                            } else {
+                                let mut correct = 0usize;
+                                for (r, &label) in test.labels.iter().enumerate() {
+                                    let h: Vec<i32> = test
+                                        .hypervectors
+                                        .row(r)?
+                                        .iter()
+                                        .map(|&v| if v >= 0.0 { 1 } else { -1 })
+                                        .collect();
+                                    if model.predict(&h) == label {
+                                        correct += 1;
+                                    }
+                                }
+                                (correct as f64 / test.labels.len() as f64) as f32
+                            }
+                        }
+                    }
+                }
+            }
         };
         drop(round_span);
         // Close the watermark before the health block below: its delta
@@ -643,14 +940,25 @@ impl HdFederation {
         if tel.enabled() {
             tel.incr("fl.rounds", 1);
             tel.incr("fl.participants", participants.len() as u64);
-            let stragglers = participants.len() - received.len();
+            let stragglers = participants.len() - arrived_ids.len();
             if stragglers > 0 {
                 tel.incr("fl.stragglers", stragglers as u64);
             }
             // Uplink counts only updates that arrived; with stragglers
             // disabled this equals `bytes_per_client × participants`, the
             // `RunHistory` accounting.
-            tel.incr("fl.bytes_up", self.update_bytes() * received.len() as u64);
+            tel.incr(
+                "fl.bytes_up",
+                self.update_bytes() * arrived_ids.len() as u64,
+            );
+            if self.binary.is_some() {
+                // Raw `u64` words that crossed the wire this round —
+                // the packed-transport view of `fl.bytes_up`.
+                tel.incr(
+                    "fl.packed_uplink_words",
+                    (num_classes * words_for(dim) * arrived_ids.len()) as u64,
+                );
+            }
             tel.incr("fl.bytes_down", downlink_bytes * participants.len() as u64);
             tel.gauge("fl.test_accuracy", test_accuracy as f64);
             tel.incr("mem.allocs", mem_delta.allocs);
@@ -702,10 +1010,36 @@ impl HdFederation {
             if let Some(baseline) = &health_baseline {
                 let new_params = self.global.prototypes().as_slice();
                 let aggregate_delta = elementwise_delta(new_params, baseline);
-                let deltas: Vec<Vec<f32>> = received
-                    .iter()
-                    .map(|m| elementwise_delta(m.prototypes().as_slice(), baseline))
-                    .collect();
+                // Binary updates diverge as their ±1/0 sign view (0 for
+                // erased dimensions) — the dense magnitude never crossed
+                // the wire, so diagnosing against it would be fiction.
+                let deltas: Vec<Vec<f32>> = if self.binary.is_some() {
+                    let stride = words_for(dim);
+                    received_bits
+                        .iter()
+                        .map(|(words, erased)| {
+                            let mut view = vec![0.0f32; num_classes * dim];
+                            for c in 0..num_classes {
+                                for i in 0..dim {
+                                    let (w, b) = (c * stride + i / WORD_BITS, i % WORD_BITS);
+                                    view[c * dim + i] = if erased[w] >> b & 1 == 1 {
+                                        0.0
+                                    } else if words[w] >> b & 1 == 1 {
+                                        1.0
+                                    } else {
+                                        -1.0
+                                    };
+                                }
+                            }
+                            elementwise_delta(&view, baseline)
+                        })
+                        .collect()
+                } else {
+                    received
+                        .iter()
+                        .map(|m| elementwise_delta(m.prototypes().as_slice(), baseline))
+                        .collect()
+                };
                 let mut div = divergence_summary(&deltas, &aggregate_delta, &arrived_ids);
                 sketches.absorb_divergence(&div);
                 if self.fleet_telemetry {
@@ -719,8 +1053,8 @@ impl HdFederation {
                         bitwidth,
                         SATURATION_EPSILON,
                     )? as f64,
-                    // Float transmits no quantized counters; Binary words
-                    // are ±1 by construction (saturation is meaningless).
+                    // Float transmits no quantized counters; Binary
+                    // carries raw sign bits (saturation is meaningless).
                     HdTransport::Float | HdTransport::Binary => 0.0,
                 };
                 let mut record = HealthRecord {
@@ -728,7 +1062,7 @@ impl HdFederation {
                     engine: "fedhd".into(),
                     test_accuracy: test_accuracy as f64,
                     participants: participants.len() as u64,
-                    arrived: received.len() as u64,
+                    arrived: arrived_ids.len() as u64,
                     norm_min,
                     norm_max,
                     norm_mean,
@@ -867,6 +1201,7 @@ mod tests {
             batch_size: 10,
             client_fraction: 0.5,
             seed: 7,
+            execution: HdExecution::Packed,
         }
     }
 
@@ -920,8 +1255,19 @@ mod tests {
     fn quantized_update_is_smaller() {
         let t_f = HdTransport::Float;
         let t_q = HdTransport::Quantized { bitwidth: 8 };
-        assert_eq!(t_f.update_bytes(1000), 4000);
-        assert_eq!(t_q.update_bytes(1000), 1000);
+        assert_eq!(t_f.update_bytes(5, 200), 4000);
+        assert_eq!(t_q.update_bytes(5, 200), 1000);
+    }
+
+    #[test]
+    fn binary_update_bytes_count_packed_rows() {
+        // One sign bit per dimension, each class row padded to whole
+        // bytes — the packed words `run_round` actually serializes, not
+        // a contiguous (classes × dim)/8 bitstring.
+        let t = HdTransport::Binary;
+        assert_eq!(t.update_bytes(5, 2048), 1280);
+        assert_eq!(t.update_bytes(5, 2049), 5 * 257, "per-row byte padding");
+        assert_eq!(t.update_bytes(1, 1), 1);
     }
 
     #[test]
@@ -937,6 +1283,41 @@ mod tests {
             "binary transport accuracy {}",
             history.final_accuracy()
         );
+        // Regression pin: RoundMetrics carries the packed uplink size.
+        for round in &history.rounds {
+            assert_eq!(round.bytes_per_client, 1280, "round {}", round.round);
+        }
+    }
+
+    #[test]
+    fn reference_execution_matches_packed_bit_for_bit() {
+        // The differential oracle: both binary engines run the same
+        // integer algorithm, so whole campaigns must agree exactly —
+        // history, channel stats, and every global prototype bit.
+        let (clients, test, k) = encoded_clients(4, 12);
+        let run = |execution: HdExecution| {
+            let global = HdModel::new(k, DIM).unwrap();
+            let cfg = FlConfig {
+                execution,
+                ..config(4, 3)
+            };
+            let mut fed =
+                HdFederation::new(global, clients.clone(), cfg, HdTransport::Binary).unwrap();
+            let history = fed.run(&NoiselessChannel::new(), &test, "exec").unwrap();
+            let protos: Vec<u32> = fed
+                .global()
+                .prototypes()
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            (history, protos, fed.channel_stats())
+        };
+        let packed = run(HdExecution::Packed);
+        let reference = run(HdExecution::Reference);
+        assert_eq!(packed.0, reference.0, "histories diverged");
+        assert_eq!(packed.1, reference.1, "prototype bits diverged");
+        assert_eq!(packed.2, reference.2, "channel stats diverged");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //!     batch_size: 10,
 //!     client_fraction: 0.2,
 //!     seed: 42,
+//!     ..FlConfig::default()
 //! };
 //! assert_eq!(config.participants_per_round(), 4);
 //! ```

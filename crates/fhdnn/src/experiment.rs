@@ -13,7 +13,7 @@ use fhdnn_channel::Channel;
 use fhdnn_contrastive::pretrain::{SimClrConfig, SimClrTrainer};
 use fhdnn_datasets::image::{ImageDataset, SynthSpec};
 use fhdnn_datasets::partition::Partition;
-use fhdnn_federated::config::FlConfig;
+use fhdnn_federated::config::{FlConfig, HdExecution};
 use fhdnn_federated::fedavg::{carve_clients, CnnFederation, LocalSgdConfig};
 use fhdnn_federated::fedhd::HdTransport;
 use fhdnn_federated::metrics::RunHistory;
@@ -118,6 +118,7 @@ impl ExperimentSpec {
                 batch_size: 10,
                 client_fraction: 0.5,
                 seed: 0,
+                execution: HdExecution::Packed,
             },
             hd_dim: 1024,
             transport: HdTransport::Float,
@@ -158,6 +159,7 @@ impl ExperimentSpec {
                 batch_size: 10,
                 client_fraction: 0.2,
                 seed: 0,
+                execution: HdExecution::Packed,
             },
             hd_dim: 4096,
             transport: HdTransport::Float,
@@ -452,7 +454,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let baseline = resnet_lite(spec.backbone, &mut rng).unwrap();
         let cnn_bytes = baseline.num_params() as u64 * 4;
-        let hd_bytes = spec.transport.update_bytes(10 * spec.hd_dim);
+        let hd_bytes = spec.transport.update_bytes(10, spec.hd_dim);
         assert!(
             cnn_bytes > 3 * hd_bytes,
             "cnn {cnn_bytes} vs quantized fhdnn {hd_bytes}"

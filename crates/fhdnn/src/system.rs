@@ -245,6 +245,7 @@ mod tests {
             batch_size: 10,
             client_fraction: 0.5,
             seed,
+            ..FlConfig::default()
         };
         FhdnnSystem::new(
             &mut extractor,

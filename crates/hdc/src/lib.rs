@@ -21,6 +21,8 @@
 //! - [`packed`] — bit-packed bipolar hypervectors (1 bit/dim, popcount
 //!   similarity) plus the naive `i32` reference path the differential
 //!   test suite holds them against,
+//! - [`simd`] — runtime-dispatched AVX2/NEON specialisations of the
+//!   packed kernels (scalar fallback; `FHDNN_NO_SIMD=1` forces it),
 //! - [`ops`] — the classic HD algebra (bind / permute / majority) and
 //!   [`id_level`] — the record-based encoder family of the paper's
 //!   reference \[10\], for comparison with random projection.
@@ -46,7 +48,10 @@
 //! ```
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: `simd` opts back in for its `std::arch`
+// kernels (every block `// SAFETY:`-audited, enforced by `fhdnn lint`);
+// the rest of the crate stays unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod encoder;
 mod error;
@@ -58,6 +63,8 @@ pub mod ops;
 pub mod packed;
 pub mod quantizer;
 pub mod regen;
+#[allow(unsafe_code)]
+pub mod simd;
 
 pub use error::HdcError;
 

@@ -50,11 +50,7 @@ pub fn words_for(dim: usize) -> usize {
 #[must_use]
 pub fn pack_signs(values: &[f32]) -> Vec<u64> {
     let mut words = vec![0u64; words_for(values.len())];
-    for (i, &v) in values.iter().enumerate() {
-        if v >= 0.0 {
-            words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
-        }
-    }
+    crate::simd::pack_f32_into(values, &mut words);
     words
 }
 
@@ -64,23 +60,14 @@ pub fn pack_signs(values: &[f32]) -> Vec<u64> {
 /// first, so pad bits stay zero.
 pub fn pack_signs_into(values: &[f32], out: &mut [u64]) {
     debug_assert_eq!(out.len(), words_for(values.len()));
-    out.fill(0);
-    for (i, &v) in values.iter().enumerate() {
-        if v >= 0.0 {
-            out[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
-        }
-    }
+    crate::simd::pack_f32_into(values, out);
 }
 
 /// [`pack_signs`] for integer inputs (`bit = 1 ⇔ value ≥ 0`).
 #[must_use]
 pub fn pack_signs_i32(values: &[i32]) -> Vec<u64> {
     let mut words = vec![0u64; words_for(values.len())];
-    for (i, &v) in values.iter().enumerate() {
-        if v >= 0 {
-            words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
-        }
-    }
+    crate::simd::pack_i32_into(values, &mut words);
     words
 }
 
@@ -90,10 +77,7 @@ pub fn pack_signs_i32(values: &[i32]) -> Vec<u64> {
 #[must_use]
 pub fn hamming(a: &[u64], b: &[u64]) -> u64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b.iter())
-        .map(|(&x, &y)| (x ^ y).count_ones() as u64)
-        .sum()
+    crate::simd::hamming(a, b)
 }
 
 /// Dot product of two packed ±1 vectors of `dim` dimensions:
@@ -138,12 +122,10 @@ impl PackedBatch {
         let stride = words_for(dim);
         let mut words = vec![0u64; rows * stride];
         for r in 0..rows {
-            let row = &data[r * dim..(r + 1) * dim];
-            for (i, &v) in row.iter().enumerate() {
-                if v >= 0.0 {
-                    words[r * stride + i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
-                }
-            }
+            crate::simd::pack_f32_into(
+                &data[r * dim..(r + 1) * dim],
+                &mut words[r * stride..(r + 1) * stride],
+            );
         }
         PackedBatch {
             words,
@@ -186,11 +168,6 @@ impl PackedBatch {
             .collect()
     }
 }
-
-/// How many `i32` dimensions each chunked kernel processes per step.
-/// One chunk of accumulator is 1 KiB — small enough to stay in L1
-/// alongside the packed words it is updated from.
-const CHUNK: usize = 256;
 
 /// Binary-HD learner over bit-packed encodings: integer prototype
 /// accumulators (`c_k ← c_k ± h`) with popcount similarity against the
@@ -290,34 +267,41 @@ impl PackedHdModel {
 
     /// Re-derives the packed signs of class `c` from its accumulators.
     fn repack_row(&mut self, c: usize) {
-        let protos = &self.protos[c * self.dim..(c + 1) * self.dim];
-        let dst = &mut self.packed[c * self.stride..(c + 1) * self.stride];
-        dst.fill(0);
-        for (i, &v) in protos.iter().enumerate() {
-            if v >= 0 {
-                dst[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
-            }
-        }
+        crate::simd::pack_i32_into(
+            &self.protos[c * self.dim..(c + 1) * self.dim],
+            &mut self.packed[c * self.stride..(c + 1) * self.stride],
+        );
     }
 
     /// Adds (`delta = +1`) or subtracts (`delta = −1`) the packed ±1
-    /// vector `h` into class `c`'s accumulators, chunk by chunk, then
-    /// refreshes that row's packed signs.
+    /// vector `h` into class `c`'s accumulators, then refreshes that
+    /// row's packed signs.
     fn accumulate(&mut self, c: usize, h: &[u64], delta: i32) {
-        let protos = &mut self.protos[c * self.dim..(c + 1) * self.dim];
-        for (chunk_idx, chunk) in protos.chunks_mut(CHUNK).enumerate() {
-            let base = chunk_idx * CHUNK;
-            for (j, p) in chunk.iter_mut().enumerate() {
-                let i = base + j;
-                let sign = if h[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1 {
-                    1
-                } else {
-                    -1
-                };
-                *p += delta * sign;
-            }
-        }
+        crate::simd::accumulate_pm1(&mut self.protos[c * self.dim..(c + 1) * self.dim], h, delta);
         self.repack_row(c);
+    }
+
+    /// Majority-vote fold of one received sign row into class `c`'s
+    /// accumulators: each live dimension contributes `+1` or `−1`
+    /// according to its bit in `words`, and dimensions whose bit is set
+    /// in the `erased` mask (lost in transit) contribute nothing. The
+    /// caller is expected to [`PackedHdModel::repack_all`] once the
+    /// whole cohort is folded — re-deriving signs per vote would be
+    /// wasted work in the aggregation loop.
+    pub fn vote_row(&mut self, c: usize, words: &[u64], erased: &[u64]) {
+        crate::simd::vote_pm1_masked(
+            &mut self.protos[c * self.dim..(c + 1) * self.dim],
+            words,
+            erased,
+        );
+    }
+
+    /// Refreshes every row's packed signs from the accumulators — the
+    /// closing bracket of a [`PackedHdModel::vote_row`] fold.
+    pub fn repack_all(&mut self) {
+        for c in 0..self.num_classes {
+            self.repack_row(c);
+        }
     }
 
     /// One-shot training (§3.3, step 2): bundles every hypervector into
@@ -415,9 +399,9 @@ impl PackedHdModel {
     }
 
     /// Federated bundling: element-wise sum of every model's integer
-    /// accumulators, chunk by chunk. Exact for integers — commutative
-    /// and associative regardless of client order, which
-    /// `tests/parity.rs` and the property suite pin down.
+    /// accumulators. Exact for integers — commutative and associative
+    /// regardless of client order, which `tests/parity.rs` and the
+    /// property suite pin down.
     ///
     /// # Errors
     ///
@@ -434,11 +418,7 @@ impl PackedHdModel {
                     m.num_classes, m.dim, first.num_classes, first.dim
                 )));
             }
-            for (dst, src) in sum.chunks_mut(CHUNK).zip(m.protos.chunks(CHUNK)) {
-                for (d, &s) in dst.iter_mut().zip(src.iter()) {
-                    *d += s;
-                }
-            }
+            crate::simd::add_assign_i32(&mut sum, &m.protos);
         }
         PackedHdModel::from_counts(sum, first.num_classes, first.dim)
     }

@@ -127,6 +127,11 @@ pub const REGISTRY: &[MetricDef] = &[
         help: "Bytes uploaded by participants.",
     },
     MetricDef {
+        name: "fl.packed_uplink_words",
+        kind: MetricKind::Counter,
+        help: "Packed u64 sign words uplinked by arrived binary updates.",
+    },
+    MetricDef {
         name: "fl.participants",
         kind: MetricKind::Counter,
         help: "Clients sampled across rounds.",

@@ -22,9 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p.arch = TrunkArch::MobileNet;
     }
 
-    let float_bytes = HdTransport::Float.update_bytes(10 * spec.hd_dim);
+    let float_bytes = HdTransport::Float.update_bytes(10, spec.hd_dim);
     spec.transport = HdTransport::Binary;
-    let binary_bytes = spec.transport.update_bytes(10 * spec.hd_dim);
+    let binary_bytes = spec.transport.update_bytes(10, spec.hd_dim);
     println!(
         "update size: {float_bytes} B (float32) -> {binary_bytes} B (binary, {}x smaller)\n",
         float_bytes / binary_bytes

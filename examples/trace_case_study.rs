@@ -63,6 +63,7 @@ fn main() {
         batch_size: 10,
         client_fraction: 0.75,
         seed: 7,
+        ..FlConfig::default()
     };
     let global = HdModel::new(5, DIM).unwrap();
     let mut fed = HdFederation::new(

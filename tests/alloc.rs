@@ -55,6 +55,7 @@ fn packed_kernel_hot_paths_are_allocation_free() {
     model.refine_epoch(&batch, &labels).unwrap();
     pack_signs_into(&values, &mut packed);
     model.similarities_into(&packed, &mut sims);
+    let erased = vec![0u64; words_for(DIM)];
 
     let mark = mem::thread_mark();
     model.one_shot_train(&batch, &labels).unwrap();
@@ -65,6 +66,12 @@ fn packed_kernel_hot_paths_are_allocation_free() {
     for r in 0..batch.rows() {
         pred = pred.wrapping_add(model.predict_packed(batch.row(r)));
     }
+    // The server-side bundle fold: majority-vote counter accumulation
+    // over arrived sign rows, then an in-place repack of every row.
+    for c in 0..CLASSES {
+        model.vote_row(c, &packed, &erased);
+    }
+    model.repack_all();
     let delta = mark.delta();
     assert_eq!(
         delta.allocs, 0,
@@ -82,7 +89,7 @@ fn packed_kernel_hot_paths_are_allocation_free() {
 
 /// Builds a one-round fedhd federation over `num_clients` clients with
 /// identical per-client data volume and full participation.
-fn run_one_round(num_clients: usize, seed: u64) -> u64 {
+fn run_one_round(num_clients: usize, seed: u64, transport: HdTransport) -> u64 {
     const FDIM: usize = 1024;
     let spec = FeatureSpec {
         num_classes: 5,
@@ -122,9 +129,10 @@ fn run_one_round(num_clients: usize, seed: u64) -> u64 {
         batch_size: 10,
         client_fraction: 1.0,
         seed: 7,
+        ..FlConfig::default()
     };
     let global = HdModel::new(5, FDIM).unwrap();
-    let mut fed = HdFederation::new(global, clients, config, HdTransport::Float).unwrap();
+    let mut fed = HdFederation::new(global, clients, config, transport).unwrap();
     let test_data = HdClientData {
         hypervectors: h_test,
         labels: test.labels,
@@ -142,7 +150,7 @@ fn round_peak_memory_scales_with_client_count() {
     // observation of the engine's own footprint.
     let min_peak = |n: usize| {
         (0..3)
-            .map(|i| run_one_round(n, 100 + i))
+            .map(|i| run_one_round(n, 100 + i, HdTransport::Float))
             .min()
             .expect("three runs")
     };
@@ -159,5 +167,34 @@ fn round_peak_memory_scales_with_client_count() {
          (2 clients peaked at {small} B, 16 at {large} B); if this now \
          scales sublinearly, ROADMAP item 2's streaming aggregation \
          landed — update this lockdown and EXPERIMENTS.md"
+    );
+}
+
+/// The packed-round row of the scaling table: the binary transport's
+/// retained per-client state is 1 bit/dim (plus the erasure mask)
+/// instead of 32, so while its peak still grows with the client count —
+/// the fixed-order fold materializes every arrived update — the
+/// O(clients) wall sits far lower than the float transport's.
+#[test]
+fn packed_round_peak_memory_scales_with_client_count_but_stays_small() {
+    let min_peak = |n: usize, t: HdTransport| {
+        (0..3)
+            .map(|i| run_one_round(n, 100 + i, t))
+            .min()
+            .expect("three runs")
+    };
+    let small = min_peak(2, HdTransport::Binary);
+    let large = min_peak(16, HdTransport::Binary);
+    assert!(small > 0, "2-client packed round recorded no peak");
+    assert!(
+        large > small,
+        "packed peak did not grow with clients: 2 -> {small}, 16 -> {large}"
+    );
+    let float_large = min_peak(16, HdTransport::Float);
+    assert!(
+        2 * large < float_large,
+        "packed 16-client peak ({large} B) should be well under half the \
+         float transport's ({float_large} B): binary updates retain one \
+         sign bit per dimension, not an f32"
     );
 }

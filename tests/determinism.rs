@@ -175,6 +175,7 @@ fn build_hd_federation(seed: u64) -> (HdFederation, HdClientData) {
         batch_size: 10,
         client_fraction: 0.5,
         seed: 7,
+        ..FlConfig::default()
     };
     let global = HdModel::new(5, DIM).unwrap();
     let fed = HdFederation::new(
@@ -260,6 +261,7 @@ fn build_cnn_federation(seed: u64) -> (CnnFederation, fhdnn::datasets::image::Im
         batch_size: 10,
         client_fraction: 0.5,
         seed,
+        ..FlConfig::default()
     };
     let fed = CnnFederation::new(net, clients, config, LocalSgdConfig::default()).unwrap();
     (fed, test)

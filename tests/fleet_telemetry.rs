@@ -206,6 +206,7 @@ fn fleet_run(num_clients: usize, threads: usize, rounds: usize) -> Vec<String> {
         batch_size: 4,
         client_fraction: 1.0,
         seed: 7,
+        ..FlConfig::default()
     };
     let global = HdModel::new(CLASSES, DIM).unwrap();
     let mut fed = HdFederation::new(
@@ -391,6 +392,7 @@ fn fleet_mode_changes_no_results() {
             batch_size: 4,
             client_fraction: 1.0,
             seed: 7,
+            ..FlConfig::default()
         };
         let global = HdModel::new(CLASSES, DIM).unwrap();
         let mut fed = HdFederation::new(

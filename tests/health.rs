@@ -68,6 +68,7 @@ fn build_federation(seed: u64, transport: HdTransport) -> (HdFederation, HdClien
         batch_size: 10,
         client_fraction: 1.0,
         seed: 7,
+        ..FlConfig::default()
     };
     let global = HdModel::new(CLASSES, DIM).unwrap();
     let fed = HdFederation::new(global, clients, config, transport).unwrap();
@@ -180,6 +181,7 @@ fn fedavg_emits_health_records_too() {
         batch_size: 10,
         client_fraction: 0.5,
         seed: 7,
+        ..FlConfig::default()
     };
     let mut fed = CnnFederation::new(net, clients, config, LocalSgdConfig::default()).unwrap();
     let (tel, sink) = memory_recorder();

@@ -6,19 +6,44 @@
 //! encoding (including IEEE `-0.0`), packed dot products, one-shot
 //! bundling sums, mispredict-driven refinement trajectories, argmax
 //! tie-breaking, and model bundling — across word-aligned and odd
-//! dimensions, class counts, and seeds. The last test asserts the
+//! dimensions, class counts, and seeds. One test asserts the
 //! acceptance-gate speedup: packed similarity ≥ 4× faster than the
 //! `i32` path at d = 10 000 (tests compile at `opt-level = 2`).
+//!
+//! Two suites lift the parity bar from kernels to the whole system: a
+//! full fedhd campaign under `HdExecution::Packed` must be bit-identical
+//! to the `Reference` oracle (history, model bits, health records) at
+//! thread counts 1/2/8, and every SIMD-dispatched kernel must agree
+//! exactly with its `simd::scalar` mirror on fuzzed inputs — both on the
+//! detected backend and under the `FHDNN_NO_SIMD=1` CI leg.
 
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
+use fhdnn::channel::packet::PacketLossChannel;
+use fhdnn::datasets::features::FeatureSpec;
+use fhdnn::datasets::partition::Partition;
+use fhdnn::federated::config::{FlConfig, HdExecution};
+use fhdnn::federated::fedhd::{HdClientData, HdFederation, HdTransport};
+use fhdnn::federated::metrics::RunHistory;
+use fhdnn::hdc::encoder::RandomProjectionEncoder;
+use fhdnn::hdc::model::HdModel;
 use fhdnn::hdc::packed::reference::{dot_i32, ReferenceHdModel};
 use fhdnn::hdc::packed::{
     dot_packed, hamming, pack_signs, pack_signs_i32, PackedBatch, PackedHdModel,
 };
+use fhdnn::hdc::simd;
+use fhdnn::telemetry::clock::ManualClock;
+use fhdnn::telemetry::event::{Event, FieldValue};
+use fhdnn::telemetry::sink::MemorySink;
+use fhdnn::telemetry::Recorder;
+use fhdnn::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+#[path = "proptest_util.rs"]
+mod proptest_util;
 
 /// Word-aligned, one-off-word-aligned, and odd dimensionalities; the
 /// pad-bit handling only matters off 64-bit boundaries.
@@ -277,4 +302,200 @@ fn packed_similarity_is_at_least_4x_faster_at_d10000() {
         packed_time * 4 <= reference_time,
         "packed {packed_time:?} vs reference {reference_time:?}: below 4x"
     );
+}
+
+// ---------------------------------------------------------------------
+// Campaign-level parity: a full fedhd run under `HdExecution::Packed`
+// must be bit-identical to the `Reference` oracle — same per-round
+// accuracy and byte accounting, same final model bits, same health
+// records — at every thread count, with stragglers and a lossy packet
+// channel in the mix so both engines consume their RNG streams in full.
+// ---------------------------------------------------------------------
+
+/// One instrumented binary-transport campaign. Returns the run history
+/// (whose `PartialEq` already excludes wall-clock and heap watermarks),
+/// the final global-model bits, and the captured `health.round` events
+/// with their environment-dependent `mem_*` fields zeroed.
+fn binary_campaign(execution: HdExecution, threads: usize) -> (RunHistory, Vec<u32>, Vec<Event>) {
+    const DIM: usize = 1024;
+    const NUM_CLIENTS: usize = 4;
+    const CLASSES: usize = 5;
+    let spec = FeatureSpec {
+        num_classes: CLASSES,
+        width: 40,
+        noise_std: 0.6,
+        class_seed: 11,
+    };
+    let train = spec.generate(NUM_CLIENTS * 25, 0).unwrap();
+    let test = spec.generate(60, 1).unwrap();
+    let enc = RandomProjectionEncoder::new(DIM, 40, 3).unwrap();
+    let h_train = enc.encode_batch(&train.features).unwrap();
+    let h_test = enc.encode_batch(&test.features).unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    let parts = Partition::Iid
+        .split(&train.labels, NUM_CLIENTS, &mut rng)
+        .unwrap();
+    let clients: Vec<HdClientData> = parts
+        .iter()
+        .map(|idx| {
+            let mut data = Vec::new();
+            let mut labels = Vec::new();
+            for &i in idx {
+                data.extend_from_slice(h_train.row(i).unwrap());
+                labels.push(train.labels[i]);
+            }
+            HdClientData {
+                hypervectors: Tensor::from_vec(data, &[idx.len(), DIM]).unwrap(),
+                labels,
+            }
+        })
+        .collect();
+    let config = FlConfig {
+        num_clients: NUM_CLIENTS,
+        rounds: 3,
+        local_epochs: 2,
+        batch_size: 10,
+        client_fraction: 0.5,
+        seed: 7,
+        execution,
+    };
+    let global = HdModel::new(CLASSES, DIM).unwrap();
+    let mut fed = HdFederation::new(global, clients, config, HdTransport::Binary).unwrap();
+    fed.set_threads(threads);
+    fed.set_straggler_prob(0.25).unwrap();
+    let sink = Arc::new(MemorySink::new());
+    let tel = Recorder::with_sink_and_clock(sink.clone(), Arc::new(ManualClock::new(10)));
+    fed.set_telemetry(tel.clone());
+    let channel = PacketLossChannel::new(0.2, 256).unwrap();
+    let test_data = HdClientData {
+        hypervectors: h_test,
+        labels: test.labels,
+    };
+    let history = fed.run(&channel, &test_data, "parity").unwrap();
+    tel.flush();
+    let model_bits: Vec<u32> = fed
+        .global()
+        .prototypes()
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let health: Vec<Event> = sink
+        .events()
+        .into_iter()
+        .filter(|e| e.name == "health.round")
+        .map(|mut e| {
+            // Heap watermarks measure the process's real allocator state,
+            // which legitimately differs between the two engines (and
+            // between runs); everything else must match bit for bit.
+            for key in ["mem_peak_bytes", "mem_allocs", "mem_bytes_per_client"] {
+                if let Some(v) = e.fields.get_mut(key) {
+                    *v = FieldValue::U64(0);
+                }
+            }
+            e
+        })
+        .collect();
+    (history, model_bits, health)
+}
+
+#[test]
+fn fedhd_campaign_packed_matches_reference_at_every_thread_count() {
+    let oracle = binary_campaign(HdExecution::Reference, 1);
+    assert_eq!(oracle.0.rounds.len(), 3, "campaign must complete 3 rounds");
+    assert_eq!(oracle.2.len(), 3, "one health record per round");
+    assert!(
+        oracle.0.rounds.iter().all(|r| r.bytes_per_client == 640),
+        "binary uplink must cost classes x dim/8 bytes"
+    );
+    for threads in [1usize, 2, 8] {
+        for execution in [HdExecution::Reference, HdExecution::Packed] {
+            let run = binary_campaign(execution, threads);
+            let tag = format!("{} at {threads} threads", execution.name());
+            assert_eq!(oracle.0, run.0, "round metrics diverged: {tag}");
+            assert_eq!(oracle.1, run.1, "model bits diverged: {tag}");
+            assert_eq!(oracle.2, run.2, "health records diverged: {tag}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SIMD vs scalar: every dispatched kernel must agree exactly with its
+// `simd::scalar` mirror on fuzzed inputs across degenerate (d = 1),
+// odd, word-aligned, and paper-scale (d = 10 000) dimensionalities.
+// Under `FHDNN_NO_SIMD=1` (a dedicated CI leg) the dispatcher itself
+// resolves to the scalar backend, so the same assertions pin that the
+// escape hatch changes nothing either.
+// ---------------------------------------------------------------------
+
+/// The mask clearing pad bits above `dim` in the last packed word.
+fn pad_mask(dim: usize) -> u64 {
+    match dim % 64 {
+        0 => !0,
+        tail => (1u64 << tail) - 1,
+    }
+}
+
+#[test]
+fn simd_kernels_match_scalar_mirrors_on_fuzzed_inputs() {
+    let backend = simd::active_backend();
+    assert!(
+        ["scalar", "avx2", "neon"].contains(&backend),
+        "unknown backend {backend}"
+    );
+    const FUZZ_DIMS: &[usize] = &[1, 7, 63, 64, 65, 1000, 2048, 10_000];
+    proptest_util::check(0xC0FF_EE00, 12, |case, g| {
+        for &dim in FUZZ_DIMS {
+            let words = dim.div_ceil(64);
+            let f32s: Vec<f32> = (0..dim)
+                .map(|_| match g.usize_below(10) {
+                    0 => 0.0,
+                    1 => -0.0,
+                    _ => g.f32_in(-1.0, 1.0),
+                })
+                .collect();
+            let i32s: Vec<i32> = (0..dim).map(|_| g.i32_in(-100, 100)).collect();
+            let mut packed_a = vec![0u64; words];
+            let mut packed_b = vec![0u64; words];
+            simd::pack_f32_into(&f32s, &mut packed_a);
+            simd::scalar::pack_f32_into(&f32s, &mut packed_b);
+            assert_eq!(packed_a, packed_b, "pack_f32 case {case} dim {dim}");
+            simd::pack_i32_into(&i32s, &mut packed_a);
+            simd::scalar::pack_i32_into(&i32s, &mut packed_b);
+            assert_eq!(packed_a, packed_b, "pack_i32 case {case} dim {dim}");
+
+            let wa: Vec<u64> = {
+                let mut w: Vec<u64> = (0..words).map(|_| g.next_u64()).collect();
+                *w.last_mut().unwrap() &= pad_mask(dim);
+                w
+            };
+            assert_eq!(
+                simd::hamming(&wa, &packed_a),
+                simd::scalar::hamming(&wa, &packed_a),
+                "hamming case {case} dim {dim}"
+            );
+
+            let src: Vec<i32> = (0..dim).map(|_| g.i32_in(-100, 100)).collect();
+            let mut dst_a = i32s.clone();
+            let mut dst_b = i32s.clone();
+            simd::add_assign_i32(&mut dst_a, &src);
+            simd::scalar::add_assign_i32(&mut dst_b, &src);
+            assert_eq!(dst_a, dst_b, "add_assign case {case} dim {dim}");
+
+            let delta = g.i32_in(-3, 3);
+            simd::accumulate_pm1(&mut dst_a, &wa, delta);
+            simd::scalar::accumulate_pm1(&mut dst_b, &wa, delta);
+            assert_eq!(dst_a, dst_b, "accumulate case {case} dim {dim}");
+
+            let erased: Vec<u64> = {
+                // Roughly one in four dims erased, pad bits clear.
+                let mut w: Vec<u64> = (0..words).map(|_| g.next_u64() & g.next_u64()).collect();
+                *w.last_mut().unwrap() &= pad_mask(dim);
+                w
+            };
+            simd::vote_pm1_masked(&mut dst_a, &wa, &erased);
+            simd::scalar::vote_pm1_masked(&mut dst_b, &wa, &erased);
+            assert_eq!(dst_a, dst_b, "vote case {case} dim {dim}");
+        }
+    });
 }

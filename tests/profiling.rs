@@ -72,6 +72,7 @@ fn build_federation(transport: HdTransport) -> (HdFederation, HdClientData) {
         batch_size: 10,
         client_fraction: 0.5,
         seed: 7,
+        ..FlConfig::default()
     };
     let global = HdModel::new(5, DIM).unwrap();
     let fed = HdFederation::new(global, clients, config, transport).unwrap();

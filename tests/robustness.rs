@@ -79,6 +79,76 @@ fn quantizer_rescues_hd_from_bit_errors() {
     assert!(quant_acc > 0.5, "quantized accuracy {quant_acc}");
 }
 
+/// Figure 5: the packed binary transport carries one sign bit per
+/// dimension, so a binary-symmetric channel can only flip signs — there
+/// is no exponent to corrupt and no quantizer range to blow out. The
+/// holographic majority vote absorbs heavy flip rates gracefully: BER
+/// 0.1 costs almost nothing, and even BER 0.3 (a 30% sign-flip rate)
+/// stays within tolerance of the quantized transport under the same
+/// damage while the float transport is long dead at these rates.
+#[test]
+fn binary_transport_degrades_gracefully_under_bit_errors() {
+    let mut s = spec();
+    s.transport = HdTransport::Binary;
+
+    let clean_history = s.run_fhdnn(&NoiselessChannel::new()).unwrap().history;
+    let clean = clean_history.final_accuracy();
+    // The uplink costs exactly one padded bit-row per class — the wire
+    // format IS the packed in-memory representation.
+    let expected_bytes = 10 * (s.hd_dim as u64).div_ceil(8);
+    for r in &clean_history.rounds {
+        assert_eq!(
+            r.bytes_per_client, expected_bytes,
+            "round {} uplink must be classes x dim/8 bytes",
+            r.round
+        );
+    }
+
+    let ber_01 = s
+        .run_fhdnn(&BitErrorChannel::new(0.1).unwrap())
+        .unwrap()
+        .history
+        .final_accuracy();
+    let ber_03 = s
+        .run_fhdnn(&BitErrorChannel::new(0.3).unwrap())
+        .unwrap()
+        .history
+        .final_accuracy();
+    assert!(clean > 0.6, "clean binary accuracy {clean}");
+    assert!(
+        ber_01 > clean - 0.1,
+        "BER 0.1 must be nearly free: clean {clean} vs {ber_01}"
+    );
+    assert!(
+        ber_03 > clean - 0.25,
+        "BER 0.3 must degrade gracefully: clean {clean} vs {ber_03}"
+    );
+
+    // Within tolerance of the quantized transport under identical
+    // damage, and far above the float transport's collapse regime.
+    s.transport = HdTransport::Quantized { bitwidth: 8 };
+    let quant_03 = s
+        .run_fhdnn(&BitErrorChannel::new(0.3).unwrap())
+        .unwrap()
+        .history
+        .final_accuracy();
+    s.transport = HdTransport::Float;
+    let float_03 = s
+        .run_fhdnn(&BitErrorChannel::new(0.3).unwrap())
+        .unwrap()
+        .history
+        .final_accuracy();
+    let binary_03 = ber_03;
+    assert!(
+        binary_03 > quant_03 - 0.15,
+        "binary {binary_03} vs quantized {quant_03} at BER 0.3"
+    );
+    assert!(
+        binary_03 > float_03,
+        "binary {binary_03} vs float {float_03} at BER 0.3"
+    );
+}
+
 #[test]
 fn fhdnn_tolerates_low_snr_awgn() {
     let s = spec();

@@ -85,6 +85,7 @@ fn build_hd_federation(seed: u64) -> (HdFederation, HdClientData) {
         batch_size: 10,
         client_fraction: 0.5,
         seed: 7,
+        ..FlConfig::default()
     };
     let global = HdModel::new(5, DIM).unwrap();
     let fed = HdFederation::new(
@@ -259,6 +260,7 @@ fn fedavg_rounds_carry_traces_too() {
         batch_size: 10,
         client_fraction: 0.5,
         seed: 3,
+        ..FlConfig::default()
     };
     let mut fed = CnnFederation::new(net, clients, config, LocalSgdConfig::default()).unwrap();
     fed.set_threads(2);
