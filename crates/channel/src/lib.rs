@@ -172,6 +172,11 @@ pub trait Channel: std::fmt::Debug + Send + Sync {
                 -1
             };
         }
+        // Dimensions already erased on entry must stay erased no matter
+        // what the bipolar impl returns for their zero symbols: the
+        // snapshot lets the write-back below force that invariant
+        // instead of trusting every `transmit_bipolar` override.
+        let erased_in = erased.to_vec();
         self.transmit_bipolar_stats(&mut symbols, rng, stats);
         for (i, &s) in symbols.iter().enumerate() {
             let (w, b) = (i / PACKED_WORD_BITS, i % PACKED_WORD_BITS);
@@ -183,6 +188,10 @@ pub trait Channel: std::fmt::Debug + Send + Sync {
             } else {
                 words[w] &= !(1u64 << b);
             }
+        }
+        for ((w, e), &snap) in words.iter_mut().zip(erased.iter_mut()).zip(&erased_in) {
+            *e |= snap;
+            *w &= !snap;
         }
     }
 }

@@ -91,27 +91,33 @@ impl ChannelStats {
     }
 
     /// Notes one `transmit_*` call carrying `symbols` payload elements.
+    // ORDERING: Relaxed — independent monotonic tallies; readers only
+    // need eventual totals, never a happens-before edge with the writer.
     pub fn record_transmission(&self, symbols: u64) {
         self.transmissions.fetch_add(1, Ordering::Relaxed);
         self.symbols_sent.fetch_add(symbols, Ordering::Relaxed);
     }
 
     /// Adds to the flipped-bit counter.
+    // ORDERING: Relaxed — monotonic tally, no cross-counter invariant.
     pub fn add_bits_flipped(&self, n: u64) {
         self.bits_flipped.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds to the erased-dimension counter.
+    // ORDERING: Relaxed — monotonic tally, no cross-counter invariant.
     pub fn add_dims_erased(&self, n: u64) {
         self.dims_erased.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds to the dropped-packet counter.
+    // ORDERING: Relaxed — monotonic tally, no cross-counter invariant.
     pub fn add_packets_dropped(&self, n: u64) {
         self.packets_dropped.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds to the CRC-reject counter.
+    // ORDERING: Relaxed — monotonic tally, no cross-counter invariant.
     pub fn add_crc_rejects(&self, n: u64) {
         self.crc_rejects.fetch_add(n, Ordering::Relaxed);
     }
@@ -121,6 +127,9 @@ impl ChannelStats {
         if e <= 0.0 || !e.is_finite() {
             return;
         }
+        // ORDERING: Relaxed on the load and on both CAS orderings — the
+        // loop only needs atomicity of the read-modify-write on this one
+        // cell; no other memory is published alongside the energy sum.
         let mut cur = self.noise_energy_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + e).to_bits();
@@ -137,11 +146,15 @@ impl ChannelStats {
     }
 
     /// Accumulated noise energy.
+    // ORDERING: Relaxed — single-cell read of an eventual total.
     pub fn noise_energy(&self) -> f64 {
         f64::from_bits(self.noise_energy_bits.load(Ordering::Relaxed))
     }
 
     /// Copies all counters.
+    // ORDERING: Relaxed throughout — the snapshot is deliberately not a
+    // consistent cut; per-round deltas tolerate torn cross-counter reads
+    // because every counter is monotonic between resets.
     pub fn snapshot(&self) -> ChannelStatsSnapshot {
         ChannelStatsSnapshot {
             transmissions: self.transmissions.load(Ordering::Relaxed),
@@ -160,6 +173,9 @@ impl ChannelStats {
     /// fixed participant order keeps the (non-associative) f64 noise
     /// energy sum identical at every thread count.
     pub fn absorb(&self, snap: &ChannelStatsSnapshot) {
+        // ORDERING: Relaxed — each fold is an independent monotonic add;
+        // the round barrier that sequences absorb() calls provides the
+        // synchronization, not these atomics.
         self.transmissions
             .fetch_add(snap.transmissions, Ordering::Relaxed);
         self.symbols_sent
@@ -176,6 +192,8 @@ impl ChannelStats {
     }
 
     /// Resets every counter to zero.
+    // ORDERING: Relaxed — callers reset only at quiescent points (no
+    // concurrent writers); the stores need atomicity, not ordering.
     pub fn reset(&self) {
         self.transmissions.store(0, Ordering::Relaxed);
         self.symbols_sent.store(0, Ordering::Relaxed);

@@ -265,3 +265,59 @@ fn counters_accumulate_across_transmissions() {
     assert_eq!(snap.packets_dropped, expected_dropped);
     assert_eq!(snap.dims_erased, expected_erased);
 }
+
+/// A misbehaving channel whose bipolar path "resurrects" every symbol
+/// to `+1` — including the zeros that mark erased dimensions. Channels
+/// are contractually forbidden from resurrecting erasures, and the
+/// default `transmit_packed_stats` round-trip must enforce that on the
+/// packed masks rather than trust each `transmit_bipolar` override.
+#[derive(Debug)]
+struct ResurrectingChannel;
+
+impl Channel for ResurrectingChannel {
+    fn name(&self) -> &'static str {
+        "resurrecting"
+    }
+
+    fn transmit_f32(&self, _payload: &mut [f32], _rng: &mut dyn rand::RngCore) {}
+
+    fn transmit_words(&self, _words: &mut [i64], _bitwidth: u32, _rng: &mut dyn rand::RngCore) {}
+
+    fn transmit_bipolar(&self, symbols: &mut [i8], _rng: &mut dyn rand::RngCore) {
+        for s in symbols.iter_mut() {
+            *s = 1;
+        }
+    }
+}
+
+#[test]
+fn packed_default_keeps_erased_dims_erased_and_pad_bits_zero() {
+    // 70 live dims over two words: dims 64..70 live in word 1, the
+    // remaining 58 bits of word 1 are pad. Dims 3 and 65 arrive
+    // already erased; every other live dim carries −1 (sign bit 0).
+    let live_bits = 70;
+    let mut words = vec![0u64; 2];
+    let mut erased = vec![0u64; 2];
+    erased[0] = 1 << 3;
+    erased[1] = 1 << (65 - 64);
+    let stats = ChannelStats::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    ResurrectingChannel.transmit_packed_stats(&mut words, &mut erased, live_bits, &mut rng, &stats);
+
+    // The impl set every live symbol to +1...
+    assert_eq!(words[0], !(1u64 << 3), "live dims of word 0 flipped to +1");
+    assert_eq!(words[1], 0b11_1101, "live dims of word 1 flipped to +1");
+    // ...but the input-erased dims stay erased with their sign bit
+    // clear, despite the impl returning +1 for their zero symbols.
+    assert_eq!(erased[0], 1 << 3, "dim 3 stays erased");
+    assert_eq!(erased[1], 1 << 1, "dim 65 stays erased");
+    // Pad bits beyond the 70 live dims stay zero in both masks.
+    assert_eq!(words[1] >> 6, 0, "no pad sign bits");
+    assert_eq!(erased[1] >> 6, 0, "no pad erasure bits");
+    // Accounting saw the 68 non-erased −1 → +1 sign flips.
+    let snap = stats.snapshot();
+    assert_eq!(snap.transmissions, 1);
+    assert_eq!(snap.symbols_sent, 70);
+    assert_eq!(snap.bits_flipped, 68);
+    assert_eq!(snap.dims_erased, 0);
+}

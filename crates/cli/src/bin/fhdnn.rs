@@ -360,6 +360,18 @@ fn export(from: &str, prom: &str) -> Result<(), String> {
 /// to stdout (text or `--json`); the exit code reflects error-severity
 /// findings so CI can gate on it.
 fn lint(args: LintArgs) -> Result<(), String> {
+    if let Some(rule) = &args.explain {
+        return match fhdnn_lint::explain(rule) {
+            Some(text) => {
+                print!("{text}");
+                Ok(())
+            }
+            None => Err(format!(
+                "unknown rule '{rule}'; known rules:\n  {}",
+                fhdnn_lint::rule_ids().join("\n  ")
+            )),
+        };
+    }
     let root = std::path::Path::new(&args.root);
     if args.fix_baseline {
         let path = fhdnn_lint::write_baseline(root)?;

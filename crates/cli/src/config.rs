@@ -64,6 +64,9 @@ pub struct LintArgs {
     pub json: bool,
     /// Regenerate `lint-schema.toml` from the current sources.
     pub fix_baseline: bool,
+    /// Print a rule's help, rationale, and dirty/clean example instead
+    /// of running the lint.
+    pub explain: Option<String>,
     /// Workspace root to scan (defaults to the current directory).
     pub root: String,
 }
@@ -73,6 +76,7 @@ impl Default for LintArgs {
         LintArgs {
             json: false,
             fix_baseline: false,
+            explain: None,
             root: ".".into(),
         }
     }
@@ -360,6 +364,8 @@ commands:
                                               ordering; byte-identical reruns)
              --fix-baseline                   regenerate lint-schema.toml after
                                               an intentional schema change
+             --explain RULE                   print a rule's help, rationale,
+                                              and dirty/clean example pair
              --root PATH                      workspace root (default .)
   pretrain   --workload W --out PATH [--seed N]
   evaluate   --ckpt PATH --workload W [--test-size N]
@@ -435,10 +441,14 @@ impl Cli {
             "lint" => {
                 let json = rest.iter().any(|a| *a == "--json");
                 let fix_baseline = rest.iter().any(|a| *a == "--fix-baseline");
+                let explain = get_value("--explain")?;
                 let root_value = get_value("--root")?;
                 if let Some(stray) = rest.iter().find(|a| {
-                    !matches!(a.as_str(), "--json" | "--fix-baseline" | "--root")
-                        && Some(a.as_str()) != root_value.as_deref()
+                    !matches!(
+                        a.as_str(),
+                        "--json" | "--fix-baseline" | "--explain" | "--root"
+                    ) && Some(a.as_str()) != root_value.as_deref()
+                        && Some(a.as_str()) != explain.as_deref()
                 }) {
                     return Err(format!("lint: unexpected argument '{stray}'"));
                 }
@@ -446,6 +456,7 @@ impl Cli {
                     command: Command::Lint(LintArgs {
                         json,
                         fix_baseline,
+                        explain,
                         root: root_value.unwrap_or_else(|| ".".into()),
                     }),
                 })
@@ -698,12 +709,23 @@ mod tests {
             Command::Lint(LintArgs {
                 json: true,
                 fix_baseline: true,
+                explain: None,
                 root: "sub/dir".into(),
+            })
+        );
+
+        let cli = Cli::parse(&args("lint --explain forbidden/panic")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Lint(LintArgs {
+                explain: Some("forbidden/panic".into()),
+                ..LintArgs::default()
             })
         );
 
         assert!(Cli::parse(&args("lint --jsno")).is_err());
         assert!(Cli::parse(&args("lint --root")).is_err());
+        assert!(Cli::parse(&args("lint --explain")).is_err());
     }
 
     #[test]

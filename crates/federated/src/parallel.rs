@@ -153,6 +153,9 @@ where
             let (slots, results, enqueued, next, f, tel) =
                 (&slots, &results, &enqueued, &next, &f, tel);
             scope.spawn(move || loop {
+                // ORDERING: Relaxed — the counter only hands out unique
+                // indices; the Mutex around each slot provides the
+                // happens-before edge for the task payload itself.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;

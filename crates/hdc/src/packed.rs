@@ -111,6 +111,8 @@ impl PackedBatch {
                 x.dims()
             )));
         }
+        // BOUNDS: the rank-2 check above guarantees dims() has exactly
+        // two elements.
         let (rows, dim) = (x.dims()[0], x.dims()[1]);
         Ok(Self::from_rows(x.as_slice(), rows, dim))
     }
@@ -121,6 +123,8 @@ impl PackedBatch {
         debug_assert_eq!(data.len(), rows * dim);
         let stride = words_for(dim);
         let mut words = vec![0u64; rows * stride];
+        // BOUNDS: r < rows, so the data slice ends at rows*dim =
+        // data.len() and the word slice at rows*stride = words.len().
         for r in 0..rows {
             crate::simd::pack_f32_into(
                 &data[r * dim..(r + 1) * dim],
@@ -148,12 +152,16 @@ impl PackedBatch {
     }
 
     /// Packed words of row `r`.
+    // BOUNDS: slicing panics (by design) on r >= rows — the indexing
+    // contract callers rely on; words.len() is exactly rows * stride.
     #[must_use]
     pub fn row(&self, r: usize) -> &[u64] {
         &self.words[r * self.stride..(r + 1) * self.stride]
     }
 
     /// Unpacks row `r` back to ±1 integers (for the reference path).
+    // BOUNDS: i < dim <= stride * WORD_BITS, so i / WORD_BITS < stride =
+    // words.len(); WORD_BITS is a nonzero constant.
     #[must_use]
     pub fn unpack_row(&self, r: usize) -> Vec<i32> {
         let words = self.row(r);
@@ -260,12 +268,16 @@ impl PackedHdModel {
     }
 
     /// Sign-packed words of class `c`'s prototype.
+    // BOUNDS: slicing panics (by design) on c >= num_classes;
+    // packed.len() is exactly num_classes * stride.
     #[must_use]
     pub fn packed_row(&self, c: usize) -> &[u64] {
         &self.packed[c * self.stride..(c + 1) * self.stride]
     }
 
     /// Re-derives the packed signs of class `c` from its accumulators.
+    // BOUNDS: c < num_classes at every call site (constructors iterate
+    // 0..num_classes; updates go through check_batch's label check).
     fn repack_row(&mut self, c: usize) {
         crate::simd::pack_i32_into(
             &self.protos[c * self.dim..(c + 1) * self.dim],
@@ -276,6 +288,8 @@ impl PackedHdModel {
     /// Adds (`delta = +1`) or subtracts (`delta = −1`) the packed ±1
     /// vector `h` into class `c`'s accumulators, then refreshes that
     /// row's packed signs.
+    // BOUNDS: c is a checked label (check_batch) or a predict_packed
+    // result, both < num_classes; protos.len() = num_classes * dim.
     fn accumulate(&mut self, c: usize, h: &[u64], delta: i32) {
         crate::simd::accumulate_pm1(&mut self.protos[c * self.dim..(c + 1) * self.dim], h, delta);
         self.repack_row(c);
@@ -288,6 +302,8 @@ impl PackedHdModel {
     /// caller is expected to [`PackedHdModel::repack_all`] once the
     /// whole cohort is folded — re-deriving signs per vote would be
     /// wasted work in the aggregation loop.
+    // BOUNDS: slicing panics (by design) on c >= num_classes, matching
+    // the indexing contract of packed_row.
     pub fn vote_row(&mut self, c: usize, words: &[u64], erased: &[u64]) {
         crate::simd::vote_pm1_masked(
             &mut self.protos[c * self.dim..(c + 1) * self.dim],
@@ -387,6 +403,8 @@ impl PackedHdModel {
     /// Rejects dimension and label/row count mismatches.
     pub fn accuracy(&self, batch: &PackedBatch, labels: &[usize]) -> Result<f64> {
         self.check_batch(batch, labels)?;
+        // BOUNDS: the early return keeps the divisor labels.len()
+        // nonzero (and f64 division cannot trap regardless).
         if labels.is_empty() {
             return Ok(0.0);
         }
@@ -411,6 +429,8 @@ impl PackedHdModel {
             .first()
             .ok_or_else(|| HdcError::InvalidArgument("cannot bundle zero models".into()))?;
         let mut sum = first.protos.clone();
+        // BOUNDS: first() succeeded above, so models.len() >= 1 and the
+        // [1..] range is valid (possibly empty).
         for m in &models[1..] {
             if m.num_classes != first.num_classes || m.dim != first.dim {
                 return Err(HdcError::InvalidArgument(format!(
@@ -508,6 +528,8 @@ pub mod reference {
             })
         }
 
+        // BOUNDS: c < num_classes at every call site (predict and
+        // similarity loop over 0..num_classes).
         fn row(&self, c: usize) -> &[i32] {
             &self.protos[c * self.dim..(c + 1) * self.dim]
         }
@@ -537,6 +559,8 @@ pub mod reference {
         }
 
         /// One-shot bundling of ±1 hypervectors into label prototypes.
+        // BOUNDS: the reference path deliberately panics on labels >=
+        // num_classes, mirroring the packed path's checked error.
         pub fn one_shot_train(&mut self, vectors: &[Vec<i32>], labels: &[usize]) {
             for (h, &label) in vectors.iter().zip(labels.iter()) {
                 for (p, &x) in self.protos[label * self.dim..(label + 1) * self.dim]
@@ -550,6 +574,8 @@ pub mod reference {
 
         /// One epoch of mispredict-driven refinement; returns the update
         /// count.
+        // BOUNDS: pred < num_classes by construction of predict; labels
+        // out of range panic by design (see one_shot_train).
         pub fn refine_epoch(&mut self, vectors: &[Vec<i32>], labels: &[usize]) -> usize {
             let mut updates = 0;
             for (h, &label) in vectors.iter().zip(labels.iter()) {

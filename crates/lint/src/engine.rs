@@ -9,6 +9,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::config::{Config, SchemaBaseline, Severity};
+use crate::items::ItemIndex;
 use crate::report::{Finding, Report};
 use crate::rules::{self, RawFinding};
 use crate::source::SourceFile;
@@ -27,10 +28,17 @@ pub fn run(root: &Path) -> Result<Report, String> {
     let baseline = load_baseline(root)?;
     let files = load_sources(root)?;
 
+    // The item-aware rules share one index per file (parallel to
+    // `files` by position).
+    let items: Vec<ItemIndex> = files.iter().map(ItemIndex::build).collect();
+
     let mut raw: Vec<RawFinding> = Vec::new();
     rules::determinism::check(&files, &mut raw);
     rules::forbidden::check(&files, &mut raw);
     rules::unsafe_audit::check(&files, &mut raw);
+    rules::unsafe_contract::check(&files, &items, &mut raw);
+    rules::concurrency::check(&files, &items, &mut raw);
+    rules::panic_path::check(&files, &items, &mut raw);
     rules::telemetry_registry::check(&files, &mut raw);
     rules::schema_freeze::check(&files, baseline.as_ref(), &mut raw);
 

@@ -1,0 +1,619 @@
+//! Item-aware view over a lexed [`SourceFile`].
+//!
+//! The token lexer in [`crate::source`] answers "where does this word
+//! occur"; the rules added for the unsafe/concurrent core need one
+//! level more structure: which *function* an offset belongs to, what
+//! attributes that function carries (`#[target_feature]` above all),
+//! which module it sits in, and what it calls. This module builds that
+//! index with a brace-tree scan over the blanked code — still lexical,
+//! no type information — which is exactly enough for reachability and
+//! per-function comment-grammar checks.
+//!
+//! Known, accepted limitations of the scan (documented so nobody
+//! mistakes it for a parser): generic parameter lists containing
+//! parenthesised `Fn(..)` bounds before the argument list, and braces
+//! inside const-generic expressions, can confuse the header scan for
+//! that one item. Neither shape occurs in this workspace.
+
+use crate::source::{attribute_at, SourceFile};
+
+/// One `fn` item (free function, inherent/trait method, or nested fn).
+#[derive(Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Names of the enclosing inline `mod` items, outermost first.
+    pub module: Vec<String>,
+    /// Inner texts of the attributes directly above the item
+    /// (`target_feature(enable = "avx2")`, `cfg(...)`, ...).
+    pub attrs: Vec<String>,
+    /// Byte offset of the `fn` keyword in the stripped code.
+    pub kw: usize,
+    /// Half-open byte span of the body *between* the braces, or `None`
+    /// for brace-less declarations (trait method signatures).
+    pub body: Option<(usize, usize)>,
+    /// Whether the header carries the `unsafe` qualifier.
+    pub is_unsafe: bool,
+}
+
+impl FnItem {
+    /// Whether any attribute is a `#[target_feature(...)]`.
+    pub fn is_target_feature(&self) -> bool {
+        self.attrs
+            .iter()
+            .any(|a| a.trim_start().starts_with("target_feature"))
+    }
+}
+
+/// How an `unsafe` keyword is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// `unsafe { ... }` expression block.
+    Block,
+    /// `unsafe fn` declaration (span is the fn body).
+    Fn,
+    /// `unsafe impl` / `unsafe trait` / `unsafe extern`; the SAFETY
+    /// obligation is item-level, so clause rules skip these.
+    Item,
+}
+
+/// One use of the `unsafe` keyword with the code span it governs.
+#[derive(Debug)]
+pub struct UnsafeSite {
+    /// Byte offset of the `unsafe` keyword.
+    pub kw: usize,
+    pub kind: UnsafeKind,
+    /// Half-open span of the governed code (block or fn body); empty
+    /// for item-level uses and body-less declarations.
+    pub span: (usize, usize),
+}
+
+/// A call site inside a function body.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Byte offset of the (last) callee identifier.
+    pub offset: usize,
+    /// Callee name (final path segment).
+    pub name: String,
+    /// Path segments before the name (`x86::f` -> `["x86"]`), with
+    /// `crate`/`self`/`super` stripped.
+    pub qual: Vec<String>,
+    /// Whether this is a `.method(...)` call.
+    pub method: bool,
+}
+
+/// The item index for one source file.
+#[derive(Debug)]
+pub struct ItemIndex {
+    pub fns: Vec<FnItem>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+}
+
+impl ItemIndex {
+    /// Builds the index for `file` from its stripped code.
+    pub fn build(file: &SourceFile) -> ItemIndex {
+        let code = &file.code;
+        let attrs = outer_attributes(code);
+        let mods = mod_spans(file);
+        let mut fns = Vec::new();
+        for kw in file.token_offsets("fn") {
+            let Some((name, body)) = fn_header(code, kw) else {
+                continue;
+            };
+            fns.push(FnItem {
+                name,
+                module: module_path(&mods, kw),
+                attrs: leading_attrs(code, &attrs, kw),
+                kw,
+                body,
+                is_unsafe: modifier_gap_has_unsafe(code, kw),
+            });
+        }
+        let mut unsafe_sites = Vec::new();
+        for kw in file.token_offsets("unsafe") {
+            unsafe_sites.push(classify_unsafe(code, &fns, kw));
+        }
+        ItemIndex { fns, unsafe_sites }
+    }
+
+    /// The innermost function whose body contains `offset`.
+    pub fn enclosing_fn(&self, offset: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(a, b)| offset >= a && offset < b))
+            .min_by_key(|f| f.body.map_or(usize::MAX, |(a, b)| b - a))
+    }
+
+    /// All call sites within the half-open byte span.
+    pub fn calls_in(&self, file: &SourceFile, span: (usize, usize)) -> Vec<CallSite> {
+        calls_in_span(&file.code, span)
+    }
+}
+
+/// `(start, end, text)` of every outer `#[...]` attribute, in offset
+/// order (`#![...]` inner attributes are excluded).
+fn outer_attributes(code: &str) -> Vec<(usize, usize, String)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = code[i..].find("#[") {
+        let start = i + pos;
+        if start > 0 && bytes[start - 1] == b'!' {
+            i = start + 2;
+            continue;
+        }
+        match attribute_at(code, start) {
+            Some((end, text)) => {
+                out.push((start, end, text));
+                i = end;
+            }
+            None => i = start + 2,
+        }
+    }
+    out
+}
+
+/// `(name, body span)` of every inline `mod name { ... }` item.
+fn mod_spans(file: &SourceFile) -> Vec<(String, (usize, usize))> {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for kw in file.token_offsets("mod") {
+        let mut i = kw + 3;
+        i = skip_ws(bytes, i);
+        let name = read_ident(code, i);
+        if name.is_empty() {
+            continue;
+        }
+        i = skip_ws(bytes, i + name.len());
+        if bytes.get(i) == Some(&b'{') {
+            if let Some(close) = matching_brace(bytes, i) {
+                out.push((name, (i + 1, close)));
+            }
+        }
+    }
+    out
+}
+
+/// Names of the mod spans containing `offset`, outermost first.
+fn module_path(mods: &[(String, (usize, usize))], offset: usize) -> Vec<String> {
+    let mut path: Vec<(usize, &str)> = mods
+        .iter()
+        .filter(|(_, (a, b))| offset >= *a && offset < *b)
+        .map(|(name, (a, _))| (*a, name.as_str()))
+        .collect();
+    path.sort_by_key(|&(a, _)| a);
+    path.into_iter().map(|(_, n)| n.to_string()).collect()
+}
+
+/// Parses a fn header starting at the `fn` keyword: returns the name
+/// and the body span (between braces), or `None` if no name follows.
+fn fn_header(code: &str, kw: usize) -> Option<(String, Option<(usize, usize)>)> {
+    let bytes = code.as_bytes();
+    let mut i = skip_ws(bytes, kw + 2);
+    let name = read_ident(code, i);
+    if name.is_empty() {
+        return None; // `fn` in a fn-pointer type like `fn(u32) -> u32`
+    }
+    i += name.len();
+    // Walk to the end of the header: past generics, the parameter
+    // list, the return type, and any where-clause, tracking paren and
+    // bracket depth so `where F: Fn(usize) -> R` and the `;` inside an
+    // array return type like `[u64; N]` do not end the scan early.
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => paren += 1,
+            b')' => paren = paren.saturating_sub(1),
+            b'[' => bracket += 1,
+            b']' => bracket = bracket.saturating_sub(1),
+            b'{' if paren == 0 => {
+                let close = matching_brace(bytes, i)?;
+                return Some((name, Some((i + 1, close))));
+            }
+            b';' if paren == 0 && bracket == 0 => return Some((name, None)),
+            _ => {}
+        }
+        i += 1;
+    }
+    Some((name, None))
+}
+
+/// Attributes immediately above the item at `kw`, separated from it
+/// only by whitespace and visibility/qualifier tokens.
+fn leading_attrs(code: &str, attrs: &[(usize, usize, String)], kw: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut boundary = kw;
+    while let Some((start, end, text)) = attrs
+        .iter()
+        .rev()
+        .find(|&&(_, end, _)| end <= boundary)
+        .map(|(s, e, t)| (*s, *e, t.clone()))
+    {
+        if !gap_is_modifiers(&code[end..boundary]) {
+            break;
+        }
+        out.push(text);
+        boundary = start;
+    }
+    out.reverse();
+    out
+}
+
+/// Whether the text between an attribute and an item keyword contains
+/// only whitespace and header qualifiers (`pub(crate) unsafe extern
+/// "C"` and friends; string contents arrive pre-blanked).
+fn gap_is_modifiers(gap: &str) -> bool {
+    gap.replace(['(', ')', '"'], " ")
+        .split_whitespace()
+        .all(|w| {
+            matches!(
+                w,
+                "pub"
+                    | "crate"
+                    | "super"
+                    | "self"
+                    | "in"
+                    | "unsafe"
+                    | "const"
+                    | "async"
+                    | "extern"
+                    | "default"
+            )
+        })
+}
+
+/// Whether the qualifier run directly before the `fn` keyword contains
+/// `unsafe`. Looks back to the nearest item boundary (`{`, `}`, `;`,
+/// or an attribute's closing `]`).
+fn modifier_gap_has_unsafe(code: &str, kw: usize) -> bool {
+    let from = code[..kw].rfind(['{', '}', ';', ']']).map_or(0, |p| p + 1);
+    code[from..kw]
+        .replace(['(', ')', '"'], " ")
+        .split_whitespace()
+        .any(|w| w == "unsafe")
+}
+
+/// Classifies one `unsafe` keyword occurrence.
+fn classify_unsafe(code: &str, fns: &[FnItem], kw: usize) -> UnsafeSite {
+    let bytes = code.as_bytes();
+    let mut i = skip_ws(bytes, kw + 6);
+    if bytes.get(i) == Some(&b'{') {
+        let span = matching_brace(bytes, i).map_or((i + 1, i + 1), |c| (i + 1, c));
+        return UnsafeSite {
+            kw,
+            kind: UnsafeKind::Block,
+            span,
+        };
+    }
+    // Skip qualifier words between `unsafe` and the item keyword
+    // (`unsafe extern "C" fn`).
+    let mut word = read_ident(code, i);
+    while matches!(word.as_str(), "extern" | "const" | "async") {
+        let mut j = skip_ws(bytes, i + word.len());
+        if bytes.get(j) == Some(&b'"') {
+            // Blanked ABI string: skip to its closing quote.
+            j += 1;
+            while j < bytes.len() && bytes[j] != b'"' {
+                j += 1;
+            }
+            j = skip_ws(bytes, j + 1);
+        }
+        i = j;
+        word = read_ident(code, i);
+        if word.is_empty() {
+            break;
+        }
+    }
+    if word == "fn" {
+        let body = fns
+            .iter()
+            .find(|f| f.kw == i)
+            .and_then(|f| f.body)
+            .unwrap_or((kw, kw));
+        return UnsafeSite {
+            kw,
+            kind: UnsafeKind::Fn,
+            span: body,
+        };
+    }
+    UnsafeSite {
+        kw,
+        kind: UnsafeKind::Item,
+        span: (kw, kw),
+    }
+}
+
+/// Scans a half-open span for call sites: an identifier directly
+/// followed by `(`, excluding keywords, macro invocations, and fn
+/// definitions. Method calls are recorded with `method = true`.
+fn calls_in_span(code: &str, (start, end): (usize, usize)) -> Vec<CallSite> {
+    const KEYWORDS: &[&str] = &[
+        "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+        "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+        "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while",
+    ];
+    let bytes = code.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80;
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end.min(bytes.len()) {
+        if !is_ident(bytes[i]) || (i > 0 && is_ident(bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let name = read_ident(code, i);
+        let after = i + name.len();
+        let mut j = skip_ws(bytes, after);
+        // Generic turbofish `name::<T>(` — treat `::<` as transparent.
+        if code[j..].starts_with("::<") {
+            if let Some(p) = code[j..end.min(bytes.len())].find('>') {
+                j = skip_ws(bytes, j + p + 1);
+            }
+        }
+        let is_call = bytes.get(j) == Some(&b'(')
+            && bytes.get(after) != Some(&b'!')
+            && !KEYWORDS.contains(&name.as_str());
+        if is_call {
+            // Reject definitions: `fn name(` (word-boundary `fn`).
+            let before = code[..i].trim_end();
+            let defined = before.ends_with("fn")
+                && !before[..before.len() - 2].ends_with(|c: char| c.is_alphanumeric() || c == '_');
+            if !defined {
+                let (qual, method) = path_before(code, i);
+                out.push(CallSite {
+                    offset: i,
+                    name,
+                    qual,
+                    method,
+                });
+            }
+        }
+        i = after.max(i + 1);
+    }
+    out
+}
+
+/// Path segments before the identifier at `at` (`a::b::name` ->
+/// `["a", "b"]`, minus `crate`/`self`/`super`), plus whether the call
+/// is a `.method(` form.
+fn path_before(code: &str, at: usize) -> (Vec<String>, bool) {
+    let bytes = code.as_bytes();
+    let mut segs = Vec::new();
+    let mut i = at;
+    loop {
+        if i >= 2 && &code[i - 2..i] == "::" {
+            let seg_end = i - 2;
+            let mut s = seg_end;
+            while s > 0 && {
+                let b = bytes[s - 1];
+                b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+            } {
+                s -= 1;
+            }
+            if s == seg_end {
+                break;
+            }
+            segs.push(code[s..seg_end].to_string());
+            i = s;
+        } else {
+            break;
+        }
+    }
+    segs.reverse();
+    segs.retain(|s| !matches!(s.as_str(), "crate" | "self" | "super" | "Self"));
+    let method = segs.is_empty() && i > 0 && bytes[i - 1] == b'.';
+    (segs, method)
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+fn read_ident(code: &str, at: usize) -> String {
+    code[at..]
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// Offset of the `}` matching the `{` at `open`.
+fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Matching `)` span for the `(` at `open`: the half-open argument
+/// text span between the parens, or an empty span when unclosed.
+pub fn paren_arg_span(code: &str, open: usize) -> (usize, usize) {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return (open + 1, i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (open + 1, open + 1)
+}
+
+/// Word-boundary search for `word` inside `text` (ASCII identifier
+/// boundaries, same convention as [`SourceFile::token_offsets`]).
+pub fn contains_word(text: &str, word: &str) -> bool {
+    let bytes = text.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80;
+    let mut from = 0;
+    while let Some(p) = text[from..].find(word) {
+        let at = from + p;
+        let before_ok = at == 0 || !is_ident(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + word.len().max(1);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn index(src: &str) -> (SourceFile, ItemIndex) {
+        let f = SourceFile::new("crates/x/src/lib.rs".into(), src.to_string());
+        let idx = ItemIndex::build(&f);
+        (f, idx)
+    }
+
+    #[test]
+    fn fn_names_bodies_and_modules_are_indexed() {
+        let src = "\
+pub fn top(a: u32) -> u32 { inner(a) }
+mod outer {
+    pub mod deep {
+        pub fn nested() { helper(); }
+    }
+}
+";
+        let (_f, idx) = index(src);
+        let names: Vec<&str> = idx.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["top", "nested"]);
+        assert_eq!(idx.fns[1].module, ["outer", "deep"]);
+        assert!(idx.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn where_clause_parens_do_not_end_the_header() {
+        let src = "\
+pub fn run<T, F>(t: T, f: F) -> u32
+where
+    F: Fn(usize) -> u32,
+{
+    f(1)
+}
+";
+        let (f, idx) = index(src);
+        assert_eq!(idx.fns.len(), 1);
+        let (a, b) = idx.fns[0].body.expect("body");
+        assert!(f.code[a..b].contains("f(1)"));
+    }
+
+    #[test]
+    fn array_return_type_semicolon_does_not_end_the_header() {
+        let src = "\
+pub fn histogram() -> [u64; 64] {
+    [0; 64]
+}
+";
+        let (f, idx) = index(src);
+        assert_eq!(idx.fns.len(), 1);
+        let (a, b) = idx.fns[0]
+            .body
+            .expect("body spans past the `[u64; 64]` semicolon");
+        assert!(f.code[a..b].contains("[0; 64]"));
+    }
+
+    #[test]
+    fn attributes_attach_across_qualifiers() {
+        let src = "\
+#[cfg(target_arch = \"x86_64\")]
+#[target_feature(enable = \"avx2\")]
+pub unsafe fn kernel() {}
+pub fn plain() {}
+";
+        let (_f, idx) = index(src);
+        assert_eq!(idx.fns[0].attrs.len(), 2);
+        assert!(idx.fns[0].is_target_feature());
+        assert!(idx.fns[0].is_unsafe);
+        assert!(idx.fns[1].attrs.is_empty());
+        assert!(!idx.fns[1].is_target_feature());
+    }
+
+    #[test]
+    fn unsafe_sites_are_classified() {
+        let src = "\
+pub unsafe fn direct() { go(); }
+pub fn wrapper() { unsafe { direct() } }
+unsafe impl Send for X {}
+";
+        let (_f, idx) = index(src);
+        let kinds: Vec<UnsafeKind> = idx.unsafe_sites.iter().map(|u| u.kind).collect();
+        assert_eq!(kinds, [UnsafeKind::Fn, UnsafeKind::Block, UnsafeKind::Item]);
+        // The fn-site span is the fn body.
+        let (a, b) = idx.unsafe_sites[0].span;
+        assert!(a < b);
+    }
+
+    #[test]
+    fn calls_capture_path_qualifiers_and_methods() {
+        let src = "\
+pub fn dispatch(x: u32) -> u32 {
+    let y = x86::kernel(x);
+    let z = scalar::kernel(x);
+    y.wrapping_add(z) + plain(1) + mac!(x)
+}
+";
+        let (f, idx) = index(src);
+        let body = idx.fns[0].body.unwrap();
+        let calls = idx.calls_in(&f, body);
+        let shapes: Vec<(String, Vec<String>, bool)> = calls
+            .iter()
+            .map(|c| (c.name.clone(), c.qual.clone(), c.method))
+            .collect();
+        assert!(shapes.contains(&("kernel".into(), vec!["x86".into()], false)));
+        assert!(shapes.contains(&("kernel".into(), vec!["scalar".into()], false)));
+        assert!(shapes.contains(&("wrapping_add".into(), vec![], true)));
+        assert!(shapes.contains(&("plain".into(), vec![], false)));
+        assert!(!shapes.iter().any(|(n, _, _)| n == "mac"));
+    }
+
+    #[test]
+    fn enclosing_fn_finds_the_innermost_body() {
+        let src = "\
+pub fn outer() {
+    fn inner() { mark(); }
+    inner();
+}
+";
+        let (f, idx) = index(src);
+        let mark = f.code.find("mark").unwrap();
+        assert_eq!(idx.enclosing_fn(mark).unwrap().name, "inner");
+        let call = f.code.rfind("inner").unwrap();
+        assert_eq!(idx.enclosing_fn(call).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn word_boundary_helper() {
+        assert!(contains_word("uses Relaxed here", "Relaxed"));
+        assert!(!contains_word("RelaxedMax", "Relaxed"));
+        assert!(contains_word("(Relaxed)", "Relaxed"));
+    }
+}

@@ -1,0 +1,204 @@
+//! `panic/*` — the allocation-free hot-path modules must justify
+//! every panicking arithmetic form.
+//!
+//! `packed.rs`, `simd.rs`, and `sketch.rs` run inside the per-round
+//! inner loops: a bare `words[i]` or a division by a runtime value is
+//! a latent panic on every client of every round. This rule does not
+//! ban those forms — packed kernels index by construction — it demands
+//! that each hot-path function using them carries a `// BOUNDS:`
+//! comment stating *why* the indices are in range and the divisors are
+//! nonzero, the same discharge-your-obligation grammar `// SAFETY:`
+//! uses for unsafe blocks.
+//!
+//! Detection is item-aware: sites are grouped by the enclosing
+//! function (from [`crate::items::ItemIndex`]) and a single BOUNDS
+//! comment anywhere on the function (header window included) covers
+//! all of its sites. One finding is emitted per uncovered function, at
+//! its first offending site.
+
+use super::{is_lib_src, RawFinding};
+use crate::items::ItemIndex;
+use crate::source::SourceFile;
+
+/// File names (under `crates/*/src/`) that form the hot path.
+const HOT_FILES: &[&str] = &["/packed.rs", "/simd.rs", "/sketch.rs"];
+
+/// Lines above the `fn` keyword that may carry the BOUNDS comment,
+/// mirroring the SAFETY window.
+const WINDOW: usize = 3;
+
+pub fn check(files: &[SourceFile], items: &[ItemIndex], out: &mut Vec<RawFinding>) {
+    for (file, index) in files.iter().zip(items) {
+        if !is_lib_src(&file.path) || !HOT_FILES.iter().any(|n| file.path.ends_with(n)) {
+            continue;
+        }
+        check_file(file, index, out);
+    }
+}
+
+fn check_file(file: &SourceFile, index: &ItemIndex, out: &mut Vec<RawFinding>) {
+    // Offending fn -> first uncovered site offset.
+    let mut first_site: Vec<(usize, usize)> = Vec::new(); // (fn kw, site)
+    for site in risky_sites(&file.code) {
+        if file.in_test_range(site) {
+            continue;
+        }
+        let Some(f) = index.enclosing_fn(site) else {
+            continue; // const initializers etc.
+        };
+        match first_site.iter_mut().find(|(kw, _)| *kw == f.kw) {
+            Some((_, s)) => *s = (*s).min(site),
+            None => first_site.push((f.kw, site)),
+        }
+    }
+    for (kw, site) in first_site {
+        let f = index
+            .fns
+            .iter()
+            .find(|f| f.kw == kw)
+            .expect("fn recorded above");
+        let fn_line = file.line_of(f.kw);
+        let end_line = f.body.map_or(fn_line, |(_, b)| file.line_of(b));
+        let lo = fn_line.saturating_sub(WINDOW);
+        let covered = file
+            .comments
+            .iter()
+            .any(|c| c.line >= lo && c.line <= end_line && c.text.contains("BOUNDS:"));
+        if covered {
+            continue;
+        }
+        let line = file.line_of(site);
+        if file.allowed_inline(line, "panic/indexing") {
+            continue;
+        }
+        out.push(RawFinding {
+            rule: "panic/indexing",
+            path: file.path.clone(),
+            line,
+            message: format!(
+                "hot-path fn `{}` uses bare indexing or runtime division without a \
+                 `// BOUNDS:` justification",
+                f.name
+            ),
+        });
+    }
+}
+
+/// Byte offsets of panicking arithmetic forms in the stripped code:
+/// bare `expr[...]` indexing, and `/` or `%` whose right operand is a
+/// runtime value (a lowercase identifier — literals, `SCREAMING`
+/// consts, and parenthesised expressions are exempt as the common
+/// provably-constant shapes).
+fn risky_sites(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80;
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'[' => {
+                // Bare index: previous non-space char ends an expression.
+                let prev = bytes[..i].iter().rev().find(|&&c| c != b' ' && c != b'\n');
+                if prev.is_some_and(|&c| is_ident(c) || c == b']' || c == b')' || c == b'?') {
+                    out.push(i);
+                }
+            }
+            b'/' | b'%' => {
+                // Not part of `/=`-style compound tokens' neighbours we
+                // care about; look at the right operand either way.
+                let mut j = i + 1;
+                if bytes.get(j) == Some(&b'=') {
+                    j += 1; // `/=` and `%=` still divide
+                }
+                while j < bytes.len() && (bytes[j] == b' ' || bytes[j] == b'\n') {
+                    j += 1;
+                }
+                let Some(&r) = bytes.get(j) else { continue };
+                if r.is_ascii_lowercase() || r == b'_' {
+                    out.push(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::ItemIndex;
+
+    fn run(path: &str, src: &str) -> Vec<RawFinding> {
+        let f = SourceFile::new(path.into(), src.to_string());
+        let idx = ItemIndex::build(&f);
+        let mut out = Vec::new();
+        check(&[f], &[idx], &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_index_without_bounds_fires_once_per_fn() {
+        let src = "\
+pub fn word_at(words: &[u64], i: usize) -> u64 {
+    let w = words[i];
+    words[i] | w
+}
+";
+        let out = run("crates/hdc/src/packed.rs", src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "panic/indexing");
+        assert_eq!(out[0].line, 2);
+        assert!(out[0].message.contains("word_at"));
+    }
+
+    #[test]
+    fn bounds_comment_covers_the_whole_fn() {
+        let src = "\
+// BOUNDS: callers pass i < words.len() by construction.
+pub fn word_at(words: &[u64], i: usize) -> u64 {
+    words[i]
+}
+";
+        assert!(run("crates/hdc/src/packed.rs", src).is_empty());
+    }
+
+    #[test]
+    fn runtime_division_fires_but_const_and_literal_divisors_pass() {
+        let src = "\
+pub fn ratio(a: u64, n: u64) -> u64 {
+    a / n
+}
+pub fn fixed(a: u64) -> u64 {
+    a / 64 + a % 8 + a / WORD_BITS
+}
+";
+        let out = run("crates/telemetry/src/sketch.rs", src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("ratio"));
+    }
+
+    #[test]
+    fn only_hot_path_files_are_in_scope_and_tests_are_exempt() {
+        let src = "pub fn f(v: &[u8], i: usize) -> u8 { v[i] }\n";
+        assert!(run("crates/hdc/src/encode.rs", src).is_empty());
+        assert!(run("crates/hdc/tests/packed.rs", src).is_empty());
+        let test_src = "\
+#[cfg(test)]
+mod tests {
+    fn f(v: &[u8], i: usize) -> u8 { v[i] }
+}
+";
+        assert!(run("crates/hdc/src/packed.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn attribute_and_slice_type_brackets_do_not_count() {
+        let src = "\
+#[derive(Clone)]
+pub struct P { pub words: Vec<u64> }
+pub fn len(p: &P) -> usize { p.words.len() }
+pub fn mk(v: &[u64]) -> [u64; 2] { [v.len() as u64, 0] }
+";
+        assert!(run("crates/hdc/src/packed.rs", src).is_empty());
+    }
+}

@@ -468,8 +468,9 @@ fn test_ranges(code: &str) -> Vec<(usize, usize)> {
 }
 
 /// Parses the attribute starting at `start` (`#[...]` with nested
-/// brackets); returns (offset past `]`, inner text).
-fn attribute_at(code: &str, start: usize) -> Option<(usize, String)> {
+/// brackets); returns (offset past `]`, inner text). Shared with the
+/// item-aware index in `items`.
+pub(crate) fn attribute_at(code: &str, start: usize) -> Option<(usize, String)> {
     let bytes = code.as_bytes();
     let mut depth = 0usize;
     let mut j = start + 1; // at '['

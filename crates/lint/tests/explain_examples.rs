@@ -1,0 +1,103 @@
+//! The `--explain` examples in the rule registry are honest: each
+//! dirty snippet actually trips the rule it illustrates when placed at
+//! its stated path, and each clean snippet does not. Rules without a
+//! standalone example (workspace-context rules like the allowlist,
+//! schema, and telemetry families) render a pointer to the fixture
+//! trees instead.
+
+use std::fs;
+use std::path::PathBuf;
+
+use fhdnn_lint::rules::RULES;
+
+/// Builds a one-file scratch workspace holding `text` at `path`.
+fn scratch(tag: &str, path: &str, text: &str) -> PathBuf {
+    let root = std::env::temp_dir()
+        .join("fhdnn-lint-example-tests")
+        .join(tag);
+    let _ = fs::remove_dir_all(&root);
+    let file = root.join(path);
+    fs::create_dir_all(file.parent().expect("example paths have parents")).expect("mkdir scratch");
+    fs::write(&file, text).expect("write scratch");
+    root
+}
+
+#[test]
+fn dirty_examples_trip_their_rule_and_clean_examples_do_not() {
+    let mut checked = 0;
+    for info in RULES {
+        let Some(ex) = &info.example else { continue };
+        let tag = info.id.replace('/', "-");
+
+        let root = scratch(&format!("{tag}-dirty"), ex.path, ex.dirty);
+        let report = fhdnn_lint::run(&root).expect("lint runs on dirty example");
+        assert!(
+            report.findings.iter().any(|f| f.rule == info.id),
+            "{}: dirty example must trip its own rule; got {:?}",
+            info.id,
+            report.findings
+        );
+
+        let root = scratch(&format!("{tag}-clean"), ex.path, ex.clean);
+        let report = fhdnn_lint::run(&root).expect("lint runs on clean example");
+        // Filter to the illustrated rule: a clean snippet for one rule
+        // may legitimately reference workspace context another rule
+        // wants (e.g. a telemetry metric name the one-file scratch
+        // tree cannot register).
+        let relapse: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == info.id)
+            .collect();
+        assert!(
+            relapse.is_empty(),
+            "{}: clean example must not trip its own rule; got {relapse:?}",
+            info.id
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 10,
+        "expected examples for at least the determinism/forbidden/unsafe/concurrency/panic families, found {checked}"
+    );
+}
+
+#[test]
+fn explain_renders_examples_and_rejects_unknown_rules() {
+    for info in RULES {
+        let text = fhdnn_lint::explain(info.id).expect("every registered rule explains itself");
+        assert!(
+            text.starts_with(info.id),
+            "{}: header leads with the id",
+            info.id
+        );
+        assert!(
+            text.contains(info.help),
+            "{}: includes the help line",
+            info.id
+        );
+        assert!(text.contains("Why:"), "{}: includes the rationale", info.id);
+        if info.example.is_some() {
+            assert!(
+                text.contains("Trips ("),
+                "{}: shows the dirty snippet",
+                info.id
+            );
+            assert!(
+                text.contains("Passes:"),
+                "{}: shows the clean snippet",
+                info.id
+            );
+        } else {
+            assert!(
+                text.contains("fixtures"),
+                "{}: points at the fixture trees when no standalone example exists",
+                info.id
+            );
+        }
+    }
+    assert!(fhdnn_lint::explain("no/such-rule").is_none());
+    let ids = fhdnn_lint::rule_ids();
+    assert_eq!(ids.len(), RULES.len());
+    assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids stay sorted");
+}

@@ -34,6 +34,19 @@ fn dirty_fixture_trips_every_rule_family() {
         ("telemetry/unregistered", fedhd, 7),
         ("telemetry/unregistered", fedhd, 8),
         ("unsafe/needs-safety-comment", "crates/hdc/src/simd.rs", 3),
+        ("unsafe/contract", "crates/hdc/src/simd.rs", 8),
+        (
+            "unsafe/target-feature-reachability",
+            "crates/hdc/src/simd.rs",
+            17,
+        ),
+        (
+            "concurrency/atomic-ordering",
+            "crates/telemetry/src/mem.rs",
+            7,
+        ),
+        ("concurrency/rng-stream", fedhd, 16),
+        ("panic/indexing", "crates/hdc/src/packed.rs", 3),
         ("allowlist/unused", "lint.toml", 0),
     ]
     .into_iter()

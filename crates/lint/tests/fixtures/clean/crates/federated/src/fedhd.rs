@@ -12,3 +12,10 @@ pub fn run_round(tel: &Recorder, x: Option<u64>) -> u64 {
     let y = x.unwrap();
     y
 }
+
+pub fn fan_out(seed: u64) {
+    let rngs: Vec<_> = (0..4)
+        .map(|c| StdRng::seed_from_u64(split_seed(seed, c)))
+        .collect();
+    run_tasks(rngs, 4, |_, r| r);
+}

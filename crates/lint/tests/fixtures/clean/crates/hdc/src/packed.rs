@@ -1,0 +1,5 @@
+//! Fixture: hot-path indexing with its obligation discharged.
+// BOUNDS: callers pass i < words.len() by construction.
+pub fn word_at(words: &[u64], i: usize) -> u64 {
+    words[i]
+}

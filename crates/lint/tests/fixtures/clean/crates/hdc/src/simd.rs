@@ -3,3 +3,22 @@ pub fn load(p: *const u64) -> u64 {
     // SAFETY: the caller guarantees p points at a live, aligned u64.
     unsafe { *p }
 }
+
+pub fn head(p: *const u64) -> u64 {
+    // SAFETY: the caller guarantees p points at two u64s, so the
+    // offset read stays within bounds.
+    unsafe { *p.add(1) }
+}
+
+#[target_feature(enable = "avx2")]
+// SAFETY: dispatcher-only caller, after runtime AVX2 detection.
+pub unsafe fn kernel(x: u64) -> u64 { x }
+
+pub fn fast(x: u64) -> u64 {
+    if backend() == Backend::Avx2 {
+        // SAFETY: reached only after runtime detection confirmed AVX2.
+        unsafe { kernel(x) }
+    } else {
+        x
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: atomic traffic with the ordering choice written down.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+
+pub fn record_alloc(size: u64) {
+    // ORDERING: Relaxed — independent monotonic counter; readers
+    // reconcile via the ledger identity, never a happens-before edge.
+    LIVE_BYTES.fetch_add(size, Ordering::Relaxed);
+}

@@ -11,6 +11,13 @@ pub fn run_round(tel: &Recorder, x: Option<u64>) -> u64 {
     0
 }
 
+pub fn fan_out(seed: u64) {
+    let rngs: Vec<_> = (0..4)
+        .map(|c| StdRng::seed_from_u64(seed + c))
+        .collect();
+    run_tasks(rngs, 4, |_, r| r);
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

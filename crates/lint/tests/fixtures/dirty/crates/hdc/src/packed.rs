@@ -1,0 +1,4 @@
+//! Fixture: hot-path indexing without a BOUNDS justification.
+pub fn word_at(words: &[u64], i: usize) -> u64 {
+    words[i]
+}

@@ -2,3 +2,17 @@
 pub fn load(p: *const u64) -> u64 {
     unsafe { *p }
 }
+
+pub fn head(p: *const u64) -> u64 {
+    // SAFETY: fine.
+    unsafe { *p.add(1) }
+}
+
+#[target_feature(enable = "avx2")]
+// SAFETY: dispatcher-only caller, after runtime AVX2 detection.
+pub unsafe fn kernel(x: u64) -> u64 { x }
+
+pub fn fast(x: u64) -> u64 {
+    // SAFETY: AVX2 assumed available.
+    unsafe { kernel(x) }
+}

@@ -1,0 +1,8 @@
+//! Fixture: atomic traffic with no ORDERING justification.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+
+pub fn record_alloc(size: u64) {
+    LIVE_BYTES.fetch_add(size, Ordering::Relaxed);
+}

@@ -71,6 +71,8 @@ impl Default for ManualClock {
 }
 
 impl Clock for ManualClock {
+    // ORDERING: Relaxed — readings only need to be unique and monotonic
+    // per the RMW's atomicity; no memory is published with a timestamp.
     fn now_micros(&self) -> u64 {
         self.now.fetch_add(self.step, Ordering::Relaxed)
     }

@@ -453,6 +453,8 @@ impl Recorder {
     fn emit(&self, kind: EventKind, name: &str, fields: &[(&str, FieldValue)]) {
         let event = Event::new(self.clock.now_micros(), kind, name, fields);
         self.sink.record(&event);
+        // ORDERING: Relaxed — self-metering tally; readers want an
+        // eventual total, not an edge ordered against sink writes.
         self.events_emitted.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -461,6 +463,7 @@ impl Recorder {
     /// counter. Snapshot it around a round to measure the round's
     /// emission cost.
     #[must_use]
+    // ORDERING: Relaxed — reads an eventual total of a monotonic tally.
     pub fn events_emitted(&self) -> u64 {
         self.events_emitted.load(Ordering::Relaxed)
     }

@@ -48,6 +48,7 @@ static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static DEALLOCS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static FREED_BYTES: AtomicU64 = AtomicU64::new(0);
 static SIZE_CLASS: [AtomicU64; SIZE_CLASSES] = [const { AtomicU64::new(0) }; SIZE_CLASSES];
 
 thread_local! {
@@ -65,6 +66,10 @@ fn size_class(size: u64) -> usize {
 /// Books one successful allocation of `size` bytes.
 #[inline]
 fn record_alloc(size: u64) {
+    // ORDERING: Relaxed on every counter — the hooks run on the
+    // allocation hot path and only feed monotonic tallies; readers
+    // reconcile via the ledger identity (live = alloc_bytes −
+    // freed_bytes), never via a happens-before edge with this thread.
     ALLOCS.fetch_add(1, Relaxed);
     ALLOC_BYTES.fetch_add(size, Relaxed);
     let live = LIVE_BYTES.fetch_add(size, Relaxed).wrapping_add(size);
@@ -78,9 +83,11 @@ fn record_alloc(size: u64) {
 }
 
 /// Books one deallocation of `size` bytes.
+// ORDERING: Relaxed — same monotonic-tally regime as `record_alloc`.
 #[inline]
 fn record_dealloc(size: u64) {
     DEALLOCS.fetch_add(1, Relaxed);
+    FREED_BYTES.fetch_add(size, Relaxed);
     LIVE_BYTES.fetch_sub(size, Relaxed);
 }
 
@@ -146,7 +153,12 @@ unsafe impl GlobalAlloc for TrackedAlloc {
     }
 }
 
-/// The process-wide allocator instance (see [`TrackedAlloc`]).
+/// The process-wide allocator instance (see [`TrackedAlloc`]). Not
+/// installed under Miri: its interpreter supplies its own allocator
+/// shim, and the counters would only slow the interpreted run down, so
+/// the sanitizer wall runs with tracking off and the counter-dependent
+/// tests `#[cfg_attr(miri, ignore)]`d.
+#[cfg(not(miri))]
 #[global_allocator]
 static GLOBAL: TrackedAlloc = TrackedAlloc;
 
@@ -168,17 +180,24 @@ pub struct MemStats {
     pub deallocs: u64,
     /// Total bytes ever allocated (gross, not net).
     pub alloc_bytes: u64,
+    /// Total bytes ever freed (gross). At any quiescent point the
+    /// ledger balances: `live_bytes == alloc_bytes - freed_bytes`.
+    pub freed_bytes: u64,
 }
 
 /// Snapshot of the global counters.
 #[must_use]
 pub fn stats() -> MemStats {
+    // ORDERING: Relaxed — deliberately not a consistent cut; consumers
+    // use quiescent-point deltas, and the ledger identity is only
+    // asserted when no allocator traffic is in flight.
     MemStats {
         live_bytes: LIVE_BYTES.load(Relaxed),
         peak_bytes: PEAK_BYTES.load(Relaxed),
         allocs: ALLOCS.load(Relaxed),
         deallocs: DEALLOCS.load(Relaxed),
         alloc_bytes: ALLOC_BYTES.load(Relaxed),
+        freed_bytes: FREED_BYTES.load(Relaxed),
     }
 }
 
@@ -186,6 +205,8 @@ pub fn stats() -> MemStats {
 /// allocations of `2^i ..= 2^(i+1) − 1` bytes since process start.
 #[must_use]
 pub fn size_class_histogram() -> [u64; SIZE_CLASSES] {
+    // ORDERING: Relaxed — 64 independent monotonic tallies, torn reads
+    // across buckets are acceptable in an observability histogram.
     let mut out = [0u64; SIZE_CLASSES];
     for (dst, src) in out.iter_mut().zip(SIZE_CLASS.iter()) {
         *dst = src.load(Relaxed);
@@ -259,6 +280,9 @@ pub struct WatermarkDelta {
 #[must_use]
 pub fn watermark() -> Watermark {
     let s = stats();
+    // ORDERING: Relaxed — the reset races benignly with concurrent
+    // fetch_max calls; scopes are documented as process-global
+    // observability, not synchronization.
     PEAK_BYTES.store(s.live_bytes, Relaxed);
     Watermark {
         start_live: s.live_bytes,
@@ -305,6 +329,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[cfg_attr(miri, ignore = "tracked allocator is not installed under Miri")]
     fn counters_observe_a_boxed_allocation() {
         let before = stats();
         let mark = thread_mark();
@@ -319,6 +344,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "tracked allocator is not installed under Miri")]
     fn live_bytes_fall_on_free() {
         let v: Vec<u8> = Vec::with_capacity(1 << 20);
         let with_live = stats().live_bytes;
@@ -331,6 +357,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "tracked allocator is not installed under Miri")]
     fn watermark_measures_peak_above_start() {
         let wm = watermark();
         let v: Vec<u8> = vec![0; 1 << 21];
@@ -359,6 +386,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "tracked allocator is not installed under Miri")]
     fn size_classes_bucket_by_log2() {
         assert_eq!(size_class(1), 0);
         assert_eq!(size_class(2), 1);

@@ -74,6 +74,8 @@ impl Sink for MemorySink {
     fn record(&self, event: &Event) {
         // Account the bytes the JSONL form *would* occupy, so in-memory
         // tests exercise the same overhead metering as file-backed runs.
+        // ORDERING: Relaxed — monotonic byte tally; the Mutex on the
+        // event buffer carries the actual publication edge.
         self.bytes
             .fetch_add(event.to_json().len() as u64 + 1, Ordering::Relaxed);
         self.events
@@ -82,6 +84,7 @@ impl Sink for MemorySink {
             .push(event.clone());
     }
 
+    // ORDERING: Relaxed — reads an eventual total of a monotonic tally.
     fn bytes_written(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
     }
@@ -115,6 +118,7 @@ impl Sink for JsonlSink {
         let mut w = self.writer.lock().expect("jsonl sink poisoned");
         // Telemetry must never take the run down: I/O errors are dropped.
         let _ = writeln!(w, "{line}");
+        // ORDERING: Relaxed — monotonic byte tally under the held lock.
         self.bytes
             .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
     }
@@ -123,6 +127,7 @@ impl Sink for JsonlSink {
         let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
     }
 
+    // ORDERING: Relaxed — reads an eventual total of a monotonic tally.
     fn bytes_written(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
     }

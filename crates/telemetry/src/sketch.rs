@@ -307,6 +307,8 @@ impl DistinctEstimator {
     }
 
     /// Inserts one identity (idempotent).
+    // BOUNDS: idx = h >> 56 < 256 = DISTINCT_REGISTERS, the register
+    // array's fixed length.
     pub fn insert(&mut self, id: u64) {
         let h = splitmix64(id);
         let idx = (h >> 56) as usize;
@@ -334,6 +336,9 @@ impl DistinctEstimator {
     /// correction. Exact 0 for an empty estimator.
     #[must_use]
     pub fn estimate(&self) -> f64 {
+        // BOUNDS: f64 divisions cannot trap; the zeros divisor is
+        // taken only on the `zeros > 0` branch, and inv_sum > 0 past
+        // the all-zeros early return.
         let m = DISTINCT_REGISTERS as f64;
         let mut inv_sum = 0.0f64;
         let mut zeros = 0u64;
@@ -457,6 +462,8 @@ impl Reservoir {
 
     /// Offers the next item in sequence; returns where to store it (if
     /// at all). The first `k` offers always land in order.
+    // BOUNDS: the `% self.seen` divisor is nonzero — seen was just
+    // incremented and never wraps within a process lifetime.
     pub fn offer(&mut self) -> Sample {
         self.seen += 1;
         if self.k == 0 {
@@ -529,7 +536,7 @@ mod tests {
             serial.observe(v);
         }
         // Split across 3 "threads", merge in a scrambled order.
-        let mut parts = vec![
+        let mut parts = [
             QuantileSketch::new(),
             QuantileSketch::new(),
             QuantileSketch::new(),

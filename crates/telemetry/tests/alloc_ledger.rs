@@ -1,0 +1,86 @@
+//! Allocator-ledger consistency under concurrent churn.
+//!
+//! The tracked allocator books every alloc/realloc/dealloc with relaxed
+//! atomics and promises a simple ledger identity at quiescent points:
+//! `live_bytes == alloc_bytes − freed_bytes`. This test hammers the
+//! allocator from 8 threads — interleaved Vec growth, reallocation,
+//! boxed values, string building — joins them all, and then checks the
+//! books balance. Thread count matches the `FHDNN_TEST_THREADS=8`
+//! setting the TSan CI leg runs the suite under, so the same churn
+//! doubles as the data-race workload there.
+//!
+//! This file holds exactly one test on purpose: with every worker
+//! joined and no sibling tests running, the process is quiescent at
+//! the closing snapshot, which is the only state in which the ledger
+//! identity is defined (mid-flight, a thread may have bumped
+//! `alloc_bytes` but not yet `live_bytes`).
+
+use fhdnn_telemetry::mem;
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 200;
+
+fn churn(seed: usize) {
+    let mut keep: Vec<Vec<u8>> = Vec::new();
+    for i in 0..ROUNDS {
+        // Growing vector: triggers the realloc path repeatedly.
+        let mut v: Vec<u8> = Vec::new();
+        for b in 0..(seed % 7 + 1) * 64 {
+            v.push(b as u8);
+        }
+        // Boxed value and a formatted string: small odd-size allocs.
+        let boxed = Box::new([i as u64; 9]);
+        let s = format!("thread-{seed}-round-{i}-{:?}", &boxed[..2]);
+        // Retain a rotating subset so frees interleave with allocs
+        // instead of pairing up LIFO.
+        if i % 3 == 0 {
+            keep.push(v);
+        }
+        if keep.len() > 16 {
+            keep.remove(0);
+        }
+        drop(s);
+    }
+    drop(keep);
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "tracked allocator is not installed under Miri")]
+fn ledger_balances_after_concurrent_churn() {
+    let before = mem::stats();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || churn(t + 1));
+        }
+    });
+    let after = mem::stats();
+
+    // All 8 workers are joined: their traffic is fully booked, and the
+    // gross counters only ever grow.
+    assert!(after.allocs > before.allocs, "churn allocated");
+    assert!(after.deallocs > before.deallocs, "churn freed");
+    assert!(
+        after.allocs >= after.deallocs,
+        "every dealloc matches a prior alloc ({} allocs, {} deallocs)",
+        after.allocs,
+        after.deallocs
+    );
+
+    // Ledger identity at quiescence: everything ever allocated is
+    // either still live or booked as freed. This holds from process
+    // start because every record_alloc/record_dealloc pair touches
+    // both sides of the ledger.
+    assert_eq!(
+        after.live_bytes,
+        after.alloc_bytes - after.freed_bytes,
+        "live must equal gross allocated minus gross freed at quiescence"
+    );
+
+    // The peak watermark can never sit below the live level it tracks.
+    assert!(
+        after.peak_bytes >= after.live_bytes,
+        "peak {} >= live {}",
+        after.peak_bytes,
+        after.live_bytes
+    );
+}
